@@ -1,0 +1,36 @@
+//! E1 (Prop 1): deterministic JNL evaluation scaling in |J| and |φ|, with
+//! the reference oracle as baseline.
+
+use bench::{e1_formula, e1_formula_sized, scaling_doc};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jsondata::JsonTree;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_jnl_eval");
+    g.sample_size(10);
+    let phi = e1_formula();
+    for exp in [10u32, 12, 14] {
+        let doc = scaling_doc(1 << exp, 1);
+        let tree = JsonTree::build(&doc);
+        g.bench_with_input(BenchmarkId::new("linear_prop1", tree.node_count()), &tree, |b, t| {
+            b.iter(|| jnl::eval::linear::eval(t, &phi).unwrap())
+        });
+        if exp <= 12 {
+            g.bench_with_input(BenchmarkId::new("oracle_baseline", tree.node_count()), &tree, |b, t| {
+                b.iter(|| jnl::eval::naive::eval(t, &phi))
+            });
+        }
+    }
+    let doc = scaling_doc(1 << 12, 1);
+    let tree = JsonTree::build(&doc);
+    for k in [16usize, 64, 256] {
+        let phi = e1_formula_sized(k);
+        g.bench_with_input(BenchmarkId::new("formula_sweep", phi.size()), &phi, |b, p| {
+            b.iter(|| jnl::eval::linear::eval(&tree, p).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

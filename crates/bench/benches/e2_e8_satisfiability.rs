@@ -1,0 +1,33 @@
+//! E2 (Prop 2) and E8 (Prop 7): satisfiability engines on their hardness
+//! families — 3SAT→JNL and QBF→JSL.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jnl::reduce::threesat::ThreeSat;
+use jsl::reduce::qbf::{Qbf, Quant};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2_e8_satisfiability");
+    g.sample_size(10);
+    for n in [6usize, 10, 14] {
+        let inst = ThreeSat::random(n, (n as f64 * 4.2) as usize, n as u64);
+        let phi = inst.to_jnl();
+        g.bench_with_input(BenchmarkId::new("threesat_jnl", n), &phi, |b, p| {
+            b.iter(|| jnl::sat::det::sat_deterministic_with_budget(p, 2_000_000))
+        });
+    }
+    for n in [2usize, 3] {
+        let q = Qbf {
+            prefix: (0..n)
+                .map(|i| if i % 2 == 0 { Quant::Exists } else { Quant::Forall })
+                .collect(),
+            clauses: (0..n).map(|i| vec![(i, true), ((i + 1) % n, false)]).collect(),
+        };
+        g.bench_with_input(BenchmarkId::new("qbf_jsl", n), &q, |b, q| {
+            b.iter(|| q.solve_via_jsl())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! E3 (Prop 3): recursive/non-deterministic evaluation — PDL engine
+//! (eq-free, linear claim) vs cubic engine (with `EQ(α,β)`).
+
+use bench::{e3_formula_eqfree, e3_formula_eqpair, scaling_doc};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jsondata::JsonTree;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e3_recursive_eval");
+    g.sample_size(10);
+    let eqfree = e3_formula_eqfree();
+    let eqpair = e3_formula_eqpair();
+    for exp in [8u32, 10, 12] {
+        let doc = scaling_doc(1 << exp, 3);
+        let tree = JsonTree::build(&doc);
+        g.bench_with_input(BenchmarkId::new("pdl_eqfree", tree.node_count()), &tree, |b, t| {
+            b.iter(|| jnl::eval::pdl::eval(t, &eqfree).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("cubic_eqpair", tree.node_count()), &tree, |b, t| {
+            b.iter(|| jnl::eval::cubic::eval(t, &eqpair))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

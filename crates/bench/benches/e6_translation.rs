@@ -1,0 +1,25 @@
+//! E6 (Thm 2): the three JNL→JSL translations on the blowup family.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jsl::translate::blowup_family;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e6_translation");
+    g.sample_size(10);
+    for k in [4usize, 8, 12] {
+        let phi = blowup_family(k);
+        g.bench_with_input(BenchmarkId::new("paper_literal", k), &phi, |b, p| {
+            b.iter(|| jsl::jnl_to_jsl_paper(p).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("path_expansion", k), &phi, |b, p| {
+            b.iter(|| jsl::jnl_to_jsl_paths(p).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("cps", k), &phi, |b, p| {
+            b.iter(|| jsl::jnl_to_jsl_cps(p).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E7 (Prop 6): JSL evaluation with the `Unique` strategy ablation —
+//! naive pairwise (the paper's quadratic bound) vs canonical labels.
+
+use bench::{e7_doc, e7_formula};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jsl::{EvalOptions, UniqueStrategy};
+use jsondata::JsonTree;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e7_jsl_eval");
+    g.sample_size(10);
+    let phi = e7_formula();
+    for exp in [8u32, 10, 12] {
+        let n = 1usize << exp;
+        let doc = e7_doc(n, n / 2);
+        let tree = JsonTree::build(&doc);
+        g.bench_with_input(BenchmarkId::new("unique_naive_pairwise", n), &tree, |b, t| {
+            b.iter(|| {
+                jsl::eval::evaluate_with(
+                    t,
+                    &phi,
+                    EvalOptions { unique: UniqueStrategy::NaivePairwise },
+                )
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("unique_canonical", n), &tree, |b, t| {
+            b.iter(|| {
+                jsl::eval::evaluate_with(t, &phi, EvalOptions { unique: UniqueStrategy::Canonical })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

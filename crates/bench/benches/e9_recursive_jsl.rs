@@ -1,0 +1,28 @@
+//! E9 (Prop 9): recursive JSL evaluation — PTIME bottom-up pass vs the
+//! exponential `unfold` semantics baseline.
+
+use bench::{e9_doc, e9_even_depth};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jsondata::JsonTree;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e9_recursive_jsl");
+    g.sample_size(10);
+    let delta = e9_even_depth();
+    for h in [4usize, 6, 8] {
+        let doc = e9_doc(h, 2);
+        let tree = JsonTree::build(&doc);
+        g.bench_with_input(BenchmarkId::new("ptime_bottom_up", h), &tree, |b, t| {
+            b.iter(|| delta.evaluate(t))
+        });
+        if let Some(unfolded) = delta.unfold(h, 2_000_000) {
+            g.bench_with_input(BenchmarkId::new("unfold_baseline", h), &tree, |b, t| {
+                b.iter(|| jsl::eval::evaluate(t, &unfolded))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,556 @@
+//! The experiment harness: regenerates the per-proposition measurement
+//! tables recorded in EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run -p bench --release --bin harness          # all experiments
+//! cargo run -p bench --release --bin harness -- e1 e7 # a subset
+//! ```
+
+use bench::*;
+use jsondata::JsonTree;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
+
+    if want("e1") {
+        e1();
+    }
+    if want("e2") {
+        e2();
+    }
+    if want("e3") {
+        e3();
+    }
+    if want("e4") {
+        e4();
+    }
+    if want("e5") {
+        e5();
+    }
+    if want("e6") {
+        e6();
+    }
+    if want("e7") {
+        e7();
+    }
+    if want("e8") {
+        e8();
+    }
+    if want("e9") {
+        e9();
+    }
+    if want("e10") {
+        e10();
+    }
+    if want("e11") {
+        e11();
+    }
+    if want("e12") {
+        e12();
+    }
+    if want("t1") {
+        t1();
+    }
+    if want("s1") {
+        s1();
+    }
+}
+
+fn header(id: &str, claim: &str) {
+    println!("\n=== {id}: {claim} ===");
+}
+
+/// E1 — Prop 1: deterministic JNL evaluation O(|J|·|φ|).
+fn e1() {
+    header("E1", "Prop 1 — deterministic JNL evaluation, O(|J|·|phi|)");
+    let phi = e1_formula();
+    println!("{}", row(&["|J|".into(), "linear ms".into(), "oracle ms".into()]));
+    let mut pts = Vec::new();
+    for exp in [10, 11, 12, 13, 14, 15, 16] {
+        let n = 1usize << exp;
+        let doc = scaling_doc(n, 1);
+        let tree = JsonTree::build(&doc);
+        let fast = time_ms(3, || jnl::eval::linear::eval(&tree, &phi).unwrap());
+        let naive = if n <= 1 << 12 {
+            format!("{:.2}", time_ms(1, || jnl::eval::naive::eval(&tree, &phi)))
+        } else {
+            "-".into()
+        };
+        pts.push((tree.node_count() as f64, fast));
+        println!("{}", row(&[format!("{}", tree.node_count()), format!("{fast:.2}"), naive]));
+    }
+    println!("fitted |J|-exponent (claim: ~1): {:.2}", loglog_slope(&pts));
+
+    println!("{}", row(&["|phi|".into(), "linear ms".into()]));
+    let doc = scaling_doc(1 << 13, 1);
+    let tree = JsonTree::build(&doc);
+    let mut pts = Vec::new();
+    for k in [8, 16, 32, 64, 128, 256] {
+        let phi = e1_formula_sized(k);
+        let ms = time_ms(3, || jnl::eval::linear::eval(&tree, &phi).unwrap());
+        pts.push((phi.size() as f64, ms));
+        println!("{}", row(&[format!("{}", phi.size()), format!("{ms:.2}")]));
+    }
+    println!("fitted |phi|-exponent (claim: ~1): {:.2}", loglog_slope(&pts));
+}
+
+/// E2 — Prop 2: deterministic JNL satisfiability (NP), 3SAT reduction.
+fn e2() {
+    header("E2", "Prop 2 — deterministic JNL satisfiability via 3SAT (NP-complete)");
+    use jnl::reduce::threesat::ThreeSat;
+    println!(
+        "{}",
+        row(&["vars".into(), "clauses".into(), "result".into(), "ms".into(), "verified".into()])
+    );
+    for (n, seed) in [(5usize, 1u64), (8, 2), (10, 3), (12, 4), (14, 5)] {
+        let m = (n as f64 * 4.2) as usize;
+        let inst = ThreeSat::random(n, m, seed);
+        let phi = inst.to_jnl();
+        let t0 = std::time::Instant::now();
+        let res = jnl::sat::det::sat_deterministic_with_budget(&phi, 2_000_000);
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        let (label, verified) = match &res {
+            jnl::SatResult::Sat(w) => {
+                let a = inst.decode_witness(w);
+                ("SAT", inst.eval(&a).to_string())
+            }
+            jnl::SatResult::Unsat => ("UNSAT", "n/a".into()),
+            jnl::SatResult::Unknown(_) => ("UNKNOWN", "n/a".into()),
+        };
+        println!(
+            "{}",
+            row(&[n.to_string(), m.to_string(), label.into(), format!("{ms:.1}"), verified])
+        );
+    }
+}
+
+/// E3 — Prop 3: recursive/non-deterministic evaluation, linear without
+/// EQ(α,β), cubic with it.
+fn e3() {
+    header("E3", "Prop 3 — recursive eval: linear eq-free (PDL) vs cubic with EQ(a,b)");
+    let eqfree = e3_formula_eqfree();
+    let eqpair = e3_formula_eqpair();
+    println!("{}", row(&["|J|".into(), "pdl ms".into(), "cubic ms".into()]));
+    let mut pdl_pts = Vec::new();
+    let mut cubic_pts = Vec::new();
+    for exp in [8, 9, 10, 11, 12] {
+        let n = 1usize << exp;
+        let doc = scaling_doc(n, 3);
+        let tree = JsonTree::build(&doc);
+        let p = time_ms(3, || jnl::eval::pdl::eval(&tree, &eqfree).unwrap());
+        let c = time_ms(1, || jnl::eval::cubic::eval(&tree, &eqpair));
+        pdl_pts.push((tree.node_count() as f64, p));
+        cubic_pts.push((tree.node_count() as f64, c));
+        println!(
+            "{}",
+            row(&[tree.node_count().to_string(), format!("{p:.2}"), format!("{c:.2}")])
+        );
+    }
+    println!(
+        "fitted exponents — pdl (claim ~1): {:.2}, cubic (claim >1, ≤3 worst-case): {:.2}",
+        loglog_slope(&pdl_pts),
+        loglog_slope(&cubic_pts)
+    );
+}
+
+/// E4 — Prop 4: the undecidability reduction exercised on a halting machine.
+fn e4() {
+    header("E4", "Prop 4 — Minsky-machine reduction (undecidability witness check)");
+    use jnl::reduce::minsky::{Instr, MinskyMachine};
+    let m = MinskyMachine {
+        program: vec![
+            Instr::Inc(0, 1),
+            Instr::Inc(0, 2),
+            Instr::Inc(1, 3),
+            Instr::Dec(0, 4),
+            Instr::Dec(0, 5),
+            Instr::Dec(1, 6),
+            Instr::IfZero(0, 7, 7),
+            Instr::Halt,
+        ],
+    };
+    let trace = m.run(1000).expect("machine halts");
+    let witness = MinskyMachine::encode_trace(&trace);
+    let tree = JsonTree::build(&witness);
+    let phi = m.to_jnl();
+    let accepted = jnl::eval::cubic::eval(&tree, &phi)[0];
+    println!("halting run length {} -> formula accepts witness: {accepted}", trace.len());
+    let mut bad = trace.clone();
+    bad[1].counters[0] += 1;
+    let corrupted = MinskyMachine::encode_trace(&bad);
+    let t2 = JsonTree::build(&corrupted);
+    println!("corrupted run rejected: {}", !jnl::eval::cubic::eval(&t2, &phi)[0]);
+}
+
+/// E5 — Prop 5: satisfiability of non-deterministic (eq-pair-free) JNL via
+/// the Theorem 2 route.
+fn e5() {
+    header("E5", "Prop 5 — nondeterministic JNL satisfiability through JSL (PSPACE route)");
+    println!("{}", row(&["formula".into(), "result".into(), "ms".into()]));
+    let cases: Vec<(&str, jnl::Unary)> = vec![
+        ("[X_{a(b|c)a}]T", jnl::parse_unary(r#"[@/a(b|c)a/]"#).unwrap()),
+        (
+            "box-empty + diamond",
+            jnl::parse_unary(r#"![@/.*/ ; <true>] & [@/x+/]"#).unwrap(),
+        ),
+        (
+            "regex clash",
+            jnl::parse_unary(r#"[@/a+/ ; <[@0]>] & ![@/a/ ; <[@0]>] & ![@/aa+/ ; <true>]"#)
+                .unwrap(),
+        ),
+        ("range demands", jnl::parse_unary(r#"[@[3:5]] & ![@[0:*] ; <[@"k"]>]"#).unwrap()),
+    ];
+    for (label, phi) in cases {
+        let t0 = std::time::Instant::now();
+        let result = match jsl::jnl_to_jsl_cps(&phi) {
+            Ok(psi) => match jsl::sat_jsl(&psi) {
+                jsl::JslSatResult::Sat(w) => format!("SAT {w}"),
+                jsl::JslSatResult::Unsat => "UNSAT".into(),
+                jsl::JslSatResult::Unknown(_) => "UNKNOWN".into(),
+            },
+            Err(e) => format!("untranslatable: {e}"),
+        };
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        println!("{}", row(&[label.into(), result, format!("{ms:.1}")]));
+    }
+}
+
+/// E6 — Thm 2: translation sizes on the blowup family.
+fn e6() {
+    header("E6", "Thm 2 — JNL->JSL translation size on the <[X_a]|[X_b]> chain family");
+    println!(
+        "{}",
+        row(&["k".into(), "paper-lit".into(), "path-expand".into(), "cps".into()])
+    );
+    for k in 1..=12 {
+        let phi = jsl::translate::blowup_family(k);
+        let paper = jsl::jnl_to_jsl_paper(&phi).unwrap().size();
+        let paths = jsl::jnl_to_jsl_paths(&phi).unwrap().size();
+        let cps = jsl::jnl_to_jsl_cps(&phi).unwrap().size();
+        println!(
+            "{}",
+            row(&[k.to_string(), paper.to_string(), paths.to_string(), cps.to_string()])
+        );
+    }
+    println!("shape check: path-expansion doubles per step (exponential, the paper's remark);");
+    println!("the literal appendix construction and the CPS variant stay linear (see EXPERIMENTS.md).");
+}
+
+/// E7 — Prop 6: JSL evaluation; Unique ablation.
+fn e7() {
+    header("E7", "Prop 6 — JSL evaluation: Unique naive-pairwise (quadratic) vs canonical");
+    use jsl::{EvalOptions, UniqueStrategy};
+    let phi = e7_formula();
+    println!("{}", row(&["array len".into(), "naive ms".into(), "canonical ms".into()]));
+    let mut naive_pts = Vec::new();
+    let mut canon_pts = Vec::new();
+    for exp in [8, 9, 10, 11, 12, 13] {
+        let n = 1usize << exp;
+        // All-distinct array: the worst case for the pairwise scan (no
+        // early duplicate short-circuits it).
+        let doc = jsondata::gen::wide_array(n);
+        let _ = e7_doc;
+        let tree = JsonTree::build(&doc);
+        let naive = time_ms(1, || {
+            jsl::eval::evaluate_with(&tree, &phi, EvalOptions { unique: UniqueStrategy::NaivePairwise })
+        });
+        let canon = time_ms(3, || {
+            jsl::eval::evaluate_with(&tree, &phi, EvalOptions { unique: UniqueStrategy::Canonical })
+        });
+        naive_pts.push((n as f64, naive));
+        canon_pts.push((n as f64, canon));
+        println!("{}", row(&[n.to_string(), format!("{naive:.2}"), format!("{canon:.2}")]));
+    }
+    println!(
+        "fitted exponents — naive (claim ~2): {:.2}, canonical (claim ~1): {:.2}",
+        loglog_slope(&naive_pts),
+        loglog_slope(&canon_pts)
+    );
+}
+
+/// E8 — Prop 7: JSL satisfiability on the QBF reduction.
+fn e8() {
+    header("E8", "Prop 7 — JSL satisfiability on QBF instances (PSPACE-hard family)");
+    use jsl::reduce::qbf::{Qbf, Quant};
+    use rand::{Rng, SeedableRng};
+    println!("{}", row(&["vars".into(), "oracle".into(), "via JSL".into(), "ms".into()]));
+    for n in 1..=5usize {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
+        let prefix: Vec<Quant> = (0..n)
+            .map(|_| if rng.gen_bool(0.5) { Quant::Exists } else { Quant::Forall })
+            .collect();
+        let clauses: Vec<Vec<(usize, bool)>> = (0..n + 1)
+            .map(|_| {
+                (0..2)
+                    .map(|_| (rng.gen_range(0..n), rng.gen_bool(0.5)))
+                    .collect()
+            })
+            .collect();
+        let q = Qbf { prefix, clauses };
+        let oracle = q.brute_force();
+        let t0 = std::time::Instant::now();
+        let got = q.solve_via_jsl();
+        let ms = t0.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{}",
+            row(&[
+                n.to_string(),
+                oracle.to_string(),
+                got.map(|b| b.to_string()).unwrap_or_else(|| "unknown".into()),
+                format!("{ms:.1}"),
+            ])
+        );
+    }
+}
+
+/// E9 — Prop 9: recursive JSL evaluation, PTIME vs the unfold baseline.
+fn e9() {
+    header("E9", "Prop 9 — recursive JSL: PTIME bottom-up vs exponential unfold");
+    let delta = e9_even_depth();
+    println!(
+        "{}",
+        row(&["height".into(), "|J|".into(), "ptime ms".into(), "unfold |phi|".into(), "unfold ms".into()])
+    );
+    for h in [2usize, 4, 6, 8, 10] {
+        let doc = e9_doc(h, 2);
+        let tree = JsonTree::build(&doc);
+        let fast = time_ms(3, || delta.evaluate(&tree));
+        let (usize_str, unfold_ms) = match delta.unfold(tree.height(), 2_000_000) {
+            Some(unfolded) => {
+                let ms = time_ms(1, || jsl::eval::evaluate(&tree, &unfolded));
+                (unfolded.size().to_string(), format!("{ms:.2}"))
+            }
+            None => ("> 2e6 (budget)".into(), "-".into()),
+        };
+        println!(
+            "{}",
+            row(&[
+                h.to_string(),
+                tree.node_count().to_string(),
+                format!("{fast:.2}"),
+                usize_str,
+                unfold_ms,
+            ])
+        );
+    }
+    // Circuit encodings: definitions count sweep.
+    use jsl::reduce::circuit::{Circuit, Gate};
+    println!("{}", row(&["gates".into(), "ptime ms".into()]));
+    for depth in [64usize, 128, 256, 512] {
+        let mut gates = vec![Gate::Input(0)];
+        for i in 0..depth {
+            gates.push(Gate::Not(i));
+        }
+        let c = Circuit { n_inputs: 1, gates };
+        let delta = c.to_recursive_jsl();
+        let doc = c.input_doc(&[true]);
+        let tree = JsonTree::build(&doc);
+        let ms = time_ms(3, || delta.evaluate(&tree));
+        println!("{}", row(&[depth.to_string(), format!("{ms:.2}")]));
+    }
+}
+
+/// E10 — Prop 10: J-automata emptiness.
+fn e10() {
+    header("E10", "Prop 10 — J-automata: membership, complement, emptiness");
+    let delta = e9_even_depth();
+    let auto = jautomata::JAutomaton::from_recursive_jsl(&delta).unwrap();
+    println!("automaton states: {}", auto.rules.len());
+    let doc = e9_doc(6, 2);
+    let tree = JsonTree::build(&doc);
+    let ms = time_ms(3, || auto.accepts(&tree).unwrap());
+    println!("membership on |J|={}: {ms:.2} ms", tree.node_count());
+    let comp = auto.complement();
+    let ms = time_ms(3, || comp.accepts(&tree).unwrap());
+    println!("complement membership     : {ms:.2} ms");
+    let t0 = std::time::Instant::now();
+    let e = auto.is_empty(jsl::SatConfig::default());
+    println!(
+        "emptiness (with witness)  : {:?} in {:.1} ms",
+        match &e {
+            jautomata::Emptiness::NonEmpty(w) => format!("NonEmpty({w})"),
+            other => format!("{other:?}"),
+        },
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+    let t0 = std::time::Instant::now();
+    let never = auto.intersect(&auto.complement());
+    let e = never.is_empty(jsl::SatConfig { max_height: Some(5), ..Default::default() });
+    println!(
+        "emptiness of L ∩ ¬L       : {:?} in {:.1} ms",
+        match e {
+            jautomata::Emptiness::NonEmpty(_) => "BUG".to_owned(),
+            other => format!("{other:?}"),
+        },
+        t0.elapsed().as_secs_f64() * 1e3
+    );
+}
+
+/// E11 — Thm 1: schema ⇔ JSL differential.
+fn e11() {
+    header("E11", "Thm 1 — Schema <-> JSL differential agreement");
+    let mut checked = 0usize;
+    let mut agreed = 0usize;
+    for seed in 0..400u64 {
+        let examples: Vec<jsondata::Json> = (0..3)
+            .map(|i| jsondata::gen::random_json(&jsondata::gen::GenConfig::sized(seed * 3 + i, 60)))
+            .collect();
+        let schema = jschema::infer(&examples);
+        let delta = jschema::schema_to_jsl(&schema).unwrap();
+        for probe_seed in 0..5u64 {
+            let probe =
+                jsondata::gen::random_json(&jsondata::gen::GenConfig::sized(9_000 + seed * 5 + probe_seed, 40));
+            let via_schema = jschema::is_valid(&schema, &probe).unwrap();
+            let via_jsl = delta.check_root(&JsonTree::build(&probe));
+            checked += 1;
+            if via_schema == via_jsl {
+                agreed += 1;
+            }
+        }
+    }
+    println!("document/schema pairs checked: {checked}; agreement: {agreed} ({:.1}%)",
+        100.0 * agreed as f64 / checked as f64);
+}
+
+/// E12 — Thm 3: recursive schema ⇔ recursive JSL differential.
+fn e12() {
+    header("E12", "Thm 3 — recursive Schema <-> recursive JSL (cons-list family)");
+    let schema = jschema::Schema::parse_str(
+        r##"{
+        "definitions": {
+            "list": {"type": "object", "anyOf": [
+                {"maxProperties": 0},
+                {"required": ["head", "tail"],
+                 "properties": {"head": {"type": "number"},
+                                 "tail": {"$ref": "#/definitions/list"}}}
+            ]}
+        },
+        "$ref": "#/definitions/list"
+    }"##,
+    )
+    .unwrap();
+    let delta = jschema::schema_to_jsl(&schema).unwrap();
+    let mut agreed = 0;
+    let mut checked = 0;
+    // Deep lists plus random probes.
+    let mut list = jsondata::Json::empty_object();
+    for i in 0..40u64 {
+        checked += 1;
+        let v = jschema::is_valid(&schema, &list).unwrap();
+        let j = delta.check_root(&JsonTree::build(&list));
+        if v == j {
+            agreed += 1;
+        }
+        list = jsondata::Json::object(vec![
+            ("head".into(), jsondata::Json::Num(i)),
+            ("tail".into(), list),
+        ])
+        .unwrap();
+    }
+    for seed in 0..200u64 {
+        let probe = jsondata::gen::random_json(&jsondata::gen::GenConfig::sized(seed, 30));
+        checked += 1;
+        let v = jschema::is_valid(&schema, &probe).unwrap();
+        let j = delta.check_root(&JsonTree::build(&probe));
+        if v == j {
+            agreed += 1;
+        }
+    }
+    println!("documents checked: {checked}; agreement: {agreed} ({:.1}%)",
+        100.0 * agreed as f64 / checked as f64);
+}
+
+/// T1 — the Table 1 keyword coverage matrix.
+fn t1() {
+    header("T1", "Table 1 — keyword coverage (validator + Thm 1 translation)");
+    let cases: Vec<(&str, &str, &str, bool)> = vec![
+        ("type(string)", r#"{"type": "string"}"#, r#""x""#, true),
+        ("pattern", r#"{"type": "string", "pattern": "(0|1)+"}"#, r#""01""#, true),
+        ("type(number)", r#"{"type": "number"}"#, "5", true),
+        ("multipleOf", r#"{"type": "number", "multipleOf": 4}"#, "12", true),
+        ("minimum", r#"{"type": "number", "minimum": 3}"#, "2", false),
+        ("maximum", r#"{"type": "number", "maximum": 3}"#, "4", false),
+        ("type(object)", r#"{"type": "object"}"#, "{}", true),
+        ("required", r#"{"type": "object", "required": ["k"]}"#, "{}", false),
+        ("minProperties", r#"{"type": "object", "minProperties": 1}"#, "{}", false),
+        ("maxProperties", r#"{"type": "object", "maxProperties": 0}"#, "{}", true),
+        (
+            "properties",
+            r#"{"type": "object", "properties": {"k": {"type": "number"}}}"#,
+            r#"{"k": "s"}"#,
+            false,
+        ),
+        (
+            "patternProperties",
+            r#"{"type": "object", "patternProperties": {"a(b|c)a": {"type": "number"}}}"#,
+            r#"{"aba": 1}"#,
+            true,
+        ),
+        (
+            "additionalProperties",
+            r#"{"type": "object", "properties": {"k": {}}, "additionalProperties": {"type": "number"}}"#,
+            r#"{"k": 1, "z": "s"}"#,
+            false,
+        ),
+        ("items", r#"{"type": "array", "items": [{"type": "number"}]}"#, "[1]", true),
+        (
+            "additionalItems",
+            r#"{"type": "array", "items": [{}], "additionalItems": {"type": "number"}}"#,
+            r#"[1, "s"]"#,
+            false,
+        ),
+        ("uniqueItems", r#"{"type": "array", "uniqueItems": "true"}"#, "[1, 1]", false),
+        ("anyOf", r#"{"anyOf": [{"type": "number"}, {"type": "string"}]}"#, "{}", false),
+        ("allOf", r#"{"allOf": [{"type": "number"}, {"minimum": 2}]}"#, "3", true),
+        ("not", r#"{"not": {"type": "number", "multipleOf": 2}}"#, "3", true),
+        ("enum", r#"{"enum": [1, "a"]}"#, r#""a""#, true),
+    ];
+    println!(
+        "{}",
+        row(&["keyword".into(), "validator".into(), "Thm1-JSL".into(), "agree".into()])
+    );
+    let mut all_agree = true;
+    for (kw, schema_src, doc_src, expected) in cases {
+        let schema = jschema::Schema::parse_str(schema_src).unwrap();
+        let doc = jsondata::parse(doc_src).unwrap();
+        let v = jschema::is_valid(&schema, &doc).unwrap();
+        let delta = jschema::schema_to_jsl(&schema).unwrap();
+        let j = delta.check_root(&JsonTree::build(&doc));
+        let agree = v == j && v == expected;
+        all_agree &= agree;
+        println!(
+            "{}",
+            row(&[kw.into(), v.to_string(), j.to_string(), agree.to_string()])
+        );
+    }
+    println!("all Table 1 keywords agree: {all_agree}");
+}
+
+/// S1 — the §4.1 systems survey: dialects vs their JNL compilations.
+fn s1() {
+    header("S1", "§4.1 — MongoDB find & JSONPath agree with their JNL compilations");
+    let people = jsondata::gen::person_records(20_000, 7);
+    let coll = mongofind::Collection::from_array(&people).unwrap();
+    let filter =
+        mongofind::Filter::parse_str(r#"{"name.first": {"$eq": "Sue"}, "hobbies": {"$size": 2}}"#)
+            .unwrap();
+    let t0 = std::time::Instant::now();
+    let direct = coll.find(&filter).len();
+    let direct_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t0 = std::time::Instant::now();
+    let via_jnl = coll.find_via_jnl(&filter).len();
+    let jnl_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("mongo find over 20k docs: direct {direct} hits ({direct_ms:.1} ms), JNL {via_jnl} hits ({jnl_ms:.1} ms), agree: {}", direct == via_jnl);
+
+    let store = scaling_doc(5_000, 11);
+    let tree = JsonTree::build(&store);
+    for path in ["$..a", "$..items[*]", "$.*"] {
+        let p = jsonpath::JsonPath::parse(path).unwrap();
+        let mut a = p.select_nodes(&tree);
+        let mut b = p.select_nodes_via_jnl(&tree);
+        a.sort();
+        b.sort();
+        println!("jsonpath {path}: {} hits, JNL agrees: {}", a.len(), a == b);
+    }
+}

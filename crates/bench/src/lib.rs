@@ -1,0 +1,170 @@
+//! Shared workloads and measurement helpers for the experiment harness and
+//! the Criterion benches. Each experiment (E1–E12 in DESIGN.md) reproduces
+//! one complexity claim of the paper; the workloads here define the
+//! parameter sweeps both entry points use.
+
+use std::time::Instant;
+
+use jnl::ast::{Binary, Unary};
+use jsl::ast::{Jsl, NodeTest};
+use jsondata::{gen, Json};
+
+/// Times one closure in milliseconds (median of `reps` runs).
+pub fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Least-squares slope of `log(y)` against `log(x)` — the empirical
+/// exponent of a scaling curve. Linear algorithms fit ≈1, quadratic ≈2.
+pub fn loglog_slope(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        let (lx, ly) = (x.ln(), y.max(1e-9).ln());
+        sx += lx;
+        sy += ly;
+        sxx += lx * lx;
+        sxy += lx * ly;
+    }
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+/// A balanced document of roughly `target` nodes (bounded height, wide
+/// fan-out) whose leaves cycle through a small value pool so that subtree
+/// equalities and `Unique` have work to do.
+pub fn scaling_doc(target: usize, seed: u64) -> Json {
+    // Compose chunks until the target is met: a single `random_json` call
+    // may draw a leaf at the root, so the document is assembled as an array
+    // of independently seeded random chunks.
+    let mut chunks: Vec<Json> = Vec::new();
+    let mut total = 1usize;
+    let mut i = 0u64;
+    while total < target {
+        let cfg = gen::GenConfig {
+            seed: seed.wrapping_mul(0x9E37_79B9).wrapping_add(i),
+            target_nodes: (target / 8).clamp(32, 4096),
+            max_depth: 10,
+            max_width: 10,
+            ..gen::GenConfig::default()
+        };
+        let chunk = gen::random_json(&cfg);
+        total += chunk.node_count();
+        chunks.push(chunk);
+        i += 1;
+    }
+    Json::Array(chunks)
+}
+
+/// E1: a deterministic JNL formula exercising navigation, tests, and both
+/// equality forms.
+pub fn e1_formula() -> Unary {
+    jnl::parse_unary(
+        r#"([@"a" ; @"b"] | [@"items" ; @0] | eqdoc(@"name", "John") | eqpair(@"a", @"b"))
+           & !eqdoc(@"id", 17)"#,
+    )
+    .expect("well-formed")
+}
+
+/// E1 (formula sweep): a chain of `k` existential conjuncts.
+pub fn e1_formula_sized(k: usize) -> Unary {
+    Unary::and(
+        (0..k)
+            .map(|i| {
+                Unary::or(vec![
+                    Unary::exists(Binary::compose(vec![
+                        Binary::key(format!("k{}", i % 7)),
+                        Binary::key("x"),
+                    ])),
+                    Unary::not(Unary::eq_doc(Binary::key(format!("k{}", i % 5)), Json::Num(i as u64))),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// E3: an equality-free recursive/non-deterministic formula (PDL engine).
+pub fn e3_formula_eqfree() -> Unary {
+    jnl::parse_unary(r#"eqdoc(((@/.*/)* ; (@[0:*])*)*, "yoga") | [(@/.*/)* ; @"needle"]"#)
+        .expect("well-formed")
+}
+
+/// E3: the same navigation with a binary equality (cubic engine).
+pub fn e3_formula_eqpair() -> Unary {
+    Unary::eq_pair(
+        Binary::star(Binary::compose(vec![
+            Binary::star(Binary::any_key()),
+            Binary::star(Binary::any_index()),
+        ])),
+        Binary::star(Binary::any_key()),
+    )
+}
+
+/// E7: `Unique` over one wide array with a controlled duplicate pool.
+pub fn e7_doc(n: usize, distinct: usize) -> Json {
+    gen::array_with_duplicates(n, distinct, 0xE7)
+}
+
+/// E7: the JSL formula (`Arr ∧ Unique`).
+pub fn e7_formula() -> Jsl {
+    Jsl::and(vec![Jsl::Test(NodeTest::Arr), Jsl::Test(NodeTest::Unique)])
+}
+
+/// E9: the even-depth recursive JSL expression of the paper's Example 2.
+pub fn e9_even_depth() -> jsl::RecursiveJsl {
+    jsl::RecursiveJsl {
+        defs: vec![
+            ("g1".into(), Jsl::box_any_key(Jsl::Var("g2".into()))),
+            (
+                "g2".into(),
+                Jsl::and(vec![
+                    Jsl::diamond_any_key(Jsl::True),
+                    Jsl::box_any_key(Jsl::Var("g1".into())),
+                ]),
+            ),
+        ],
+        base: Jsl::Var("g1".into()),
+    }
+}
+
+/// E9: a complete object tree of the given (even) height.
+pub fn e9_doc(height: usize, branch: usize) -> Json {
+    gen::balanced_tree(height, branch)
+}
+
+/// Formats a measurement table row.
+pub fn row(cols: &[String]) -> String {
+    cols.iter().map(|c| format!("{c:>14}")).collect::<Vec<_>>().join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slope_fits_known_exponents() {
+        let linear: Vec<(f64, f64)> = (1..8).map(|i| (i as f64, 3.0 * i as f64)).collect();
+        assert!((loglog_slope(&linear) - 1.0).abs() < 0.01);
+        let quad: Vec<(f64, f64)> =
+            (1..8).map(|i| (i as f64, 0.5 * (i * i) as f64)).collect();
+        assert!((loglog_slope(&quad) - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn workloads_are_well_formed() {
+        assert!(e1_formula().fragment().is_deterministic());
+        assert!(!e3_formula_eqfree().fragment().eq_pair);
+        assert!(e3_formula_eqpair().fragment().eq_pair);
+        assert_eq!(e9_even_depth().well_formed(), Ok(()));
+        // scaling_doc overshoots by at most one chunk.
+        let d = scaling_doc(1000, 1);
+        let n = d.node_count();
+        assert!((1000..1000 + 4200).contains(&n), "{n} nodes");
+    }
+}

@@ -1,0 +1,619 @@
+//! # jautomata — J-automata over JSON trees
+//!
+//! The automaton model of the Proposition 10 proof: alternating automata
+//! whose transition rules are positive boolean combinations of node tests,
+//! negated node tests, same-node state references (acyclic, mirroring the
+//! paper's `Qn` rule-graph restriction) and modal atoms `q∃e`, `q∀e`,
+//! `q∃i:j`, `q∀i:j`.
+//!
+//! Because the rules determine each node's state set *uniquely* from its
+//! children (the run labelling of the appendix is an "if and only if"
+//! condition), membership is a deterministic bottom-up pass. Complementation
+//! dualises the rules in polynomial time, exactly as the appendix remarks.
+//! Emptiness goes through the inverse of Lemma 4/5 — a J-automaton *is* a
+//! well-formed recursive JSL expression presented state-by-state — and the
+//! `jsl` tableau decides it (completely for bounded-height reasoning,
+//! `Unknown` past the cap, matching the EXPTIME/2EXPTIME reality of
+//! Proposition 10).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use jsl::ast::{Jsl, NodeTest};
+use jsl::recursive::RecursiveJsl;
+use jsl::sat::{sat_recursive, JslSatResult, SatConfig};
+use jsondata::{JsonTree, NodeId};
+use relex::Regex;
+
+pub mod run;
+
+/// A transition rule: a positive boolean combination over atoms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rule {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// Conjunction.
+    And(Vec<Rule>),
+    /// Disjunction.
+    Or(Vec<Rule>),
+    /// A node test holds here.
+    Test(NodeTest),
+    /// A node test fails here (`NodeTests¬` of the appendix).
+    NegTest(NodeTest),
+    /// Another state holds at the *same* node (must be acyclic).
+    State(usize),
+    /// `q∃e`: some object child under a key in `L(e)` is labelled `q`.
+    ExistsKey(Regex, usize),
+    /// `q∀e`: every object child under a key in `L(e)` is labelled `q`.
+    ForallKey(Regex, usize),
+    /// `q∃i:j`: some array child at a position in `[i,j]` is labelled `q`.
+    ExistsRange(u64, Option<u64>, usize),
+    /// `q∀i:j`: every array child at a position in `[i,j]` is labelled `q`.
+    ForallRange(u64, Option<u64>, usize),
+}
+
+/// A J-automaton.
+#[derive(Debug, Clone)]
+pub struct JAutomaton {
+    /// Rules, indexed by state id; `names` documents them.
+    pub rules: Vec<Rule>,
+    /// Human-readable state names.
+    pub names: Vec<String>,
+    /// Accepting states (acceptance: some final state labels the root).
+    pub finals: Vec<usize>,
+}
+
+/// Automaton construction/validation errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AutomatonError {
+    /// Same-node state references form a cycle (violates the appendix's
+    /// acyclicity restriction on `Qn` rules).
+    SameNodeCycle(Vec<usize>),
+    /// A rule references an unknown state.
+    UnknownState(usize),
+}
+
+impl fmt::Display for AutomatonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutomatonError::SameNodeCycle(c) => {
+                write!(f, "same-node state references form a cycle: {c:?}")
+            }
+            AutomatonError::UnknownState(q) => write!(f, "unknown state {q}"),
+        }
+    }
+}
+
+impl std::error::Error for AutomatonError {}
+
+impl JAutomaton {
+    /// Checks the structural restrictions (state ids in range, same-node
+    /// reference acyclicity) and returns a topological order of states for
+    /// same-node evaluation.
+    pub fn validate(&self) -> Result<Vec<usize>, AutomatonError> {
+        let n = self.rules.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (q, rule) in self.rules.iter().enumerate() {
+            let mut refs = Vec::new();
+            same_node_refs(rule, &mut refs);
+            for r in &refs {
+                if *r >= n {
+                    return Err(AutomatonError::UnknownState(*r));
+                }
+                adj[q].push(*r);
+            }
+            let mut modal = Vec::new();
+            modal_refs(rule, &mut modal);
+            for r in modal {
+                if r >= n {
+                    return Err(AutomatonError::UnknownState(r));
+                }
+            }
+        }
+        for f in &self.finals {
+            if *f >= n {
+                return Err(AutomatonError::UnknownState(*f));
+            }
+        }
+        // Kahn topological sort over "q depends on r" edges.
+        let mut indeg = vec![0usize; n];
+        for q in 0..n {
+            for &r in &adj[q] {
+                let _ = r;
+                indeg[q] += 0; // placeholder to keep shape clear
+            }
+        }
+        // indegree = number of dependents pointing at me is not what we
+        // need; we need deps first: order states so that every same-node
+        // reference of q precedes q.
+        let mut order = Vec::with_capacity(n);
+        let mut mark = vec![0u8; n];
+        for start in 0..n {
+            if mark[start] != 0 {
+                continue;
+            }
+            let mut stack = vec![(start, 0usize)];
+            mark[start] = 1;
+            while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+                if *next < adj[u].len() {
+                    let v = adj[u][*next];
+                    *next += 1;
+                    match mark[v] {
+                        0 => {
+                            mark[v] = 1;
+                            stack.push((v, 0));
+                        }
+                        1 => {
+                            return Err(AutomatonError::SameNodeCycle(
+                                stack.iter().map(|&(s, _)| s).collect(),
+                            ))
+                        }
+                        _ => {}
+                    }
+                } else {
+                    mark[u] = 2;
+                    order.push(u);
+                    stack.pop();
+                }
+            }
+        }
+        Ok(order)
+    }
+
+    /// Deterministic bottom-up membership: does the automaton accept `J`?
+    pub fn accepts(&self, tree: &JsonTree) -> Result<bool, AutomatonError> {
+        Ok(run::run(self, tree)?.accepting)
+    }
+
+    /// Polynomial complementation by rule dualisation (the appendix's
+    /// remark). The result accepts exactly the documents this automaton
+    /// rejects.
+    pub fn complement(&self) -> JAutomaton {
+        // Normalise to a single final state first.
+        let mut a = self.clone();
+        let f = a.rules.len();
+        a.rules.push(Rule::Or(self.finals.iter().map(|&q| Rule::State(q)).collect()));
+        a.names.push("⋁finals".to_owned());
+        a.finals = vec![f];
+        // Dualise every rule; state indices keep their meaning ("dual of q").
+        let rules = a.rules.iter().map(dualise).collect();
+        JAutomaton {
+            rules,
+            names: a.names.iter().map(|n| format!("¬{n}")).collect(),
+            finals: vec![f],
+        }
+    }
+
+    /// Product automaton accepting the intersection of two languages.
+    pub fn intersect(&self, other: &JAutomaton) -> JAutomaton {
+        let offset = self.rules.len();
+        let mut rules = self.rules.clone();
+        rules.extend(other.rules.iter().map(|r| shift(r, offset)));
+        let mut names = self.names.clone();
+        names.extend(other.names.iter().map(|n| format!("R·{n}")));
+        let f = rules.len();
+        rules.push(Rule::And(vec![
+            Rule::Or(self.finals.iter().map(|&q| Rule::State(q)).collect()),
+            Rule::Or(other.finals.iter().map(|&q| Rule::State(q + offset)).collect()),
+        ]));
+        names.push("⋀pair".to_owned());
+        JAutomaton { rules, names, finals: vec![f] }
+    }
+
+    /// Lemma 4/5: compiles a well-formed recursive JSL expression into an
+    /// equivalent J-automaton. Each definition yields a positive and (on
+    /// demand) a dual state, so rules stay positive.
+    pub fn from_recursive_jsl(delta: &RecursiveJsl) -> Result<JAutomaton, String> {
+        delta.well_formed().map_err(|e| e.to_string())?;
+        let mut b = Builder {
+            index: HashMap::new(),
+            rules: Vec::new(),
+            names: Vec::new(),
+        };
+        // Allocate states for every (definition, polarity) lazily, then the
+        // base expression as the final state.
+        let base_rule = b.compile(&delta.base, true);
+        let f = b.rules.len();
+        b.rules.push(base_rule);
+        b.names.push("base".to_owned());
+        // Definition rules are filled in by allocation; compile them now.
+        let mut pending: Vec<(usize, String, bool)> = b
+            .index
+            .iter()
+            .map(|(&(ref name, pol), &q)| (q, name.clone(), pol))
+            .collect();
+        let mut done: Vec<bool> = vec![false; b.rules.len()];
+        while let Some((q, name, pol)) = pending.pop() {
+            if done.get(q).copied().unwrap_or(false) {
+                continue;
+            }
+            let def = delta
+                .defs
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, p)| p.clone())
+                .expect("well-formed");
+            let before = b.index.clone();
+            let rule = b.compile(&def, pol);
+            if done.len() < b.rules.len() {
+                done.resize(b.rules.len(), false);
+            }
+            b.rules[q] = rule;
+            done[q] = true;
+            // Newly allocated states need compiling too.
+            for (key, &id) in &b.index {
+                if !before.contains_key(key) {
+                    pending.push((id, key.0.clone(), key.1));
+                }
+            }
+        }
+        Ok(JAutomaton { rules: b.rules, names: b.names, finals: vec![f] })
+    }
+
+    /// The inverse of Lemma 4/5: presents the automaton as a well-formed
+    /// recursive JSL expression (used by [`JAutomaton::is_empty`]).
+    pub fn to_recursive_jsl(&self) -> RecursiveJsl {
+        let name = |q: usize| format!("q{q}");
+        let defs = self
+            .rules
+            .iter()
+            .enumerate()
+            .map(|(q, r)| (name(q), rule_to_jsl(r, &name)))
+            .collect();
+        let base = Jsl::or(self.finals.iter().map(|&q| Jsl::Var(name(q))).collect());
+        RecursiveJsl { defs, base }
+    }
+
+    /// Emptiness through the recursive-JSL tableau (Proposition 10's
+    /// decision problem; `Unknown` when the height cap bites).
+    pub fn is_empty(&self, cfg: SatConfig) -> Emptiness {
+        match sat_recursive(&self.to_recursive_jsl(), cfg) {
+            JslSatResult::Sat(w) => Emptiness::NonEmpty(w),
+            JslSatResult::Unsat => Emptiness::Empty,
+            JslSatResult::Unknown(r) => Emptiness::Unknown(r),
+        }
+    }
+}
+
+/// Result of an emptiness check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Emptiness {
+    /// The language is empty.
+    Empty,
+    /// A member document.
+    NonEmpty(jsondata::Json),
+    /// Undecided within the configured bounds.
+    Unknown(String),
+}
+
+fn same_node_refs(rule: &Rule, out: &mut Vec<usize>) {
+    match rule {
+        Rule::State(q) => out.push(*q),
+        Rule::And(rs) | Rule::Or(rs) => rs.iter().for_each(|r| same_node_refs(r, out)),
+        _ => {}
+    }
+}
+
+fn modal_refs(rule: &Rule, out: &mut Vec<usize>) {
+    match rule {
+        Rule::ExistsKey(_, q)
+        | Rule::ForallKey(_, q)
+        | Rule::ExistsRange(_, _, q)
+        | Rule::ForallRange(_, _, q) => out.push(*q),
+        Rule::And(rs) | Rule::Or(rs) => rs.iter().for_each(|r| modal_refs(r, out)),
+        _ => {}
+    }
+}
+
+fn dualise(rule: &Rule) -> Rule {
+    match rule {
+        Rule::True => Rule::False,
+        Rule::False => Rule::True,
+        Rule::And(rs) => Rule::Or(rs.iter().map(dualise).collect()),
+        Rule::Or(rs) => Rule::And(rs.iter().map(dualise).collect()),
+        Rule::Test(t) => Rule::NegTest(t.clone()),
+        Rule::NegTest(t) => Rule::Test(t.clone()),
+        Rule::State(q) => Rule::State(*q),
+        Rule::ExistsKey(e, q) => Rule::ForallKey(e.clone(), *q),
+        Rule::ForallKey(e, q) => Rule::ExistsKey(e.clone(), *q),
+        Rule::ExistsRange(i, j, q) => Rule::ForallRange(*i, *j, *q),
+        Rule::ForallRange(i, j, q) => Rule::ExistsRange(*i, *j, *q),
+    }
+}
+
+fn shift(rule: &Rule, offset: usize) -> Rule {
+    match rule {
+        Rule::True => Rule::True,
+        Rule::False => Rule::False,
+        Rule::And(rs) => Rule::And(rs.iter().map(|r| shift(r, offset)).collect()),
+        Rule::Or(rs) => Rule::Or(rs.iter().map(|r| shift(r, offset)).collect()),
+        Rule::Test(t) => Rule::Test(t.clone()),
+        Rule::NegTest(t) => Rule::NegTest(t.clone()),
+        Rule::State(q) => Rule::State(q + offset),
+        Rule::ExistsKey(e, q) => Rule::ExistsKey(e.clone(), q + offset),
+        Rule::ForallKey(e, q) => Rule::ForallKey(e.clone(), q + offset),
+        Rule::ExistsRange(i, j, q) => Rule::ExistsRange(*i, *j, q + offset),
+        Rule::ForallRange(i, j, q) => Rule::ForallRange(*i, *j, q + offset),
+    }
+}
+
+fn rule_to_jsl(rule: &Rule, name: &dyn Fn(usize) -> String) -> Jsl {
+    match rule {
+        Rule::True => Jsl::True,
+        Rule::False => Jsl::falsity(),
+        Rule::And(rs) => Jsl::and(rs.iter().map(|r| rule_to_jsl(r, name)).collect()),
+        Rule::Or(rs) => Jsl::or(rs.iter().map(|r| rule_to_jsl(r, name)).collect()),
+        Rule::Test(t) => Jsl::Test(t.clone()),
+        Rule::NegTest(t) => Jsl::not(Jsl::Test(t.clone())),
+        Rule::State(q) => Jsl::Var(name(*q)),
+        Rule::ExistsKey(e, q) => Jsl::DiamondKey(e.clone(), Box::new(Jsl::Var(name(*q)))),
+        Rule::ForallKey(e, q) => Jsl::BoxKey(e.clone(), Box::new(Jsl::Var(name(*q)))),
+        Rule::ExistsRange(i, j, q) => {
+            Jsl::DiamondRange(*i, *j, Box::new(Jsl::Var(name(*q))))
+        }
+        Rule::ForallRange(i, j, q) => Jsl::BoxRange(*i, *j, Box::new(Jsl::Var(name(*q)))),
+    }
+}
+
+struct Builder {
+    /// `(definition name, polarity) → state id`.
+    index: HashMap<(String, bool), usize>,
+    rules: Vec<Rule>,
+    names: Vec<String>,
+}
+
+impl Builder {
+    fn state_for(&mut self, name: &str, polarity: bool) -> usize {
+        if let Some(&q) = self.index.get(&(name.to_owned(), polarity)) {
+            return q;
+        }
+        let q = self.rules.len();
+        self.rules.push(Rule::True); // placeholder, filled by the driver
+        self.names
+            .push(if polarity { name.to_owned() } else { format!("¬{name}") });
+        self.index.insert((name.to_owned(), polarity), q);
+        q
+    }
+
+    /// Compiles a JSL formula into a positive rule; `polarity = false`
+    /// compiles the negation.
+    fn compile(&mut self, phi: &Jsl, polarity: bool) -> Rule {
+        match (phi, polarity) {
+            (Jsl::True, true) => Rule::True,
+            (Jsl::True, false) => Rule::False,
+            (Jsl::Not(p), pol) => self.compile(p, !pol),
+            (Jsl::And(ps), true) => {
+                Rule::And(ps.iter().map(|p| self.compile(p, true)).collect())
+            }
+            (Jsl::And(ps), false) => {
+                Rule::Or(ps.iter().map(|p| self.compile(p, false)).collect())
+            }
+            (Jsl::Or(ps), true) => {
+                Rule::Or(ps.iter().map(|p| self.compile(p, true)).collect())
+            }
+            (Jsl::Or(ps), false) => {
+                Rule::And(ps.iter().map(|p| self.compile(p, false)).collect())
+            }
+            (Jsl::Test(t), true) => Rule::Test(t.clone()),
+            (Jsl::Test(t), false) => Rule::NegTest(t.clone()),
+            (Jsl::Var(v), pol) => Rule::State(self.state_for(v, pol)),
+            (Jsl::DiamondKey(e, p), true) => {
+                let q = self.aux(p, true);
+                Rule::ExistsKey(e.clone(), q)
+            }
+            (Jsl::DiamondKey(e, p), false) => {
+                let q = self.aux(p, false);
+                Rule::ForallKey(e.clone(), q)
+            }
+            (Jsl::BoxKey(e, p), true) => {
+                let q = self.aux(p, true);
+                Rule::ForallKey(e.clone(), q)
+            }
+            (Jsl::BoxKey(e, p), false) => {
+                let q = self.aux(p, false);
+                Rule::ExistsKey(e.clone(), q)
+            }
+            (Jsl::DiamondRange(i, j, p), true) => {
+                let q = self.aux(p, true);
+                Rule::ExistsRange(*i, *j, q)
+            }
+            (Jsl::DiamondRange(i, j, p), false) => {
+                let q = self.aux(p, false);
+                Rule::ForallRange(*i, *j, q)
+            }
+            (Jsl::BoxRange(i, j, p), true) => {
+                let q = self.aux(p, true);
+                Rule::ForallRange(*i, *j, q)
+            }
+            (Jsl::BoxRange(i, j, p), false) => {
+                let q = self.aux(p, false);
+                Rule::ExistsRange(*i, *j, q)
+            }
+        }
+    }
+
+    /// Allocates an auxiliary state for a modal body.
+    fn aux(&mut self, phi: &Jsl, polarity: bool) -> usize {
+        let rule = self.compile(phi, polarity);
+        let q = self.rules.len();
+        self.rules.push(rule);
+        self.names.push(format!("aux{q}"));
+        q
+    }
+}
+
+/// Convenience: labels each node of a tree with the states that hold there.
+pub fn state_labels(
+    automaton: &JAutomaton,
+    tree: &JsonTree,
+) -> Result<Vec<Vec<bool>>, AutomatonError> {
+    let r = run::run(automaton, tree)?;
+    Ok(r.labels)
+}
+
+/// Convenience: the state set at one node.
+pub fn states_at(
+    automaton: &JAutomaton,
+    tree: &JsonTree,
+    node: NodeId,
+) -> Result<Vec<usize>, AutomatonError> {
+    let labels = state_labels(automaton, tree)?;
+    Ok((0..automaton.rules.len())
+        .filter(|&q| labels[q][node.index()])
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsl::ast::Jsl as J;
+    use jsondata::parse;
+
+    fn even_depth() -> RecursiveJsl {
+        RecursiveJsl {
+            defs: vec![
+                ("g1".into(), J::box_any_key(J::Var("g2".into()))),
+                (
+                    "g2".into(),
+                    J::and(vec![
+                        J::diamond_any_key(J::True),
+                        J::box_any_key(J::Var("g1".into())),
+                    ]),
+                ),
+            ],
+            base: J::Var("g1".into()),
+        }
+    }
+
+    fn docs() -> Vec<jsondata::Json> {
+        [
+            "{}",
+            r#"{"a": {}}"#,
+            r#"{"a": {"x": {}}}"#,
+            r#"{"a": {"x": {}}, "b": {}}"#,
+            r#"{"a": {"x": {"y": {"z": {}}}}}"#,
+            r#"[1, 2]"#,
+            "5",
+        ]
+        .iter()
+        .map(|s| parse(s).unwrap())
+        .collect()
+    }
+
+    #[test]
+    fn lemma45_membership_matches_recursive_jsl() {
+        let delta = even_depth();
+        let auto = JAutomaton::from_recursive_jsl(&delta).unwrap();
+        auto.validate().unwrap();
+        for doc in docs() {
+            let tree = JsonTree::build(&doc);
+            assert_eq!(
+                auto.accepts(&tree).unwrap(),
+                delta.check_root(&tree),
+                "doc {doc}"
+            );
+        }
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let delta = even_depth();
+        let auto = JAutomaton::from_recursive_jsl(&delta).unwrap();
+        let comp = auto.complement();
+        comp.validate().unwrap();
+        for doc in docs() {
+            let tree = JsonTree::build(&doc);
+            assert_eq!(
+                auto.accepts(&tree).unwrap(),
+                !comp.accepts(&tree).unwrap(),
+                "doc {doc}"
+            );
+        }
+    }
+
+    #[test]
+    fn intersection_is_conjunction() {
+        let delta = even_depth();
+        let a = JAutomaton::from_recursive_jsl(&delta).unwrap();
+        let b = JAutomaton::from_recursive_jsl(&RecursiveJsl::plain(J::diamond_any_key(
+            J::True,
+        )))
+        .unwrap();
+        let both = a.intersect(&b);
+        both.validate().unwrap();
+        for doc in docs() {
+            let tree = JsonTree::build(&doc);
+            assert_eq!(
+                both.accepts(&tree).unwrap(),
+                a.accepts(&tree).unwrap() && b.accepts(&tree).unwrap(),
+                "doc {doc}"
+            );
+        }
+    }
+
+    #[test]
+    fn emptiness_with_witness() {
+        let delta = even_depth();
+        let auto = JAutomaton::from_recursive_jsl(&delta).unwrap();
+        match auto.is_empty(SatConfig::default()) {
+            Emptiness::NonEmpty(w) => {
+                let tree = JsonTree::build(&w);
+                assert!(auto.accepts(&tree).unwrap());
+            }
+            other => panic!("expected NonEmpty, got {other:?}"),
+        }
+        // Intersecting with its complement is empty.
+        let never = auto.intersect(&auto.complement());
+        match never.is_empty(SatConfig { max_height: Some(6), ..Default::default() }) {
+            Emptiness::Empty | Emptiness::Unknown(_) => {}
+            Emptiness::NonEmpty(w) => panic!("L ∩ ¬L gave witness {w}"),
+        }
+    }
+
+    #[test]
+    fn hand_built_automaton() {
+        // Accepts arrays whose first element is the number 7.
+        let auto = JAutomaton {
+            rules: vec![
+                Rule::Test(NodeTest::EqDoc(jsondata::Json::Num(7))),
+                Rule::And(vec![
+                    Rule::Test(NodeTest::Arr),
+                    Rule::ExistsRange(0, Some(0), 0),
+                ]),
+            ],
+            names: vec!["is7".into(), "root".into()],
+            finals: vec![1],
+        };
+        auto.validate().unwrap();
+        assert!(auto.accepts(&JsonTree::build(&parse("[7, 1]").unwrap())).unwrap());
+        assert!(!auto.accepts(&JsonTree::build(&parse("[1, 7]").unwrap())).unwrap());
+        assert!(!auto.accepts(&JsonTree::build(&parse("7").unwrap())).unwrap());
+    }
+
+    #[test]
+    fn same_node_cycles_rejected() {
+        let auto = JAutomaton {
+            rules: vec![Rule::State(1), Rule::State(0)],
+            names: vec!["a".into(), "b".into()],
+            finals: vec![0],
+        };
+        assert!(matches!(auto.validate(), Err(AutomatonError::SameNodeCycle(_))));
+        let auto = JAutomaton {
+            rules: vec![Rule::State(7)],
+            names: vec!["a".into()],
+            finals: vec![0],
+        };
+        assert!(matches!(auto.validate(), Err(AutomatonError::UnknownState(7))));
+    }
+
+    #[test]
+    fn state_labels_expose_runs() {
+        let delta = even_depth();
+        let auto = JAutomaton::from_recursive_jsl(&delta).unwrap();
+        let tree = JsonTree::build(&parse(r#"{"a": {"x": {}}}"#).unwrap());
+        let at_root = states_at(&auto, &tree, tree.root()).unwrap();
+        assert!(!at_root.is_empty());
+    }
+}

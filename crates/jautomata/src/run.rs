@@ -1,0 +1,99 @@
+//! The run semantics of J-automata: the appendix's "valid and accepting
+//! run" labels every node with a state set consistent with the rules in
+//! both directions, which pins the labelling down uniquely — so a run is
+//! *computed*, bottom-up, rather than guessed.
+
+use jsl::eval::JslContext;
+use jsondata::{JsonTree, NodeId};
+use relex::CompiledRegex;
+use std::collections::HashMap;
+
+use crate::{AutomatonError, JAutomaton, Rule};
+
+/// The unique run of an automaton over a tree.
+pub struct Run {
+    /// `labels[q][n]`: state `q` holds at node `n`.
+    pub labels: Vec<Vec<bool>>,
+    /// Whether some final state labels the root.
+    pub accepting: bool,
+}
+
+/// Computes the run.
+pub fn run(automaton: &JAutomaton, tree: &JsonTree) -> Result<Run, AutomatonError> {
+    let order = automaton.validate()?;
+    let n_states = automaton.rules.len();
+    let n_nodes = tree.node_count();
+    let mut labels: Vec<Vec<bool>> = vec![vec![false; n_nodes]; n_states];
+    let mut ctx = JslContext::new(tree);
+    let mut regexes: HashMap<String, CompiledRegex> = HashMap::new();
+
+    for node in tree.bottom_up() {
+        for &q in &order {
+            let v = eval_rule(
+                &automaton.rules[q],
+                tree,
+                node,
+                &labels,
+                &mut ctx,
+                &mut regexes,
+            );
+            labels[q][node.index()] = v;
+        }
+    }
+    let accepting = automaton
+        .finals
+        .iter()
+        .any(|&q| labels[q][tree.root().index()]);
+    Ok(Run { labels, accepting })
+}
+
+fn eval_rule(
+    rule: &Rule,
+    tree: &JsonTree,
+    node: NodeId,
+    labels: &[Vec<bool>],
+    ctx: &mut JslContext<'_>,
+    regexes: &mut HashMap<String, CompiledRegex>,
+) -> bool {
+    match rule {
+        Rule::True => true,
+        Rule::False => false,
+        Rule::And(rs) => rs.iter().all(|r| eval_rule(r, tree, node, labels, ctx, regexes)),
+        Rule::Or(rs) => rs.iter().any(|r| eval_rule(r, tree, node, labels, ctx, regexes)),
+        Rule::Test(t) => ctx.node_test(t, node),
+        Rule::NegTest(t) => !ctx.node_test(t, node),
+        Rule::State(q) => labels[*q][node.index()],
+        Rule::ExistsKey(e, q) => {
+            let compiled = regexes
+                .entry(e.to_string())
+                .or_insert_with(|| e.compile());
+            tree.obj_children(node)
+                .iter()
+                .any(|(k, c)| compiled.is_match(k) && labels[*q][c.index()])
+        }
+        Rule::ForallKey(e, q) => {
+            let compiled = regexes
+                .entry(e.to_string())
+                .or_insert_with(|| e.compile());
+            tree.obj_children(node)
+                .iter()
+                .all(|(k, c)| !compiled.is_match(k) || labels[*q][c.index()])
+        }
+        Rule::ExistsRange(i, j, q) => tree
+            .arr_children(node)
+            .iter()
+            .enumerate()
+            .any(|(pos, c)| {
+                let pos = pos as u64;
+                pos >= *i && j.map_or(true, |j| pos <= j) && labels[*q][c.index()]
+            }),
+        Rule::ForallRange(i, j, q) => tree
+            .arr_children(node)
+            .iter()
+            .enumerate()
+            .all(|(pos, c)| {
+                let pos = pos as u64;
+                !(pos >= *i && j.map_or(true, |j| pos <= j)) || labels[*q][c.index()]
+            }),
+    }
+}

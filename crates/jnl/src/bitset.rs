@@ -1,0 +1,117 @@
+//! A minimal fixed-size bitset used by the cubic (relation-based) evaluator.
+//! Implemented in-repo because no offline crate provides one and the
+//! Proposition 3 algorithm is defined over node-set rows.
+
+/// A fixed-capacity bitset over `0..len`.
+#[derive(Clone, PartialEq, Eq)]
+pub struct BitSet {
+    blocks: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// An empty set over the universe `0..len`.
+    pub fn new(len: usize) -> BitSet {
+        BitSet { blocks: vec![0; len.div_ceil(64)], len }
+    }
+
+    /// Universe size.
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Inserts `i`; returns whether it was newly inserted.
+    pub fn insert(&mut self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let (b, m) = (i / 64, 1u64 << (i % 64));
+        let newly = self.blocks[b] & m == 0;
+        self.blocks[b] |= m;
+        newly
+    }
+
+    /// Membership.
+    pub fn contains(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.blocks[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// `self ∪= other`; returns whether anything changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            let next = *a | b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
+    /// Whether `self ∩ other` is non-empty.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.blocks.iter().zip(&other.blocks).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Number of elements.
+    pub fn count(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Iterates over set members in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(bi, &block)| {
+            let mut b = block;
+            std::iter::from_fn(move || {
+                if b == 0 {
+                    None
+                } else {
+                    let t = b.trailing_zeros() as usize;
+                    b &= b - 1;
+                    Some(bi * 64 + t)
+                }
+            })
+        })
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_operations() {
+        let mut s = BitSet::new(130);
+        assert!(s.is_empty());
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert!(s.contains(0) && s.contains(129) && !s.contains(64));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(3);
+        b.insert(70);
+        assert!(!a.intersects(&b));
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "idempotent");
+        assert!(a.contains(70));
+        b.insert(3);
+        assert!(a.intersects(&b));
+    }
+}

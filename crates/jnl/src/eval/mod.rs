@@ -1,0 +1,148 @@
+//! Evaluation engines for JNL.
+//!
+//! Four engines implement the semantics at the complexity points the paper
+//! identifies:
+//!
+//! | Engine | Fragment | Bound (paper) | Where |
+//! |---|---|---|---|
+//! | [`naive`] | full logic | — (reference oracle) | differential tests |
+//! | [`linear`] | deterministic JNL | `O(\|J\|·\|φ\|)` (Prop 1) | E1 |
+//! | [`pdl`] | + non-det, recursion; no `EQ(α,β)` | `O(\|J\|·\|φ\|)` (Prop 3) | E3 |
+//! | [`cubic`] | full logic incl. `EQ(α,β)` | `O(\|J\|³·\|φ\|)` (Prop 3) | E3 |
+//!
+//! [`evaluate`] dispatches to the cheapest engine that supports the
+//! formula's fragment. All engines share the [`EvalContext`] (tree +
+//! canonical subtree labels + per-regex edge-match caches).
+
+pub mod cubic;
+pub mod linear;
+pub mod naive;
+pub mod pathnfa;
+pub mod pdl;
+
+use std::collections::HashMap;
+
+use jsondata::{CanonTable, Json, JsonTree, NodeId};
+use relex::Regex;
+
+use crate::ast::Unary;
+
+/// Errors raised when a formula falls outside an engine's fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The linear engine was given a non-deterministic construct.
+    NotDeterministic(&'static str),
+    /// The PDL engine was given `EQ(α, β)` (use [`cubic`]).
+    EqPairUnsupported,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::NotDeterministic(what) => {
+                write!(f, "formula uses {what}, outside the deterministic fragment (Prop 1)")
+            }
+            EvalError::EqPairUnsupported => write!(
+                f,
+                "EQ(α, β) requires the cubic engine (Prop 3 excludes it from the linear case)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// Shared evaluation state for one tree: canonical labels plus caches for
+/// the per-regex edge preprocessing step of the Proposition 3 proof.
+pub struct EvalContext<'t> {
+    /// The document tree.
+    pub tree: &'t JsonTree,
+    /// Canonical subtree labels (the online-equality refinement of Prop 1).
+    pub canon: CanonTable,
+    /// For each node: the key labelling the edge from its parent (if any).
+    edge_key: Vec<Option<String>>,
+    /// For each node: the array position labelling the edge from its parent.
+    edge_index: Vec<Option<u64>>,
+    /// `regex → (per-node: does the incoming edge key match?)`.
+    regex_cache: HashMap<Regex, Vec<bool>>,
+}
+
+impl<'t> EvalContext<'t> {
+    /// Builds the context (one `O(|J|)` pass).
+    pub fn new(tree: &'t JsonTree) -> EvalContext<'t> {
+        let canon = CanonTable::build(tree);
+        let mut edge_key = vec![None; tree.node_count()];
+        let mut edge_index = vec![None; tree.node_count()];
+        for n in tree.node_ids() {
+            match tree.edge_from_parent(n) {
+                Some(jsondata::EdgeLabel::Key(k)) => edge_key[n.index()] = Some(k.to_owned()),
+                Some(jsondata::EdgeLabel::Index(i)) => edge_index[n.index()] = Some(i as u64),
+                None => {}
+            }
+        }
+        EvalContext { tree, canon, edge_key, edge_index, regex_cache: HashMap::new() }
+    }
+
+    /// The key on the edge into `n`, if `n` is an object child.
+    pub fn incoming_key(&self, n: NodeId) -> Option<&str> {
+        self.edge_key[n.index()].as_deref()
+    }
+
+    /// The position on the edge into `n`, if `n` is an array child.
+    pub fn incoming_index(&self, n: NodeId) -> Option<u64> {
+        self.edge_index[n.index()]
+    }
+
+    /// Whether the edge into `n` is an object edge whose key matches `e`.
+    /// Per-regex results are cached: this is the preprocessing step that
+    /// keeps Proposition 3 linear.
+    pub fn edge_matches(&mut self, e: &Regex, n: NodeId) -> bool {
+        if !self.regex_cache.contains_key(e) {
+            let compiled = e.compile();
+            let marks: Vec<bool> = (0..self.tree.node_count())
+                .map(|i| {
+                    self.edge_key[i].as_deref().is_some_and(|k| compiled.is_match(k))
+                })
+                .collect();
+            self.regex_cache.insert(e.clone(), marks);
+        }
+        self.regex_cache[e][n.index()]
+    }
+
+    /// The canonical class of an external document within this tree, if the
+    /// document occurs as a subtree.
+    pub fn class_of_doc(&self, doc: &Json) -> Option<u32> {
+        self.canon.class_of_json(doc)
+    }
+}
+
+/// The result of an evaluation: the set of nodes satisfying the formula,
+/// as a membership vector indexed by `NodeId::index()`.
+pub type NodeSet = Vec<bool>;
+
+/// Evaluates `φ` over `tree` with the best applicable engine:
+/// deterministic → [`linear`], no `EQ(α,β)` → [`pdl`], otherwise [`cubic`].
+pub fn evaluate(tree: &JsonTree, phi: &Unary) -> NodeSet {
+    let frag = phi.fragment();
+    if frag.is_deterministic() {
+        linear::eval(tree, phi).expect("fragment checked deterministic")
+    } else if !frag.eq_pair {
+        pdl::eval(tree, phi).expect("fragment checked EQ-pair-free")
+    } else {
+        cubic::eval(tree, phi)
+    }
+}
+
+/// Convenience: does the root satisfy `φ`?
+pub fn check_root(tree: &JsonTree, phi: &Unary) -> bool {
+    evaluate(tree, phi)[tree.root().index()]
+}
+
+/// Convenience: the nodes satisfying `φ`, as ids.
+pub fn selected_nodes(tree: &JsonTree, phi: &Unary) -> Vec<NodeId> {
+    evaluate(tree, phi)
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &b)| b.then(|| NodeId::from_index(i)))
+        .collect()
+}

@@ -1,0 +1,153 @@
+//! Compilation of binary (path) formulas into *path NFAs*.
+//!
+//! A binary formula is a regular expression over the edge alphabet of the
+//! tree (key steps, index steps, tests). The Proposition 3 proof evaluates
+//! recursive non-deterministic formulas with PDL-style model checking; the
+//! clean way to implement it is to compile `α` into an NFA whose
+//! transitions are labelled with tree moves, then compute reachability over
+//! the product of the tree and the NFA ([`crate::eval::pdl`]).
+
+use relex::Regex;
+
+use crate::ast::{Binary, Unary};
+use crate::eval::{EvalContext, EvalError, NodeSet};
+
+/// A transition label of a path NFA.
+#[derive(Debug, Clone)]
+pub enum PathLabel {
+    /// Spontaneous move (stay at the same tree node).
+    Eps,
+    /// `⟨φ⟩`: stay, but only where the referenced test set holds.
+    Test(usize),
+    /// `X_w`: move to the object child under exactly this key.
+    Word(String),
+    /// `X_e`: move to any object child whose key matches.
+    Re(Regex),
+    /// `X_i`: move to the array child at this (possibly negative) position.
+    Index(i64),
+    /// `X_{i:j}`: move to any array child at a position in the range.
+    Range(u64, Option<u64>),
+}
+
+/// An NFA over [`PathLabel`]s with one start and one accept state.
+#[derive(Debug)]
+pub struct PathNfa {
+    /// Transition triples `(from, label, to)`.
+    pub trans: Vec<(usize, PathLabel, usize)>,
+    /// Start state.
+    pub start: usize,
+    /// Accept state.
+    pub accept: usize,
+    /// Total number of states.
+    pub n_states: usize,
+}
+
+impl PathNfa {
+    /// Compiles `α`, evaluating each embedded `⟨φ⟩` once through `eval_test`
+    /// and storing its node set in the returned table.
+    pub fn compile(
+        ctx: &mut EvalContext<'_>,
+        alpha: &Binary,
+        eval_test: &mut dyn FnMut(&mut EvalContext<'_>, &Unary) -> Result<NodeSet, EvalError>,
+    ) -> Result<(PathNfa, Vec<NodeSet>), EvalError> {
+        let mut b = Builder { trans: Vec::new(), n_states: 0, tests: Vec::new() };
+        let start = b.state();
+        let accept = b.state();
+        b.build(ctx, alpha, start, accept, eval_test)?;
+        Ok((
+            PathNfa { trans: b.trans, start, accept, n_states: b.n_states },
+            b.tests,
+        ))
+    }
+
+    /// Reverse adjacency: for each state, incoming `(from, label)` pairs.
+    pub fn reverse_adjacency(&self) -> Vec<Vec<(usize, &PathLabel)>> {
+        let mut rev: Vec<Vec<(usize, &PathLabel)>> = vec![Vec::new(); self.n_states];
+        for (from, label, to) in &self.trans {
+            rev[*to].push((*from, label));
+        }
+        rev
+    }
+}
+
+struct Builder {
+    trans: Vec<(usize, PathLabel, usize)>,
+    n_states: usize,
+    tests: Vec<NodeSet>,
+}
+
+impl Builder {
+    fn state(&mut self) -> usize {
+        self.n_states += 1;
+        self.n_states - 1
+    }
+
+    fn build(
+        &mut self,
+        ctx: &mut EvalContext<'_>,
+        alpha: &Binary,
+        from: usize,
+        to: usize,
+        eval_test: &mut dyn FnMut(&mut EvalContext<'_>, &Unary) -> Result<NodeSet, EvalError>,
+    ) -> Result<(), EvalError> {
+        match alpha {
+            Binary::Epsilon => self.trans.push((from, PathLabel::Eps, to)),
+            Binary::Key(w) => self.trans.push((from, PathLabel::Word(w.clone()), to)),
+            Binary::Index(i) => self.trans.push((from, PathLabel::Index(*i), to)),
+            Binary::KeyRegex(e) => self.trans.push((from, PathLabel::Re(e.clone()), to)),
+            Binary::Range(i, j) => self.trans.push((from, PathLabel::Range(*i, *j), to)),
+            Binary::Test(phi) => {
+                let set = eval_test(ctx, phi)?;
+                let idx = self.tests.len();
+                self.tests.push(set);
+                self.trans.push((from, PathLabel::Test(idx), to));
+            }
+            Binary::Compose(parts) => {
+                let mut cur = from;
+                for (i, p) in parts.iter().enumerate() {
+                    let next = if i + 1 == parts.len() { to } else { self.state() };
+                    self.build(ctx, p, cur, next, eval_test)?;
+                    cur = next;
+                }
+                if parts.is_empty() {
+                    self.trans.push((from, PathLabel::Eps, to));
+                }
+            }
+            Binary::Star(inner) => {
+                let hub = self.state();
+                self.trans.push((from, PathLabel::Eps, hub));
+                self.trans.push((hub, PathLabel::Eps, to));
+                let body = self.state();
+                self.trans.push((hub, PathLabel::Eps, body));
+                self.build(ctx, inner, body, hub, eval_test)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Binary as B;
+    use jsondata::{parse, JsonTree};
+
+    #[test]
+    fn state_count_is_linear_in_formula() {
+        let t = JsonTree::build(&parse("{}").unwrap());
+        let mut ctx = EvalContext::new(&t);
+        let alpha = B::compose(vec![
+            B::star(B::any_key()),
+            B::key("a"),
+            B::range(0, None),
+            B::test(crate::ast::Unary::True),
+        ]);
+        let (nfa, tests) = PathNfa::compile(&mut ctx, &alpha, &mut |_, _| Ok(vec![true]))
+            .unwrap();
+        assert!(nfa.n_states <= 2 * alpha.size());
+        assert_eq!(tests.len(), 1);
+        // Every state is an endpoint of some transition or start/accept.
+        let rev = nfa.reverse_adjacency();
+        assert_eq!(rev.len(), nfa.n_states);
+    }
+}

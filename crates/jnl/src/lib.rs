@@ -1,0 +1,45 @@
+//! # jnl — JSON Navigation Logic
+//!
+//! The paper's first core contribution (§4): a navigational logic over JSON
+//! trees capturing what practical systems (MongoDB's `find`, JSONPath,
+//! Python-style access) actually do, with precisely understood complexity.
+//!
+//! * [`ast`] — the logic itself: deterministic core (`X_w`, `X_i`,
+//!   composition, tests, subtree equalities) plus the non-deterministic
+//!   (`X_e`, `X_{i:j}`) and recursive (`(α)*`) extensions of §4.3.
+//! * [`parser`] — a concrete syntax (`[@"name" ; @"first"]`, `eqdoc(…)`).
+//! * [`eval`] — four engines matching the paper's complexity landscape:
+//!   reference oracle, `O(|J|·|φ|)` deterministic (Prop 1), `O(|J|·|φ|)`
+//!   PDL-style for the equality-free extensions, and the cubic full-logic
+//!   engine (Prop 3). [`eval::evaluate`] dispatches automatically.
+//! * [`sat`] — satisfiability for the deterministic fragment (NP,
+//!   Prop 2) with verified witnesses. (The non-deterministic and recursive
+//!   decision procedures live in the `jsl` crate, via the Theorem 2
+//!   translation, mirroring the paper's own proof route.)
+//! * [`reduce`] — executable versions of the hardness reductions:
+//!   3SAT (Prop 2) and two-counter machines (Prop 4).
+//!
+//! ```
+//! use jsondata::{parse, JsonTree};
+//! use jnl::{parse_unary, eval::check_root};
+//!
+//! let doc = parse(r#"{"name": {"first": "Sue"}, "age": 28}"#).unwrap();
+//! let tree = JsonTree::build(&doc);
+//!
+//! // "the person is named Sue and has an age field"
+//! let phi = parse_unary(r#"eqdoc(@"name" ; @"first", "Sue") & [@"age"]"#).unwrap();
+//! assert!(check_root(&tree, &phi));
+//! ```
+
+pub mod ast;
+pub mod bitset;
+pub mod eval;
+pub mod parser;
+pub mod reduce;
+pub mod sat;
+
+pub use ast::{Binary, Fragment, Unary};
+pub use eval::{check_root, evaluate, selected_nodes, EvalError};
+pub use parser::{parse_binary, parse_unary, JnlParseError};
+pub use sat::containment::{contained_in, equivalent, Containment};
+pub use sat::{det::sat_deterministic, SatResult};

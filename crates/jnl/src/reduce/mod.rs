@@ -1,0 +1,13 @@
+//! The paper's hardness reductions, implemented as executable artifacts.
+//!
+//! * [`threesat`] — 3SAT → deterministic JNL satisfiability (the
+//!   Proposition 2 lower bound). Used by experiment E2 both to validate the
+//!   solver (SAT/UNSAT answers must match a brute-force CNF check) and to
+//!   generate hard benchmark instances.
+//! * [`minsky`] — two-counter (Minsky) machine → recursive non-deterministic
+//!   JNL (the Proposition 4 undecidability proof). Undecidability cannot be
+//!   "run", but the reduction can: for halting machines we build the
+//!   witness document from the run and check the formula accepts it.
+
+pub mod minsky;
+pub mod threesat;

@@ -1,0 +1,169 @@
+//! Schema inference from example documents — the extension the paper calls
+//! for in §5.2 ("the community has repeatedly stated the need for
+//! algorithms that can learn JSON Schemas from examples").
+//!
+//! The inference is deliberately simple and sound: the produced schema
+//! validates every example. Objects contribute `properties` (with `required`
+//! for keys present in *all* examples), arrays contribute a merged
+//! `additionalItems` element schema, numbers contribute `minimum`/`maximum`
+//! envelopes, and mixed-kind example sets fall back to `anyOf` per kind.
+
+use jsondata::Json;
+
+use crate::ir::{Schema, SchemaType};
+
+/// Infers a schema that accepts every example (and structurally similar
+/// documents).
+pub fn infer(examples: &[Json]) -> Schema {
+    let mut strings = Vec::new();
+    let mut numbers = Vec::new();
+    let mut objects = Vec::new();
+    let mut arrays = Vec::new();
+    for e in examples {
+        match e {
+            Json::Str(_) => strings.push(e),
+            Json::Num(n) => numbers.push(*n),
+            Json::Object(_) => objects.push(e),
+            Json::Array(items) => arrays.push(items),
+        }
+    }
+    let mut branches: Vec<Schema> = Vec::new();
+    if !strings.is_empty() {
+        branches.push(Schema { ty: Some(SchemaType::String), ..Schema::default() });
+    }
+    if !numbers.is_empty() {
+        branches.push(Schema {
+            ty: Some(SchemaType::Number),
+            minimum: numbers.iter().min().copied(),
+            maximum: numbers.iter().max().copied(),
+            ..Schema::default()
+        });
+    }
+    if !objects.is_empty() {
+        branches.push(infer_objects(&objects));
+    }
+    if !arrays.is_empty() {
+        let all_items: Vec<Json> =
+            arrays.iter().flat_map(|a| a.iter().cloned()).collect();
+        let element = if all_items.is_empty() { Schema::default() } else { infer(&all_items) };
+        branches.push(Schema {
+            ty: Some(SchemaType::Array),
+            additional_items: Some(Box::new(element)),
+            ..Schema::default()
+        });
+    }
+    match branches.len() {
+        0 => Schema::default(),
+        1 => branches.into_iter().next().expect("one branch"),
+        _ => Schema { any_of: branches, ..Schema::default() },
+    }
+}
+
+fn infer_objects(objects: &[&Json]) -> Schema {
+    // Union of keys; required = intersection.
+    let mut keys: Vec<String> = Vec::new();
+    for o in objects {
+        for (k, _) in o.as_object().expect("filtered").iter() {
+            if !keys.iter().any(|e| e == k) {
+                keys.push(k.to_owned());
+            }
+        }
+    }
+    let mut properties = Vec::new();
+    let mut required = Vec::new();
+    for k in keys {
+        let values: Vec<Json> = objects
+            .iter()
+            .filter_map(|o| o.get(&k).cloned())
+            .collect();
+        if values.len() == objects.len() {
+            required.push(k.clone());
+        }
+        properties.push((k, infer(&values)));
+    }
+    Schema {
+        ty: Some(SchemaType::Object),
+        properties,
+        required,
+        ..Schema::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::is_valid;
+    use jsondata::parse;
+
+    #[test]
+    fn inferred_schema_accepts_all_examples() {
+        let examples: Vec<Json> = [
+            r#"{"name": {"first": "John", "last": "Doe"}, "age": 32, "hobbies": ["fishing"]}"#,
+            r#"{"name": {"first": "Sue"}, "age": 28, "hobbies": []}"#,
+            r#"{"name": {"first": "Ana", "last": "Lopez"}, "age": 41, "hobbies": ["chess", "yoga"], "id": 7}"#,
+        ]
+        .iter()
+        .map(|s| parse(s).unwrap())
+        .collect();
+        let schema = infer(&examples);
+        for e in &examples {
+            assert!(is_valid(&schema, e).unwrap(), "must accept {e}");
+        }
+        // Structure is captured: name/age/hobbies are required, id is not.
+        assert!(schema.required.contains(&"name".to_owned()));
+        assert!(schema.required.contains(&"age".to_owned()));
+        assert!(!schema.required.contains(&"id".to_owned()));
+        // And kind violations are rejected.
+        assert!(!is_valid(&schema, &parse(r#"{"name": 3, "age": 1, "hobbies": []}"#).unwrap()).unwrap());
+        assert!(!is_valid(&schema, &parse(r#"{"age": 1, "hobbies": []}"#).unwrap()).unwrap());
+    }
+
+    #[test]
+    fn mixed_kinds_fall_back_to_anyof() {
+        let examples = vec![parse("1").unwrap(), parse(r#""s""#).unwrap()];
+        let schema = infer(&examples);
+        assert_eq!(schema.any_of.len(), 2);
+        for e in &examples {
+            assert!(is_valid(&schema, e).unwrap());
+        }
+        assert!(is_valid(&schema, &parse("5").unwrap()).is_ok());
+    }
+
+    #[test]
+    fn numeric_envelopes() {
+        let examples: Vec<Json> = ["3", "10", "6"].iter().map(|s| parse(s).unwrap()).collect();
+        let schema = infer(&examples);
+        assert_eq!(schema.minimum, Some(3));
+        assert_eq!(schema.maximum, Some(10));
+        assert!(is_valid(&schema, &parse("7").unwrap()).unwrap());
+        assert!(!is_valid(&schema, &parse("11").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn array_elements_merge() {
+        let examples = vec![parse(r#"[1, 2]"#).unwrap(), parse(r#"[9]"#).unwrap()];
+        let schema = infer(&examples);
+        assert!(is_valid(&schema, &parse("[5, 5, 5]").unwrap()).unwrap());
+        assert!(!is_valid(&schema, &parse(r#"["x"]"#).unwrap()).unwrap());
+    }
+
+    #[test]
+    fn no_examples_yields_permissive_schema() {
+        let schema = infer(&[]);
+        assert!(is_valid(&schema, &parse("{}").unwrap()).unwrap());
+        assert!(is_valid(&schema, &parse("1").unwrap()).unwrap());
+    }
+
+    #[test]
+    fn inferred_schema_translates_to_jsl() {
+        // The inference output stays inside the Table 1 fragment, so the
+        // Theorem 1 translation applies to it.
+        let examples = vec![parse(r#"{"a": 1}"#).unwrap(), parse(r#"{"a": 2, "b": "x"}"#).unwrap()];
+        let schema = infer(&examples);
+        let delta = crate::jsl_bridge::schema_to_jsl(&schema).unwrap();
+        for e in &examples {
+            let tree = jsondata::JsonTree::build(e);
+            assert!(delta.check_root(&tree));
+        }
+    }
+}

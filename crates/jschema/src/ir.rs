@@ -1,0 +1,393 @@
+//! The schema intermediate representation: exactly the keyword inventory of
+//! the paper's Table 1, plus `definitions`/`$ref` (§5.3).
+//!
+//! Semantics follows the paper's §5.1 core (formalised in \[29\]):
+//!
+//! * type-specific keywords constrain only values of the matching type
+//!   (e.g. `pattern` is vacuous on numbers);
+//! * `items` without `additionalItems` bounds the array length by the
+//!   `items` list length (the paper's reading — the appendix translation
+//!   inserts `□_{n:∞}⊥`); with `additionalItems`, extra elements must
+//!   satisfy it.
+
+use std::fmt;
+
+use jsondata::Json;
+use relex::Regex;
+
+/// `"type"` keyword values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemaType {
+    /// `"string"`
+    String,
+    /// `"number"`
+    Number,
+    /// `"object"`
+    Object,
+    /// `"array"`
+    Array,
+}
+
+impl fmt::Display for SchemaType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SchemaType::String => "string",
+            SchemaType::Number => "number",
+            SchemaType::Object => "object",
+            SchemaType::Array => "array",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A parsed JSON Schema (Table 1 fragment).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Schema {
+    /// `"type"`.
+    pub ty: Option<SchemaType>,
+    /// `"pattern"` (string schemas): source text and parsed regex.
+    pub pattern: Option<(String, Regex)>,
+    /// `"minimum"` (number schemas).
+    pub minimum: Option<u64>,
+    /// `"maximum"` (number schemas).
+    pub maximum: Option<u64>,
+    /// `"multipleOf"` (number schemas).
+    pub multiple_of: Option<u64>,
+    /// `"minProperties"` (object schemas).
+    pub min_properties: Option<u64>,
+    /// `"maxProperties"` (object schemas).
+    pub max_properties: Option<u64>,
+    /// `"required"` (object schemas).
+    pub required: Vec<String>,
+    /// `"properties"` (object schemas).
+    pub properties: Vec<(String, Schema)>,
+    /// `"patternProperties"` (object schemas): source, regex, subschema.
+    pub pattern_properties: Vec<(String, Regex, Schema)>,
+    /// `"additionalProperties"` (object schemas).
+    pub additional_properties: Option<Box<Schema>>,
+    /// `"items"` (array schemas, positional).
+    pub items: Vec<Schema>,
+    /// `"additionalItems"` (array schemas).
+    pub additional_items: Option<Box<Schema>>,
+    /// `"uniqueItems": true` (array schemas).
+    pub unique_items: bool,
+    /// `"anyOf"`.
+    pub any_of: Vec<Schema>,
+    /// `"allOf"`.
+    pub all_of: Vec<Schema>,
+    /// `"not"`.
+    pub not: Option<Box<Schema>>,
+    /// `"enum"`.
+    pub enumeration: Vec<Json>,
+    /// `"$ref"` (e.g. `#/definitions/email`).
+    pub reference: Option<String>,
+    /// `"definitions"`.
+    pub definitions: Vec<(String, Schema)>,
+}
+
+/// A schema-parsing error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaError {
+    /// JSON-pointer-ish location inside the schema document.
+    pub at: String,
+    /// Message.
+    pub message: String,
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "schema error at `{}`: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+impl Schema {
+    /// Parses a schema from its JSON document form.
+    pub fn parse(doc: &Json) -> Result<Schema, SchemaError> {
+        parse_at(doc, "#")
+    }
+
+    /// Parses a schema from JSON text.
+    pub fn parse_str(src: &str) -> Result<Schema, SchemaError> {
+        let doc = jsondata::parse(src)
+            .map_err(|e| SchemaError { at: "#".into(), message: e.to_string() })?;
+        Schema::parse(&doc)
+    }
+
+    /// The number of keywords used anywhere (a size measure for benches).
+    pub fn keyword_count(&self) -> usize {
+        let mut n = 0;
+        n += usize::from(self.ty.is_some());
+        n += usize::from(self.pattern.is_some());
+        n += usize::from(self.minimum.is_some());
+        n += usize::from(self.maximum.is_some());
+        n += usize::from(self.multiple_of.is_some());
+        n += usize::from(self.min_properties.is_some());
+        n += usize::from(self.max_properties.is_some());
+        n += usize::from(!self.required.is_empty());
+        n += usize::from(self.unique_items);
+        n += usize::from(!self.enumeration.is_empty());
+        n += usize::from(self.reference.is_some());
+        for (_, s) in &self.properties {
+            n += 1 + s.keyword_count();
+        }
+        for (_, _, s) in &self.pattern_properties {
+            n += 1 + s.keyword_count();
+        }
+        for s in self
+            .additional_properties
+            .iter()
+            .chain(self.additional_items.iter())
+            .chain(self.not.iter())
+        {
+            n += 1 + s.keyword_count();
+        }
+        for s in self.items.iter().chain(self.any_of.iter()).chain(self.all_of.iter()) {
+            n += 1 + s.keyword_count();
+        }
+        for (_, s) in &self.definitions {
+            n += 1 + s.keyword_count();
+        }
+        n
+    }
+}
+
+fn err(at: &str, message: impl Into<String>) -> SchemaError {
+    SchemaError { at: at.to_owned(), message: message.into() }
+}
+
+fn parse_at(doc: &Json, at: &str) -> Result<Schema, SchemaError> {
+    let Some(obj) = doc.as_object() else {
+        return Err(err(at, "a schema must be a JSON object"));
+    };
+    let mut schema = Schema::default();
+    for (key, value) in obj.iter() {
+        let here = format!("{at}/{key}");
+        match key {
+            "type" => {
+                schema.ty = Some(match value.as_str() {
+                    Some("string") => SchemaType::String,
+                    Some("number") => SchemaType::Number,
+                    Some("object") => SchemaType::Object,
+                    Some("array") => SchemaType::Array,
+                    _ => {
+                        return Err(err(
+                            &here,
+                            "type must be one of \"string\", \"number\", \"object\", \"array\"",
+                        ))
+                    }
+                });
+            }
+            "pattern" => {
+                let Some(src) = value.as_str() else {
+                    return Err(err(&here, "pattern must be a string"));
+                };
+                let re = Regex::parse(src).map_err(|e| err(&here, e.to_string()))?;
+                schema.pattern = Some((src.to_owned(), re));
+            }
+            "minimum" => schema.minimum = Some(nat(value, &here)?),
+            "maximum" => schema.maximum = Some(nat(value, &here)?),
+            "multipleOf" => {
+                let v = nat(value, &here)?;
+                if v == 0 {
+                    return Err(err(&here, "multipleOf must be positive"));
+                }
+                schema.multiple_of = Some(v);
+            }
+            "minProperties" => schema.min_properties = Some(nat(value, &here)?),
+            "maxProperties" => schema.max_properties = Some(nat(value, &here)?),
+            "required" => {
+                let Some(items) = value.as_array() else {
+                    return Err(err(&here, "required must be an array of strings"));
+                };
+                for (i, item) in items.iter().enumerate() {
+                    let Some(s) = item.as_str() else {
+                        return Err(err(&format!("{here}/{i}"), "required entries must be strings"));
+                    };
+                    schema.required.push(s.to_owned());
+                }
+            }
+            "properties" => {
+                let Some(props) = value.as_object() else {
+                    return Err(err(&here, "properties must be an object"));
+                };
+                for (k, sub) in props.iter() {
+                    schema
+                        .properties
+                        .push((k.to_owned(), parse_at(sub, &format!("{here}/{k}"))?));
+                }
+            }
+            "patternProperties" => {
+                let Some(props) = value.as_object() else {
+                    return Err(err(&here, "patternProperties must be an object"));
+                };
+                for (src, sub) in props.iter() {
+                    let re = Regex::parse(src)
+                        .map_err(|e| err(&format!("{here}/{src}"), e.to_string()))?;
+                    schema.pattern_properties.push((
+                        src.to_owned(),
+                        re,
+                        parse_at(sub, &format!("{here}/{src}"))?,
+                    ));
+                }
+            }
+            "additionalProperties" => {
+                schema.additional_properties = Some(Box::new(parse_at(value, &here)?));
+            }
+            "items" => {
+                let Some(items) = value.as_array() else {
+                    return Err(err(&here, "items must be an array of schemas (Table 1 form)"));
+                };
+                for (i, sub) in items.iter().enumerate() {
+                    schema.items.push(parse_at(sub, &format!("{here}/{i}"))?);
+                }
+            }
+            "additionalItems" => {
+                schema.additional_items = Some(Box::new(parse_at(value, &here)?));
+            }
+            "uniqueItems" => {
+                // The fragment has no booleans; Table 1 only ever uses
+                // `"uniqueItems": true`, which we encode as the string "true"
+                // or the number 1 in documents.
+                match value {
+                    Json::Str(s) if s == "true" => schema.unique_items = true,
+                    Json::Num(1) => schema.unique_items = true,
+                    Json::Str(s) if s == "false" => schema.unique_items = false,
+                    Json::Num(0) => schema.unique_items = false,
+                    _ => {
+                        return Err(err(
+                            &here,
+                            "uniqueItems must be \"true\"/\"false\" (the model has no boolean literals)",
+                        ))
+                    }
+                }
+            }
+            "anyOf" => schema.any_of = sub_list(value, &here)?,
+            "allOf" => schema.all_of = sub_list(value, &here)?,
+            "not" => schema.not = Some(Box::new(parse_at(value, &here)?)),
+            "enum" => {
+                let Some(items) = value.as_array() else {
+                    return Err(err(&here, "enum must be an array"));
+                };
+                schema.enumeration = items.to_vec();
+            }
+            "$ref" => {
+                let Some(r) = value.as_str() else {
+                    return Err(err(&here, "$ref must be a string"));
+                };
+                schema.reference = Some(r.to_owned());
+            }
+            "definitions" => {
+                let Some(defs) = value.as_object() else {
+                    return Err(err(&here, "definitions must be an object"));
+                };
+                for (name, sub) in defs.iter() {
+                    schema
+                        .definitions
+                        .push((name.to_owned(), parse_at(sub, &format!("{here}/{name}"))?));
+                }
+            }
+            other => {
+                return Err(err(
+                    &here,
+                    format!("unknown keyword {other:?} (the Table 1 fragment is exhaustive)"),
+                ))
+            }
+        }
+    }
+    Ok(schema)
+}
+
+fn nat(value: &Json, at: &str) -> Result<u64, SchemaError> {
+    value.as_num().ok_or_else(|| err(at, "expected a natural number"))
+}
+
+fn sub_list(value: &Json, at: &str) -> Result<Vec<Schema>, SchemaError> {
+    let Some(items) = value.as_array() else {
+        return Err(err(at, "expected an array of schemas"));
+    };
+    items
+        .iter()
+        .enumerate()
+        .map(|(i, sub)| parse_at(sub, &format!("{at}/{i}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_string_schema() {
+        let s = Schema::parse_str(r#"{"type": "string", "pattern": "(0|1)+"}"#).unwrap();
+        assert_eq!(s.ty, Some(SchemaType::String));
+        assert!(s.pattern.is_some());
+    }
+
+    #[test]
+    fn parses_paper_object_schema() {
+        // §5.1's object example.
+        let s = Schema::parse_str(
+            r#"{
+            "type": "object",
+            "properties": {"name": {"type": "string"}},
+            "patternProperties": {"a(b|c)a": {"type": "number", "multipleOf": 2}},
+            "additionalProperties": {"type": "number", "minimum": 1, "maximum": 1}
+        }"#,
+        )
+        .unwrap();
+        assert_eq!(s.properties.len(), 1);
+        assert_eq!(s.pattern_properties.len(), 1);
+        assert!(s.additional_properties.is_some());
+    }
+
+    #[test]
+    fn parses_paper_array_schema() {
+        let s = Schema::parse_str(
+            r#"{
+            "type": "array",
+            "items": [{"type": "string"}, {"type": "string"}],
+            "additionalItems": {"type": "number"},
+            "uniqueItems": "true"
+        }"#,
+        )
+        .unwrap();
+        assert_eq!(s.items.len(), 2);
+        assert!(s.unique_items);
+    }
+
+    #[test]
+    fn parses_refs_and_definitions() {
+        let s = Schema::parse_str(
+            r##"{
+            "definitions": {"email": {"type": "string", "pattern": "[A-z]*@ciws\\.cl"}},
+            "not": {"$ref": "#/definitions/email"}
+        }"##,
+        )
+        .unwrap();
+        assert_eq!(s.definitions.len(), 1);
+        assert_eq!(s.not.unwrap().reference.as_deref(), Some("#/definitions/email"));
+    }
+
+    #[test]
+    fn rejects_unknown_keywords_and_bad_values() {
+        assert!(Schema::parse_str(r#"{"type": "boolean"}"#).is_err());
+        assert!(Schema::parse_str(r#"{"frobnicate": 1}"#).is_err());
+        assert!(Schema::parse_str(r#"{"multipleOf": 0}"#).is_err());
+        assert!(Schema::parse_str(r#"{"pattern": "("}"#).is_err());
+        assert!(Schema::parse_str(r#"{"required": [1]}"#).is_err());
+        assert!(Schema::parse_str("[]").is_err());
+        let e = Schema::parse_str(r#"{"properties": {"a": {"zzz": 1}}}"#).unwrap_err();
+        assert!(e.at.contains("/properties/a/zzz"), "{e}");
+    }
+
+    #[test]
+    fn keyword_count_recurses() {
+        let s = Schema::parse_str(
+            r#"{"type": "object", "properties": {"a": {"type": "number", "minimum": 3}}}"#,
+        )
+        .unwrap();
+        assert_eq!(s.keyword_count(), 4);
+    }
+}

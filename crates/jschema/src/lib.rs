@@ -1,0 +1,38 @@
+//! # jschema — JSON Schema (the paper's Table 1 fragment)
+//!
+//! The concrete schema language of §5.1, formalised in \[29\] and captured by
+//! JSL (Theorems 1 and 3):
+//!
+//! * [`ir`] — the schema representation with exactly the Table 1 keywords
+//!   plus `definitions`/`$ref`, parsed from schema documents with
+//!   located errors.
+//! * [`mod@validate`] — an independent direct validator (the differential
+//!   counterpart for the Theorem 1 experiments).
+//! * [`jsl_bridge`] — the Theorem 1/3 translations Schema ⇄ JSL; the
+//!   `additionalProperties` case exercises the DFA complement → regex
+//!   machinery of `relex`.
+//! * [`mod@infer`] — schema inference from examples (the §5.2 future-work item,
+//!   implemented as an extension).
+//!
+//! ```
+//! use jschema::{Schema, validate::is_valid};
+//! use jsondata::parse;
+//!
+//! let schema = Schema::parse_str(r#"{
+//!     "type": "object",
+//!     "required": ["name"],
+//!     "properties": {"name": {"type": "string"}}
+//! }"#).unwrap();
+//! let doc = parse(r#"{"name": "Sue"}"#).unwrap();
+//! assert!(is_valid(&schema, &doc).unwrap());
+//! ```
+
+pub mod infer;
+pub mod ir;
+pub mod jsl_bridge;
+pub mod validate;
+
+pub use infer::infer;
+pub use ir::{Schema, SchemaError, SchemaType};
+pub use jsl_bridge::{jsl_to_schema, schema_to_jsl};
+pub use validate::{is_valid, validate, Violation};

@@ -1,0 +1,371 @@
+//! A direct JSON Schema validator for the Table 1 fragment, written
+//! independently of the JSL machinery so that Theorem 1 can be tested as a
+//! genuine differential property: `validate(S, J) ⇔ J |= ψ_S`.
+
+use std::fmt;
+
+use jsondata::{Json, JsonPointer};
+use relex::CompiledRegex;
+
+use crate::ir::{Schema, SchemaError, SchemaType};
+
+/// A single validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Path of the offending value inside the instance.
+    pub instance_path: String,
+    /// The keyword that failed.
+    pub keyword: &'static str,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: [{}] {}", self.instance_path, self.keyword, self.message)
+    }
+}
+
+/// Validates `instance` against `schema` (resolving `$ref` against
+/// `schema`'s own `definitions`); returns every violation found.
+pub fn validate(schema: &Schema, instance: &Json) -> Result<Vec<Violation>, SchemaError> {
+    let root = schema;
+    let mut out = Vec::new();
+    check(schema, root, instance, "$", &mut out)?;
+    Ok(out)
+}
+
+/// Boolean form of [`validate`].
+pub fn is_valid(schema: &Schema, instance: &Json) -> Result<bool, SchemaError> {
+    Ok(validate(schema, instance)?.is_empty())
+}
+
+fn fail(out: &mut Vec<Violation>, path: &str, keyword: &'static str, message: String) {
+    out.push(Violation { instance_path: path.to_owned(), keyword, message });
+}
+
+/// Resolves a `$ref` against the root schema document.
+fn resolve<'a>(root: &'a Schema, reference: &str) -> Result<&'a Schema, SchemaError> {
+    // Only intra-document `#/definitions/...` references exist in the
+    // fragment (the paper's §5.3 restriction).
+    let ptr: JsonPointer = reference.parse().map_err(|_| SchemaError {
+        at: reference.to_owned(),
+        message: "unsupported $ref (only #/definitions/<name> is in the fragment)".into(),
+    })?;
+    let tokens = ptr.tokens();
+    if tokens.len() == 2 && tokens[0] == "definitions" {
+        for (name, s) in &root.definitions {
+            if *name == tokens[1] {
+                return Ok(s);
+            }
+        }
+    }
+    Err(SchemaError {
+        at: reference.to_owned(),
+        message: "reference does not resolve to a definition".into(),
+    })
+}
+
+fn check(
+    schema: &Schema,
+    root: &Schema,
+    value: &Json,
+    path: &str,
+    out: &mut Vec<Violation>,
+) -> Result<(), SchemaError> {
+    // $ref: delegate entirely (other keywords on the same schema still
+    // apply, matching the conjunction reading of the paper).
+    if let Some(r) = &schema.reference {
+        let target = resolve(root, r)?;
+        check(target, root, value, path, out)?;
+    }
+
+    if let Some(t) = schema.ty {
+        let ok = match t {
+            SchemaType::String => value.is_string(),
+            SchemaType::Number => value.is_number(),
+            SchemaType::Object => value.is_object(),
+            SchemaType::Array => value.is_array(),
+        };
+        if !ok {
+            fail(out, path, "type", format!("expected {t}"));
+        }
+    }
+
+    // --- string keywords (vacuous on other kinds) ---
+    if let (Some((src, re)), Some(s)) = (&schema.pattern, value.as_str()) {
+        let compiled: CompiledRegex = re.compile();
+        if !compiled.is_match(s) {
+            fail(out, path, "pattern", format!("{s:?} ∉ L({src})"));
+        }
+    }
+
+    // --- number keywords ---
+    if let Some(v) = value.as_num() {
+        if let Some(m) = schema.minimum {
+            if v < m {
+                fail(out, path, "minimum", format!("{v} < {m}"));
+            }
+        }
+        if let Some(m) = schema.maximum {
+            if v > m {
+                fail(out, path, "maximum", format!("{v} > {m}"));
+            }
+        }
+        if let Some(m) = schema.multiple_of {
+            if v % m != 0 {
+                fail(out, path, "multipleOf", format!("{v} is not a multiple of {m}"));
+            }
+        }
+    }
+
+    // --- object keywords ---
+    if let Some(obj) = value.as_object() {
+        if let Some(m) = schema.min_properties {
+            if (obj.len() as u64) < m {
+                fail(out, path, "minProperties", format!("{} < {m}", obj.len()));
+            }
+        }
+        if let Some(m) = schema.max_properties {
+            if (obj.len() as u64) > m {
+                fail(out, path, "maxProperties", format!("{} > {m}", obj.len()));
+            }
+        }
+        for k in &schema.required {
+            if obj.get(k).is_none() {
+                fail(out, path, "required", format!("missing key {k:?}"));
+            }
+        }
+        // properties / patternProperties / additionalProperties.
+        let compiled_pp: Vec<(&String, CompiledRegex, &Schema)> = schema
+            .pattern_properties
+            .iter()
+            .map(|(src, re, s)| (src, re.compile(), s))
+            .collect();
+        for (k, v) in obj.iter() {
+            let child_path = format!("{path}.{k}");
+            let mut covered = false;
+            for (pk, ps) in &schema.properties {
+                if pk == k {
+                    covered = true;
+                    check(ps, root, v, &child_path, out)?;
+                }
+            }
+            for (_, compiled, ps) in &compiled_pp {
+                if compiled.is_match(k) {
+                    covered = true;
+                    check(ps, root, v, &child_path, out)?;
+                }
+            }
+            if !covered {
+                if let Some(ap) = &schema.additional_properties {
+                    check(ap, root, v, &child_path, out)?;
+                }
+            }
+        }
+    }
+
+    // --- array keywords ---
+    if let Some(items) = value.as_array() {
+        for (i, v) in items.iter().enumerate() {
+            let child_path = format!("{path}[{i}]");
+            if let Some(s) = schema.items.get(i) {
+                check(s, root, v, &child_path, out)?;
+            } else if !schema.items.is_empty() || schema.additional_items.is_some() {
+                // Beyond the positional list: additionalItems governs; per
+                // the paper's reading, items without additionalItems bounds
+                // the length.
+                match &schema.additional_items {
+                    Some(ai) => check(ai, root, v, &child_path, out)?,
+                    None => {
+                        if !schema.items.is_empty() {
+                            fail(
+                                out,
+                                &child_path,
+                                "items",
+                                format!(
+                                    "array longer than the {} positional schemas",
+                                    schema.items.len()
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        if schema.unique_items {
+            for i in 0..items.len() {
+                for j in i + 1..items.len() {
+                    if items[i] == items[j] {
+                        fail(
+                            out,
+                            path,
+                            "uniqueItems",
+                            format!("elements {i} and {j} are equal"),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // --- boolean combinations ---
+    for (i, s) in schema.all_of.iter().enumerate() {
+        let mut sub = Vec::new();
+        check(s, root, value, path, &mut sub)?;
+        if !sub.is_empty() {
+            fail(out, path, "allOf", format!("branch {i} failed ({})", sub[0]));
+        }
+    }
+    if !schema.any_of.is_empty() {
+        let mut any = false;
+        for s in &schema.any_of {
+            let mut sub = Vec::new();
+            check(s, root, value, path, &mut sub)?;
+            if sub.is_empty() {
+                any = true;
+                break;
+            }
+        }
+        if !any {
+            fail(out, path, "anyOf", "no branch matched".into());
+        }
+    }
+    if let Some(s) = &schema.not {
+        let mut sub = Vec::new();
+        check(s, root, value, path, &mut sub)?;
+        if sub.is_empty() {
+            fail(out, path, "not", "inner schema matched".into());
+        }
+    }
+    if !schema.enumeration.is_empty() && !schema.enumeration.contains(value) {
+        fail(out, path, "enum", "value not in enumeration".into());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsondata::parse;
+
+    fn ok(schema: &str, instance: &str) -> bool {
+        let s = Schema::parse_str(schema).unwrap();
+        is_valid(&s, &parse(instance).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn paper_string_schemas() {
+        assert!(ok(r#"{"type": "string"}"#, r#""anything""#));
+        assert!(!ok(r#"{"type": "string"}"#, "5"));
+        assert!(ok(r#"{"type": "string", "pattern": "(0|1)+"}"#, r#""0101""#));
+        assert!(!ok(r#"{"type": "string", "pattern": "(0|1)+"}"#, r#""012""#));
+    }
+
+    #[test]
+    fn paper_number_schema() {
+        // {"type":"number","maximum":12,"multipleOf":4} ⇒ {0,4,8,12}.
+        let s = r#"{"type": "number", "maximum": 12, "multipleOf": 4}"#;
+        for v in ["0", "4", "8", "12"] {
+            assert!(ok(s, v), "{v}");
+        }
+        for v in ["2", "16", "\"4\""] {
+            assert!(!ok(s, v), "{v}");
+        }
+    }
+
+    #[test]
+    fn paper_object_schema() {
+        let s = r#"{
+            "type": "object",
+            "properties": {"name": {"type": "string"}},
+            "patternProperties": {"a(b|c)a": {"type": "number", "multipleOf": 2}},
+            "additionalProperties": {"type": "number", "minimum": 1, "maximum": 1}
+        }"#;
+        assert!(ok(s, r#"{"name": "x", "aba": 4, "other": 1}"#));
+        assert!(!ok(s, r#"{"name": 3}"#), "name must be a string");
+        assert!(!ok(s, r#"{"aca": 3}"#), "abc-keys must be even");
+        assert!(!ok(s, r#"{"other": 2}"#), "additional keys must equal 1");
+    }
+
+    #[test]
+    fn paper_array_schema() {
+        let s = r#"{
+            "type": "array",
+            "items": [{"type": "string"}, {"type": "string"}],
+            "additionalItems": {"type": "number"},
+            "uniqueItems": "true"
+        }"#;
+        assert!(ok(s, r#"["a", "b"]"#));
+        assert!(ok(s, r#"["a", "b", 1, 2]"#));
+        assert!(!ok(s, r#"["a", "b", "c"]"#), "extras must be numbers");
+        assert!(!ok(s, r#"["a", "a"]"#), "uniqueItems");
+        assert!(!ok(s, r#"[1, "b"]"#));
+    }
+
+    #[test]
+    fn items_without_additional_bounds_length() {
+        let s = r#"{"type": "array", "items": [{"type": "number"}]}"#;
+        assert!(ok(s, "[1]"));
+        assert!(ok(s, "[]"), "fewer elements are fine");
+        assert!(!ok(s, "[1, 2]"), "paper reading: no extra elements");
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        // "not":{"type":"number","multipleOf":2} — any odd number or
+        // non-number (the paper's example).
+        let s = r#"{"not": {"type": "number", "multipleOf": 2}}"#;
+        assert!(ok(s, "3"));
+        assert!(ok(s, r#""str""#));
+        assert!(!ok(s, "4"));
+        let s = r#"{"anyOf": [{"type": "string"}, {"minimum": 5, "type": "number"}]}"#;
+        assert!(ok(s, r#""x""#));
+        assert!(ok(s, "7"));
+        assert!(!ok(s, "3"));
+        let s = r#"{"allOf": [{"minimum": 5}, {"maximum": 10}], "type": "number"}"#;
+        assert!(ok(s, "7"));
+        assert!(!ok(s, "11"));
+        let s = r#"{"enum": [1, "a", {"k": [2]}]}"#;
+        assert!(ok(s, "1"));
+        assert!(ok(s, r#"{"k": [2]}"#));
+        assert!(!ok(s, "2"));
+    }
+
+    #[test]
+    fn refs_resolve_against_definitions() {
+        // The paper's §5.3 example: not-an-email.
+        let s = r##"{
+            "definitions": {"email": {"type": "string", "pattern": "[A-z]*@ciws\\.cl"}},
+            "not": {"$ref": "#/definitions/email"}
+        }"##;
+        assert!(!ok(s, r#""juan@ciws.cl""#));
+        assert!(ok(s, r#""juan@example.org""#));
+        assert!(ok(s, "42"));
+    }
+
+    #[test]
+    fn unresolved_ref_is_an_error() {
+        let s = Schema::parse_str(r##"{"$ref": "#/definitions/ghost"}"##).unwrap();
+        assert!(is_valid(&s, &parse("1").unwrap()).is_err());
+    }
+
+    #[test]
+    fn violations_carry_paths() {
+        let s = Schema::parse_str(
+            r#"{"type": "object", "properties": {"a": {"type": "array", "items": [{"type": "number"}]}}}"#,
+        )
+        .unwrap();
+        let vs = validate(&s, &parse(r#"{"a": ["x"]}"#).unwrap()).unwrap();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].instance_path, "$.a[0]");
+        assert_eq!(vs[0].keyword, "type");
+    }
+
+    #[test]
+    fn empty_schema_accepts_everything() {
+        for v in ["1", "\"x\"", "{}", "[]", r#"{"a": [1, {"b": "c"}]}"#] {
+            assert!(ok("{}", v), "{v}");
+        }
+    }
+}

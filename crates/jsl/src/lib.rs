@@ -1,0 +1,54 @@
+//! # jsl — JSON Schema Logic
+//!
+//! The paper's second core contribution (§5): a modal logic over JSON trees
+//! capturing the JSON Schema specification, with recursion capturing
+//! `definitions`/`$ref`.
+//!
+//! * [`ast`] — formulas: node tests (`Arr`, `Obj`, `Str`, `Int`, `Unique`,
+//!   `Pattern`, `Min`/`Max`/`MultOf`, `MinCh`/`MaxCh`, `∼(A)`) combined with
+//!   existential/universal key and position modalities.
+//! * [`eval`] — Proposition 6 evaluation, with the naive-pairwise vs
+//!   canonical-labels `Unique` ablation.
+//! * [`recursive`] — recursive JSL: well-formedness via the precedence
+//!   graph, the paper's `unfold` semantics (exponential baseline), and the
+//!   Proposition 9 PTIME bottom-up evaluation.
+//! * [`translate`] — the Theorem 2 translations JSL ↔ JNL, including the
+//!   paper's exponential construction and a polynomial CPS variant.
+//! * [`sat`] — the tableau deciding satisfiability (Propositions 5, 7, 10),
+//!   with verified witnesses and honest `Unknown` verdicts.
+//! * [`reduce`] — the QBF (Prop 7) and circuit (Prop 9) hardness
+//!   constructions as executable artifacts.
+//! * [`streaming`] — one-pass, depth-bounded-memory validation over SAX
+//!   events (the §6 streaming conjecture, implemented for the fragment
+//!   without tree equality).
+//!
+//! ```
+//! use jsondata::{parse, JsonTree};
+//! use jsl::ast::{Jsl, NodeTest};
+//! use jsl::eval::check_root;
+//!
+//! // "an object whose `name` is a string and whose `age` is at least 18"
+//! let phi = Jsl::and(vec![
+//!     Jsl::Test(NodeTest::Obj),
+//!     Jsl::box_key("name", Jsl::Test(NodeTest::Str)),
+//!     Jsl::diamond_key("age", Jsl::Test(NodeTest::Min(18))),
+//! ]);
+//! let doc = parse(r#"{"name": "Sue", "age": 28}"#).unwrap();
+//! assert!(check_root(&JsonTree::build(&doc), &phi));
+//! ```
+
+pub mod ast;
+pub mod eval;
+pub mod parser;
+pub mod recursive;
+pub mod reduce;
+pub mod sat;
+pub mod streaming;
+pub mod translate;
+
+pub use ast::{Jsl, NodeTest};
+pub use parser::{parse_jsl, JslParseError};
+pub use eval::{check_root, evaluate, EvalOptions, UniqueStrategy};
+pub use recursive::{RecursiveJsl, WellFormednessError};
+pub use sat::{sat_jsl, sat_recursive, JslSatResult, SatConfig};
+pub use translate::{jnl_to_jsl_cps, jnl_to_jsl_paper, jnl_to_jsl_paths, jsl_to_jnl, TranslateError};

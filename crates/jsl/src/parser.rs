@@ -1,0 +1,391 @@
+//! A concrete syntax for JSL formulas, matching the `Display`
+//! implementation in [`crate::ast`]:
+//!
+//! ```text
+//! phi  := or                         atom := 'T'
+//! or   := and ('|' and)*                   | '!' atom
+//! and  := atom ('&' atom)*                 | '(' phi ')'
+//!                                          | '$' name            (variable)
+//! test := 'Arr' | 'Obj' | 'Str' | 'Int' | 'Unique'
+//!       | 'Pattern(' regex ')' | 'Min(' n ')' | 'Max(' n ')'
+//!       | 'MultOf(' n ')' | 'MinCh(' n ')' | 'MaxCh(' n ')'
+//!       | '~(' json ')'
+//! modal := '<' sel '>' '(' phi ')'   (diamond)
+//!        | '[' sel ']' '(' phi ')'   (box)
+//! sel   := regex | i ':' (j | 'inf')
+//! ```
+//!
+//! ```
+//! use jsl::parse_jsl;
+//! let phi = parse_jsl(r#"Obj & <age>(Min(18)) & [a(b|c)a](MultOf(2))"#).unwrap();
+//! assert_eq!(phi.modal_depth(), 1);
+//! ```
+
+use std::fmt;
+
+use jsondata::Json;
+use relex::Regex;
+
+use crate::ast::{Jsl, NodeTest};
+
+/// A JSL syntax error with byte offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JslParseError {
+    /// Byte offset into the source.
+    pub offset: usize,
+    /// Message.
+    pub message: String,
+}
+
+impl fmt::Display for JslParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSL syntax error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JslParseError {}
+
+/// Parses a JSL formula.
+pub fn parse_jsl(src: &str) -> Result<Jsl, JslParseError> {
+    let mut p = P { src, pos: 0 };
+    p.ws();
+    let phi = p.or()?;
+    p.ws();
+    if p.pos < p.src.len() {
+        return Err(p.err("trailing content"));
+    }
+    Ok(phi)
+}
+
+struct P<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err(&self, m: &str) -> JslParseError {
+        JslParseError { offset: self.pos, message: m.to_owned() }
+    }
+
+    fn ws(&mut self) {
+        while self.src[self.pos..].starts_with(|c: char| c.is_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        if self.src[self.pos..].starts_with(tok) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &str) -> Result<(), JslParseError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{tok}`")))
+        }
+    }
+
+    fn or(&mut self) -> Result<Jsl, JslParseError> {
+        let mut parts = vec![self.and()?];
+        loop {
+            self.ws();
+            if self.eat("|") {
+                self.ws();
+                parts.push(self.and()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 { parts.pop().expect("one") } else { Jsl::Or(parts) })
+    }
+
+    fn and(&mut self) -> Result<Jsl, JslParseError> {
+        let mut parts = vec![self.atom()?];
+        loop {
+            self.ws();
+            if self.eat("&") {
+                self.ws();
+                parts.push(self.atom()?);
+            } else {
+                break;
+            }
+        }
+        Ok(if parts.len() == 1 { parts.pop().expect("one") } else { Jsl::And(parts) })
+    }
+
+    fn atom(&mut self) -> Result<Jsl, JslParseError> {
+        self.ws();
+        if self.eat("!") {
+            self.ws();
+            return Ok(Jsl::not(self.atom()?));
+        }
+        if self.eat("(") {
+            let phi = self.or()?;
+            self.ws();
+            self.expect(")")?;
+            return Ok(phi);
+        }
+        if self.eat("$") {
+            let name = self.ident()?;
+            return Ok(Jsl::Var(name));
+        }
+        if self.eat("<") {
+            return self.modal(true);
+        }
+        if self.eat("[") {
+            return self.modal(false);
+        }
+        // Keyword tests. Order matters for prefixes (MinCh before Min).
+        for (kw, build) in KEYWORDS {
+            if self.src[self.pos..].starts_with(kw) {
+                self.pos += kw.len();
+                return build(self);
+            }
+        }
+        Err(self.err("expected a JSL formula"))
+    }
+
+    fn modal(&mut self, diamond: bool) -> Result<Jsl, JslParseError> {
+        let close = if diamond { '>' } else { ']' };
+        let start = self.pos;
+        let rest = &self.src[self.pos..];
+        let end = rest
+            .find(close)
+            .ok_or_else(|| self.err(&format!("unterminated `{close}` selector")))?;
+        let sel = &rest[..end];
+        self.pos = start + end + 1;
+        self.ws();
+        self.expect("(")?;
+        let body = self.or()?;
+        self.ws();
+        self.expect(")")?;
+        // Range selector `i:j` / `i:inf`, else a key regex.
+        if let Some(colon) = sel.find(':') {
+            let (lo_txt, hi_txt) = (sel[..colon].trim(), sel[colon + 1..].trim());
+            if let Ok(lo) = lo_txt.parse::<u64>() {
+                let hi = if hi_txt == "inf" || hi_txt == "*" {
+                    None
+                } else {
+                    Some(hi_txt.parse::<u64>().map_err(|_| self.err("bad range end"))?)
+                };
+                if let Some(h) = hi {
+                    if h < lo {
+                        return Err(self.err("range with j < i"));
+                    }
+                }
+                return Ok(if diamond {
+                    Jsl::DiamondRange(lo, hi, Box::new(body))
+                } else {
+                    Jsl::BoxRange(lo, hi, Box::new(body))
+                });
+            }
+        }
+        let re = Regex::parse(sel).map_err(|e| JslParseError {
+            offset: start,
+            message: format!("bad key regex: {e}"),
+        })?;
+        Ok(if diamond {
+            Jsl::DiamondKey(re, Box::new(body))
+        } else {
+            Jsl::BoxKey(re, Box::new(body))
+        })
+    }
+
+    fn ident(&mut self) -> Result<String, JslParseError> {
+        let rest = &self.src[self.pos..];
+        let end = rest
+            .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+            .unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.err("expected an identifier"));
+        }
+        let name = rest[..end].to_owned();
+        self.pos += end;
+        Ok(name)
+    }
+
+    fn nat_arg(&mut self) -> Result<u64, JslParseError> {
+        self.expect("(")?;
+        self.ws();
+        let rest = &self.src[self.pos..];
+        let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+        if end == 0 {
+            return Err(self.err("expected a number"));
+        }
+        let v: u64 = rest[..end].parse().map_err(|_| self.err("number too large"))?;
+        self.pos += end;
+        self.ws();
+        self.expect(")")?;
+        Ok(v)
+    }
+
+    fn regex_arg(&mut self) -> Result<Regex, JslParseError> {
+        self.expect("(")?;
+        let rest = &self.src[self.pos..];
+        // The pattern runs to the matching close paren (nesting-aware).
+        let mut depth = 1usize;
+        let mut end = None;
+        for (i, c) in rest.char_indices() {
+            match c {
+                '(' => depth += 1,
+                ')' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(i);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let end = end.ok_or_else(|| self.err("unterminated Pattern(...)"))?;
+        let src = &rest[..end];
+        let re = Regex::parse(src)
+            .map_err(|e| JslParseError { offset: self.pos, message: e.to_string() })?;
+        self.pos += end + 1;
+        Ok(re)
+    }
+
+    fn json_arg(&mut self) -> Result<Json, JslParseError> {
+        self.expect("(")?;
+        let rest = &self.src[self.pos..];
+        // Balanced scan over the JSON extent (string-aware).
+        let mut depth = 1i64;
+        let mut in_str = false;
+        let mut escaped = false;
+        let mut end = None;
+        for (i, c) in rest.char_indices() {
+            if in_str {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_str = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_str = true,
+                '(' | '[' | '{' => depth += 1,
+                ')' if depth == 1 => {
+                    end = Some(i);
+                    break;
+                }
+                ')' | ']' | '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        let end = end.ok_or_else(|| self.err("unterminated ~(...)"))?;
+        let doc = jsondata::parse(rest[..end].trim())
+            .map_err(|e| JslParseError { offset: self.pos, message: e.to_string() })?;
+        self.pos += end + 1;
+        Ok(doc)
+    }
+}
+
+type Builder = fn(&mut P<'_>) -> Result<Jsl, JslParseError>;
+
+/// Keyword table; longest-prefix entries first.
+const KEYWORDS: &[(&str, Builder)] = &[
+    ("T", |_| Ok(Jsl::True)),
+    ("Arr", |_| Ok(Jsl::Test(NodeTest::Arr))),
+    ("Obj", |_| Ok(Jsl::Test(NodeTest::Obj))),
+    ("Str", |_| Ok(Jsl::Test(NodeTest::Str))),
+    ("Int", |_| Ok(Jsl::Test(NodeTest::Int))),
+    ("Unique", |_| Ok(Jsl::Test(NodeTest::Unique))),
+    ("Pattern", |p| Ok(Jsl::Test(NodeTest::Pattern(p.regex_arg()?)))),
+    ("MinCh", |p| Ok(Jsl::Test(NodeTest::MinCh(p.nat_arg()?)))),
+    ("MaxCh", |p| Ok(Jsl::Test(NodeTest::MaxCh(p.nat_arg()?)))),
+    ("MultOf", |p| Ok(Jsl::Test(NodeTest::MultOf(p.nat_arg()?)))),
+    ("Min", |p| Ok(Jsl::Test(NodeTest::Min(p.nat_arg()?)))),
+    ("Max", |p| Ok(Jsl::Test(NodeTest::Max(p.nat_arg()?)))),
+    ("~", |p| Ok(Jsl::Test(NodeTest::EqDoc(p.json_arg()?)))),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Jsl as J;
+    use crate::ast::NodeTest as T;
+
+    #[test]
+    fn parses_node_tests() {
+        assert_eq!(parse_jsl("T").unwrap(), J::True);
+        assert_eq!(parse_jsl("Obj").unwrap(), J::Test(T::Obj));
+        assert_eq!(parse_jsl("Min(5)").unwrap(), J::Test(T::Min(5)));
+        assert_eq!(parse_jsl("MinCh(2)").unwrap(), J::Test(T::MinCh(2)));
+        assert_eq!(parse_jsl("MultOf(4)").unwrap(), J::Test(T::MultOf(4)));
+        assert_eq!(parse_jsl("Unique").unwrap(), J::Test(T::Unique));
+        assert_eq!(
+            parse_jsl("~({\"k\": [1, 2]})").unwrap(),
+            J::Test(T::EqDoc(jsondata::parse(r#"{"k":[1,2]}"#).unwrap()))
+        );
+        assert!(matches!(
+            parse_jsl("Pattern((0|1)+)").unwrap(),
+            J::Test(T::Pattern(_))
+        ));
+    }
+
+    #[test]
+    fn parses_modalities_and_booleans() {
+        let phi = parse_jsl("Obj & <age>(Min(18)) & [a(b|c)a](MultOf(2))").unwrap();
+        assert_eq!(phi.modal_depth(), 1);
+        let phi = parse_jsl("<0:2>(Int) | ![1:inf](Str)").unwrap();
+        match phi {
+            J::Or(ps) => {
+                assert!(matches!(ps[0], J::DiamondRange(0, Some(2), _)));
+                assert!(matches!(ps[1], J::Not(_)));
+            }
+            other => panic!("unexpected {other}"),
+        }
+        let phi = parse_jsl("$g1 & !$g2").unwrap();
+        assert_eq!(phi.vars().len(), 2);
+    }
+
+    #[test]
+    fn display_parse_round_trip() {
+        let phis = vec![
+            J::and(vec![
+                J::Test(T::Obj),
+                J::diamond_key("age", J::Test(T::Min(18))),
+                J::not(J::box_any_key(J::Test(T::Int))),
+            ]),
+            J::or(vec![
+                J::DiamondRange(1, None, Box::new(J::True)),
+                J::Test(T::EqDoc(jsondata::parse(r#"[1,{"a":"b"}]"#).unwrap())),
+            ]),
+            J::Var("g".into()),
+            J::BoxRange(2, Some(5), Box::new(J::Test(T::Unique))),
+        ];
+        for phi in phis {
+            let shown = phi.to_string();
+            let back = parse_jsl(&shown)
+                .unwrap_or_else(|e| panic!("reparse of `{shown}` failed: {e}"));
+            assert_eq!(phi, back, "source `{shown}`");
+        }
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in ["", "Min()", "Min(x)", "<age>(", "[0:]()", "Frob", "T T", "~(null)", "<0:-1>(T)"] {
+            assert!(parse_jsl(bad).is_err(), "`{bad}` should fail");
+        }
+    }
+
+    #[test]
+    fn parsed_formulas_evaluate() {
+        let phi = parse_jsl(r#"Obj & <name>(Pattern([A-Z][a-z]+)) & <age>(Min(18) & Max(99))"#)
+            .unwrap();
+        let doc = jsondata::parse(r#"{"name": "Sue", "age": 28}"#).unwrap();
+        let tree = jsondata::JsonTree::build(&doc);
+        assert!(crate::eval::check_root(&tree, &phi));
+        let bad = jsondata::parse(r#"{"name": "sue", "age": 28}"#).unwrap();
+        assert!(!crate::eval::check_root(&jsondata::JsonTree::build(&bad), &phi));
+    }
+}

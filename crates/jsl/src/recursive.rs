@@ -1,0 +1,502 @@
+//! Recursive JSL (§5.3): definitions `γᵢ = φᵢ` with a base expression,
+//! well-formedness via the precedence graph, the paper's `unfold`
+//! semantics, and the Proposition 9 PTIME evaluation algorithm.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use jsondata::{JsonTree, NodeId};
+
+use crate::ast::Jsl;
+use crate::eval::{EvalOptions, JslContext, NodeSet};
+
+/// A recursive JSL expression: ordered definitions plus a base expression
+/// (display form (1) of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecursiveJsl {
+    /// Definitions `γ = φ` in declaration order.
+    pub defs: Vec<(String, Jsl)>,
+    /// The base expression `ψ`.
+    pub base: Jsl,
+}
+
+/// Why an expression is not well-formed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WellFormednessError {
+    /// The precedence graph has a cycle through these symbols.
+    PrecedenceCycle(Vec<String>),
+    /// A formula references an undefined symbol.
+    UndefinedSymbol(String),
+}
+
+impl fmt::Display for WellFormednessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WellFormednessError::PrecedenceCycle(syms) => {
+                write!(f, "precedence cycle through {}", syms.join(" → "))
+            }
+            WellFormednessError::UndefinedSymbol(s) => write!(f, "undefined symbol ${s}"),
+        }
+    }
+}
+
+impl std::error::Error for WellFormednessError {}
+
+impl RecursiveJsl {
+    /// A non-recursive expression (no definitions).
+    pub fn plain(base: Jsl) -> RecursiveJsl {
+        RecursiveJsl { defs: Vec::new(), base }
+    }
+
+    /// Total size.
+    pub fn size(&self) -> usize {
+        self.base.size() + self.defs.iter().map(|(_, p)| 1 + p.size()).sum::<usize>()
+    }
+
+    /// The precedence graph: an edge `γᵢ → γⱼ` whenever `γⱼ` occurs in `φᵢ`
+    /// **not** under the scope of a modal operator.
+    pub fn precedence_edges(&self) -> Vec<(String, String)> {
+        let mut edges = Vec::new();
+        for (name, phi) in &self.defs {
+            let mut exposed = Vec::new();
+            exposed_vars(phi, &mut exposed);
+            for v in exposed {
+                edges.push((name.clone(), v.to_owned()));
+            }
+        }
+        edges
+    }
+
+    /// Checks well-formedness: every referenced symbol is defined and the
+    /// precedence graph is acyclic.
+    pub fn well_formed(&self) -> Result<(), WellFormednessError> {
+        let index: HashMap<&str, usize> =
+            self.defs.iter().enumerate().map(|(i, (n, _))| (n.as_str(), i)).collect();
+        // Undefined symbols anywhere (including under modalities and base).
+        for (_, phi) in &self.defs {
+            for v in phi.vars() {
+                if !index.contains_key(v) {
+                    return Err(WellFormednessError::UndefinedSymbol(v.to_owned()));
+                }
+            }
+        }
+        for v in self.base.vars() {
+            if !index.contains_key(v) {
+                return Err(WellFormednessError::UndefinedSymbol(v.to_owned()));
+            }
+        }
+        // Cycle detection on the precedence graph.
+        let n = self.defs.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (a, b) in self.precedence_edges() {
+            adj[index[a.as_str()]].push(index[b.as_str()]);
+        }
+        // Iterative DFS 3-colouring.
+        let mut colour = vec![0u8; n]; // 0 white, 1 grey, 2 black
+        for start in 0..n {
+            if colour[start] != 0 {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            colour[start] = 1;
+            while let Some(&mut (u, ref mut next)) = stack.last_mut() {
+                if *next < adj[u].len() {
+                    let v = adj[u][*next];
+                    *next += 1;
+                    match colour[v] {
+                        0 => {
+                            colour[v] = 1;
+                            stack.push((v, 0));
+                        }
+                        1 => {
+                            let names = stack
+                                .iter()
+                                .map(|&(i, _)| self.defs[i].0.clone())
+                                .chain(std::iter::once(self.defs[v].0.clone()))
+                                .collect();
+                            return Err(WellFormednessError::PrecedenceCycle(names));
+                        }
+                        _ => {}
+                    }
+                } else {
+                    colour[u] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Topological order of definitions under the precedence graph: if
+    /// `γᵢ → γⱼ` (γᵢ *uses* γⱼ exposed), then γⱼ comes first.
+    fn topo_order(&self) -> Vec<usize> {
+        let index: HashMap<&str, usize> =
+            self.defs.iter().enumerate().map(|(i, (n, _))| (n.as_str(), i)).collect();
+        let n = self.defs.len();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut indeg = vec![0usize; n];
+        for (a, b) in self.precedence_edges() {
+            // b must be evaluated before a.
+            adj[index[b.as_str()]].push(index[a.as_str()]);
+            indeg[index[a.as_str()]] += 1;
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut out = Vec::with_capacity(n);
+        while let Some(u) = queue.pop() {
+            out.push(u);
+            for &v in &adj[u] {
+                indeg[v] -= 1;
+                if indeg[v] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        debug_assert_eq!(out.len(), n, "well-formedness implies acyclicity");
+        out
+    }
+
+    /// The paper's `unfold_J(ψ)` rewriting: substitute definitions until
+    /// every symbol sits under at least `height + 1` modal operators, then
+    /// replace remaining symbols by `⊥`. Exponential in general — kept as
+    /// the executable *definition* of the semantics and the E9 baseline.
+    ///
+    /// Fails (returns `None`) if the unfolded formula would exceed
+    /// `max_size` syntax nodes.
+    pub fn unfold(&self, height: usize, max_size: usize) -> Option<Jsl> {
+        let index: HashMap<&str, &Jsl> =
+            self.defs.iter().map(|(n, p)| (n.as_str(), p)).collect();
+        let mut size_left = max_size;
+        unfold_rec(&self.base, &index, height + 1, &mut size_left)
+    }
+
+    /// The Proposition 9 evaluation: one bottom-up pass labelling every node
+    /// with the truth of every definition symbol, definitions resolved in
+    /// precedence (topological) order per node. `O(|J| · |Δ|)` modulo
+    /// regex matching and `Unique`.
+    pub fn evaluate(&self, tree: &JsonTree) -> NodeSet {
+        self.evaluate_with(tree, EvalOptions::default())
+    }
+
+    /// As [`RecursiveJsl::evaluate`] with explicit options.
+    pub fn evaluate_with(&self, tree: &JsonTree, options: EvalOptions) -> NodeSet {
+        self.well_formed().expect("expression must be well-formed");
+        let mut ctx = JslContext::with_options(tree, options);
+        let index: HashMap<&str, usize> =
+            self.defs.iter().enumerate().map(|(i, (n, _))| (n.as_str(), i)).collect();
+        let order = self.topo_order();
+        let nodes = tree.node_count();
+        // labels[d][n]: does definition d hold at node n?
+        let mut labels: Vec<Vec<bool>> = vec![vec![false; nodes]; self.defs.len()];
+        for n in tree.bottom_up() {
+            for &d in &order {
+                let phi = &self.defs[d].1;
+                labels[d][n.index()] = eval_at(&mut ctx, n, phi, &index, &labels);
+            }
+        }
+        (0..nodes)
+            .map(|i| eval_at(&mut ctx, NodeId::from_index(i), &self.base, &index, &labels))
+            .collect()
+    }
+
+    /// `J |ù Δ`: the base expression at the root.
+    pub fn check_root(&self, tree: &JsonTree) -> bool {
+        self.evaluate(tree)[tree.root().index()]
+    }
+}
+
+/// Variables occurring *not* under a modal operator.
+fn exposed_vars<'a>(phi: &'a Jsl, out: &mut Vec<&'a str>) {
+    match phi {
+        Jsl::Var(v) => out.push(v),
+        Jsl::True | Jsl::Test(_) => {}
+        Jsl::Not(p) => exposed_vars(p, out),
+        Jsl::And(ps) | Jsl::Or(ps) => ps.iter().for_each(|p| exposed_vars(p, out)),
+        // Modal operators shield their bodies.
+        Jsl::DiamondKey(_, _)
+        | Jsl::BoxKey(_, _)
+        | Jsl::DiamondRange(_, _, _)
+        | Jsl::BoxRange(_, _, _) => {}
+    }
+}
+
+fn unfold_rec(
+    phi: &Jsl,
+    defs: &HashMap<&str, &Jsl>,
+    depth_left: usize,
+    size_left: &mut usize,
+) -> Option<Jsl> {
+    if *size_left == 0 {
+        return None;
+    }
+    *size_left -= 1;
+    Some(match phi {
+        Jsl::Var(v) => {
+            if depth_left == 0 {
+                Jsl::falsity()
+            } else {
+                let def = defs.get(v.as_str()).expect("well-formed: defined symbol");
+                unfold_rec(def, defs, depth_left, size_left)?
+            }
+        }
+        Jsl::True => Jsl::True,
+        Jsl::Test(t) => Jsl::Test(t.clone()),
+        Jsl::Not(p) => Jsl::Not(Box::new(unfold_rec(p, defs, depth_left, size_left)?)),
+        Jsl::And(ps) => Jsl::And(
+            ps.iter()
+                .map(|p| unfold_rec(p, defs, depth_left, size_left))
+                .collect::<Option<Vec<_>>>()?,
+        ),
+        Jsl::Or(ps) => Jsl::Or(
+            ps.iter()
+                .map(|p| unfold_rec(p, defs, depth_left, size_left))
+                .collect::<Option<Vec<_>>>()?,
+        ),
+        Jsl::DiamondKey(e, p) => Jsl::DiamondKey(
+            e.clone(),
+            Box::new(unfold_rec(p, defs, depth_left - 1, size_left)?),
+        ),
+        Jsl::BoxKey(e, p) => Jsl::BoxKey(
+            e.clone(),
+            Box::new(unfold_rec(p, defs, depth_left - 1, size_left)?),
+        ),
+        Jsl::DiamondRange(i, j, p) => Jsl::DiamondRange(
+            *i,
+            *j,
+            Box::new(unfold_rec(p, defs, depth_left - 1, size_left)?),
+        ),
+        Jsl::BoxRange(i, j, p) => Jsl::BoxRange(
+            *i,
+            *j,
+            Box::new(unfold_rec(p, defs, depth_left - 1, size_left)?),
+        ),
+    })
+}
+
+/// Evaluates a formula at a single node, resolving `Var` through the label
+/// table (children are fully labelled; same-node references are resolved by
+/// the topological evaluation order — this is exactly what well-formedness
+/// guarantees).
+fn eval_at(
+    ctx: &mut JslContext<'_>,
+    n: NodeId,
+    phi: &Jsl,
+    index: &HashMap<&str, usize>,
+    labels: &[Vec<bool>],
+) -> bool {
+    match phi {
+        Jsl::True => true,
+        Jsl::Var(v) => labels[index[v.as_str()]][n.index()],
+        Jsl::Not(p) => !eval_at(ctx, n, p, index, labels),
+        Jsl::And(ps) => ps.iter().all(|p| eval_at(ctx, n, p, index, labels)),
+        Jsl::Or(ps) => ps.iter().any(|p| eval_at(ctx, n, p, index, labels)),
+        Jsl::Test(t) => ctx.node_test(t, n),
+        Jsl::DiamondKey(e, p) => {
+            let compiled = e.compile();
+            let children: Vec<NodeId> = ctx
+                .tree
+                .obj_children(n)
+                .iter()
+                .filter(|(k, _)| compiled.is_match(k))
+                .map(|(_, c)| *c)
+                .collect();
+            children.iter().any(|c| eval_at(ctx, *c, p, index, labels))
+        }
+        Jsl::BoxKey(e, p) => {
+            let compiled = e.compile();
+            let children: Vec<NodeId> = ctx
+                .tree
+                .obj_children(n)
+                .iter()
+                .filter(|(k, _)| compiled.is_match(k))
+                .map(|(_, c)| *c)
+                .collect();
+            children.iter().all(|c| eval_at(ctx, *c, p, index, labels))
+        }
+        Jsl::DiamondRange(i, j, p) => {
+            let children: Vec<NodeId> = ctx
+                .tree
+                .arr_children(n)
+                .iter()
+                .enumerate()
+                .filter(|(pos, _)| {
+                    let pos = *pos as u64;
+                    pos >= *i && j.map_or(true, |j| pos <= j)
+                })
+                .map(|(_, c)| *c)
+                .collect();
+            children.iter().any(|c| eval_at(ctx, *c, p, index, labels))
+        }
+        Jsl::BoxRange(i, j, p) => {
+            let children: Vec<NodeId> = ctx
+                .tree
+                .arr_children(n)
+                .iter()
+                .enumerate()
+                .filter(|(pos, _)| {
+                    let pos = *pos as u64;
+                    pos >= *i && j.map_or(true, |j| pos <= j)
+                })
+                .map(|(_, c)| *c)
+                .collect();
+            children.iter().all(|c| eval_at(ctx, *c, p, index, labels))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{Jsl as J, NodeTest as T};
+    use jsondata::{parse, Json};
+
+    /// The paper's Example 2: every root-to-leaf path has even length.
+    fn even_depth() -> RecursiveJsl {
+        RecursiveJsl {
+            defs: vec![
+                ("g1".into(), J::box_any_key(J::Var("g2".into()))),
+                (
+                    "g2".into(),
+                    J::and(vec![
+                        J::diamond_any_key(J::True),
+                        J::box_any_key(J::Var("g1".into())),
+                    ]),
+                ),
+            ],
+            base: J::Var("g1".into()),
+        }
+    }
+
+    #[test]
+    fn example2_is_well_formed() {
+        let delta = even_depth();
+        assert_eq!(delta.well_formed(), Ok(()));
+        // Cycles exist in the *definitions*, but not in the precedence
+        // graph: all references sit under modal operators.
+        assert!(delta.precedence_edges().is_empty());
+    }
+
+    #[test]
+    fn ill_formed_examples() {
+        // γ1 = ¬γ1 (the paper's Example 3).
+        let bad = RecursiveJsl {
+            defs: vec![("g1".into(), J::not(J::Var("g1".into())))],
+            base: J::Var("g1".into()),
+        };
+        assert!(matches!(
+            bad.well_formed(),
+            Err(WellFormednessError::PrecedenceCycle(_))
+        ));
+        // Undefined symbol.
+        let undef = RecursiveJsl::plain(J::Var("nope".into()));
+        assert!(matches!(
+            undef.well_formed(),
+            Err(WellFormednessError::UndefinedSymbol(_))
+        ));
+        // Acyclic exposed references are fine.
+        let chain = RecursiveJsl {
+            defs: vec![
+                ("a".into(), J::Var("b".into())),
+                ("b".into(), J::Test(T::Obj)),
+            ],
+            base: J::Var("a".into()),
+        };
+        assert_eq!(chain.well_formed(), Ok(()));
+    }
+
+    #[test]
+    fn even_depth_evaluation() {
+        let delta = even_depth();
+        // Height-2 complete object tree: paths of length 2 — accepted.
+        let ok = parse(r#"{"a": {"x": {}}, "b": {"y": {}}}"#).unwrap();
+        assert!(delta.check_root(&JsonTree::build(&ok)));
+        // A path of length 1 — rejected.
+        let bad = parse(r#"{"a": {}}"#).unwrap();
+        assert!(!delta.check_root(&JsonTree::build(&bad)));
+        // Empty object (paths of length 0) — accepted.
+        assert!(delta.check_root(&JsonTree::build(&parse("{}").unwrap())));
+        // Mixed: one even path, one odd — rejected.
+        let mixed = parse(r#"{"a": {"x": {}}, "b": {}}"#).unwrap();
+        assert!(!delta.check_root(&JsonTree::build(&mixed)));
+    }
+
+    #[test]
+    fn unfold_agrees_with_ptime_evaluation() {
+        let delta = even_depth();
+        for src in [
+            "{}",
+            r#"{"a": {}}"#,
+            r#"{"a": {"x": {}}}"#,
+            r#"{"a": {"x": {"y": {}}}}"#,
+            r#"{"a": {"x": {}}, "b": {"y": {"z": {}}}}"#,
+        ] {
+            let tree = JsonTree::build(&parse(src).unwrap());
+            let unfolded = delta.unfold(tree.height(), 1_000_000).expect("fits budget");
+            let via_unfold = crate::eval::check_root(&tree, &unfolded);
+            let via_ptime = delta.check_root(&tree);
+            assert_eq!(via_unfold, via_ptime, "doc {src}");
+        }
+    }
+
+    #[test]
+    fn example5_complete_binary_trees() {
+        // The paper's Example 5: γ = ¬◇_{0:0}⊤ ∨ (MinCh(2) ∧ MaxCh(2) ∧
+        // ¬Unique ∧ □_{0:1}γ) — arrays encoding complete binary trees where
+        // both children are equal (hence ¬Unique).
+        let gamma = J::or(vec![
+            J::and(vec![
+                J::Test(T::Arr),
+                J::not(J::DiamondRange(0, Some(0), Box::new(J::True))),
+            ]),
+            J::and(vec![
+                J::Test(T::Arr),
+                J::Test(T::MinCh(2)),
+                J::Test(T::MaxCh(2)),
+                J::not(J::Test(T::Unique)),
+                J::BoxRange(0, Some(1), Box::new(J::Var("g".into()))),
+            ]),
+        ]);
+        let delta = RecursiveJsl {
+            defs: vec![("g".into(), gamma)],
+            base: J::Var("g".into()),
+        };
+        assert_eq!(delta.well_formed(), Ok(()));
+        // Complete binary tree of height 2 with equal siblings.
+        let leaf = Json::Array(vec![]);
+        let level1 = Json::Array(vec![leaf.clone(), leaf.clone()]);
+        let level2 = Json::Array(vec![level1.clone(), level1.clone()]);
+        assert!(delta.check_root(&JsonTree::build(&level2)));
+        // Unequal siblings rejected.
+        let uneq = Json::Array(vec![level1.clone(), leaf.clone()]);
+        assert!(!delta.check_root(&JsonTree::build(&uneq)));
+        // Single child rejected.
+        let single = Json::Array(vec![leaf.clone()]);
+        assert!(!delta.check_root(&JsonTree::build(&single)));
+    }
+
+    #[test]
+    fn unfold_size_budget() {
+        let delta = even_depth();
+        // A tall tree with a tiny budget must fail.
+        assert!(delta.unfold(64, 100).is_none());
+    }
+
+    #[test]
+    fn exposed_same_level_references_resolve_in_topo_order() {
+        // a = b ∧ Obj, b = MinCh(1): a references b at the same node.
+        let delta = RecursiveJsl {
+            defs: vec![
+                (
+                    "a".into(),
+                    J::and(vec![J::Var("b".into()), J::Test(T::Obj)]),
+                ),
+                ("b".into(), J::Test(T::MinCh(1))),
+            ],
+            base: J::Var("a".into()),
+        };
+        assert_eq!(delta.well_formed(), Ok(()));
+        let t = JsonTree::build(&parse(r#"{"k": 1}"#).unwrap());
+        assert!(delta.check_root(&t));
+        let t = JsonTree::build(&parse("{}").unwrap());
+        assert!(!delta.check_root(&t));
+    }
+}

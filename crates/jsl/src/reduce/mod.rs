@@ -1,0 +1,9 @@
+//! Executable versions of the paper's hardness reductions for JSL.
+//!
+//! * [`qbf`] — QBF (3CNF) → JSL satisfiability (the Proposition 7
+//!   PSPACE-hardness construction from the appendix).
+//! * [`circuit`] — boolean circuit value → recursive JSL evaluation
+//!   (the Proposition 9 PTIME-hardness construction).
+
+pub mod circuit;
+pub mod qbf;

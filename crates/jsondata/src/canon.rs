@@ -1,0 +1,238 @@
+//! Canonical subtree labels: the "online subtree equality" engine.
+//!
+//! The operators `EQ(α, A)`, `EQ(α, β)` (JNL), `∼(A)` and `Unique` (JSL)
+//! compare *entire subtrees*. Naively each comparison costs `O(|J|)`, and
+//! pre-computing all pairs costs `O(|J|²)` — the quadratic baseline the paper
+//! mentions in the proof of Proposition 1. This module implements the
+//! refinement: a single bottom-up pass assigns every node an integer *class
+//! id* such that
+//!
+//! > `class(n) == class(m)`  ⇔  `json(n) == json(m)`,
+//!
+//! after which every subtree equality test is `O(1)`. Class ids are computed
+//! by hash-consing node signatures (kind + value + child class list; object
+//! children keyed and sorted so the unordered object semantics is honoured).
+
+use std::collections::HashMap;
+
+use crate::tree::{JsonTree, NodeId, NodeKind};
+use crate::value::Json;
+
+/// A canonical-label table for one [`JsonTree`].
+pub struct CanonTable {
+    class: Vec<u32>,
+    interner: HashMap<Sig, u32>,
+}
+
+/// The hash-consed signature of a node: its kind/value plus the classes of
+/// its children. Two nodes share a signature iff their subtrees are equal.
+#[derive(PartialEq, Eq, Hash)]
+enum Sig {
+    Int(u64),
+    Str(String),
+    Arr(Vec<u32>),
+    /// Key-sorted `(key, class)` pairs — object equality is unordered but
+    /// the tree already stores children key-sorted.
+    Obj(Vec<(String, u32)>),
+}
+
+impl CanonTable {
+    /// Builds the table in `O(|J|)` hash operations (one pass, children
+    /// before parents).
+    pub fn build(tree: &JsonTree) -> CanonTable {
+        let mut class = vec![0u32; tree.node_count()];
+        let mut interner: HashMap<Sig, u32> = HashMap::new();
+        for n in tree.bottom_up() {
+            let sig = Self::signature_of_node(tree, &class, n);
+            let next = interner.len() as u32;
+            let id = *interner.entry(sig).or_insert(next);
+            class[n.index()] = id;
+        }
+        CanonTable { class, interner }
+    }
+
+    fn signature_of_node(tree: &JsonTree, class: &[u32], n: NodeId) -> Sig {
+        match tree.kind(n) {
+            NodeKind::Int => Sig::Int(tree.num_value(n).expect("Int node has value")),
+            NodeKind::Str => Sig::Str(tree.str_value(n).expect("Str node has value").to_owned()),
+            NodeKind::Arr => Sig::Arr(
+                tree.arr_children(n).iter().map(|c| class[c.index()]).collect(),
+            ),
+            NodeKind::Obj => Sig::Obj(
+                tree.obj_children(n)
+                    .iter()
+                    .map(|(k, c)| (k.clone(), class[c.index()]))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// The class id of node `n`.
+    pub fn class_of(&self, n: NodeId) -> u32 {
+        self.class[n.index()]
+    }
+
+    /// `O(1)` subtree equality: `json(a) == json(b)`.
+    pub fn equal(&self, a: NodeId, b: NodeId) -> bool {
+        self.class_of(a) == self.class_of(b)
+    }
+
+    /// Number of distinct subtree values in the tree.
+    pub fn class_count(&self) -> usize {
+        self.interner.len()
+    }
+
+    /// The class id an *external* JSON value would have in this tree, or
+    /// `None` if the value does not occur as a subtree anywhere in the tree.
+    ///
+    /// Used by `EQ(α, A)` / `∼(A)`: a node `n` satisfies `json(n) == A` iff
+    /// `class_of(n) == class_of_json(A)`.
+    pub fn class_of_json(&self, value: &Json) -> Option<u32> {
+        // Iterative bottom-up over the external value, mirroring `build` but
+        // lookup-only: any unseen signature proves the value is absent.
+        enum Frame<'a> {
+            Enter(&'a Json),
+            ExitArr(usize),
+            ExitObj(Vec<&'a str>),
+        }
+        let mut work = vec![Frame::Enter(value)];
+        let mut results: Vec<u32> = Vec::new();
+        while let Some(frame) = work.pop() {
+            match frame {
+                Frame::Enter(v) => match v {
+                    Json::Num(n) => {
+                        results.push(*self.interner.get(&Sig::Int(*n))?);
+                    }
+                    Json::Str(s) => {
+                        results.push(*self.interner.get(&Sig::Str(s.clone()))?);
+                    }
+                    Json::Array(items) => {
+                        work.push(Frame::ExitArr(items.len()));
+                        for item in items.iter().rev() {
+                            work.push(Frame::Enter(item));
+                        }
+                    }
+                    Json::Object(o) => {
+                        let mut entries: Vec<(&str, &Json)> = o.iter().collect();
+                        entries.sort_by(|a, b| a.0.cmp(b.0));
+                        work.push(Frame::ExitObj(entries.iter().map(|(k, _)| *k).collect()));
+                        for (_, child) in entries.iter().rev() {
+                            work.push(Frame::Enter(child));
+                        }
+                    }
+                },
+                Frame::ExitArr(len) => {
+                    let classes = results.split_off(results.len() - len);
+                    results.push(*self.interner.get(&Sig::Arr(classes))?);
+                }
+                Frame::ExitObj(keys) => {
+                    let classes = results.split_off(results.len() - keys.len());
+                    let sig = Sig::Obj(
+                        keys.into_iter()
+                            .map(str::to_owned)
+                            .zip(classes)
+                            .collect(),
+                    );
+                    results.push(*self.interner.get(&sig)?);
+                }
+            }
+        }
+        debug_assert_eq!(results.len(), 1);
+        results.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn table(src: &str) -> (JsonTree, CanonTable) {
+        let t = JsonTree::build(&parse(src).unwrap());
+        let c = CanonTable::build(&t);
+        (t, c)
+    }
+
+    #[test]
+    fn equal_subtrees_share_class() {
+        let (t, c) = table(r#"{"a": {"x": 1, "y": [2]}, "b": {"y": [2], "x": 1}}"#);
+        let a = t.child_by_key(t.root(), "a").unwrap();
+        let b = t.child_by_key(t.root(), "b").unwrap();
+        assert!(c.equal(a, b), "unordered-equal objects must share a class");
+        assert_ne!(c.class_of(t.root()), c.class_of(a));
+    }
+
+    #[test]
+    fn class_equality_matches_json_equality_exhaustively() {
+        let (t, c) = table(
+            r#"{"p": [1, [1], "1", {"k": 1}, {"k": 1}, [1, 1]], "q": 1, "r": "1"}"#,
+        );
+        for a in t.node_ids() {
+            for b in t.node_ids() {
+                assert_eq!(
+                    c.equal(a, b),
+                    t.json_at(a) == t.json_at(b),
+                    "canon must agree with structural equality at {a:?},{b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distinguishes_types_with_same_surface() {
+        let (t, c) = table(r#"[1, "1", [], {}]"#);
+        let ids: Vec<NodeId> = t.arr_children(t.root()).to_vec();
+        for i in 0..ids.len() {
+            for j in 0..ids.len() {
+                assert_eq!(c.equal(ids[i], ids[j]), i == j);
+            }
+        }
+    }
+
+    #[test]
+    fn class_of_external_json() {
+        let (t, c) = table(r#"{"name": {"first": "John"}, "other": {"first": "John"}}"#);
+        let external = parse(r#"{"first": "John"}"#).unwrap();
+        let class = c.class_of_json(&external).expect("value occurs in tree");
+        let name = t.child_by_key(t.root(), "name").unwrap();
+        assert_eq!(class, c.class_of(name));
+        // Absent values yield None.
+        assert_eq!(c.class_of_json(&parse(r#"{"first":"Jane"}"#).unwrap()), None);
+        assert_eq!(c.class_of_json(&Json::Num(99)), None);
+    }
+
+    #[test]
+    fn class_of_external_nested_absent_child() {
+        let (_, c) = table(r#"{"a": [1, 2]}"#);
+        // `3` never occurs, so neither can `[3]`.
+        assert_eq!(c.class_of_json(&parse("[3]").unwrap()), None);
+        assert!(c.class_of_json(&parse("[1,2]").unwrap()).is_some());
+    }
+
+    #[test]
+    fn class_count_counts_distinct_values() {
+        // Values: the array, 1 (twice), 2 → 3 distinct.
+        let (_, c) = table(r#"[1, 1, 2]"#);
+        assert_eq!(c.class_count(), 3);
+    }
+
+    #[test]
+    fn empty_object_vs_empty_array() {
+        let (t, c) = table(r#"[{}, [], {}, []]"#);
+        let cs = t.arr_children(t.root());
+        assert!(c.equal(cs[0], cs[2]));
+        assert!(c.equal(cs[1], cs[3]));
+        assert!(!c.equal(cs[0], cs[1]));
+    }
+
+    #[test]
+    fn large_repeated_structure_dedups() {
+        // 64 copies of the same subtree: classes collapse.
+        let leaf = parse(r#"{"v": [1, 2, 3]}"#).unwrap();
+        let doc = Json::Array(vec![leaf; 64]);
+        let t = JsonTree::build(&doc);
+        let c = CanonTable::build(&t);
+        // distinct values: root array, object, inner array, 1, 2, 3 = 6
+        assert_eq!(c.class_count(), 6);
+    }
+}

@@ -1,0 +1,190 @@
+//! Error types shared across the crate.
+
+use std::fmt;
+
+/// A position in a source text (1-based line/column, 0-based byte offset).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Position {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in unicode scalar values).
+    pub col: u32,
+    /// 0-based byte offset.
+    pub offset: usize,
+}
+
+impl Position {
+    /// The start of a document.
+    pub fn start() -> Position {
+        Position { line: 1, col: 1, offset: 0 }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.col)
+    }
+}
+
+/// Errors raised while parsing JSON text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Where the problem was detected.
+    pub position: Position,
+    /// What went wrong.
+    pub kind: ParseErrorKind,
+}
+
+/// The specific parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseErrorKind {
+    /// Input ended while a value was still open.
+    UnexpectedEof,
+    /// A character that cannot start or continue the expected token.
+    UnexpectedChar(char),
+    /// A control character appeared unescaped inside a string.
+    ControlCharInString(char),
+    /// A malformed `\` escape sequence.
+    BadEscape(String),
+    /// A malformed or unpaired `\uXXXX` escape.
+    BadUnicodeEscape(String),
+    /// Number with a leading zero such as `012`.
+    LeadingZero,
+    /// Number too large for the model's `u64` naturals.
+    NumberOverflow,
+    /// The paper's model (§2) excludes negative numbers.
+    NegativeNumber,
+    /// The paper's model (§2) excludes fractional/exponent numbers.
+    NonNaturalNumber,
+    /// The paper's model (§2) excludes the literals `true`, `false`, `null`.
+    UnsupportedLiteral(&'static str),
+    /// Two pairs with the same key in one object (violates §2).
+    DuplicateKey(String),
+    /// Nesting depth exceeded the configured limit.
+    TooDeep(usize),
+    /// Input continued after the first complete value.
+    TrailingContent,
+    /// Invalid UTF-8 (only reachable through the byte-level entry points).
+    InvalidUtf8,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use ParseErrorKind::*;
+        match &self.kind {
+            UnexpectedEof => write!(f, "unexpected end of input at {}", self.position),
+            UnexpectedChar(c) => {
+                write!(f, "unexpected character {c:?} at {}", self.position)
+            }
+            ControlCharInString(c) => write!(
+                f,
+                "unescaped control character {:#04x} in string at {}",
+                *c as u32, self.position
+            ),
+            BadEscape(s) => write!(f, "invalid escape sequence `\\{s}` at {}", self.position),
+            BadUnicodeEscape(s) => {
+                write!(f, "invalid unicode escape `{s}` at {}", self.position)
+            }
+            LeadingZero => write!(f, "numbers may not have leading zeros ({})", self.position),
+            NumberOverflow => write!(
+                f,
+                "number exceeds the u64 naturals of the formal model at {}",
+                self.position
+            ),
+            NegativeNumber => write!(
+                f,
+                "negative numbers are outside the paper's JSON fragment (§2) at {}",
+                self.position
+            ),
+            NonNaturalNumber => write!(
+                f,
+                "fractional/exponent numbers are outside the paper's JSON fragment (§2) at {}",
+                self.position
+            ),
+            UnsupportedLiteral(l) => write!(
+                f,
+                "literal `{l}` is outside the paper's JSON fragment (§2: objects, arrays, strings, naturals) at {}",
+                self.position
+            ),
+            DuplicateKey(k) => write!(
+                f,
+                "duplicate object key {k:?} at {} (JSON objects must have pairwise distinct keys)",
+                self.position
+            ),
+            TooDeep(limit) => write!(
+                f,
+                "nesting depth exceeds the limit of {limit} at {}",
+                self.position
+            ),
+            TrailingContent => {
+                write!(f, "unexpected content after the JSON value at {}", self.position)
+            }
+            InvalidUtf8 => write!(f, "invalid UTF-8 at {}", self.position),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Errors raised by programmatic construction or navigation of JSON values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// Two pairs with the same key in one object.
+    DuplicateKey(String),
+    /// A navigation step applied to a value of the wrong kind.
+    NotAnObject,
+    /// A positional step applied to a non-array.
+    NotAnArray,
+    /// Key lookup failed.
+    NoSuchKey(String),
+    /// Index lookup failed.
+    IndexOutOfBounds(i64, usize),
+    /// A JSON Pointer segment could not be resolved.
+    PointerUnresolved(String),
+    /// A JSON Pointer was syntactically malformed.
+    PointerSyntax(String),
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::DuplicateKey(k) => write!(f, "duplicate object key {k:?}"),
+            JsonError::NotAnObject => write!(f, "value is not an object"),
+            JsonError::NotAnArray => write!(f, "value is not an array"),
+            JsonError::NoSuchKey(k) => write!(f, "no such key {k:?}"),
+            JsonError::IndexOutOfBounds(i, len) => {
+                write!(f, "index {i} out of bounds for array of length {len}")
+            }
+            JsonError::PointerUnresolved(p) => write!(f, "JSON pointer {p:?} does not resolve"),
+            JsonError::PointerSyntax(p) => write!(f, "malformed JSON pointer {p:?}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_positions() {
+        let e = ParseError {
+            position: Position { line: 3, col: 7, offset: 42 },
+            kind: ParseErrorKind::UnexpectedChar('%'),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("line 3"));
+        assert!(msg.contains("column 7"));
+        assert!(msg.contains('%'));
+    }
+
+    #[test]
+    fn display_unsupported_literal_names_fragment() {
+        let e = ParseError {
+            position: Position::start(),
+            kind: ParseErrorKind::UnsupportedLiteral("null"),
+        };
+        assert!(e.to_string().contains("§2"));
+    }
+}

@@ -1,0 +1,66 @@
+//! # jsondata — JSON values and the formal JSON tree model
+//!
+//! This crate implements the data-model layer of Bourhis, Reutter, Suárez &
+//! Vrgoč, *"JSON: data model, query languages and schema specification"*
+//! (PODS 2017). It provides:
+//!
+//! * [`Json`] — a JSON value restricted to the paper's §2 fragment:
+//!   objects (with pairwise-distinct keys), arrays, strings, and natural
+//!   numbers. Object equality is **unordered**, as the paper requires.
+//! * A from-scratch [`parse`](parse()) / [`serialize`](mod@serialize) pair
+//!   for the textual format, with precise error positions.
+//! * [`JsonTree`] — the paper's §3 *JSON tree*: an arena-backed tree whose
+//!   nodes are partitioned into `Obj`/`Arr`/`Str`/`Int`, with a key-labelled
+//!   object-child relation and an index-labelled array-child relation.
+//! * [`canon`] — canonical subtree labels: every node receives an integer
+//!   class id such that two nodes have equal ids iff their subtrees are equal
+//!   JSON values. This is the "online subtree equality" refinement that the
+//!   paper's Proposition 1 proof relies on.
+//! * [`domain`] — the formal tree-domain presentation
+//!   `J = (D, Obj, Arr, Str, Int, A, O, val)` with validation of the five
+//!   well-formedness conditions of Definition §3.1.
+//! * [`nav`] — JSON navigation instructions `J[key]` / `J[i]` (§2).
+//! * [`mod@pointer`] — RFC 6901 JSON Pointers (used by JSON Schema `$ref`).
+//! * [`gen`] — seeded random document generators used by tests and the
+//!   benchmark harness.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use jsondata::{parse, JsonTree};
+//!
+//! // The paper's Figure 1 document.
+//! let doc = parse(r#"{
+//!     "name": { "first": "John", "last": "Doe" },
+//!     "age": 32,
+//!     "hobbies": ["fishing", "yoga"]
+//! }"#).unwrap();
+//!
+//! let tree = JsonTree::build(&doc);
+//! let root = tree.root();
+//! let name = tree.child_by_key(root, "name").unwrap();
+//! let first = tree.child_by_key(name, "first").unwrap();
+//! assert_eq!(tree.str_value(first), Some("John"));
+//!
+//! // Every subtree is again a JSON value (compositionality, §3.1).
+//! assert_eq!(tree.json_at(name).to_string(), r#"{"first":"John","last":"Doe"}"#);
+//! ```
+
+pub mod canon;
+pub mod domain;
+pub mod error;
+pub mod gen;
+pub mod nav;
+pub mod parse;
+pub mod pointer;
+pub mod serialize;
+pub mod tree;
+pub mod value;
+
+pub use canon::CanonTable;
+pub use error::{JsonError, ParseError, Position};
+pub use nav::{NavPath, NavStep};
+pub use parse::{parse, parse_with_limits, ParseLimits};
+pub use pointer::JsonPointer;
+pub use tree::{EdgeLabel, JsonTree, NodeId, NodeKind};
+pub use value::{Json, ObjectBuilder};

@@ -1,0 +1,478 @@
+//! A from-scratch JSON text parser for the paper's fragment.
+//!
+//! The lexer recognises the complete RFC 8259 grammar so that out-of-fragment
+//! constructs (`null`, `true`, `false`, negative or fractional numbers) are
+//! reported with precise, targeted errors instead of generic syntax noise.
+//!
+//! The parser is iterative over object/array nesting depth up to a
+//! configurable limit (default 512), avoiding stack overflow on adversarial
+//! inputs while still being plain recursive descent in shape.
+
+use crate::error::{ParseError, ParseErrorKind, Position};
+use crate::value::Json;
+
+/// Resource limits applied while parsing.
+#[derive(Debug, Clone, Copy)]
+pub struct ParseLimits {
+    /// Maximum object/array nesting depth.
+    pub max_depth: usize,
+}
+
+impl Default for ParseLimits {
+    fn default() -> Self {
+        ParseLimits { max_depth: 512 }
+    }
+}
+
+/// Parses a complete JSON document with default limits.
+///
+/// ```
+/// use jsondata::{parse, Json};
+/// assert_eq!(parse("42").unwrap(), Json::Num(42));
+/// assert_eq!(parse(r#""hi""#).unwrap(), Json::str("hi"));
+/// assert!(parse("null").is_err()); // outside the paper's fragment
+/// ```
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    parse_with_limits(input, ParseLimits::default())
+}
+
+/// Parses with explicit [`ParseLimits`].
+pub fn parse_with_limits(input: &str, limits: ParseLimits) -> Result<Json, ParseError> {
+    let mut p = Parser::new(input, limits);
+    p.skip_ws();
+    let v = p.parse_value(0)?;
+    p.skip_ws();
+    if !p.at_end() {
+        return Err(p.err(ParseErrorKind::TrailingContent));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    limits: ParseLimits,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str, limits: ParseLimits) -> Self {
+        Parser { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1, limits }
+    }
+
+    fn position(&self) -> Position {
+        Position { line: self.line, col: self.col, offset: self.pos }
+    }
+
+    fn err(&self, kind: ParseErrorKind) -> ParseError {
+        ParseError { position: self.position(), kind }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Advances one byte, maintaining line/column. Only call when the byte at
+    /// `pos` is ASCII; multi-byte characters go through `bump_char`.
+    fn bump(&mut self) {
+        if self.bytes[self.pos] == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_char(&mut self, c: char) {
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += c.len_utf8();
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            match b {
+                b' ' | b'\t' | b'\n' | b'\r' => self.bump(),
+                _ => break,
+            }
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > self.limits.max_depth {
+            return Err(self.err(ParseErrorKind::TooDeep(self.limits.max_depth)));
+        }
+        match self.peek() {
+            None => Err(self.err(ParseErrorKind::UnexpectedEof)),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
+            Some(b'0'..=b'9') => self.parse_number(),
+            Some(b'-') => Err(self.err(ParseErrorKind::NegativeNumber)),
+            Some(b't') => self.reject_literal("true"),
+            Some(b'f') => self.reject_literal("false"),
+            Some(b'n') => self.reject_literal("null"),
+            Some(b) => {
+                let c = self.current_char(b);
+                Err(self.err(ParseErrorKind::UnexpectedChar(c)))
+            }
+        }
+    }
+
+    fn current_char(&self, first: u8) -> char {
+        if first.is_ascii() {
+            first as char
+        } else {
+            self.src[self.pos..].chars().next().unwrap_or('\u{fffd}')
+        }
+    }
+
+    fn reject_literal(&mut self, lit: &'static str) -> Result<Json, ParseError> {
+        if self.src[self.pos..].starts_with(lit) {
+            Err(self.err(ParseErrorKind::UnsupportedLiteral(lit)))
+        } else {
+            let b = self.bytes[self.pos];
+            Err(self.err(ParseErrorKind::UnexpectedChar(b as char)))
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.bump(); // consume '{'
+        let mut pairs: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.bump();
+            return Ok(Json::empty_object());
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return match self.peek() {
+                    None => Err(self.err(ParseErrorKind::UnexpectedEof)),
+                    Some(b) => Err(self.err(ParseErrorKind::UnexpectedChar(self.current_char(b)))),
+                };
+            }
+            let key_pos = self.position();
+            let key = self.parse_string()?;
+            if pairs.iter().any(|(k, _)| *k == key) {
+                return Err(ParseError { position: key_pos, kind: ParseErrorKind::DuplicateKey(key) });
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b':') => self.bump(),
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                Some(b) => return Err(self.err(ParseErrorKind::UnexpectedChar(self.current_char(b)))),
+            }
+            self.skip_ws();
+            let value = self.parse_value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b'}') => {
+                    self.bump();
+                    // Duplicates already rejected pair-by-pair above.
+                    return Ok(Json::object(pairs).expect("duplicates checked during parse"));
+                }
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                Some(b) => return Err(self.err(ParseErrorKind::UnexpectedChar(self.current_char(b)))),
+            }
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.bump(); // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.bump();
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.bump();
+                }
+                Some(b']') => {
+                    self.bump();
+                    return Ok(Json::Array(items));
+                }
+                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+                Some(b) => return Err(self.err(ParseErrorKind::UnexpectedChar(self.current_char(b)))),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, ParseError> {
+        self.bump(); // consume '"'
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err(ParseErrorKind::UnexpectedEof));
+            };
+            match b {
+                b'"' => {
+                    self.bump();
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.bump();
+                    self.parse_escape(&mut out)?;
+                }
+                0x00..=0x1f => {
+                    return Err(self.err(ParseErrorKind::ControlCharInString(b as char)));
+                }
+                _ if b.is_ascii() => {
+                    out.push(b as char);
+                    self.bump();
+                }
+                _ => {
+                    let c = self.src[self.pos..].chars().next().ok_or_else(|| self.err(ParseErrorKind::InvalidUtf8))?;
+                    out.push(c);
+                    self.bump_char(c);
+                }
+            }
+        }
+    }
+
+    fn parse_escape(&mut self, out: &mut String) -> Result<(), ParseError> {
+        let Some(b) = self.peek() else {
+            return Err(self.err(ParseErrorKind::UnexpectedEof));
+        };
+        let simple = match b {
+            b'"' => Some('"'),
+            b'\\' => Some('\\'),
+            b'/' => Some('/'),
+            b'b' => Some('\u{0008}'),
+            b'f' => Some('\u{000c}'),
+            b'n' => Some('\n'),
+            b'r' => Some('\r'),
+            b't' => Some('\t'),
+            _ => None,
+        };
+        if let Some(c) = simple {
+            out.push(c);
+            self.bump();
+            return Ok(());
+        }
+        if b != b'u' {
+            return Err(self.err(ParseErrorKind::BadEscape((b as char).to_string())));
+        }
+        self.bump(); // consume 'u'
+        let first = self.parse_hex4()?;
+        let c = if (0xD800..=0xDBFF).contains(&first) {
+            // High surrogate: a low surrogate escape must follow.
+            if self.peek() == Some(b'\\') {
+                self.bump();
+                if self.peek() != Some(b'u') {
+                    return Err(self.err(ParseErrorKind::BadUnicodeEscape(format!(
+                        "\\u{first:04X} not followed by low surrogate"
+                    ))));
+                }
+                self.bump();
+                let second = self.parse_hex4()?;
+                if !(0xDC00..=0xDFFF).contains(&second) {
+                    return Err(self.err(ParseErrorKind::BadUnicodeEscape(format!(
+                        "\\u{first:04X}\\u{second:04X} is not a surrogate pair"
+                    ))));
+                }
+                let cp = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                char::from_u32(cp).ok_or_else(|| {
+                    self.err(ParseErrorKind::BadUnicodeEscape(format!("U+{cp:X}")))
+                })?
+            } else {
+                return Err(self.err(ParseErrorKind::BadUnicodeEscape(format!(
+                    "unpaired high surrogate \\u{first:04X}"
+                ))));
+            }
+        } else if (0xDC00..=0xDFFF).contains(&first) {
+            return Err(self.err(ParseErrorKind::BadUnicodeEscape(format!(
+                "unpaired low surrogate \\u{first:04X}"
+            ))));
+        } else {
+            char::from_u32(first).ok_or_else(|| {
+                self.err(ParseErrorKind::BadUnicodeEscape(format!("U+{first:X}")))
+            })?
+        };
+        out.push(c);
+        Ok(())
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v: u32 = 0;
+        for _ in 0..4 {
+            let Some(b) = self.peek() else {
+                return Err(self.err(ParseErrorKind::UnexpectedEof));
+            };
+            let d = match b {
+                b'0'..=b'9' => (b - b'0') as u32,
+                b'a'..=b'f' => (b - b'a' + 10) as u32,
+                b'A'..=b'F' => (b - b'A' + 10) as u32,
+                _ => {
+                    return Err(self.err(ParseErrorKind::BadUnicodeEscape(
+                        (b as char).to_string(),
+                    )))
+                }
+            };
+            v = (v << 4) | d;
+            self.bump();
+        }
+        Ok(v)
+    }
+
+    fn parse_number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        let first = self.bytes[self.pos];
+        self.bump();
+        while let Some(b @ b'0'..=b'9') = self.peek() {
+            let _ = b;
+            self.bump();
+        }
+        // The full JSON grammar allows fraction/exponent; the fragment
+        // doesn't. Detect and report them specifically.
+        if matches!(self.peek(), Some(b'.') | Some(b'e') | Some(b'E')) {
+            return Err(self.err(ParseErrorKind::NonNaturalNumber));
+        }
+        let text = &self.src[start..self.pos];
+        if first == b'0' && text.len() > 1 {
+            return Err(self.err(ParseErrorKind::LeadingZero));
+        }
+        text.parse::<u64>()
+            .map(Json::Num)
+            .map_err(|_| self.err(ParseErrorKind::NumberOverflow))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::ParseErrorKind::*;
+
+    fn kind(s: &str) -> ParseErrorKind {
+        parse(s).unwrap_err().kind
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(parse("0").unwrap(), Json::Num(0));
+        assert_eq!(parse("1234567890").unwrap(), Json::Num(1234567890));
+        assert_eq!(parse(r#""x\ny""#).unwrap(), Json::str("x\ny"));
+        assert_eq!(parse(r#""""#).unwrap(), Json::str(""));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let j = parse(r#"{"a": [1, {"b": "c"}, []], "d": {}}"#).unwrap();
+        assert_eq!(j.get("a").unwrap().index(1).unwrap().get("b"), Some(&Json::str("c")));
+        assert_eq!(j.get("d"), Some(&Json::empty_object()));
+    }
+
+    #[test]
+    fn figure1_document() {
+        let j = parse(
+            r#"{
+                "name": {"first": "John", "last": "Doe"},
+                "age": 32,
+                "hobbies": ["fishing", "yoga"]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(j.node_count(), 8);
+        assert_eq!(j.get("hobbies").unwrap().index(1), Some(&Json::str("yoga")));
+    }
+
+    #[test]
+    fn rejects_out_of_fragment_literals() {
+        assert_eq!(kind("null"), UnsupportedLiteral("null"));
+        assert_eq!(kind("true"), UnsupportedLiteral("true"));
+        assert_eq!(kind("false"), UnsupportedLiteral("false"));
+        assert_eq!(kind("-3"), NegativeNumber);
+        assert_eq!(kind("3.5"), NonNaturalNumber);
+        assert_eq!(kind("3e2"), NonNaturalNumber);
+    }
+
+    #[test]
+    fn rejects_leading_zero_and_overflow() {
+        assert_eq!(kind("012"), LeadingZero);
+        assert_eq!(kind("99999999999999999999999"), NumberOverflow);
+    }
+
+    #[test]
+    fn rejects_duplicate_keys_with_position() {
+        let e = parse(r#"{"a":1, "a":2}"#).unwrap_err();
+        assert!(matches!(e.kind, DuplicateKey(ref k) if k == "a"));
+        assert_eq!(e.position.line, 1);
+    }
+
+    #[test]
+    fn rejects_trailing_content() {
+        assert_eq!(kind("1 2"), TrailingContent);
+        assert_eq!(kind("{} {}"), TrailingContent);
+    }
+
+    #[test]
+    fn rejects_truncated_documents() {
+        assert_eq!(kind("{\"a\": "), UnexpectedEof);
+        assert_eq!(kind("[1, 2"), UnexpectedEof);
+        assert_eq!(kind("\"abc"), UnexpectedEof);
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(parse(r#""A""#).unwrap(), Json::str("A"));
+        assert_eq!(parse(r#""😀""#).unwrap(), Json::str("😀"));
+        assert_eq!(parse(r#""\\\"\/\b\f\n\r\t""#).unwrap(), Json::str("\\\"/\u{8}\u{c}\n\r\t"));
+        assert!(matches!(kind(r#""\ud800""#), BadUnicodeEscape(_)));
+        assert!(matches!(kind(r#""\udc00""#), BadUnicodeEscape(_)));
+        assert!(matches!(kind(r#""\q""#), BadEscape(_)));
+    }
+
+    #[test]
+    fn unescaped_control_char_rejected() {
+        assert!(matches!(kind("\"a\u{0001}b\""), ControlCharInString(_)));
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        assert_eq!(parse("\"čšž — 中文\"").unwrap(), Json::str("čšž — 中文"));
+    }
+
+    #[test]
+    fn depth_limit_enforced() {
+        let deep = "[".repeat(600) + &"]".repeat(600);
+        assert!(matches!(kind(&deep), TooDeep(512)));
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&ok).is_ok());
+        let custom = parse_with_limits(&ok, ParseLimits { max_depth: 10 });
+        assert!(matches!(custom.unwrap_err().kind, TooDeep(10)));
+    }
+
+    #[test]
+    fn error_positions_track_lines() {
+        let e = parse("{\n  \"a\": null\n}").unwrap_err();
+        assert_eq!(e.position.line, 2);
+        assert_eq!(e.kind, UnsupportedLiteral("null"));
+    }
+
+    #[test]
+    fn whitespace_everywhere() {
+        let j = parse(" \t\r\n{ \"a\" : [ 1 , 2 ] } \n").unwrap();
+        assert_eq!(j.get("a").unwrap().as_array().unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,172 @@
+//! RFC 6901 JSON Pointers, as used by JSON Schema `$ref`
+//! (e.g. `#/definitions/email`).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::JsonError;
+use crate::value::Json;
+
+/// A parsed JSON Pointer: a sequence of reference tokens.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct JsonPointer {
+    tokens: Vec<String>,
+}
+
+impl JsonPointer {
+    /// The whole-document pointer (`""` or `#`).
+    pub fn root() -> JsonPointer {
+        JsonPointer::default()
+    }
+
+    /// The reference tokens.
+    pub fn tokens(&self) -> &[String] {
+        &self.tokens
+    }
+
+    /// Appends a token.
+    #[must_use]
+    pub fn push(mut self, token: impl Into<String>) -> JsonPointer {
+        self.tokens.push(token.into());
+        self
+    }
+
+    /// Resolves the pointer against a document.
+    ///
+    /// Tokens address object keys; on arrays, tokens must be decimal indices.
+    pub fn resolve<'a>(&self, doc: &'a Json) -> Result<&'a Json, JsonError> {
+        let mut cur = doc;
+        for t in &self.tokens {
+            cur = match cur {
+                Json::Object(o) => o
+                    .get(t)
+                    .ok_or_else(|| JsonError::PointerUnresolved(self.to_string()))?,
+                Json::Array(items) => {
+                    let idx: usize = t
+                        .parse()
+                        .map_err(|_| JsonError::PointerUnresolved(self.to_string()))?;
+                    // RFC 6901 forbids leading zeros for array indices.
+                    if t.len() > 1 && t.starts_with('0') {
+                        return Err(JsonError::PointerUnresolved(self.to_string()));
+                    }
+                    items
+                        .get(idx)
+                        .ok_or_else(|| JsonError::PointerUnresolved(self.to_string()))?
+                }
+                _ => return Err(JsonError::PointerUnresolved(self.to_string())),
+            };
+        }
+        Ok(cur)
+    }
+}
+
+impl FromStr for JsonPointer {
+    type Err = JsonError;
+
+    /// Accepts both plain pointers (`/a/b`) and URI-fragment pointers
+    /// (`#/a/b`); the empty string and `#` denote the root.
+    fn from_str(s: &str) -> Result<JsonPointer, JsonError> {
+        let body = s.strip_prefix('#').unwrap_or(s);
+        if body.is_empty() {
+            return Ok(JsonPointer::root());
+        }
+        let Some(rest) = body.strip_prefix('/') else {
+            return Err(JsonError::PointerSyntax(s.to_owned()));
+        };
+        let mut tokens = Vec::new();
+        for raw in rest.split('/') {
+            tokens.push(unescape_token(raw, s)?);
+        }
+        Ok(JsonPointer { tokens })
+    }
+}
+
+fn unescape_token(raw: &str, whole: &str) -> Result<String, JsonError> {
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.chars();
+    while let Some(c) = chars.next() {
+        if c == '~' {
+            match chars.next() {
+                Some('0') => out.push('~'),
+                Some('1') => out.push('/'),
+                _ => return Err(JsonError::PointerSyntax(whole.to_owned())),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Ok(out)
+}
+
+impl fmt::Display for JsonPointer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for t in &self.tokens {
+            write!(f, "/{}", t.replace('~', "~0").replace('/', "~1"))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn resolves_schema_style_refs() {
+        let doc = parse(
+            r#"{"definitions": {"email": {"type": "string", "pattern": "[A-z]*@ciws.cl"}}}"#,
+        )
+        .unwrap();
+        let p: JsonPointer = "#/definitions/email".parse().unwrap();
+        let got = p.resolve(&doc).unwrap();
+        assert_eq!(got.get("type"), Some(&Json::str("string")));
+    }
+
+    #[test]
+    fn root_pointer() {
+        let doc = parse("[1,2]").unwrap();
+        assert_eq!("".parse::<JsonPointer>().unwrap().resolve(&doc).unwrap(), &doc);
+        assert_eq!("#".parse::<JsonPointer>().unwrap().resolve(&doc).unwrap(), &doc);
+    }
+
+    #[test]
+    fn array_indices() {
+        let doc = parse(r#"{"a": [10, 20, 30]}"#).unwrap();
+        let p: JsonPointer = "/a/2".parse().unwrap();
+        assert_eq!(p.resolve(&doc).unwrap(), &Json::Num(30));
+        assert!("/a/03".parse::<JsonPointer>().unwrap().resolve(&doc).is_err());
+        assert!("/a/9".parse::<JsonPointer>().unwrap().resolve(&doc).is_err());
+        assert!("/a/x".parse::<JsonPointer>().unwrap().resolve(&doc).is_err());
+    }
+
+    #[test]
+    fn escaping() {
+        let doc = parse(r#"{"a/b": {"m~n": 1}}"#).unwrap();
+        let p: JsonPointer = "/a~1b/m~0n".parse().unwrap();
+        assert_eq!(p.resolve(&doc).unwrap(), &Json::Num(1));
+        assert_eq!(p.to_string(), "/a~1b/m~0n");
+        let back: JsonPointer = p.to_string().parse().unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!("abc".parse::<JsonPointer>().is_err());
+        assert!("/a~2b".parse::<JsonPointer>().is_err());
+        assert!("/a~".parse::<JsonPointer>().is_err());
+    }
+
+    #[test]
+    fn empty_token_is_a_key() {
+        let doc = parse(r#"{"": 5}"#).unwrap();
+        let p: JsonPointer = "/".parse().unwrap();
+        assert_eq!(p.resolve(&doc).unwrap(), &Json::Num(5));
+    }
+
+    #[test]
+    fn cannot_descend_into_scalars() {
+        let doc = parse(r#"{"a": 1}"#).unwrap();
+        assert!("/a/b".parse::<JsonPointer>().unwrap().resolve(&doc).is_err());
+    }
+}

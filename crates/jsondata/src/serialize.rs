@@ -1,0 +1,174 @@
+//! JSON serialization: compact and pretty writers with RFC 8259 escaping.
+
+use std::fmt::Write as _;
+
+use crate::value::Json;
+
+/// Serializes a value compactly (no insignificant whitespace).
+///
+/// ```
+/// use jsondata::{parse, serialize::to_string};
+/// let j = parse(r#"{ "a" : [ 1, 2 ] }"#).unwrap();
+/// assert_eq!(to_string(&j), r#"{"a":[1,2]}"#);
+/// ```
+pub fn to_string(value: &Json) -> String {
+    let mut out = String::new();
+    write_compact(&mut out, value);
+    out
+}
+
+/// Serializes a value with two-space indentation.
+pub fn to_string_pretty(value: &Json) -> String {
+    let mut out = String::new();
+    write_pretty(&mut out, value, 0);
+    out
+}
+
+/// Escapes a string body per RFC 8259 and wraps it in quotes.
+pub fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    write_quoted(&mut out, s);
+    out
+}
+
+fn write_quoted(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{0008}' => out.push_str("\\b"),
+            '\u{000c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_compact(out: &mut String, value: &Json) {
+    match value {
+        Json::Num(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Json::Str(s) => write_quoted(out, s),
+        Json::Array(items) => {
+            out.push('[');
+            for (i, v) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(out, v);
+            }
+            out.push(']');
+        }
+        Json::Object(o) => {
+            out.push('{');
+            for (i, (k, v)) in o.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_quoted(out, k);
+                out.push(':');
+                write_compact(out, v);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_pretty(out: &mut String, value: &Json, indent: usize) {
+    const STEP: usize = 2;
+    match value {
+        Json::Num(n) => {
+            let _ = write!(out, "{n}");
+        }
+        Json::Str(s) => write_quoted(out, s),
+        Json::Array(items) if items.is_empty() => out.push_str("[]"),
+        Json::Array(items) => {
+            out.push_str("[\n");
+            for (i, v) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                for _ in 0..indent + STEP {
+                    out.push(' ');
+                }
+                write_pretty(out, v, indent + STEP);
+            }
+            out.push('\n');
+            for _ in 0..indent {
+                out.push(' ');
+            }
+            out.push(']');
+        }
+        Json::Object(o) if o.is_empty() => out.push_str("{}"),
+        Json::Object(o) => {
+            out.push_str("{\n");
+            for (i, (k, v)) in o.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                for _ in 0..indent + STEP {
+                    out.push(' ');
+                }
+                write_quoted(out, k);
+                out.push_str(": ");
+                write_pretty(out, v, indent + STEP);
+            }
+            out.push('\n');
+            for _ in 0..indent {
+                out.push(' ');
+            }
+            out.push('}');
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn compact_round_trip() {
+        let src = r#"{"name":{"first":"John","last":"Doe"},"age":32,"hobbies":["fishing","yoga"]}"#;
+        let j = parse(src).unwrap();
+        assert_eq!(to_string(&j), src);
+        assert_eq!(parse(&to_string(&j)).unwrap(), j);
+    }
+
+    #[test]
+    fn escapes_in_output() {
+        let j = Json::str("a\"b\\c\nd\u{0001}");
+        let s = to_string(&j);
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+        assert_eq!(parse(&s).unwrap(), j);
+    }
+
+    #[test]
+    fn pretty_round_trip() {
+        let j = parse(r#"{"a":[1,{"b":[]}],"c":{}}"#).unwrap();
+        let p = to_string_pretty(&j);
+        assert!(p.contains("\n"));
+        assert_eq!(parse(&p).unwrap(), j);
+    }
+
+    #[test]
+    fn pretty_empty_containers_inline() {
+        assert_eq!(to_string_pretty(&Json::empty_object()), "{}");
+        assert_eq!(to_string_pretty(&Json::array([])), "[]");
+    }
+
+    #[test]
+    fn quote_is_parseable() {
+        let q = quote("weird \u{7} \\ \" chars");
+        let back = parse(&q).unwrap();
+        assert_eq!(back, Json::str("weird \u{7} \\ \" chars"));
+    }
+}

@@ -1,0 +1,621 @@
+//! The JSON tree model of §3.1: an arena-backed, immutable tree whose nodes
+//! are partitioned into objects, arrays, strings and numbers, with
+//! key-labelled object edges and index-labelled array edges.
+//!
+//! Design notes:
+//!
+//! * Node ids are assigned in **pre-order** during construction, so for every
+//!   node `n` and every descendant `d` of `n`, `n.index() < d.index()`.
+//!   Iterating ids in *descending* order therefore visits children before
+//!   parents — the bottom-up evaluation order used throughout the logic
+//!   engines — without materialising an explicit post-order.
+//! * Object children are stored **sorted by key**, giving `O(log k)` key
+//!   lookup. JSON objects are unordered (§3.2 difference 1), so this loses
+//!   no information.
+//! * Construction and reconstruction are iterative: document depth never
+//!   translates into call-stack depth, so million-node chain documents used
+//!   by the scaling benchmarks are safe.
+
+use std::fmt;
+
+use crate::value::Json;
+
+/// Identifier of a node within one [`JsonTree`]; indexes the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The arena index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a `NodeId` from a raw arena index (test/bench helper).
+    pub fn from_index(i: usize) -> NodeId {
+        NodeId(i as u32)
+    }
+}
+
+/// The four node types partitioning the tree domain (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NodeKind {
+    /// An object node (member of the `Obj` partition).
+    Obj,
+    /// An array node (member of the `Arr` partition).
+    Arr,
+    /// A string leaf (member of the `Str` partition).
+    Str,
+    /// A number leaf (member of the `Int` partition).
+    Int,
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            NodeKind::Obj => "object",
+            NodeKind::Arr => "array",
+            NodeKind::Str => "string",
+            NodeKind::Int => "number",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The label of an edge from a parent to one of its children: a key (for
+/// object nodes, relation `O`) or a position (for array nodes, relation `A`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeLabel<'a> {
+    /// Object edge labelled with a key `w ∈ Σ*`.
+    Key(&'a str),
+    /// Array edge labelled with a position `i ∈ ℕ`.
+    Index(usize),
+}
+
+impl fmt::Display for EdgeLabel<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EdgeLabel::Key(k) => write!(f, "{:?}", k),
+            EdgeLabel::Index(i) => write!(f, "{}", i),
+        }
+    }
+}
+
+enum Body {
+    /// Children sorted by key; pairwise-distinct keys by construction.
+    Obj(Vec<(String, NodeId)>),
+    Arr(Vec<NodeId>),
+    Str(String),
+    Int(u64),
+}
+
+struct Node {
+    body: Body,
+    parent: Option<NodeId>,
+    /// Position of this node in its parent's child vector; 0 for the root.
+    slot: u32,
+}
+
+/// An immutable JSON tree `J = (D, Obj, Arr, Str, Int, A, O, val)`.
+pub struct JsonTree {
+    nodes: Vec<Node>,
+    /// `height[i]`: height of the subtree rooted at node `i` (leaves = 0).
+    height: Vec<u32>,
+    /// `size[i]`: number of nodes in the subtree rooted at node `i`.
+    size: Vec<u32>,
+}
+
+impl JsonTree {
+    /// Builds the tree representation of a JSON document.
+    pub fn build(doc: &Json) -> JsonTree {
+        let mut nodes: Vec<Node> = Vec::with_capacity(doc.node_count());
+        // Iterative pre-order construction; the work stack holds
+        // (value, parent, slot).
+        let mut stack: Vec<(&Json, Option<NodeId>, u32)> = vec![(doc, None, 0)];
+        while let Some((value, parent, slot)) = stack.pop() {
+            let id = NodeId(nodes.len() as u32);
+            if let Some(p) = parent {
+                // Patch the reserved child slot in the parent.
+                match &mut nodes[p.index()].body {
+                    Body::Obj(cs) => cs[slot as usize].1 = id,
+                    Body::Arr(cs) => cs[slot as usize] = id,
+                    _ => unreachable!("leaf nodes have no children"),
+                }
+            }
+            let body = match value {
+                Json::Num(n) => Body::Int(*n),
+                Json::Str(s) => Body::Str(s.clone()),
+                Json::Array(items) => Body::Arr(vec![NodeId(u32::MAX); items.len()]),
+                Json::Object(o) => {
+                    let mut cs: Vec<(String, NodeId)> =
+                        o.iter().map(|(k, _)| (k.to_owned(), NodeId(u32::MAX))).collect();
+                    cs.sort_by(|a, b| a.0.cmp(&b.0));
+                    Body::Obj(cs)
+                }
+            };
+            nodes.push(Node { body, parent, slot });
+            // Queue children. For pre-order ids we push in reverse so the
+            // first child is popped (and hence numbered) first.
+            match value {
+                Json::Array(items) => {
+                    for (i, item) in items.iter().enumerate().rev() {
+                        stack.push((item, Some(id), i as u32));
+                    }
+                }
+                Json::Object(o) => {
+                    // Children were sorted by key above; find each key's slot.
+                    let sorted_keys: Vec<&str> = match &nodes[id.index()].body {
+                        Body::Obj(cs) => cs.iter().map(|(k, _)| k.as_str()).collect(),
+                        _ => unreachable!(),
+                    };
+                    let mut entries: Vec<(&str, &Json)> = o.iter().collect();
+                    entries.sort_by(|a, b| a.0.cmp(b.0));
+                    for (i, (k, v)) in entries.iter().enumerate().rev() {
+                        debug_assert_eq!(sorted_keys[i], *k);
+                        stack.push((v, Some(id), i as u32));
+                    }
+                }
+                _ => {}
+            }
+        }
+        let (height, size) = Self::measure(&nodes);
+        JsonTree { nodes, height, size }
+    }
+
+    fn measure(nodes: &[Node]) -> (Vec<u32>, Vec<u32>) {
+        let mut height = vec![0u32; nodes.len()];
+        let mut size = vec![1u32; nodes.len()];
+        // Descending id order visits children before parents (pre-order ids).
+        for i in (0..nodes.len()).rev() {
+            let (h, s) = match &nodes[i].body {
+                Body::Obj(cs) => cs.iter().fold((0, 1), |(h, s), (_, c)| {
+                    (h.max(height[c.index()] + 1), s + size[c.index()])
+                }),
+                Body::Arr(cs) => cs.iter().fold((0, 1), |(h, s), c| {
+                    (h.max(height[c.index()] + 1), s + size[c.index()])
+                }),
+                _ => (0, 1),
+            };
+            height[i] = h;
+            size[i] = s;
+        }
+        (height, size)
+    }
+
+    /// The root node (always id 0).
+    pub fn root(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Total number of nodes, `|J|`.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Iterates over all node ids in pre-order (ascending, parents first).
+    pub fn node_ids(&self) -> impl DoubleEndedIterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Iterates node ids bottom-up (children before parents).
+    pub fn bottom_up(&self) -> impl Iterator<Item = NodeId> {
+        self.node_ids().rev()
+    }
+
+    /// The kind (partition) of a node.
+    pub fn kind(&self, n: NodeId) -> NodeKind {
+        match self.nodes[n.index()].body {
+            Body::Obj(_) => NodeKind::Obj,
+            Body::Arr(_) => NodeKind::Arr,
+            Body::Str(_) => NodeKind::Str,
+            Body::Int(_) => NodeKind::Int,
+        }
+    }
+
+    /// Height of the subtree rooted at `n` (leaves have height 0).
+    pub fn height_of(&self, n: NodeId) -> usize {
+        self.height[n.index()] as usize
+    }
+
+    /// Number of nodes in the subtree rooted at `n`.
+    pub fn subtree_size(&self, n: NodeId) -> usize {
+        self.size[n.index()] as usize
+    }
+
+    /// Height of the whole tree.
+    pub fn height(&self) -> usize {
+        self.height_of(self.root())
+    }
+
+    /// Object children `(key, child)` sorted by key; empty for non-objects.
+    pub fn obj_children(&self, n: NodeId) -> &[(String, NodeId)] {
+        match &self.nodes[n.index()].body {
+            Body::Obj(cs) => cs,
+            _ => &[],
+        }
+    }
+
+    /// Array children in positional order; empty for non-arrays.
+    pub fn arr_children(&self, n: NodeId) -> &[NodeId] {
+        match &self.nodes[n.index()].body {
+            Body::Arr(cs) => cs,
+            _ => &[],
+        }
+    }
+
+    /// Number of children of `n` (0 for leaves).
+    pub fn child_count(&self, n: NodeId) -> usize {
+        match &self.nodes[n.index()].body {
+            Body::Obj(cs) => cs.len(),
+            Body::Arr(cs) => cs.len(),
+            _ => 0,
+        }
+    }
+
+    /// The `O` relation restricted to `n`: the child under key `key`.
+    /// Determinism (§3.1 condition 2) makes this at most one node.
+    pub fn child_by_key(&self, n: NodeId, key: &str) -> Option<NodeId> {
+        match &self.nodes[n.index()].body {
+            Body::Obj(cs) => cs
+                .binary_search_by(|(k, _)| k.as_str().cmp(key))
+                .ok()
+                .map(|i| cs[i].1),
+            _ => None,
+        }
+    }
+
+    /// The `A` relation restricted to `n`: the child at position `i`.
+    pub fn child_by_index(&self, n: NodeId, i: usize) -> Option<NodeId> {
+        match &self.nodes[n.index()].body {
+            Body::Arr(cs) => cs.get(i).copied(),
+            _ => None,
+        }
+    }
+
+    /// The child at a possibly negative position: `-1` is the last element,
+    /// `-j` the j-th from the end (the paper's dual array operator).
+    pub fn child_by_signed_index(&self, n: NodeId, i: i64) -> Option<NodeId> {
+        match &self.nodes[n.index()].body {
+            Body::Arr(cs) => {
+                let idx = if i >= 0 {
+                    i as usize
+                } else {
+                    cs.len().checked_sub(i.unsigned_abs() as usize)?
+                };
+                cs.get(idx).copied()
+            }
+            _ => None,
+        }
+    }
+
+    /// Iterates over all children with their edge labels.
+    pub fn children(&self, n: NodeId) -> ChildIter<'_> {
+        ChildIter { body: &self.nodes[n.index()].body, pos: 0 }
+    }
+
+    /// The parent of `n`, or `None` at the root.
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n.index()].parent
+    }
+
+    /// The label of the edge from the parent of `n` to `n`.
+    pub fn edge_from_parent(&self, n: NodeId) -> Option<EdgeLabel<'_>> {
+        let node = &self.nodes[n.index()];
+        let p = node.parent?;
+        Some(match &self.nodes[p.index()].body {
+            Body::Obj(cs) => EdgeLabel::Key(&cs[node.slot as usize].0),
+            Body::Arr(_) => EdgeLabel::Index(node.slot as usize),
+            _ => unreachable!("leaves have no children"),
+        })
+    }
+
+    /// The string value of a `Str` node.
+    pub fn str_value(&self, n: NodeId) -> Option<&str> {
+        match &self.nodes[n.index()].body {
+            Body::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value of an `Int` node.
+    pub fn num_value(&self, n: NodeId) -> Option<u64> {
+        match &self.nodes[n.index()].body {
+            Body::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The function `json(n)` of §3.1: the subtree rooted at `n`, which is
+    /// again a valid JSON value (compositionality).
+    pub fn json_at(&self, n: NodeId) -> Json {
+        // Bottom-up reconstruction over the contiguous id range of the
+        // subtree. Pre-order ids make every subtree a contiguous block
+        // [n, n + size(n)).
+        let lo = n.index();
+        let hi = lo + self.subtree_size(n);
+        let mut built: Vec<Option<Json>> = vec![None; hi - lo];
+        for i in (lo..hi).rev() {
+            let j = match &self.nodes[i].body {
+                Body::Int(v) => Json::Num(*v),
+                Body::Str(s) => Json::Str(s.clone()),
+                Body::Arr(cs) => Json::Array(
+                    cs.iter()
+                        .map(|c| built[c.index() - lo].take().expect("child built"))
+                        .collect(),
+                ),
+                Body::Obj(cs) => Json::object(
+                    cs.iter()
+                        .map(|(k, c)| (k.clone(), built[c.index() - lo].take().expect("child built")))
+                        .collect(),
+                )
+                .expect("tree keys are distinct"),
+            };
+            built[i - lo] = Some(j);
+        }
+        built[0].take().expect("root of subtree built")
+    }
+
+    /// The full document this tree represents.
+    pub fn to_json(&self) -> Json {
+        self.json_at(self.root())
+    }
+
+    /// The word in ℕ* addressing `n` in the tree domain (root = ε).
+    /// Positions follow the §3.1 convention: a node's children are numbered
+    /// `0..k` in the stored order (key-sorted for objects, positional for
+    /// arrays).
+    pub fn domain_word(&self, n: NodeId) -> Vec<usize> {
+        let mut w = Vec::new();
+        let mut cur = n;
+        while let Some(p) = self.parent(cur) {
+            w.push(self.nodes[cur.index()].slot as usize);
+            cur = p;
+        }
+        w.reverse();
+        w
+    }
+
+    /// Human-readable path of `n` (e.g. `$."name"."first"` or `$."hobbies".1`).
+    pub fn path_string(&self, n: NodeId) -> String {
+        let mut parts = Vec::new();
+        let mut cur = n;
+        while let Some(label) = self.edge_from_parent(cur) {
+            parts.push(label.to_string());
+            cur = self.parent(cur).expect("edge implies parent");
+        }
+        parts.reverse();
+        let mut out = String::from("$");
+        for p in parts {
+            out.push('.');
+            out.push_str(&p);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for JsonTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JsonTree({} nodes, height {})", self.node_count(), self.height())
+    }
+}
+
+/// Iterator over `(EdgeLabel, NodeId)` children of one node.
+pub struct ChildIter<'a> {
+    body: &'a Body,
+    pos: usize,
+}
+
+impl<'a> Iterator for ChildIter<'a> {
+    type Item = (EdgeLabel<'a>, NodeId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let out = match self.body {
+            Body::Obj(cs) => {
+                let (k, c) = cs.get(self.pos)?;
+                (EdgeLabel::Key(k.as_str()), *c)
+            }
+            Body::Arr(cs) => {
+                let c = cs.get(self.pos)?;
+                (EdgeLabel::Index(self.pos), *c)
+            }
+            _ => return None,
+        };
+        self.pos += 1;
+        Some(out)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let len = match self.body {
+            Body::Obj(cs) => cs.len(),
+            Body::Arr(cs) => cs.len(),
+            _ => 0,
+        };
+        let rem = len.saturating_sub(self.pos);
+        (rem, Some(rem))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    fn figure1() -> Json {
+        parse(
+            r#"{
+                "name": {"first": "John", "last": "Doe"},
+                "age": 32,
+                "hobbies": ["fishing", "yoga"]
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn build_figure1() {
+        let t = JsonTree::build(&figure1());
+        assert_eq!(t.node_count(), 8);
+        assert_eq!(t.height(), 2);
+        let root = t.root();
+        assert_eq!(t.kind(root), NodeKind::Obj);
+        assert_eq!(t.child_count(root), 3);
+
+        let name = t.child_by_key(root, "name").unwrap();
+        assert_eq!(t.kind(name), NodeKind::Obj);
+        let first = t.child_by_key(name, "first").unwrap();
+        assert_eq!(t.str_value(first), Some("John"));
+
+        let age = t.child_by_key(root, "age").unwrap();
+        assert_eq!(t.num_value(age), Some(32));
+
+        let hobbies = t.child_by_key(root, "hobbies").unwrap();
+        assert_eq!(t.kind(hobbies), NodeKind::Arr);
+        let yoga = t.child_by_index(hobbies, 1).unwrap();
+        assert_eq!(t.str_value(yoga), Some("yoga"));
+        assert_eq!(t.child_by_index(hobbies, 2), None);
+    }
+
+    #[test]
+    fn preorder_ids_nest() {
+        let t = JsonTree::build(&figure1());
+        for n in t.node_ids() {
+            for (_, c) in t.children(n) {
+                assert!(c > n, "child id must exceed parent id");
+                assert_eq!(t.parent(c), Some(n));
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_is_contiguous_block() {
+        let t = JsonTree::build(&figure1());
+        for n in t.node_ids() {
+            let lo = n.index();
+            let hi = lo + t.subtree_size(n);
+            // All and only ids in [lo, hi) are in the subtree of n.
+            for m in t.node_ids() {
+                let mut anc = Some(m);
+                let mut inside = false;
+                while let Some(a) = anc {
+                    if a == n {
+                        inside = true;
+                        break;
+                    }
+                    anc = t.parent(a);
+                }
+                assert_eq!(inside, (lo..hi).contains(&m.index()));
+            }
+        }
+    }
+
+    #[test]
+    fn json_at_reconstructs_each_subtree() {
+        // §3.1: the five subtrees of the running example are the five JSON
+        // values of the document (here: Figure 1 variant with 8 values).
+        let doc = figure1();
+        let t = JsonTree::build(&doc);
+        assert_eq!(t.to_json(), doc);
+        let name = t.child_by_key(t.root(), "name").unwrap();
+        assert_eq!(t.json_at(name), parse(r#"{"first":"John","last":"Doe"}"#).unwrap());
+        let hobbies = t.child_by_key(t.root(), "hobbies").unwrap();
+        assert_eq!(t.json_at(hobbies), parse(r#"["fishing","yoga"]"#).unwrap());
+    }
+
+    #[test]
+    fn negative_indexing() {
+        let t = JsonTree::build(&parse(r#"[10, 20, 30]"#).unwrap());
+        let r = t.root();
+        assert_eq!(t.num_value(t.child_by_signed_index(r, -1).unwrap()), Some(30));
+        assert_eq!(t.num_value(t.child_by_signed_index(r, -3).unwrap()), Some(10));
+        assert_eq!(t.child_by_signed_index(r, -4), None);
+        assert_eq!(t.num_value(t.child_by_signed_index(r, 1).unwrap()), Some(20));
+    }
+
+    #[test]
+    fn edge_labels_and_paths() {
+        let t = JsonTree::build(&figure1());
+        let hobbies = t.child_by_key(t.root(), "hobbies").unwrap();
+        let yoga = t.child_by_index(hobbies, 1).unwrap();
+        assert_eq!(t.edge_from_parent(yoga), Some(EdgeLabel::Index(1)));
+        assert_eq!(t.edge_from_parent(hobbies), Some(EdgeLabel::Key("hobbies")));
+        assert_eq!(t.edge_from_parent(t.root()), None);
+        assert_eq!(t.path_string(yoga), "$.\"hobbies\".1");
+    }
+
+    #[test]
+    fn domain_words_are_prefix_closed() {
+        let t = JsonTree::build(&figure1());
+        let words: Vec<Vec<usize>> = t.node_ids().map(|n| t.domain_word(n)).collect();
+        for w in &words {
+            let mut prefix = w.clone();
+            while prefix.pop().is_some() {
+                assert!(words.contains(&prefix), "domain must be prefix-closed");
+            }
+        }
+        // Sibling completeness: if n·i ∈ D then n·j ∈ D for all j < i.
+        for w in &words {
+            if let Some((&last, head)) = w.split_last() {
+                for j in 0..last {
+                    let mut sib = head.to_vec();
+                    sib.push(j);
+                    assert!(words.contains(&sib), "domain must contain smaller siblings");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn leaves_have_no_children() {
+        let t = JsonTree::build(&figure1());
+        for n in t.node_ids() {
+            match t.kind(n) {
+                NodeKind::Str | NodeKind::Int => {
+                    assert_eq!(t.child_count(n), 0);
+                    assert!(t.children(n).next().is_none());
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn deep_chain_does_not_overflow() {
+        // 100k-deep chain exercised iteratively end to end. Run on a big
+        // stack only because the compiler-generated drop glue for nested
+        // enums is recursive; all library operations are iterative.
+        std::thread::Builder::new()
+            .stack_size(256 * 1024 * 1024)
+            .spawn(|| {
+                let mut j = Json::Num(0);
+                for _ in 0..100_000 {
+                    j = Json::object(vec![("c".into(), j)]).unwrap();
+                }
+                let t = JsonTree::build(&j);
+                assert_eq!(t.node_count(), 100_001);
+                assert_eq!(t.height(), 100_000);
+                assert_eq!(t.to_json(), j);
+            })
+            .unwrap()
+            .join()
+            .unwrap();
+    }
+
+    #[test]
+    fn empty_containers() {
+        let t = JsonTree::build(&parse(r#"{"e":{},"a":[]}"#).unwrap());
+        let e = t.child_by_key(t.root(), "e").unwrap();
+        let a = t.child_by_key(t.root(), "a").unwrap();
+        assert_eq!(t.kind(e), NodeKind::Obj);
+        assert_eq!(t.child_count(e), 0);
+        assert_eq!(t.kind(a), NodeKind::Arr);
+        assert_eq!(t.height_of(e), 0);
+        assert_eq!(t.json_at(a), Json::array([]));
+    }
+
+    #[test]
+    fn child_iter_size_hint() {
+        let t = JsonTree::build(&parse(r#"[1,2,3,4]"#).unwrap());
+        let it = t.children(t.root());
+        assert_eq!(it.size_hint(), (4, Some(4)));
+        assert_eq!(t.children(t.root()).count(), 4);
+    }
+}

@@ -1,0 +1,531 @@
+//! The JSON value type of the paper's §2 fragment.
+//!
+//! The full JSON specification defines seven kinds of values (objects,
+//! arrays, strings, numbers, `true`, `false`, `null`). Following §2 of the
+//! paper, this crate abstracts from encoding details and works with the
+//! four-kind fragment: **objects**, **arrays**, **strings** and **natural
+//! numbers**. The parser reports the excluded literals with targeted errors
+//! so that real-world inputs fail loudly rather than silently.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::error::JsonError;
+
+/// A JSON value in the paper's fragment.
+///
+/// Invariants:
+/// * Object keys are pairwise distinct ([`Json::object`] and
+///   [`ObjectBuilder`] enforce this; the `Object` payload is not publicly
+///   constructible in a way that violates it).
+/// * Object key order is preserved for serialization, but **equality and
+///   hashing are unordered**: `{"a":1,"b":2} == {"b":2,"a":1}`. This mirrors
+///   the paper's "each JSON dictionary is unordered".
+#[derive(Clone)]
+pub enum Json {
+    /// An object: a set of key–value pairs with pairwise distinct keys.
+    Object(ObjectRepr),
+    /// An array: an ordered sequence of JSON values with positional access.
+    Array(Vec<Json>),
+    /// A string value over the unicode alphabet Σ.
+    Str(String),
+    /// A natural number (the paper restricts numbers to ℕ).
+    Num(u64),
+}
+
+/// Internal object representation: insertion-ordered pairs with a uniqueness
+/// invariant maintained by construction.
+#[derive(Clone, Default)]
+pub struct ObjectRepr {
+    pairs: Vec<(String, Json)>,
+}
+
+impl ObjectRepr {
+    /// The key–value pairs in insertion order.
+    pub fn pairs(&self) -> &[(String, Json)] {
+        &self.pairs
+    }
+
+    /// Looks up the value under `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of key–value pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the object is empty (`{}`).
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates over `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Json)> {
+        self.pairs.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    fn sorted_refs(&self) -> Vec<(&str, &Json)> {
+        let mut v: Vec<(&str, &Json)> = self.pairs.iter().map(|(k, val)| (k.as_str(), val)).collect();
+        v.sort_by(|a, b| a.0.cmp(b.0));
+        v
+    }
+}
+
+impl Json {
+    /// Builds an object from key–value pairs, rejecting duplicate keys.
+    ///
+    /// ```
+    /// use jsondata::Json;
+    /// let ok = Json::object(vec![("a".into(), Json::Num(1))]).unwrap();
+    /// assert!(ok.is_object());
+    /// let dup = Json::object(vec![
+    ///     ("a".into(), Json::Num(1)),
+    ///     ("a".into(), Json::Num(2)),
+    /// ]);
+    /// assert!(dup.is_err());
+    /// ```
+    pub fn object(pairs: Vec<(String, Json)>) -> Result<Json, JsonError> {
+        let mut seen: BTreeMap<&str, ()> = BTreeMap::new();
+        for (k, _) in &pairs {
+            if seen.insert(k.as_str(), ()).is_some() {
+                return Err(JsonError::DuplicateKey(k.clone()));
+            }
+        }
+        Ok(Json::Object(ObjectRepr { pairs }))
+    }
+
+    /// The empty object `{}`.
+    pub fn empty_object() -> Json {
+        Json::Object(ObjectRepr::default())
+    }
+
+    /// Convenience string constructor.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Convenience array constructor.
+    pub fn array(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Array(items.into_iter().collect())
+    }
+
+    /// Whether this value is an object.
+    pub fn is_object(&self) -> bool {
+        matches!(self, Json::Object(_))
+    }
+
+    /// Whether this value is an array.
+    pub fn is_array(&self) -> bool {
+        matches!(self, Json::Array(_))
+    }
+
+    /// Whether this value is a string.
+    pub fn is_string(&self) -> bool {
+        matches!(self, Json::Str(_))
+    }
+
+    /// Whether this value is a (natural) number.
+    pub fn is_number(&self) -> bool {
+        matches!(self, Json::Num(_))
+    }
+
+    /// Object accessor.
+    pub fn as_object(&self) -> Option<&ObjectRepr> {
+        match self {
+            Json::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Array accessor.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Number accessor.
+    pub fn as_num(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value under `key`, if this is an object containing it.
+    /// This is the navigation instruction `J[key]` of §2.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_object().and_then(|o| o.get(key))
+    }
+
+    /// The `i`-th array element, if this is an array of length > `i`.
+    /// This is the navigation instruction `J[i]` of §2.
+    pub fn index(&self, i: usize) -> Option<&Json> {
+        self.as_array().and_then(|a| a.get(i))
+    }
+
+    /// Total number of JSON values in this document (i.e. nodes of its tree),
+    /// counting the document itself. Iterative: safe on very deep documents.
+    pub fn node_count(&self) -> usize {
+        let mut count = 0usize;
+        let mut work: Vec<&Json> = vec![self];
+        while let Some(v) = work.pop() {
+            count += 1;
+            match v {
+                Json::Object(o) => work.extend(o.iter().map(|(_, c)| c)),
+                Json::Array(a) => work.extend(a.iter()),
+                _ => {}
+            }
+        }
+        count
+    }
+
+    /// Height of the value's tree: leaves (strings, numbers, empty
+    /// containers) have height 0. Iterative: safe on very deep documents.
+    pub fn height(&self) -> usize {
+        let mut best = 0usize;
+        let mut work: Vec<(&Json, usize)> = vec![(self, 0)];
+        while let Some((v, d)) = work.pop() {
+            best = best.max(d);
+            match v {
+                Json::Object(o) => work.extend(o.iter().map(|(_, c)| (c, d + 1))),
+                Json::Array(a) => work.extend(a.iter().map(|c| (c, d + 1))),
+                _ => {}
+            }
+        }
+        best
+    }
+
+    /// A total order on JSON values, used for normalisation (e.g. sorting
+    /// `enum` members) and as the comparison MongoDB-style operators use.
+    ///
+    /// Order: numbers < strings < arrays < objects; numbers numerically,
+    /// strings lexicographically, arrays lexicographically element-wise,
+    /// objects as sorted key→value maps.
+    pub fn total_cmp(&self, other: &Json) -> Ordering {
+        fn rank(j: &Json) -> u8 {
+            match j {
+                Json::Num(_) => 0,
+                Json::Str(_) => 1,
+                Json::Array(_) => 2,
+                Json::Object(_) => 3,
+            }
+        }
+        match (self, other) {
+            (Json::Num(a), Json::Num(b)) => a.cmp(b),
+            (Json::Str(a), Json::Str(b)) => a.cmp(b),
+            (Json::Array(a), Json::Array(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let c = x.total_cmp(y);
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Json::Object(a), Json::Object(b)) => {
+                let sa = a.sorted_refs();
+                let sb = b.sorted_refs();
+                for ((ka, va), (kb, vb)) in sa.iter().zip(sb.iter()) {
+                    let c = ka.cmp(kb);
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                    let c = va.total_cmp(vb);
+                    if c != Ordering::Equal {
+                        return c;
+                    }
+                }
+                sa.len().cmp(&sb.len())
+            }
+            (a, b) => rank(a).cmp(&rank(b)),
+        }
+    }
+}
+
+impl PartialEq for Json {
+    /// Structural equality with **unordered** objects:
+    /// `{"a":1,"b":2} == {"b":2,"a":1}`. Iterative, so equality of very deep
+    /// documents does not overflow the stack.
+    fn eq(&self, other: &Json) -> bool {
+        let mut work: Vec<(&Json, &Json)> = vec![(self, other)];
+        while let Some((a, b)) = work.pop() {
+            match (a, b) {
+                (Json::Num(x), Json::Num(y)) => {
+                    if x != y {
+                        return false;
+                    }
+                }
+                (Json::Str(x), Json::Str(y)) => {
+                    if x != y {
+                        return false;
+                    }
+                }
+                (Json::Array(x), Json::Array(y)) => {
+                    if x.len() != y.len() {
+                        return false;
+                    }
+                    work.extend(x.iter().zip(y.iter()));
+                }
+                (Json::Object(x), Json::Object(y)) => {
+                    // Same cardinality and (keys distinct) every pair of `x`
+                    // present in `y`.
+                    if x.len() != y.len() {
+                        return false;
+                    }
+                    for (k, v) in x.iter() {
+                        match y.get(k) {
+                            Some(w) => work.push((v, w)),
+                            None => return false,
+                        }
+                    }
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+impl Eq for Json {}
+
+impl Hash for Json {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Json::Num(n) => {
+                0u8.hash(state);
+                n.hash(state);
+            }
+            Json::Str(s) => {
+                1u8.hash(state);
+                s.hash(state);
+            }
+            Json::Array(a) => {
+                2u8.hash(state);
+                a.len().hash(state);
+                for v in a {
+                    v.hash(state);
+                }
+            }
+            Json::Object(o) => {
+                3u8.hash(state);
+                o.len().hash(state);
+                // Order-independent: hash sorted pairs.
+                for (k, v) in o.sorted_refs() {
+                    k.hash(state);
+                    v.hash(state);
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::serialize::to_string(self))
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", crate::serialize::to_string(self))
+    }
+}
+
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Num(n)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_owned())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+/// Incremental object construction with duplicate-key detection.
+///
+/// ```
+/// use jsondata::{Json, ObjectBuilder};
+/// let person = ObjectBuilder::new()
+///     .insert("name", Json::str("Sue"))
+///     .insert("age", Json::Num(28))
+///     .build()
+///     .unwrap();
+/// assert_eq!(person.get("age"), Some(&Json::Num(28)));
+/// ```
+#[derive(Default)]
+pub struct ObjectBuilder {
+    pairs: Vec<(String, Json)>,
+}
+
+impl ObjectBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a key–value pair. Duplicates are reported by [`build`].
+    ///
+    /// [`build`]: ObjectBuilder::build
+    #[must_use]
+    pub fn insert(mut self, key: impl Into<String>, value: impl Into<Json>) -> Self {
+        self.pairs.push((key.into(), value.into()));
+        self
+    }
+
+    /// Finishes construction, rejecting duplicate keys.
+    pub fn build(self) -> Result<Json, JsonError> {
+        Json::object(self.pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn h(j: &Json) -> u64 {
+        let mut s = DefaultHasher::new();
+        j.hash(&mut s);
+        s.finish()
+    }
+
+    #[test]
+    fn object_equality_is_unordered() {
+        let a = Json::object(vec![
+            ("x".into(), Json::Num(1)),
+            ("y".into(), Json::Num(2)),
+        ])
+        .unwrap();
+        let b = Json::object(vec![
+            ("y".into(), Json::Num(2)),
+            ("x".into(), Json::Num(1)),
+        ])
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn array_equality_is_ordered() {
+        let a = Json::array([Json::Num(1), Json::Num(2)]);
+        let b = Json::array([Json::Num(2), Json::Num(1)]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let err = Json::object(vec![
+            ("k".into(), Json::Num(1)),
+            ("k".into(), Json::Num(1)),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, JsonError::DuplicateKey(k) if k == "k"));
+    }
+
+    #[test]
+    fn nested_unordered_equality() {
+        let a = Json::object(vec![(
+            "o".into(),
+            Json::object(vec![
+                ("p".into(), Json::str("v")),
+                ("q".into(), Json::Num(3)),
+            ])
+            .unwrap(),
+        )])
+        .unwrap();
+        let b = Json::object(vec![(
+            "o".into(),
+            Json::object(vec![
+                ("q".into(), Json::Num(3)),
+                ("p".into(), Json::str("v")),
+            ])
+            .unwrap(),
+        )])
+        .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(h(&a), h(&b));
+    }
+
+    #[test]
+    fn node_count_counts_all_json_values() {
+        // The paper's §3 example: 5 JSON values inside the document.
+        let j = Json::object(vec![
+            (
+                "name".into(),
+                Json::object(vec![
+                    ("first".into(), Json::str("John")),
+                    ("last".into(), Json::str("Doe")),
+                ])
+                .unwrap(),
+            ),
+            ("age".into(), Json::Num(32)),
+        ])
+        .unwrap();
+        assert_eq!(j.node_count(), 5);
+        assert_eq!(j.height(), 2);
+    }
+
+    #[test]
+    fn total_order_ranks_types() {
+        let n = Json::Num(0);
+        let s = Json::str("");
+        let a = Json::array([]);
+        let o = Json::empty_object();
+        assert!(n.total_cmp(&s).is_lt());
+        assert!(s.total_cmp(&a).is_lt());
+        assert!(a.total_cmp(&o).is_lt());
+        assert!(o.total_cmp(&o).is_eq());
+    }
+
+    #[test]
+    fn total_order_objects_sorted_by_key() {
+        let a = Json::object(vec![("a".into(), Json::Num(1))]).unwrap();
+        let b = Json::object(vec![("b".into(), Json::Num(0))]).unwrap();
+        assert!(a.total_cmp(&b).is_lt());
+    }
+
+    #[test]
+    fn accessors() {
+        let j = Json::object(vec![("arr".into(), Json::array([Json::Num(7)]))]).unwrap();
+        assert_eq!(j.get("arr").unwrap().index(0), Some(&Json::Num(7)));
+        assert_eq!(j.get("missing"), None);
+        assert_eq!(j.get("arr").unwrap().index(3), None);
+        assert!(j.get("arr").unwrap().is_array());
+    }
+
+    #[test]
+    fn height_of_leaves_is_zero() {
+        assert_eq!(Json::Num(1).height(), 0);
+        assert_eq!(Json::str("x").height(), 0);
+        assert_eq!(Json::empty_object().height(), 0);
+        assert_eq!(Json::array([]).height(), 0);
+    }
+}

@@ -1,0 +1,501 @@
+//! # jsonpath — a JSONPath dialect over recursive, non-deterministic JNL
+//!
+//! §4.1 cites JSONPath [Gössner & Frank] as the community's XPath-style
+//! answer to JSON querying — the system that motivates JNL's
+//! non-deterministic (`X_e`, `X_{i:j}`) and recursive (`(α)*`) extensions.
+//! This crate implements the navigational core of the dialect:
+//!
+//! | Syntax | Meaning | JNL compilation |
+//! |---|---|---|
+//! | `$` | root | `ε` |
+//! | `.key` / `['key']` | child by key | `X_key` |
+//! | `[3]` | array element | `X_3` |
+//! | `[-1]` | last element | `X_{-1}` |
+//! | `[1:4]` | slice (end exclusive) | `X_{1:3}` |
+//! | `[1:]` | open slice | `X_{1:∞}` |
+//! | `.*` / `[*]` | any child | `X_{Σ*} ∪ X_{0:∞}` |
+//! | `..` | recursive descent | `(X_{Σ*} ∪ X_{0:∞})*` |
+//!
+//! Selection runs two ways: compiled to JNL binary formulas and evaluated
+//! by the Prop 3 engine, or directly (the differential oracle).
+//!
+//! ```
+//! use jsondata::parse;
+//! use jsonpath::JsonPath;
+//!
+//! let store = parse(r#"{"store": {"book": [
+//!     {"title": "Sayings", "price": 8},
+//!     {"title": "Moby Dick", "price": 9}
+//! ]}}"#).unwrap();
+//!
+//! let path = JsonPath::parse("$.store.book[*].title").unwrap();
+//! let titles = path.select(&store);
+//! assert_eq!(titles.len(), 2);
+//! ```
+
+use std::fmt;
+
+use jnl::ast::{Binary, Unary};
+use jsondata::{Json, JsonTree, NodeId};
+
+/// One JSONPath step.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathStep {
+    /// `.key` or `['key']`.
+    Key(String),
+    /// `[i]`, possibly negative.
+    Index(i64),
+    /// `[i:j]` with exclusive end; `None` = open.
+    Slice(u64, Option<u64>),
+    /// `.*` or `[*]` — all children (object and array).
+    Wildcard,
+    /// `..` — zero or more descents.
+    RecursiveDescent,
+}
+
+/// A parsed JSONPath.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonPath {
+    steps: Vec<PathStep>,
+}
+
+/// JSONPath syntax errors.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathError {
+    /// Byte offset.
+    pub offset: usize,
+    /// Message.
+    pub message: String,
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSONPath error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for PathError {}
+
+impl JsonPath {
+    /// Parses a JSONPath expression.
+    pub fn parse(src: &str) -> Result<JsonPath, PathError> {
+        let bytes = src.as_bytes();
+        let mut pos = 0usize;
+        let err = |pos: usize, m: &str| PathError { offset: pos, message: m.to_owned() };
+        if !src.starts_with('$') {
+            return Err(err(0, "a JSONPath starts with $"));
+        }
+        pos += 1;
+        let mut steps = Vec::new();
+        while pos < bytes.len() {
+            match bytes[pos] {
+                b'.' => {
+                    if bytes.get(pos + 1) == Some(&b'.') {
+                        steps.push(PathStep::RecursiveDescent);
+                        pos += 2;
+                        // `..` must be followed by a selector; `..key` and
+                        // `..[...]` both work. A bare trailing `..` is an
+                        // error.
+                        if pos >= bytes.len() {
+                            return Err(err(pos, "trailing `..`"));
+                        }
+                        if bytes[pos] == b'[' {
+                            continue;
+                        }
+                        let (name, next) = take_name(src, pos)
+                            .ok_or_else(|| err(pos, "expected a name after `..`"))?;
+                        steps.push(if name == "*" {
+                            PathStep::Wildcard
+                        } else {
+                            PathStep::Key(name)
+                        });
+                        pos = next;
+                    } else {
+                        pos += 1;
+                        let (name, next) =
+                            take_name(src, pos).ok_or_else(|| err(pos, "expected a name after `.`"))?;
+                        steps.push(if name == "*" {
+                            PathStep::Wildcard
+                        } else {
+                            PathStep::Key(name)
+                        });
+                        pos = next;
+                    }
+                }
+                b'[' => {
+                    let close = src[pos..]
+                        .find(']')
+                        .map(|i| pos + i)
+                        .ok_or_else(|| err(pos, "unterminated `[`"))?;
+                    let body = src[pos + 1..close].trim();
+                    if body == "*" {
+                        steps.push(PathStep::Wildcard);
+                    } else if let Some(q) = body.strip_prefix('\'') {
+                        let name = q
+                            .strip_suffix('\'')
+                            .ok_or_else(|| err(pos, "unterminated quoted name"))?;
+                        steps.push(PathStep::Key(name.to_owned()));
+                    } else if let Some(colon) = body.find(':') {
+                        let start: u64 = if body[..colon].trim().is_empty() {
+                            0
+                        } else {
+                            body[..colon]
+                                .trim()
+                                .parse()
+                                .map_err(|_| err(pos, "bad slice start"))?
+                        };
+                        let end_txt = body[colon + 1..].trim();
+                        let end: Option<u64> = if end_txt.is_empty() {
+                            None
+                        } else {
+                            Some(end_txt.parse().map_err(|_| err(pos, "bad slice end"))?)
+                        };
+                        if let Some(e) = end {
+                            if e <= start {
+                                return Err(err(pos, "empty slice"));
+                            }
+                        }
+                        steps.push(PathStep::Slice(start, end));
+                    } else {
+                        let i: i64 = body.parse().map_err(|_| err(pos, "bad index"))?;
+                        steps.push(PathStep::Index(i));
+                    }
+                    pos = close + 1;
+                }
+                _ => return Err(err(pos, "expected `.` or `[`")),
+            }
+        }
+        Ok(JsonPath { steps })
+    }
+
+    /// The parsed steps.
+    pub fn steps(&self) -> &[PathStep] {
+        &self.steps
+    }
+
+    /// Compiles into JNL binary formulas. JNL has no union of binary
+    /// formulas (Definition 1), so each `*` wildcard — which selects one
+    /// child along *either* the object or the array axis — distributes into
+    /// two branches; the result is a disjunction of pure-JNL paths
+    /// (`2^#wildcards` of them). Recursive descent needs no expansion:
+    /// `(A ∪ B)* = (A* ∘ B*)*` keeps `..` a single formula.
+    pub fn to_jnl_branches(&self) -> Vec<Binary> {
+        let mut branches: Vec<Vec<Binary>> = vec![Vec::new()];
+        for s in &self.steps {
+            match s {
+                PathStep::Key(k) => {
+                    for b in &mut branches {
+                        b.push(Binary::Key(k.clone()));
+                    }
+                }
+                PathStep::Index(i) => {
+                    for b in &mut branches {
+                        b.push(Binary::Index(*i));
+                    }
+                }
+                PathStep::Slice(i, j) => {
+                    for b in &mut branches {
+                        b.push(Binary::Range(*i, j.map(|j| j.saturating_sub(1))));
+                    }
+                }
+                PathStep::Wildcard => {
+                    let mut doubled = Vec::with_capacity(branches.len() * 2);
+                    for b in branches {
+                        let mut via_key = b.clone();
+                        via_key.push(Binary::any_key());
+                        let mut via_idx = b;
+                        via_idx.push(Binary::any_index());
+                        doubled.push(via_key);
+                        doubled.push(via_idx);
+                    }
+                    branches = doubled;
+                }
+                PathStep::RecursiveDescent => {
+                    for b in &mut branches {
+                        b.push(descendant_or_self());
+                    }
+                }
+            }
+        }
+        branches.into_iter().map(Binary::compose).collect()
+    }
+
+    /// The selection condition as a unary JNL formula: "this node can make
+    /// a compiled path move" — used for fragment analysis and engines.
+    pub fn to_jnl_unary(&self) -> Unary {
+        Unary::or(self.to_jnl_branches().into_iter().map(Unary::exists).collect())
+    }
+
+    /// Selects matching values by evaluating the JNL compilation with the
+    /// Proposition 3 engine.
+    pub fn select<'a>(&self, doc: &'a Json) -> Vec<Json> {
+        let tree = JsonTree::build(doc);
+        let nodes = self.select_nodes(&tree);
+        let _ = doc;
+        nodes.into_iter().map(|n| tree.json_at(n)).collect()
+    }
+
+    /// Selects matching tree nodes.
+    pub fn select_nodes(&self, tree: &JsonTree) -> Vec<NodeId> {
+        // Direct navigation over the node sets; the JNL compilation is the
+        // differential twin (see tests).
+        let mut current: Vec<NodeId> = vec![tree.root()];
+        for s in &self.steps {
+            let mut next: Vec<NodeId> = Vec::new();
+            let push = |n: NodeId, out: &mut Vec<NodeId>| {
+                if !out.contains(&n) {
+                    out.push(n);
+                }
+            };
+            for &n in &current {
+                match s {
+                    PathStep::Key(k) => {
+                        if let Some(c) = tree.child_by_key(n, k) {
+                            push(c, &mut next);
+                        }
+                    }
+                    PathStep::Index(i) => {
+                        if let Some(c) = tree.child_by_signed_index(n, *i) {
+                            push(c, &mut next);
+                        }
+                    }
+                    PathStep::Slice(i, j) => {
+                        for (pos, c) in tree.arr_children(n).iter().enumerate() {
+                            let pos = pos as u64;
+                            if pos >= *i && j.map_or(true, |j| pos < j) {
+                                push(*c, &mut next);
+                            }
+                        }
+                    }
+                    PathStep::Wildcard => {
+                        for (_, c) in tree.children(n) {
+                            push(c, &mut next);
+                        }
+                    }
+                    PathStep::RecursiveDescent => {
+                        // Self plus all descendants, in document order.
+                        let lo = n.index();
+                        let hi = lo + tree.subtree_size(n);
+                        for i in lo..hi {
+                            push(NodeId::from_index(i), &mut next);
+                        }
+                    }
+                }
+            }
+            current = next;
+        }
+        current
+    }
+
+    /// Selection through the JNL compilation: forward images of the
+    /// branch formulas from the root — used to validate `to_jnl_branches`
+    /// against the direct evaluator.
+    pub fn select_nodes_via_jnl(&self, tree: &JsonTree) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = Vec::new();
+        for alpha in self.to_jnl_branches() {
+            for n in step_sets(tree, &alpha, vec![tree.root()]) {
+                if !out.contains(&n) {
+                    out.push(n);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The descendant-or-self relation in pure JNL: object and array axes have
+/// no binary union in Definition 1, but closures compose —
+/// `(X_{Σ*} ∪ X_{0:∞})* = ((X_{Σ*})* ∘ (X_{0:∞})*)*`.
+fn descendant_or_self() -> Binary {
+    Binary::star(Binary::compose(vec![
+        Binary::star(Binary::any_key()),
+        Binary::star(Binary::any_index()),
+    ]))
+}
+
+/// Direct set-stepping evaluation of a binary formula from a source set —
+/// the forward image `{m | ∃n ∈ from: (n, m) ∈ JαK}`.
+fn step_sets(tree: &JsonTree, alpha: &Binary, from: Vec<NodeId>) -> Vec<NodeId> {
+    match alpha {
+        Binary::Epsilon => from,
+        Binary::Key(w) => from
+            .into_iter()
+            .filter_map(|n| tree.child_by_key(n, w))
+            .collect(),
+        Binary::Index(i) => from
+            .into_iter()
+            .filter_map(|n| tree.child_by_signed_index(n, *i))
+            .collect(),
+        Binary::KeyRegex(e) => {
+            let compiled = e.compile();
+            let mut out = Vec::new();
+            for n in from {
+                for (k, c) in tree.obj_children(n) {
+                    if compiled.is_match(k) && !out.contains(c) {
+                        out.push(*c);
+                    }
+                }
+            }
+            out
+        }
+        Binary::Range(i, j) => {
+            let mut out = Vec::new();
+            for n in from {
+                for (pos, c) in tree.arr_children(n).iter().enumerate() {
+                    let pos = pos as u64;
+                    if pos >= *i && j.map_or(true, |j| pos <= j) && !out.contains(c) {
+                        out.push(*c);
+                    }
+                }
+            }
+            out
+        }
+        Binary::Test(phi) => {
+            let sets = jnl::eval::evaluate(tree, phi);
+            from.into_iter().filter(|n| sets[n.index()]).collect()
+        }
+        Binary::Compose(parts) => {
+            parts.iter().fold(from, |acc, p| step_sets(tree, p, acc))
+        }
+        Binary::Star(inner) => {
+            let mut acc = from;
+            loop {
+                let next = step_sets(tree, inner, acc.clone());
+                let mut changed = false;
+                let mut merged = acc.clone();
+                for n in next {
+                    if !merged.contains(&n) {
+                        merged.push(n);
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+                acc = merged;
+            }
+            acc
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsondata::parse;
+
+    fn store() -> Json {
+        parse(
+            r#"{"store": {
+                "book": [
+                    {"title": "Sayings of the Century", "price": 8, "tags": ["old"]},
+                    {"title": "Moby Dick", "price": 9, "tags": []},
+                    {"title": "The Lord of the Rings", "price": 22, "tags": ["long", "old"]}
+                ],
+                "bicycle": {"color": "red", "price": 19}
+            }}"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_selection() {
+        let doc = store();
+        assert_eq!(
+            JsonPath::parse("$.store.book[0].title").unwrap().select(&doc),
+            vec![Json::str("Sayings of the Century")]
+        );
+        assert_eq!(
+            JsonPath::parse("$.store.book[-1].price").unwrap().select(&doc),
+            vec![Json::Num(22)]
+        );
+        assert_eq!(
+            JsonPath::parse("$['store']['bicycle']['color']").unwrap().select(&doc),
+            vec![Json::str("red")]
+        );
+    }
+
+    #[test]
+    fn wildcard_and_slices() {
+        let doc = store();
+        let titles = JsonPath::parse("$.store.book[*].title").unwrap().select(&doc);
+        assert_eq!(titles.len(), 3);
+        let slice = JsonPath::parse("$.store.book[0:2].price").unwrap().select(&doc);
+        assert_eq!(slice, vec![Json::Num(8), Json::Num(9)]);
+        let open = JsonPath::parse("$.store.book[1:].price").unwrap().select(&doc);
+        assert_eq!(open, vec![Json::Num(9), Json::Num(22)]);
+        let all = JsonPath::parse("$.store.*").unwrap().select(&doc);
+        assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn recursive_descent() {
+        let doc = store();
+        let prices = JsonPath::parse("$..price").unwrap().select(&doc);
+        assert_eq!(prices.len(), 4);
+        let mut sorted: Vec<u64> = prices.iter().filter_map(Json::as_num).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![8, 9, 19, 22]);
+        let tags = JsonPath::parse("$..tags[*]").unwrap().select(&doc);
+        assert_eq!(tags.len(), 3);
+    }
+
+    #[test]
+    fn direct_and_jnl_selection_agree() {
+        let doc = store();
+        let tree = JsonTree::build(&doc);
+        for src in [
+            "$.store.book[0].title",
+            "$.store.book[*].title",
+            "$.store.book[0:2]",
+            "$.store.*",
+            "$..price",
+            "$..book[*].tags",
+            "$.store.book[1:].tags[*]",
+            "$..tags",
+        ] {
+            let p = JsonPath::parse(src).unwrap();
+            let mut direct = p.select_nodes(&tree);
+            let mut via_jnl = p.select_nodes_via_jnl(&tree);
+            direct.sort();
+            via_jnl.sort();
+            assert_eq!(direct, via_jnl, "path {src}");
+        }
+    }
+
+    #[test]
+    fn compiled_formulas_are_in_the_extended_fragment() {
+        let p = JsonPath::parse("$..book[*].title").unwrap();
+        let phi = p.to_jnl_unary();
+        let frag = phi.fragment();
+        assert!(frag.nondeterministic && frag.recursive && !frag.eq_pair);
+    }
+
+    #[test]
+    fn parse_errors() {
+        for bad in ["store", "$.", "$[", "$[1:1]", "$[x]", "$..", "$['unclosed]"] {
+            assert!(JsonPath::parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn root_only() {
+        let doc = store();
+        let r = JsonPath::parse("$").unwrap().select(&doc);
+        assert_eq!(r, vec![doc]);
+    }
+}
+
+fn take_name(src: &str, pos: usize) -> Option<(String, usize)> {
+    let rest = &src[pos..];
+    if rest.starts_with('*') {
+        return Some(("*".to_owned(), pos + 1));
+    }
+    let end = rest
+        .find(|c: char| c == '.' || c == '[')
+        .unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    Some((rest[..end].to_owned(), pos + end))
+}

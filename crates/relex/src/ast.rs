@@ -1,0 +1,258 @@
+//! Regular-expression abstract syntax.
+
+use std::fmt;
+
+use crate::classes::CharClass;
+use crate::dfa::Dfa;
+use crate::nfa::{CompiledRegex, Nfa};
+use crate::parse::RegexError;
+
+/// A regular expression over the unicode alphabet Σ.
+///
+/// This is a plain syntax tree: cheap to clone, hash and compare, so the
+/// logic ASTs embed it directly. Compile with [`Regex::compile`] (NFA
+/// membership) or [`Regex::to_dfa`] (language algebra).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Regex {
+    /// `∅` — the empty language.
+    Empty,
+    /// `ε` — the language containing only the empty word.
+    Epsilon,
+    /// One character drawn from a class.
+    Class(CharClass),
+    /// Concatenation `r₁ r₂ … rₙ`.
+    Concat(Vec<Regex>),
+    /// Alternation `r₁ | r₂ | … | rₙ`.
+    Alt(Vec<Regex>),
+    /// Kleene star `r*`.
+    Star(Box<Regex>),
+}
+
+impl Regex {
+    /// Parses the textual syntax (see [`crate::parse`] for the grammar).
+    pub fn parse(src: &str) -> Result<Regex, RegexError> {
+        crate::parse::parse(src)
+    }
+
+    /// The expression matching exactly the word `w`.
+    pub fn literal(w: &str) -> Regex {
+        match w.chars().count() {
+            0 => Regex::Epsilon,
+            1 => Regex::Class(CharClass::single(w.chars().next().expect("one char"))),
+            _ => Regex::Concat(w.chars().map(|c| Regex::Class(CharClass::single(c))).collect()),
+        }
+    }
+
+    /// `Σ*` — the universal language (the paper's `X_{Σ*}` axis).
+    pub fn sigma_star() -> Regex {
+        Regex::Star(Box::new(Regex::Class(CharClass::any())))
+    }
+
+    /// `r+` as derived syntax `r r*`.
+    pub fn plus(r: Regex) -> Regex {
+        Regex::Concat(vec![r.clone(), Regex::Star(Box::new(r))])
+    }
+
+    /// `r?` as derived syntax `r | ε`.
+    pub fn opt(r: Regex) -> Regex {
+        Regex::Alt(vec![r, Regex::Epsilon])
+    }
+
+    /// Alternation of the given branches (normalising the trivial cases).
+    pub fn alt(branches: Vec<Regex>) -> Regex {
+        match branches.len() {
+            0 => Regex::Empty,
+            1 => branches.into_iter().next().expect("one branch"),
+            _ => Regex::Alt(branches),
+        }
+    }
+
+    /// Concatenation of the given parts (normalising the trivial cases).
+    pub fn concat(parts: Vec<Regex>) -> Regex {
+        match parts.len() {
+            0 => Regex::Epsilon,
+            1 => parts.into_iter().next().expect("one part"),
+            _ => Regex::Concat(parts),
+        }
+    }
+
+    /// Syntactic emptiness: `true` iff `L(r) = ∅`.
+    pub fn is_empty_language(&self) -> bool {
+        match self {
+            Regex::Empty => true,
+            Regex::Epsilon | Regex::Star(_) => false,
+            Regex::Class(c) => c.is_empty(),
+            Regex::Concat(ps) => ps.iter().any(Regex::is_empty_language),
+            Regex::Alt(bs) => bs.iter().all(Regex::is_empty_language),
+        }
+    }
+
+    /// Whether `ε ∈ L(r)` (nullable).
+    pub fn nullable(&self) -> bool {
+        match self {
+            Regex::Empty | Regex::Class(_) => false,
+            Regex::Epsilon | Regex::Star(_) => true,
+            Regex::Concat(ps) => ps.iter().all(Regex::nullable),
+            Regex::Alt(bs) => bs.iter().any(Regex::nullable),
+        }
+    }
+
+    /// If `L(r)` is a single word, returns it. Used by engines to fast-path
+    /// deterministic keys (`X_w` as a special case of `X_e`).
+    pub fn as_single_word(&self) -> Option<String> {
+        fn go(r: &Regex, out: &mut String) -> Option<()> {
+            match r {
+                Regex::Epsilon => Some(()),
+                Regex::Class(c) => {
+                    if c.len() == 1 {
+                        out.push(c.example().expect("nonempty"));
+                        Some(())
+                    } else {
+                        None
+                    }
+                }
+                Regex::Concat(ps) => {
+                    for p in ps {
+                        go(p, out)?;
+                    }
+                    Some(())
+                }
+                Regex::Alt(bs) if bs.len() == 1 => go(&bs[0], out),
+                _ => None,
+            }
+        }
+        let mut out = String::new();
+        go(self, &mut out).map(|()| out)
+    }
+
+    /// Size of the syntax tree (used in `|φ|` accounting for experiments).
+    pub fn size(&self) -> usize {
+        match self {
+            Regex::Empty | Regex::Epsilon | Regex::Class(_) => 1,
+            Regex::Concat(ps) => 1 + ps.iter().map(Regex::size).sum::<usize>(),
+            Regex::Alt(bs) => 1 + bs.iter().map(Regex::size).sum::<usize>(),
+            Regex::Star(r) => 1 + r.size(),
+        }
+    }
+
+    /// Compiles to an NFA-backed matcher.
+    pub fn compile(&self) -> CompiledRegex {
+        CompiledRegex::new(Nfa::from_regex(self))
+    }
+
+    /// Determinises into a [`Dfa`] for language algebra.
+    pub fn to_dfa(&self) -> Dfa {
+        Dfa::from_nfa(&Nfa::from_regex(self))
+    }
+}
+
+impl fmt::Display for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Prints parseable syntax, parenthesising conservatively.
+        fn prec(r: &Regex) -> u8 {
+            match r {
+                Regex::Alt(_) => 0,
+                Regex::Concat(_) => 1,
+                _ => 2,
+            }
+        }
+        fn show(r: &Regex, f: &mut fmt::Formatter<'_>, min: u8) -> fmt::Result {
+            let p = prec(r);
+            if p < min {
+                write!(f, "(")?;
+            }
+            match r {
+                Regex::Empty => write!(f, "[]")?,
+                Regex::Epsilon => write!(f, "()")?,
+                Regex::Class(c) => {
+                    if c.len() == 1 {
+                        let ch = c.example().expect("nonempty");
+                        if "\\.[]()|*+?{}^$".contains(ch) {
+                            write!(f, "\\{ch}")?;
+                        } else {
+                            write!(f, "{ch}")?;
+                        }
+                    } else {
+                        write!(f, "{c}")?;
+                    }
+                }
+                Regex::Concat(ps) => {
+                    for part in ps {
+                        show(part, f, 2)?;
+                    }
+                }
+                Regex::Alt(bs) => {
+                    for (i, b) in bs.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, "|")?;
+                        }
+                        show(b, f, 1)?;
+                    }
+                }
+                Regex::Star(inner) => {
+                    show(inner, f, 2)?;
+                    write!(f, "*")?;
+                }
+            }
+            if p < min {
+                write!(f, ")")?;
+            }
+            Ok(())
+        }
+        show(self, f, 0)
+    }
+}
+
+impl fmt::Debug for Regex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Regex({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_shapes() {
+        assert_eq!(Regex::literal(""), Regex::Epsilon);
+        assert!(matches!(Regex::literal("a"), Regex::Class(_)));
+        assert_eq!(Regex::literal("ab").size(), 3);
+    }
+
+    #[test]
+    fn emptiness_and_nullability() {
+        assert!(Regex::Empty.is_empty_language());
+        assert!(!Regex::sigma_star().is_empty_language());
+        assert!(Regex::Concat(vec![Regex::Empty, Regex::Epsilon]).is_empty_language());
+        assert!(Regex::sigma_star().nullable());
+        assert!(!Regex::literal("a").nullable());
+        assert!(Regex::opt(Regex::literal("a")).nullable());
+    }
+
+    #[test]
+    fn single_word_detection() {
+        assert_eq!(Regex::literal("key").as_single_word(), Some("key".into()));
+        assert_eq!(Regex::sigma_star().as_single_word(), None);
+        assert_eq!(
+            Regex::Alt(vec![Regex::literal("a"), Regex::literal("b")]).as_single_word(),
+            None
+        );
+        assert_eq!(Regex::Epsilon.as_single_word(), Some(String::new()));
+    }
+
+    #[test]
+    fn display_round_trips_through_parser() {
+        for src in ["abc", "a(b|c)a", "ab*a", "(a|b)*c", "[0-9]+", "x?y"] {
+            let r = Regex::parse(src).unwrap();
+            let shown = r.to_string();
+            let back = Regex::parse(&shown).unwrap_or_else(|e| panic!("reparse {shown}: {e}"));
+            // Compare languages on a sample rather than ASTs (derived forms
+            // normalise differently).
+            let (ca, cb) = (r.compile(), back.compile());
+            for w in ["", "a", "b", "aba", "aa", "abbba", "0", "99", "xy", "y", "c"] {
+                assert_eq!(ca.is_match(w), cb.is_match(w), "word {w} under {src} vs {shown}");
+            }
+        }
+    }
+}

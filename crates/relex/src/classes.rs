@@ -1,0 +1,273 @@
+//! Character classes: sets of unicode scalar values kept as sorted,
+//! disjoint, non-adjacent inclusive ranges.
+
+use std::fmt;
+
+/// Highest unicode scalar value.
+pub const MAX_SCALAR: u32 = 0x10FFFF;
+const SURROGATE_LO: u32 = 0xD800;
+const SURROGATE_HI: u32 = 0xDFFF;
+
+/// A set of characters as sorted disjoint inclusive ranges of scalar values.
+/// Surrogate code points are never members.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct CharClass {
+    ranges: Vec<(u32, u32)>,
+}
+
+impl CharClass {
+    /// The empty class.
+    pub fn empty() -> CharClass {
+        CharClass::default()
+    }
+
+    /// The class of every unicode scalar value (`.` with "dot-all").
+    pub fn any() -> CharClass {
+        CharClass { ranges: vec![(0, SURROGATE_LO - 1), (SURROGATE_HI + 1, MAX_SCALAR)] }
+    }
+
+    /// A singleton class.
+    pub fn single(c: char) -> CharClass {
+        CharClass { ranges: vec![(c as u32, c as u32)] }
+    }
+
+    /// A class from an inclusive character range.
+    pub fn range(lo: char, hi: char) -> CharClass {
+        let mut cc = CharClass { ranges: vec![(lo as u32, hi as u32)] };
+        cc.normalize();
+        cc
+    }
+
+    /// Builds from arbitrary raw ranges (normalised, surrogates removed).
+    pub fn from_ranges(ranges: impl IntoIterator<Item = (u32, u32)>) -> CharClass {
+        let mut cc = CharClass { ranges: ranges.into_iter().collect() };
+        cc.normalize();
+        cc
+    }
+
+    fn normalize(&mut self) {
+        // Drop invalid, clamp, remove surrogate band, sort, merge.
+        let mut rs: Vec<(u32, u32)> = Vec::with_capacity(self.ranges.len() + 1);
+        for &(lo, hi) in &self.ranges {
+            if lo > hi || lo > MAX_SCALAR {
+                continue;
+            }
+            let hi = hi.min(MAX_SCALAR);
+            // Split around the surrogate band.
+            if lo < SURROGATE_LO && hi > SURROGATE_HI {
+                rs.push((lo, SURROGATE_LO - 1));
+                rs.push((SURROGATE_HI + 1, hi));
+            } else if (SURROGATE_LO..=SURROGATE_HI).contains(&lo)
+                && (SURROGATE_LO..=SURROGATE_HI).contains(&hi)
+            {
+                continue;
+            } else if (SURROGATE_LO..=SURROGATE_HI).contains(&lo) {
+                rs.push((SURROGATE_HI + 1, hi));
+            } else if (SURROGATE_LO..=SURROGATE_HI).contains(&hi) {
+                rs.push((lo, SURROGATE_LO - 1));
+            } else {
+                rs.push((lo, hi));
+            }
+        }
+        rs.sort_unstable();
+        let mut merged: Vec<(u32, u32)> = Vec::with_capacity(rs.len());
+        for (lo, hi) in rs {
+            match merged.last_mut() {
+                Some((_, phi)) if lo <= phi.saturating_add(1) => *phi = (*phi).max(hi),
+                _ => merged.push((lo, hi)),
+            }
+        }
+        self.ranges = merged;
+    }
+
+    /// The sorted disjoint ranges.
+    pub fn ranges(&self) -> &[(u32, u32)] {
+        &self.ranges
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, c: char) -> bool {
+        let v = c as u32;
+        self.ranges
+            .binary_search_by(|&(lo, hi)| {
+                if v < lo {
+                    std::cmp::Ordering::Greater
+                } else if v > hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .is_ok()
+    }
+
+    /// Whether the class is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Number of characters in the class.
+    pub fn len(&self) -> u64 {
+        self.ranges.iter().map(|&(lo, hi)| (hi - lo + 1) as u64).sum()
+    }
+
+    /// Union of two classes.
+    pub fn union(&self, other: &CharClass) -> CharClass {
+        let mut cc = CharClass {
+            ranges: self.ranges.iter().chain(other.ranges.iter()).copied().collect(),
+        };
+        cc.normalize();
+        cc
+    }
+
+    /// Intersection of two classes (linear merge).
+    pub fn intersect(&self, other: &CharClass) -> CharClass {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.ranges.len() && j < other.ranges.len() {
+            let (alo, ahi) = self.ranges[i];
+            let (blo, bhi) = other.ranges[j];
+            let lo = alo.max(blo);
+            let hi = ahi.min(bhi);
+            if lo <= hi {
+                out.push((lo, hi));
+            }
+            if ahi < bhi {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+        CharClass { ranges: out } // already sorted, disjoint, surrogate-free
+    }
+
+    /// Complement with respect to all scalar values.
+    pub fn negate(&self) -> CharClass {
+        let mut out = Vec::new();
+        let mut next = 0u32;
+        for &(lo, hi) in &self.ranges {
+            if next < lo {
+                out.push((next, lo - 1));
+            }
+            next = hi + 1;
+        }
+        if next <= MAX_SCALAR {
+            out.push((next, MAX_SCALAR));
+        }
+        let mut cc = CharClass { ranges: out };
+        cc.normalize(); // re-removes the surrogate band
+        cc
+    }
+
+    /// Some character of the class, preferring printable ASCII so witness
+    /// strings stay readable.
+    pub fn example(&self) -> Option<char> {
+        // First preference: a lowercase letter / digit / printable ASCII.
+        for &(lo, hi) in &self.ranges {
+            let pref_lo = lo.max(0x20);
+            let pref_hi = hi.min(0x7E);
+            if pref_lo <= pref_hi {
+                // Prefer letters if the printable window includes any.
+                for band in [(0x61u32, 0x7Au32), (0x30, 0x39), (pref_lo, pref_hi)] {
+                    let blo = band.0.max(pref_lo);
+                    let bhi = band.1.min(pref_hi);
+                    if blo <= bhi {
+                        return char::from_u32(blo);
+                    }
+                }
+            }
+        }
+        self.ranges.first().and_then(|&(lo, _)| char::from_u32(lo))
+    }
+}
+
+impl fmt::Debug for CharClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl fmt::Display for CharClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == CharClass::any() {
+            return write!(f, ".");
+        }
+        write!(f, "[")?;
+        for &(lo, hi) in &self.ranges {
+            let show = |f: &mut fmt::Formatter<'_>, v: u32| -> fmt::Result {
+                match char::from_u32(v) {
+                    Some(c) if !c.is_control() && c != '[' && c != ']' && c != '\\' && c != '-' => {
+                        write!(f, "{c}")
+                    }
+                    _ => write!(f, "\\u{{{v:04x}}}"),
+                }
+            };
+            show(f, lo)?;
+            if hi > lo {
+                write!(f, "-")?;
+                show(f, hi)?;
+            }
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_and_range() {
+        let a = CharClass::single('a');
+        assert!(a.contains('a'));
+        assert!(!a.contains('b'));
+        let r = CharClass::range('a', 'z');
+        assert!(r.contains('m'));
+        assert!(!r.contains('A'));
+        assert_eq!(r.len(), 26);
+    }
+
+    #[test]
+    fn normalization_merges_adjacent() {
+        let c = CharClass::from_ranges([(10, 20), (21, 30), (5, 8)]);
+        assert_eq!(c.ranges(), &[(5, 8), (10, 30)]);
+    }
+
+    #[test]
+    fn surrogates_excluded() {
+        let c = CharClass::from_ranges([(0xD000, 0xE000)]);
+        assert!(c.contains('\u{D000}'));
+        assert!(c.contains('\u{E000}'));
+        assert_eq!(c.ranges(), &[(0xD000, 0xD7FF), (0xE000, 0xE000)]);
+        assert!(CharClass::any().negate().is_empty());
+    }
+
+    #[test]
+    fn union_intersect_negate() {
+        let az = CharClass::range('a', 'z');
+        let mz = CharClass::range('m', 'z');
+        let digits = CharClass::range('0', '9');
+        assert_eq!(az.intersect(&mz), mz);
+        assert!(az.intersect(&digits).is_empty());
+        let u = az.union(&digits);
+        assert!(u.contains('5') && u.contains('q'));
+        let neg = az.negate();
+        assert!(!neg.contains('q'));
+        assert!(neg.contains('A'));
+        assert_eq!(neg.negate(), az);
+    }
+
+    #[test]
+    fn example_prefers_readable() {
+        assert_eq!(CharClass::range('a', 'z').example(), Some('a'));
+        assert_eq!(CharClass::any().example(), Some('a'));
+        assert_eq!(CharClass::range('0', '9').example(), Some('0'));
+        assert_eq!(CharClass::single('\u{0}').example(), Some('\u{0}'));
+        assert_eq!(CharClass::empty().example(), None);
+    }
+
+    #[test]
+    fn len_counts_scalar_values() {
+        assert_eq!(CharClass::any().len(), (MAX_SCALAR as u64 + 1) - 2048);
+    }
+}

@@ -1,0 +1,638 @@
+//! Symbolic DFAs over interval-partitioned alphabets, with the boolean
+//! language algebra the satisfiability engines need: intersection, union,
+//! complement, emptiness, universality, equivalence and shortest-witness
+//! extraction.
+//!
+//! The alphabet (all non-surrogate scalar values) is partitioned into the
+//! coarsest set of intervals on which every transition of the source NFA is
+//! constant, so subset construction runs over a handful of "symbols" even
+//! though Σ has a million characters.
+
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::classes::CharClass;
+use crate::nfa::{Nfa, Transition};
+
+/// Determinisation state cap. The paper's own bounds (PSPACE/EXPSPACE
+/// satisfiability) show exponential blowup is unavoidable in the worst case;
+/// we refuse rather than thrash.
+pub const MAX_DFA_STATES: usize = 1 << 20;
+
+/// Error raised when determinisation exceeds [`MAX_DFA_STATES`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DfaTooLarge {
+    /// Number of states reached before giving up.
+    pub reached: usize,
+}
+
+impl fmt::Display for DfaTooLarge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DFA construction exceeded {MAX_DFA_STATES} states (reached {})", self.reached)
+    }
+}
+
+impl std::error::Error for DfaTooLarge {}
+
+/// A complete deterministic automaton over an interval partition of Σ.
+#[derive(Clone)]
+pub struct Dfa {
+    /// Sorted, disjoint intervals jointly covering every valid scalar value.
+    intervals: Vec<(u32, u32)>,
+    /// `trans[s][i]`: successor of state `s` on any character in interval `i`.
+    trans: Vec<Vec<u32>>,
+    /// Accepting flags.
+    accept: Vec<bool>,
+    /// Start state.
+    start: u32,
+}
+
+impl Dfa {
+    /// Determinises an NFA (panicking wrapper around [`Dfa::try_from_nfa`];
+    /// use the fallible form where adversarial patterns are possible).
+    pub fn from_nfa(nfa: &Nfa) -> Dfa {
+        Dfa::try_from_nfa(nfa).expect("regex too complex to determinise")
+    }
+
+    /// Determinises an NFA via subset construction over the interval
+    /// partition induced by the NFA's character classes.
+    pub fn try_from_nfa(nfa: &Nfa) -> Result<Dfa, DfaTooLarge> {
+        let intervals = partition_for(nfa);
+
+        // Dead state is always index 0.
+        let mut trans: Vec<Vec<u32>> = vec![vec![0; intervals.len()]];
+        let mut accept = vec![false];
+        let mut index: HashMap<Vec<usize>, u32> = HashMap::new();
+
+        let mut start_set = vec![nfa.start];
+        let mut on = vec![false; nfa.state_count()];
+        on[nfa.start] = true;
+        nfa.eps_closure(&mut start_set, &mut on);
+        start_set.sort_unstable();
+
+        let mut queue: VecDeque<Vec<usize>> = VecDeque::new();
+        let start_id = 1u32;
+        index.insert(start_set.clone(), start_id);
+        trans.push(vec![0; intervals.len()]);
+        accept.push(start_set.contains(&nfa.accept));
+        queue.push_back(start_set);
+
+        while let Some(set) = queue.pop_front() {
+            let sid = index[&set];
+            for (i, &(lo, _hi)) in intervals.iter().enumerate() {
+                // The interval is constant across all NFA classes, so any
+                // representative character decides membership.
+                let repr = char::from_u32(lo).expect("intervals exclude surrogates");
+                let mut next: Vec<usize> = Vec::new();
+                let mut on_next = vec![false; nfa.state_count()];
+                for &s in &set {
+                    for t in &nfa.trans[s] {
+                        if let Transition::Char(cc, to) = t {
+                            if cc.contains(repr) && !on_next[*to] {
+                                on_next[*to] = true;
+                                next.push(*to);
+                            }
+                        }
+                    }
+                }
+                if next.is_empty() {
+                    continue; // stays at dead state 0
+                }
+                nfa.eps_closure(&mut next, &mut on_next);
+                next.sort_unstable();
+                let nid = match index.get(&next) {
+                    Some(&id) => id,
+                    None => {
+                        let id = trans.len() as u32;
+                        if trans.len() >= MAX_DFA_STATES {
+                            return Err(DfaTooLarge { reached: trans.len() });
+                        }
+                        trans.push(vec![0; intervals.len()]);
+                        accept.push(next.contains(&nfa.accept));
+                        index.insert(next.clone(), id);
+                        queue.push_back(next);
+                        id
+                    }
+                };
+                trans[sid as usize][i] = nid;
+            }
+        }
+
+        Ok(Dfa { intervals, trans, accept, start: start_id })
+    }
+
+    /// Number of states (including the dead state).
+    pub fn state_count(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// Anchored membership.
+    pub fn is_match(&self, s: &str) -> bool {
+        let mut cur = self.start;
+        for c in s.chars() {
+            let Some(i) = self.interval_of(c) else { return false };
+            cur = self.trans[cur as usize][i];
+        }
+        self.accept[cur as usize]
+    }
+
+    fn interval_of(&self, c: char) -> Option<usize> {
+        let v = c as u32;
+        self.intervals
+            .binary_search_by(|&(lo, hi)| {
+                if v < lo {
+                    std::cmp::Ordering::Greater
+                } else if v > hi {
+                    std::cmp::Ordering::Less
+                } else {
+                    std::cmp::Ordering::Equal
+                }
+            })
+            .ok()
+    }
+
+    /// `L(self) = ∅`?
+    pub fn is_empty(&self) -> bool {
+        self.find_accepting_path().is_none()
+    }
+
+    /// `L(self) = Σ*`?
+    pub fn is_universal(&self) -> bool {
+        self.complement().is_empty()
+    }
+
+    /// A shortest word in the language, if any (BFS; interval representatives
+    /// are chosen to be readable where possible).
+    pub fn example(&self) -> Option<String> {
+        self.find_accepting_path()
+    }
+
+    fn find_accepting_path(&self) -> Option<String> {
+        let n = self.state_count();
+        let mut visited = vec![false; n];
+        let mut back: Vec<Option<(u32, usize)>> = vec![None; n];
+        let mut queue = VecDeque::new();
+        visited[self.start as usize] = true;
+        queue.push_back(self.start);
+        let mut found: Option<u32> = None;
+        if self.accept[self.start as usize] {
+            found = Some(self.start);
+        }
+        'bfs: while let Some(s) = queue.pop_front() {
+            if found.is_some() {
+                break;
+            }
+            for (i, &to) in self.trans[s as usize].iter().enumerate() {
+                if !visited[to as usize] {
+                    visited[to as usize] = true;
+                    back[to as usize] = Some((s, i));
+                    if self.accept[to as usize] {
+                        found = Some(to);
+                        break 'bfs;
+                    }
+                    queue.push_back(to);
+                }
+            }
+        }
+        let mut cur = found?;
+        let mut chars = Vec::new();
+        while let Some((prev, i)) = back[cur as usize] {
+            let (lo, hi) = self.intervals[i];
+            let c = CharClass::from_ranges([(lo, hi)]).example().expect("interval nonempty");
+            chars.push(c);
+            cur = prev;
+        }
+        chars.reverse();
+        Some(chars.into_iter().collect())
+    }
+
+    /// Converts the automaton back to a regular expression by Kleene's
+    /// state-elimination construction. Needed by the Theorem 1 translation,
+    /// where `additionalProperties` requires a *regex* for the complement
+    /// `C` of the keys covered by `properties`/`patternProperties` — a
+    /// language we can only compute on DFAs.
+    ///
+    /// The result can be large (state elimination is worst-case
+    /// exponential) but is exact: `L(to_regex(d)) = L(d)`.
+    pub fn to_regex(&self) -> crate::ast::Regex {
+        use crate::ast::Regex as R;
+        let n = self.state_count();
+        // GNFA edges as Option<Regex>, plus fresh start (n) and accept (n+1).
+        let size = n + 2;
+        let mut edge: Vec<Vec<Option<R>>> = vec![vec![None; size]; size];
+        let add = |slot: &mut Option<R>, r: R| {
+            if r.is_empty_language() {
+                return;
+            }
+            *slot = Some(match slot.take() {
+                None => r,
+                Some(prev) => R::alt(vec![prev, r]),
+            });
+        };
+        for s in 0..n {
+            for (i, &to) in self.trans[s].iter().enumerate() {
+                let (lo, hi) = self.intervals[i];
+                let class = crate::classes::CharClass::from_ranges([(lo, hi)]);
+                add(&mut edge[s][to as usize], R::Class(class));
+            }
+        }
+        add(&mut edge[n][self.start as usize], R::Epsilon);
+        for (s, &acc) in self.accept.iter().enumerate() {
+            if acc {
+                add(&mut edge[s][n + 1], R::Epsilon);
+            }
+        }
+        // Eliminate original states one by one.
+        for k in 0..n {
+            let self_loop = edge[k][k].clone();
+            let loop_star = self_loop.map(|r| R::Star(Box::new(r)));
+            let incoming: Vec<(usize, R)> = (0..size)
+                .filter(|&i| i != k)
+                .filter_map(|i| edge[i][k].clone().map(|r| (i, r)))
+                .collect();
+            let outgoing: Vec<(usize, R)> = (0..size)
+                .filter(|&j| j != k)
+                .filter_map(|j| edge[k][j].clone().map(|r| (j, r)))
+                .collect();
+            for (i, rin) in &incoming {
+                for (j, rout) in &outgoing {
+                    let mut parts = vec![rin.clone()];
+                    if let Some(star) = &loop_star {
+                        parts.push(star.clone());
+                    }
+                    parts.push(rout.clone());
+                    let through = R::concat(parts);
+                    let slot = &mut edge[*i][*j];
+                    *slot = Some(match slot.take() {
+                        None => through,
+                        Some(prev) => R::alt(vec![prev, through]),
+                    });
+                }
+            }
+            for x in 0..size {
+                edge[x][k] = None;
+                edge[k][x] = None;
+            }
+        }
+        edge[n][n + 1].take().unwrap_or(R::Empty)
+    }
+
+    /// Up to `count` distinct words of the language, shortest-first.
+    /// Used by satisfiability engines to measure the "capacity" of a key
+    /// region and to synthesise distinct sibling keys.
+    pub fn examples(&self, count: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        if count == 0 {
+            return out;
+        }
+        // Breadth-first over (state, word) with per-interval character
+        // fan-out capped by `count`; total work bounded by count × states ×
+        // intervals which is small for formula-sized automata.
+        let mut frontier: Vec<(u32, String)> = vec![(self.start, String::new())];
+        let max_len = self.state_count() + count;
+        for _ in 0..=max_len {
+            let mut next = Vec::new();
+            for (s, w) in &frontier {
+                if self.accept[*s as usize] && !out.contains(w) {
+                    out.push(w.clone());
+                    if out.len() >= count {
+                        return out;
+                    }
+                }
+            }
+            for (s, w) in frontier {
+                for (i, &to) in self.trans[s as usize].iter().enumerate() {
+                    // Skip transitions that cannot reach acceptance.
+                    if self.dead(to) {
+                        continue;
+                    }
+                    let (lo, hi) = self.intervals[i];
+                    let take = ((hi - lo + 1) as usize).min(count);
+                    let mut added = 0usize;
+                    let mut v = lo;
+                    while added < take && v <= hi {
+                        if let Some(c) = char::from_u32(v) {
+                            let mut w2 = w.clone();
+                            w2.push(c);
+                            next.push((to, w2));
+                            added += 1;
+                        }
+                        v += 1;
+                    }
+                }
+                if next.len() > count * 64 {
+                    break; // keep the frontier bounded
+                }
+            }
+            frontier = next;
+            if frontier.is_empty() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Whether no accepting state is reachable from `s`.
+    fn dead(&self, s: u32) -> bool {
+        let mut visited = vec![false; self.state_count()];
+        let mut stack = vec![s];
+        visited[s as usize] = true;
+        while let Some(x) = stack.pop() {
+            if self.accept[x as usize] {
+                return false;
+            }
+            for &to in &self.trans[x as usize] {
+                if !visited[to as usize] {
+                    visited[to as usize] = true;
+                    stack.push(to);
+                }
+            }
+        }
+        true
+    }
+
+    /// The complement automaton (`Σ* \ L(self)`).
+    pub fn complement(&self) -> Dfa {
+        let mut out = self.clone();
+        for a in &mut out.accept {
+            *a = !*a;
+        }
+        out
+    }
+
+    /// Product automaton accepting `L(self) ∩ L(other)`.
+    pub fn intersect(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a && b)
+    }
+
+    /// Product automaton accepting `L(self) ∪ L(other)`.
+    pub fn union(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a || b)
+    }
+
+    /// Product automaton accepting `L(self) \ L(other)`.
+    pub fn difference(&self, other: &Dfa) -> Dfa {
+        self.product(other, |a, b| a && !b)
+    }
+
+    /// Language equivalence: symmetric difference empty.
+    pub fn equivalent(&self, other: &Dfa) -> bool {
+        self.difference(other).is_empty() && other.difference(self).is_empty()
+    }
+
+    /// `L(self) ⊆ L(other)`?
+    pub fn subset_of(&self, other: &Dfa) -> bool {
+        self.difference(other).is_empty()
+    }
+
+    fn product(&self, other: &Dfa, acc: impl Fn(bool, bool) -> bool) -> Dfa {
+        // Refine the two interval partitions into a common one.
+        let (intervals, map_a, map_b) = refine(&self.intervals, &other.intervals);
+        // Reachable product construction.
+        let mut index: HashMap<(u32, u32), u32> = HashMap::new();
+        let mut trans: Vec<Vec<u32>> = Vec::new();
+        let mut accept: Vec<bool> = Vec::new();
+        let mut queue = VecDeque::new();
+        let start_pair = (self.start, other.start);
+        index.insert(start_pair, 0);
+        trans.push(vec![u32::MAX; intervals.len()]);
+        accept.push(acc(self.accept[self.start as usize], other.accept[other.start as usize]));
+        queue.push_back(start_pair);
+        while let Some((a, b)) = queue.pop_front() {
+            let sid = index[&(a, b)];
+            for i in 0..intervals.len() {
+                let na = self.trans[a as usize][map_a[i]];
+                let nb = other.trans[b as usize][map_b[i]];
+                let nid = match index.get(&(na, nb)) {
+                    Some(&id) => id,
+                    None => {
+                        let id = trans.len() as u32;
+                        index.insert((na, nb), id);
+                        trans.push(vec![u32::MAX; intervals.len()]);
+                        accept.push(acc(self.accept[na as usize], other.accept[nb as usize]));
+                        queue.push_back((na, nb));
+                        id
+                    }
+                };
+                trans[sid as usize][i] = nid;
+            }
+        }
+        Dfa { intervals, trans, accept, start: 0 }
+    }
+}
+
+impl fmt::Debug for Dfa {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Dfa({} states, {} intervals, start {})",
+            self.state_count(),
+            self.intervals.len(),
+            self.start
+        )
+    }
+}
+
+/// The coarsest interval partition of Σ on which every character class of
+/// `nfa` is constant.
+fn partition_for(nfa: &Nfa) -> Vec<(u32, u32)> {
+    // Cut points: starts of class ranges and the positions just after their
+    // ends.
+    let mut cuts: Vec<u32> = Vec::new();
+    for ts in &nfa.trans {
+        for t in ts {
+            if let Transition::Char(cc, _) = t {
+                for &(lo, hi) in cc.ranges() {
+                    cuts.push(lo);
+                    cuts.push(hi + 1);
+                }
+            }
+        }
+    }
+    cuts.sort_unstable();
+    cuts.dedup();
+    // Split the valid scalar space at the cut points.
+    let mut out = Vec::new();
+    for &(blo, bhi) in CharClass::any().ranges() {
+        let mut lo = blo;
+        for &cut in &cuts {
+            if cut > lo && cut <= bhi {
+                out.push((lo, cut - 1));
+                lo = cut;
+            }
+        }
+        if lo <= bhi {
+            out.push((lo, bhi));
+        }
+    }
+    out
+}
+
+/// Common refinement of two partitions; returns (merged, index-map-a,
+/// index-map-b) with `merged[i] ⊆ a[map_a[i]]` and `merged[i] ⊆ b[map_b[i]]`.
+fn refine(
+    a: &[(u32, u32)],
+    b: &[(u32, u32)],
+) -> (Vec<(u32, u32)>, Vec<usize>, Vec<usize>) {
+    let mut merged = Vec::new();
+    let mut map_a = Vec::new();
+    let mut map_b = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        let (alo, ahi) = a[i];
+        let (blo, bhi) = b[j];
+        let lo = alo.max(blo);
+        let hi = ahi.min(bhi);
+        debug_assert!(lo <= hi, "partitions cover the same space");
+        merged.push((lo, hi));
+        map_a.push(i);
+        map_b.push(j);
+        if ahi < bhi {
+            i += 1;
+        } else if bhi < ahi {
+            j += 1;
+        } else {
+            i += 1;
+            j += 1;
+        }
+    }
+    (merged, map_a, map_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Regex;
+
+    fn dfa(pat: &str) -> Dfa {
+        Regex::parse(pat).unwrap().to_dfa()
+    }
+
+    #[test]
+    fn dfa_matching_agrees_with_nfa() {
+        for pat in ["a(b|c)a", "(0|1)+", "[a-z]*@ciws\\.cl", "a{2,4}b?", "(ab|a)b*"] {
+            let r = Regex::parse(pat).unwrap();
+            let nfa = r.compile();
+            let d = r.to_dfa();
+            for w in ["", "a", "aba", "aca", "ada", "01", "2", "x@ciws.cl", "aab", "ab", "abb", "aaaa"] {
+                assert_eq!(nfa.is_match(w), d.is_match(w), "pattern {pat}, word {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn emptiness() {
+        assert!(Regex::Empty.to_dfa().is_empty());
+        assert!(!dfa("a*").is_empty());
+        // a ∩ b = ∅
+        assert!(dfa("a").intersect(&dfa("b")).is_empty());
+        // a(b|c)a ∩ ab*a = {aba}
+        let both = dfa("a(b|c)a").intersect(&dfa("ab*a"));
+        assert!(!both.is_empty());
+        assert_eq!(both.example(), Some("aba".into()));
+    }
+
+    #[test]
+    fn universality() {
+        assert!(Regex::sigma_star().to_dfa().is_universal());
+        assert!(!dfa("a*").is_universal());
+        // a* ∪ complement(a*) is universal.
+        let a_star = dfa("a*");
+        assert!(a_star.union(&a_star.complement()).is_universal());
+    }
+
+    #[test]
+    fn complement_flips_membership() {
+        let d = dfa("(0|1)+");
+        let c = d.complement();
+        for w in ["", "0", "01", "2", "abc"] {
+            assert_eq!(d.is_match(w), !c.is_match(w), "word {w}");
+        }
+    }
+
+    #[test]
+    fn difference_and_subset() {
+        let all_words = dfa("[a-c]*");
+        let no_b = dfa("[ac]*");
+        assert!(no_b.subset_of(&all_words));
+        assert!(!all_words.subset_of(&no_b));
+        let diff = all_words.difference(&no_b);
+        let w = diff.example().unwrap();
+        assert!(w.contains('b'));
+    }
+
+    #[test]
+    fn equivalence() {
+        assert!(dfa("(a|b)*").equivalent(&dfa("(b|a)*")));
+        assert!(dfa("aa*").equivalent(&dfa("a+")));
+        assert!(!dfa("a*").equivalent(&dfa("a+")));
+    }
+
+    #[test]
+    fn example_is_shortest() {
+        assert_eq!(dfa("a{3}|a{5}").example(), Some("aaa".into()));
+        assert_eq!(dfa("a*").example(), Some(String::new()));
+        assert_eq!(dfa("(b|c)a").example().map(|s| s.len()), Some(2));
+    }
+
+    #[test]
+    fn theorem1_complement_construction() {
+        // The Theorem 1 translation needs C = ¬(k1 | ... | km | r1 | ... | rl):
+        // the keys covered by neither properties nor patternProperties.
+        let props = dfa("name");
+        let pattern_props = dfa("a(b|c)a");
+        let c = props.union(&pattern_props).complement();
+        assert!(c.is_match("age"));
+        assert!(!c.is_match("name"));
+        assert!(!c.is_match("aba"));
+        assert!(c.is_match("abba"));
+    }
+
+    #[test]
+    fn to_regex_round_trips_language() {
+        for pat in ["a(b|c)a", "(0|1)+", "x?y{2}", "[a-c]*b"] {
+            let d = dfa(pat);
+            let back = d.to_regex();
+            let d2 = back.to_dfa();
+            assert!(d.equivalent(&d2), "pattern {pat} → {back}");
+        }
+        // The Theorem 1 complement: keys covered by neither `name` nor
+        // `a(b|c)a`, as a usable regex.
+        let c = dfa("name").union(&dfa("a(b|c)a")).complement();
+        let c_re = c.to_regex();
+        let cd = c_re.to_dfa();
+        assert!(cd.is_match("age"));
+        assert!(!cd.is_match("name"));
+        assert!(!cd.is_match("aca"));
+        assert!(cd.equivalent(&c));
+    }
+
+    #[test]
+    fn examples_enumerates_distinct_words() {
+        let d = dfa("a|bb|ccc");
+        let got = d.examples(3);
+        assert_eq!(got, vec!["a".to_string(), "bb".to_string(), "ccc".to_string()]);
+        assert_eq!(d.examples(10).len(), 3, "finite language saturates");
+        // Infinite language yields as many as asked.
+        assert_eq!(dfa("x+").examples(5).len(), 5);
+        // Wide single-position class.
+        assert_eq!(dfa("[a-z]").examples(4).len(), 4);
+        assert!(Regex::Empty.to_dfa().examples(3).is_empty());
+    }
+
+    #[test]
+    fn partition_is_small() {
+        let d = dfa("[a-z]+|[0-9]{2}");
+        // a handful of intervals, not one per character
+        assert!(d.intervals.len() < 12, "{} intervals", d.intervals.len());
+    }
+
+    #[test]
+    fn unicode_membership() {
+        let d = dfa("[α-ω]+x");
+        assert!(d.is_match("αβx"));
+        assert!(!d.is_match("αβ"));
+        assert!(!d.is_match("abx"));
+    }
+}

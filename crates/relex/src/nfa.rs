@@ -1,0 +1,209 @@
+//! Thompson NFA construction and simulation-based matching.
+
+use crate::ast::Regex;
+use crate::classes::CharClass;
+
+/// A state index within an [`Nfa`].
+pub type StateId = usize;
+
+/// One NFA transition.
+#[derive(Debug, Clone)]
+pub enum Transition {
+    /// Consume one character from the class.
+    Char(CharClass, StateId),
+    /// Spontaneous move.
+    Eps(StateId),
+}
+
+/// A Thompson NFA with a single start and a single accept state.
+#[derive(Debug, Clone)]
+pub struct Nfa {
+    /// Outgoing transitions per state.
+    pub trans: Vec<Vec<Transition>>,
+    /// Start state.
+    pub start: StateId,
+    /// Accept state.
+    pub accept: StateId,
+}
+
+impl Nfa {
+    /// Thompson construction. Linear in the size of the regex.
+    pub fn from_regex(r: &Regex) -> Nfa {
+        let mut nfa = Nfa { trans: Vec::new(), start: 0, accept: 0 };
+        let start = nfa.new_state();
+        let accept = nfa.new_state();
+        nfa.start = start;
+        nfa.accept = accept;
+        nfa.build(r, start, accept);
+        nfa
+    }
+
+    fn new_state(&mut self) -> StateId {
+        self.trans.push(Vec::new());
+        self.trans.len() - 1
+    }
+
+    fn build(&mut self, r: &Regex, from: StateId, to: StateId) {
+        match r {
+            Regex::Empty => {}
+            Regex::Epsilon => self.trans[from].push(Transition::Eps(to)),
+            Regex::Class(c) => {
+                if !c.is_empty() {
+                    self.trans[from].push(Transition::Char(c.clone(), to));
+                }
+            }
+            Regex::Concat(parts) => {
+                let mut cur = from;
+                for (i, p) in parts.iter().enumerate() {
+                    let next = if i + 1 == parts.len() { to } else { self.new_state() };
+                    self.build(p, cur, next);
+                    cur = next;
+                }
+                if parts.is_empty() {
+                    self.trans[from].push(Transition::Eps(to));
+                }
+            }
+            Regex::Alt(branches) => {
+                for b in branches {
+                    self.build(b, from, to);
+                }
+            }
+            Regex::Star(inner) => {
+                let hub = self.new_state();
+                self.trans[from].push(Transition::Eps(hub));
+                self.trans[hub].push(Transition::Eps(to));
+                let body_start = self.new_state();
+                self.trans[hub].push(Transition::Eps(body_start));
+                self.build(inner, body_start, hub);
+            }
+        }
+    }
+
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.trans.len()
+    }
+
+    /// ε-closure of a set of states (in-place expansion).
+    pub fn eps_closure(&self, set: &mut Vec<StateId>, on: &mut [bool]) {
+        let mut stack: Vec<StateId> = set.clone();
+        while let Some(s) = stack.pop() {
+            for t in &self.trans[s] {
+                if let Transition::Eps(n) = t {
+                    if !on[*n] {
+                        on[*n] = true;
+                        set.push(*n);
+                        stack.push(*n);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// An NFA packaged for repeated matching.
+#[derive(Debug, Clone)]
+pub struct CompiledRegex {
+    nfa: Nfa,
+}
+
+impl CompiledRegex {
+    /// Wraps an NFA.
+    pub fn new(nfa: Nfa) -> CompiledRegex {
+        CompiledRegex { nfa }
+    }
+
+    /// The underlying NFA.
+    pub fn nfa(&self) -> &Nfa {
+        &self.nfa
+    }
+
+    /// Anchored membership: `s ∈ L(e)`. Runs the standard subset simulation
+    /// in `O(|s| · |e|)`.
+    pub fn is_match(&self, s: &str) -> bool {
+        let n = &self.nfa;
+        let mut on = vec![false; n.state_count()];
+        let mut current = vec![n.start];
+        on[n.start] = true;
+        n.eps_closure(&mut current, &mut on);
+
+        for c in s.chars() {
+            let mut next: Vec<StateId> = Vec::with_capacity(current.len());
+            let mut on_next = vec![false; n.state_count()];
+            for &s in &current {
+                for t in &n.trans[s] {
+                    if let Transition::Char(cc, to) = t {
+                        if cc.contains(c) && !on_next[*to] {
+                            on_next[*to] = true;
+                            next.push(*to);
+                        }
+                    }
+                }
+            }
+            if next.is_empty() {
+                return false;
+            }
+            n.eps_closure(&mut next, &mut on_next);
+            current = next;
+            on = on_next;
+        }
+        let _ = on;
+        current.contains(&n.accept)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(pat: &str) -> CompiledRegex {
+        Regex::parse(pat).unwrap().compile()
+    }
+
+    #[test]
+    fn anchored_matching() {
+        let r = c("ab");
+        assert!(r.is_match("ab"));
+        assert!(!r.is_match("xaby"), "matching must be anchored");
+        assert!(!r.is_match("a"));
+    }
+
+    #[test]
+    fn empty_language_never_matches() {
+        let r = CompiledRegex::new(Nfa::from_regex(&Regex::Empty));
+        assert!(!r.is_match(""));
+        assert!(!r.is_match("a"));
+    }
+
+    #[test]
+    fn sigma_star_matches_everything() {
+        let r = CompiledRegex::new(Nfa::from_regex(&Regex::sigma_star()));
+        for s in ["", "a", "hello — 世界", "\n\t"] {
+            assert!(r.is_match(s));
+        }
+    }
+
+    #[test]
+    fn nested_stars() {
+        let r = c("(a*b)*");
+        assert!(r.is_match(""));
+        assert!(r.is_match("b"));
+        assert!(r.is_match("aabab"));
+        assert!(!r.is_match("aa"));
+    }
+
+    #[test]
+    fn state_count_is_linear() {
+        let small = Nfa::from_regex(&Regex::parse("(a|b)*c").unwrap());
+        let big = Nfa::from_regex(&Regex::parse("((a|b)*c|d+e?f{3}){2}").unwrap());
+        assert!(small.state_count() < 20);
+        assert!(big.state_count() < 120);
+    }
+
+    #[test]
+    fn unicode_classes() {
+        let r = c("[α-ω]+");
+        assert!(r.is_match("αβγ"));
+        assert!(!r.is_match("abc"));
+    }
+}

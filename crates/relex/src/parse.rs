@@ -1,0 +1,453 @@
+//! Regular-expression parser.
+//!
+//! Grammar (a pragmatic subset of POSIX/ECMA syntax, matching what JSON
+//! Schema patterns and the paper's examples use):
+//!
+//! ```text
+//! alt    := concat ('|' concat)*
+//! concat := repeat*
+//! repeat := atom ('*' | '+' | '?' | '{' m (',' n?)? '}')*
+//! atom   := literal-char | '.' | '\' escape | '(' alt ')' | class
+//! class  := '[' '^'? item+ ']'     item := c | c '-' c | '\' escape
+//! ```
+//!
+//! Escapes: `\d` `\D` `\w` `\W` `\s` `\S`, `\n` `\r` `\t`, `\uXXXX`, and any
+//! punctuation escaping itself. Anchors `^`/`$` are rejected: the engine is
+//! anchored by construction (the paper's `L(e)` membership semantics).
+
+use std::fmt;
+
+use crate::ast::Regex;
+use crate::classes::CharClass;
+
+/// Bounded-repetition guard: `{m,n}` with n above this is refused rather
+/// than silently exploding the AST.
+const MAX_BOUNDED_REPEAT: u32 = 256;
+
+/// A regex syntax error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegexError {
+    /// Byte offset in the pattern.
+    pub offset: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for RegexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "regex error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for RegexError {}
+
+/// Parses a pattern into a [`Regex`].
+pub fn parse(src: &str) -> Result<Regex, RegexError> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut p = P { chars, pos: 0 };
+    let r = p.alt()?;
+    if p.pos < p.chars.len() {
+        return Err(p.err("unexpected trailing content (unbalanced ')'?)"));
+    }
+    Ok(r)
+}
+
+struct P {
+    chars: Vec<char>,
+    pos: usize,
+}
+
+impl P {
+    fn err(&self, msg: &str) -> RegexError {
+        RegexError { offset: self.pos, message: msg.to_owned() }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn alt(&mut self) -> Result<Regex, RegexError> {
+        let mut branches = vec![self.concat()?];
+        while self.peek() == Some('|') {
+            self.bump();
+            branches.push(self.concat()?);
+        }
+        Ok(Regex::alt(branches))
+    }
+
+    fn concat(&mut self) -> Result<Regex, RegexError> {
+        let mut parts = Vec::new();
+        while let Some(c) = self.peek() {
+            if c == '|' || c == ')' {
+                break;
+            }
+            parts.push(self.repeat()?);
+        }
+        Ok(Regex::concat(parts))
+    }
+
+    fn repeat(&mut self) -> Result<Regex, RegexError> {
+        let mut r = self.atom()?;
+        loop {
+            match self.peek() {
+                Some('*') => {
+                    self.bump();
+                    r = Regex::Star(Box::new(r));
+                }
+                Some('+') => {
+                    self.bump();
+                    r = Regex::plus(r);
+                }
+                Some('?') => {
+                    self.bump();
+                    r = Regex::opt(r);
+                }
+                Some('{') => {
+                    let save = self.pos;
+                    match self.bounded() {
+                        Ok((m, n)) => r = expand_bounded(r, m, n),
+                        Err(e) => {
+                            // `{` not followed by a valid bound is an error:
+                            // silently treating it as a literal hides typos.
+                            self.pos = save;
+                            return Err(e);
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        Ok(r)
+    }
+
+    /// Parses `{m}`, `{m,}` or `{m,n}` after the opening brace.
+    fn bounded(&mut self) -> Result<(u32, Option<u32>), RegexError> {
+        debug_assert_eq!(self.peek(), Some('{'));
+        self.bump();
+        let m = self.number()?;
+        match self.peek() {
+            Some('}') => {
+                self.bump();
+                Ok((m, Some(m)))
+            }
+            Some(',') => {
+                self.bump();
+                if self.peek() == Some('}') {
+                    self.bump();
+                    return Ok((m, None));
+                }
+                let n = self.number()?;
+                if self.peek() != Some('}') {
+                    return Err(self.err("expected '}' after bounded repetition"));
+                }
+                self.bump();
+                if n < m {
+                    return Err(self.err("bounded repetition with n < m"));
+                }
+                if n > MAX_BOUNDED_REPEAT {
+                    return Err(self.err("bounded repetition too large"));
+                }
+                Ok((m, Some(n)))
+            }
+            _ => Err(self.err("expected '}' or ',' in bounded repetition")),
+        }
+    }
+
+    fn number(&mut self) -> Result<u32, RegexError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some('0'..='9')) {
+            self.bump();
+        }
+        if self.pos == start {
+            return Err(self.err("expected a number"));
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        let v: u32 = text.parse().map_err(|_| self.err("repetition count too large"))?;
+        if v > MAX_BOUNDED_REPEAT {
+            return Err(self.err("bounded repetition too large"));
+        }
+        Ok(v)
+    }
+
+    fn atom(&mut self) -> Result<Regex, RegexError> {
+        match self.peek() {
+            None => Err(self.err("unexpected end of pattern")),
+            Some('(') => {
+                self.bump();
+                // Non-capturing group marker is tolerated.
+                if self.peek() == Some('?') {
+                    let save = self.pos;
+                    self.bump();
+                    if self.peek() == Some(':') {
+                        self.bump();
+                    } else {
+                        self.pos = save;
+                        return Err(self.err("unsupported (?...) group"));
+                    }
+                }
+                let inner = self.alt()?;
+                if self.peek() != Some(')') {
+                    return Err(self.err("expected ')'"));
+                }
+                self.bump();
+                Ok(inner)
+            }
+            Some('[') => self.class(),
+            Some('.') => {
+                self.bump();
+                Ok(Regex::Class(CharClass::any()))
+            }
+            Some('\\') => {
+                self.bump();
+                Ok(Regex::Class(self.escape()?))
+            }
+            Some('^') | Some('$') => Err(self.err(
+                "anchors are not supported: matching is anchored by definition (L(e) membership)",
+            )),
+            Some(c @ ('*' | '+' | '?' | '{' | '}' | ')' | '|')) => {
+                Err(RegexError { offset: self.pos, message: format!("misplaced metacharacter '{c}'") })
+            }
+            Some(c) => {
+                self.bump();
+                Ok(Regex::Class(CharClass::single(c)))
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<CharClass, RegexError> {
+        let Some(c) = self.bump() else {
+            return Err(self.err("dangling escape"));
+        };
+        Ok(match c {
+            'd' => CharClass::range('0', '9'),
+            'D' => CharClass::range('0', '9').negate(),
+            'w' => word_class(),
+            'W' => word_class().negate(),
+            's' => space_class(),
+            'S' => space_class().negate(),
+            'n' => CharClass::single('\n'),
+            'r' => CharClass::single('\r'),
+            't' => CharClass::single('\t'),
+            'u' => {
+                let mut v = 0u32;
+                for _ in 0..4 {
+                    let Some(h) = self.bump() else {
+                        return Err(self.err("truncated \\uXXXX escape"));
+                    };
+                    let d = h.to_digit(16).ok_or_else(|| self.err("bad hex in \\uXXXX"))?;
+                    v = v * 16 + d;
+                }
+                let ch = char::from_u32(v)
+                    .ok_or_else(|| self.err("\\uXXXX escape is a surrogate code point"))?;
+                CharClass::single(ch)
+            }
+            c if c.is_ascii_alphanumeric() => {
+                return Err(RegexError {
+                    offset: self.pos,
+                    message: format!("unknown escape \\{c}"),
+                })
+            }
+            c => CharClass::single(c),
+        })
+    }
+
+    fn class(&mut self) -> Result<Regex, RegexError> {
+        debug_assert_eq!(self.peek(), Some('['));
+        self.bump();
+        let negated = if self.peek() == Some('^') {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        let mut acc = CharClass::empty();
+        let mut first = true;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated character class")),
+                Some(']') if !first => {
+                    self.bump();
+                    break;
+                }
+                _ => {}
+            }
+            first = false;
+            let item = self.class_item()?;
+            // Range `x-y` only when the item is a single char and '-' is not
+            // last.
+            if let Some(lo) = single_of(&item) {
+                if self.peek() == Some('-')
+                    && self.chars.get(self.pos + 1).is_some_and(|&c| c != ']')
+                {
+                    self.bump(); // '-'
+                    let hi_item = self.class_item()?;
+                    let Some(hi) = single_of(&hi_item) else {
+                        return Err(self.err("invalid range endpoint"));
+                    };
+                    if (hi as u32) < (lo as u32) {
+                        return Err(self.err("reversed character range"));
+                    }
+                    acc = acc.union(&CharClass::range(lo, hi));
+                    continue;
+                }
+            }
+            acc = acc.union(&item);
+        }
+        let cc = if negated { acc.negate() } else { acc };
+        Ok(Regex::Class(cc))
+    }
+
+    fn class_item(&mut self) -> Result<CharClass, RegexError> {
+        match self.bump() {
+            None => Err(self.err("unterminated character class")),
+            Some('\\') => self.escape(),
+            Some(c) => Ok(CharClass::single(c)),
+        }
+    }
+}
+
+fn single_of(cc: &CharClass) -> Option<char> {
+    if cc.len() == 1 {
+        cc.example()
+    } else {
+        None
+    }
+}
+
+fn word_class() -> CharClass {
+    CharClass::range('a', 'z')
+        .union(&CharClass::range('A', 'Z'))
+        .union(&CharClass::range('0', '9'))
+        .union(&CharClass::single('_'))
+}
+
+fn space_class() -> CharClass {
+    CharClass::from_ranges([(0x09, 0x0D), (0x20, 0x20)])
+}
+
+fn expand_bounded(r: Regex, m: u32, n: Option<u32>) -> Regex {
+    let mut parts: Vec<Regex> = Vec::new();
+    for _ in 0..m {
+        parts.push(r.clone());
+    }
+    match n {
+        None => parts.push(Regex::Star(Box::new(r))),
+        Some(n) => {
+            for _ in m..n {
+                parts.push(Regex::opt(r.clone()));
+            }
+        }
+    }
+    Regex::concat(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(pat: &str, s: &str) -> bool {
+        Regex::parse(pat).unwrap().compile().is_match(s)
+    }
+
+    #[test]
+    fn paper_examples() {
+        // §5.1: "(01)+" — strings built from 0 or 1 (per the schema example)
+        assert!(m("(0|1)+", "0110"));
+        assert!(!m("(0|1)+", ""));
+        assert!(!m("(0|1)+", "012"));
+        // §5.1: "a(b|c)a" patternProperties key
+        assert!(m("a(b|c)a", "aba"));
+        assert!(m("a(b|c)a", "aca"));
+        assert!(!m("a(b|c)a", "ada"));
+        // §5.3: "[A-z]*@ciws.cl" email pattern
+        assert!(m("[A-z]*@ciws\\.cl", "juan@ciws.cl"));
+        assert!(!m("[A-z]*@ciws\\.cl", "juan@example.org"));
+    }
+
+    #[test]
+    fn repetition_operators() {
+        assert!(m("ab*a", "aa"));
+        assert!(m("ab*a", "abbba"));
+        assert!(m("ab+a", "aba"));
+        assert!(!m("ab+a", "aa"));
+        assert!(m("ab?a", "aa"));
+        assert!(m("ab?a", "aba"));
+        assert!(!m("ab?a", "abba"));
+    }
+
+    #[test]
+    fn bounded_repetition() {
+        assert!(m("a{3}", "aaa"));
+        assert!(!m("a{3}", "aa"));
+        assert!(m("a{2,4}", "aaa"));
+        assert!(!m("a{2,4}", "aaaaa"));
+        assert!(m("a{2,}", "aaaaaaa"));
+        assert!(!m("a{2,}", "a"));
+        assert!(Regex::parse("a{4,2}").is_err());
+        assert!(Regex::parse("a{1000}").is_err());
+        assert!(Regex::parse("a{").is_err());
+    }
+
+    #[test]
+    fn classes() {
+        assert!(m("[abc]+", "cab"));
+        assert!(!m("[abc]+", "cad"));
+        assert!(m("[a-z0-9]*", "q7x"));
+        assert!(m("[^a-z]", "A"));
+        assert!(!m("[^a-z]", "a"));
+        assert!(m("[-a]", "-"));
+        assert!(m("[]a]", "]")); // ']' first in class is literal
+        assert!(m("\\d{2}", "42"));
+        assert!(m("\\w+", "snake_case9"));
+        assert!(!m("\\w+", "no spaces"));
+        assert!(m("\\s", " "));
+        assert!(m("[\\d]", "5"));
+    }
+
+    #[test]
+    fn dot_and_escapes() {
+        assert!(m(".", "x"));
+        assert!(m(".", "✓"));
+        assert!(!m(".", "xy"));
+        assert!(m("a\\.b", "a.b"));
+        assert!(!m("a\\.b", "axb"));
+        assert!(m("\\u0041", "A"));
+        assert!(Regex::parse("\\q").is_err());
+        assert!(Regex::parse("\\u12").is_err());
+    }
+
+    #[test]
+    fn groups_and_alternation() {
+        assert!(m("(ab|cd)+", "abcdab"));
+        assert!(!m("(ab|cd)+", "abc"));
+        assert!(m("(?:ab)*", ""));
+        assert!(Regex::parse("(ab").is_err());
+        assert!(Regex::parse("ab)").is_err());
+        assert!(Regex::parse("(?=x)").is_err());
+    }
+
+    #[test]
+    fn anchors_rejected() {
+        assert!(Regex::parse("^abc$").is_err());
+        assert!(Regex::parse("a$").is_err());
+    }
+
+    #[test]
+    fn misplaced_metacharacters() {
+        assert!(Regex::parse("*a").is_err());
+        assert!(Regex::parse("+").is_err());
+        assert!(Regex::parse("a**").is_ok()); // (a*)* is fine
+    }
+
+    #[test]
+    fn empty_pattern_is_epsilon() {
+        assert!(m("", ""));
+        assert!(!m("", "a"));
+    }
+}

@@ -1,0 +1,81 @@
+//! The §6 "Documenting APIs" scenario: an API gateway that (1) validates
+//! request payloads against a JSON Schema, (2) reports precise violations,
+//! and (3) *learns* a schema from observed traffic (the paper's §5.2
+//! future-work item, implemented in `jschema::infer`).
+//!
+//! ```sh
+//! cargo run --example api_gateway
+//! ```
+
+use json_foundations::schema::{infer, schema_to_jsl, validate, Schema};
+use jsondata::{parse, JsonTree};
+
+fn main() {
+    // The gateway's published contract for POST /users.
+    let contract = Schema::parse_str(
+        r#"{
+        "type": "object",
+        "required": ["username", "email"],
+        "properties": {
+            "username": {"type": "string", "pattern": "[a-z_][a-z0-9_]{2,15}"},
+            "email": {"type": "string", "pattern": "[A-z0-9.]+@[A-z0-9.]+"},
+            "age": {"type": "number", "minimum": 13},
+            "tags": {"type": "array", "additionalItems": {"type": "string"},
+                     "uniqueItems": "true"}
+        },
+        "additionalProperties": {"not": {}}
+    }"#,
+    )
+    .expect("contract parses");
+
+    let requests = [
+        r#"{"username": "sue_k", "email": "sue@ciws.cl", "age": 28}"#,
+        r#"{"username": "X", "email": "sue@ciws.cl"}"#,
+        r#"{"username": "john_doe", "email": "not-an-email", "age": 12}"#,
+        r#"{"username": "ana", "email": "a@b.c", "tags": ["vip", "vip"]}"#,
+        r#"{"username": "wei", "email": "w@x.y", "debug": 1}"#,
+    ];
+    println!("== validating requests against the contract ==");
+    for (i, req) in requests.iter().enumerate() {
+        let doc = parse(req).expect("request is JSON");
+        let violations = validate(&contract, &doc).expect("schema is resolvable");
+        if violations.is_empty() {
+            println!("request {i}: accepted");
+        } else {
+            println!("request {i}: rejected");
+            for v in violations {
+                println!("    {v}");
+            }
+        }
+    }
+
+    // Theorem 1 in production: the contract as a JSL formula gives a second,
+    // independently implemented validator for free.
+    let delta = schema_to_jsl(&contract).expect("contract translates");
+    println!("\n== cross-check through JSL (Theorem 1) ==");
+    for (i, req) in requests.iter().enumerate() {
+        let doc = parse(req).unwrap();
+        let ok_schema = validate(&contract, &doc).unwrap().is_empty();
+        let ok_jsl = delta.check_root(&JsonTree::build(&doc));
+        assert_eq!(ok_schema, ok_jsl, "the two validators must agree");
+        println!("request {i}: schema={ok_schema} jsl={ok_jsl}");
+    }
+
+    // Learning a contract from observed responses.
+    println!("\n== inferring a schema from observed traffic ==");
+    let observed: Vec<_> = [
+        r#"{"id": 1, "user": {"name": "Sue"}, "ok": 1}"#,
+        r#"{"id": 2, "user": {"name": "John", "title": "Dr"}, "ok": 0}"#,
+        r#"{"id": 3, "user": {"name": "Ana"}, "ok": 1, "warnings": ["slow"]}"#,
+    ]
+    .iter()
+    .map(|s| parse(s).unwrap())
+    .collect();
+    let learned = infer(&observed);
+    println!("required keys: {:?}", learned.required);
+    println!("properties   : {:?}", learned.properties.iter().map(|(k, _)| k).collect::<Vec<_>>());
+    for doc in &observed {
+        assert!(json_foundations::schema::is_valid(&learned, doc).unwrap());
+    }
+    println!("learned schema accepts all {} observed documents", observed.len());
+}

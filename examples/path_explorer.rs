@@ -1,0 +1,53 @@
+//! JSONPath navigation (§4.1's second surveyed system) over the classic
+//! bookstore document, with the compiled JNL shown for each query.
+//!
+//! ```sh
+//! cargo run --example path_explorer
+//! ```
+
+use json_foundations::path::JsonPath;
+use jsondata::parse;
+
+fn main() {
+    let store = parse(
+        r#"{"store": {
+            "book": [
+                {"title": "Sayings of the Century", "price": 8,
+                 "author": "Nigel Rees", "tags": ["quotes"]},
+                {"title": "Sword of Honour", "price": 12,
+                 "author": "Evelyn Waugh", "tags": []},
+                {"title": "Moby Dick", "price": 9,
+                 "author": "Herman Melville", "tags": ["classic", "sea"]},
+                {"title": "The Lord of the Rings", "price": 22,
+                 "author": "J. R. R. Tolkien", "tags": ["classic"]}
+            ],
+            "bicycle": {"color": "red", "price": 19}
+        }}"#,
+    )
+    .expect("bookstore parses");
+
+    let queries = [
+        "$.store.book[*].author",
+        "$.store.book[2].title",
+        "$.store.book[-1].title",
+        "$.store.book[0:2].price",
+        "$..price",
+        "$..tags[*]",
+        "$.store.*",
+    ];
+    for q in queries {
+        let path = JsonPath::parse(q).expect("valid JSONPath");
+        let hits = path.select(&store);
+        println!("{q}");
+        let branches = path.to_jnl_branches();
+        for b in &branches {
+            println!("   JNL: {b}");
+        }
+        for h in &hits {
+            let text = h.to_string();
+            let short = if text.len() > 64 { format!("{}…", &text[..63]) } else { text };
+            println!("   → {short}");
+        }
+        println!();
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: the paper's Figure 1 document, end to end.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use json_foundations::prelude::*;
+use json_foundations::schema::{is_valid, Schema};
+use json_foundations::schema_logic::ast::{Jsl, NodeTest};
+
+fn main() {
+    // ---- §2: the JSON fragment and navigation instructions ----
+    let doc = parse(
+        r#"{
+        "name": { "first": "John", "last": "Doe" },
+        "age": 32,
+        "hobbies": ["fishing", "yoga"]
+    }"#,
+    )
+    .expect("Figure 1 parses");
+    println!("document      : {doc}");
+    println!("J[name][first]: {}", doc.get("name").unwrap().get("first").unwrap());
+    println!("J[hobbies][1] : {}", doc.get("hobbies").unwrap().index(1).unwrap());
+
+    // ---- §3: the JSON tree model ----
+    let tree = JsonTree::build(&doc);
+    println!("\ntree: {} nodes, height {}", tree.node_count(), tree.height());
+    for n in tree.node_ids() {
+        println!(
+            "  {:<22} {:<7} json(n) = {}",
+            tree.path_string(n),
+            tree.kind(n).to_string(),
+            tree.json_at(n)
+        );
+    }
+
+    // ---- §4: JNL queries ----
+    let phi = jnl::parse_unary(
+        r#"eqdoc(@"name" ; @"first", "John") & [@"hobbies" ; @-1] & !eqdoc(@"age", 31)"#,
+    )
+    .expect("well-formed JNL");
+    println!("\nJNL  {phi}");
+    println!("  root satisfies it: {}", jnl::eval::check_root(&tree, &phi));
+
+    // ---- §5: JSL and JSON Schema ----
+    let schema = Schema::parse_str(
+        r#"{
+        "type": "object",
+        "required": ["name", "age"],
+        "properties": {
+            "age": {"type": "number", "minimum": 18},
+            "hobbies": {"type": "array", "additionalItems": {"type": "string"},
+                        "uniqueItems": "true"}
+        }
+    }"#,
+    )
+    .expect("schema parses");
+    println!("\nschema validates: {}", is_valid(&schema, &doc).unwrap());
+
+    // Theorem 1: the same schema as a JSL formula.
+    let delta = json_foundations::schema::schema_to_jsl(&schema).unwrap();
+    println!("as JSL          : {}", delta.base);
+    println!("JSL agrees      : {}", delta.check_root(&tree));
+
+    // A direct JSL formula.
+    let adult = Jsl::diamond_key("age", Jsl::Test(NodeTest::Min(18)));
+    println!("◇_age Min(18)   : {}", jsl::eval::check_root(&tree, &adult));
+}

@@ -1,0 +1,87 @@
+//! Static analysis of schemas and queries — the satisfiability machinery of
+//! Propositions 2, 5, 7 at work: detect dead schemas (no document can ever
+//! validate), dead query filters, and produce example documents for live
+//! ones.
+//!
+//! ```sh
+//! cargo run --example schema_doctor
+//! ```
+
+use json_foundations::nav::sat::det::sat_deterministic;
+use json_foundations::nav::SatResult;
+use json_foundations::schema::{schema_to_jsl, Schema};
+use json_foundations::schema_logic::{sat_recursive, JslSatResult, SatConfig};
+
+fn diagnose_schema(label: &str, src: &str) {
+    let schema = Schema::parse_str(src).expect("schema parses");
+    let delta = schema_to_jsl(&schema).expect("fragment translates");
+    match sat_recursive(&delta, SatConfig::default()) {
+        JslSatResult::Sat(example) => {
+            println!("{label}: LIVE — example document: {example}");
+        }
+        JslSatResult::Unsat => {
+            println!("{label}: DEAD — no document can ever validate");
+        }
+        JslSatResult::Unknown(why) => println!("{label}: UNDECIDED ({why})"),
+    }
+}
+
+fn main() {
+    println!("== schema liveness (Prop 7 satisfiability) ==");
+    diagnose_schema(
+        "sane person schema     ",
+        r#"{"type": "object", "required": ["name"],
+            "properties": {"name": {"type": "string", "pattern": "[A-Z][a-z]+"}}}"#,
+    );
+    diagnose_schema(
+        "impossible number      ",
+        r#"{"type": "number", "minimum": 15, "maximum": 20, "multipleOf": 7}"#,
+    );
+    diagnose_schema(
+        "contradictory key      ",
+        // The key `a` must validate against both an array and an object
+        // schema — the paper's key-determinism clash.
+        r#"{"type": "object", "allOf": [
+            {"properties": {"a": {"type": "array"}}, "required": ["a"]},
+            {"properties": {"a": {"type": "object"}}}
+        ]}"#,
+    );
+    diagnose_schema(
+        "self-contradictory     ",
+        r#"{"allOf": [{"type": "string"}, {"not": {"type": "string"}}]}"#,
+    );
+    diagnose_schema(
+        "paper string example   ",
+        r#"{"type": "string", "pattern": "(0|1)+"}"#,
+    );
+
+    println!("\n== query-filter liveness (Prop 2 satisfiability) ==");
+    let filters = [
+        (
+            "reachable condition ",
+            r#"eqdoc(@"name" ; @"first", "Sue") & [@"hobbies" ; @1]"#,
+        ),
+        (
+            "kind clash          ",
+            r#"[@"a" ; <[@0]>] & [@"a" ; <[@"b"]>]"#,
+        ),
+        (
+            "equality contradiction",
+            r#"eqdoc(@"x", 1) & eqdoc(@"x", 2)"#,
+        ),
+        (
+            "negation squeeze    ",
+            r#"[@"arr" ; @2] & ![@"arr" ; @5]"#,
+        ),
+    ];
+    for (label, src) in filters {
+        let phi = jnl::parse_unary(src).expect("JNL parses");
+        match sat_deterministic(&phi) {
+            SatResult::Sat(witness) => {
+                println!("{label}: SATISFIABLE — witness {witness}");
+            }
+            SatResult::Unsat => println!("{label}: UNSATISFIABLE"),
+            SatResult::Unknown(why) => println!("{label}: UNKNOWN ({why})"),
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! The §6 streaming scenario: validate documents against a JSL policy
+//! one event at a time — no tree is ever built — and use containment
+//! checking to prove one query filter subsumes another before deployment.
+//!
+//! ```sh
+//! cargo run --example stream_gatekeeper
+//! ```
+
+use json_foundations::nav::{contained_in, Containment};
+use json_foundations::schema_logic::parse_jsl;
+use json_foundations::schema_logic::streaming::{events_of, StreamingValidator};
+use jsondata::parse;
+
+fn main() {
+    // A policy in JSL concrete syntax: objects whose `amount` is a positive
+    // multiple of 5 and whose optional `tags` are all strings.
+    let policy = parse_jsl(r#"Obj & <amount>(Int & MultOf(5) & Min(5)) & [tags]([0:inf](Str))"#)
+        .expect("policy parses");
+    println!("policy: {policy}\n");
+
+    let feed = [
+        r#"{"amount": 25, "tags": ["ok"]}"#,
+        r#"{"amount": 7}"#,
+        r#"{"amount": 25, "tags": ["ok", 3]}"#,
+        r#"{"tags": []}"#,
+        r#"{"amount": 5}"#,
+    ];
+    println!("== streaming validation (no tree materialised) ==");
+    for (i, src) in feed.iter().enumerate() {
+        let doc = parse(src).expect("feed documents are JSON");
+        let mut v = StreamingValidator::new(&policy).expect("policy is streamable");
+        let mut events = 0usize;
+        for e in events_of(&doc) {
+            v.feed(&e).expect("well-formed stream");
+            events += 1;
+        }
+        let verdict = v.finish().expect("complete stream");
+        println!("doc {i}: {events:>2} events → {}", if verdict { "ACCEPT" } else { "REJECT" });
+    }
+
+    // Static analysis before rollout: the new, stricter filter must only
+    // ever accept documents the old one accepted (coNP via Prop 2).
+    println!("\n== filter containment (deploy-time check) ==");
+    let old_filter = jnl::parse_unary(r#"[@"amount"]"#).unwrap();
+    let new_filter =
+        jnl::parse_unary(r#"eqdoc(@"currency", "EUR") & [@"amount"]"#).unwrap();
+    match contained_in(&new_filter, &old_filter) {
+        Containment::Contained => {
+            println!("new ⊑ old: safe to roll out (accepts a subset)")
+        }
+        Containment::NotContained(w) => {
+            println!("new filter accepts documents the old one rejects, e.g. {w}")
+        }
+        Containment::Unknown(r) => println!("undecided: {r}"),
+    }
+    // And the reverse direction is expected to fail, with a counterexample.
+    match contained_in(&old_filter, &new_filter) {
+        Containment::NotContained(w) => {
+            println!("old ⋢ new: counterexample {w}")
+        }
+        other => println!("unexpected: {other:?}"),
+    }
+}

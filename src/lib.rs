@@ -1,0 +1,42 @@
+//! # json-foundations
+//!
+//! A production-quality Rust implementation of Bourhis, Reutter, Suárez &
+//! Vrgoč, *"JSON: data model, query languages and schema specification"*
+//! (PODS 2017): the formal JSON tree data model, the JSON Navigation Logic
+//! (JNL), the JSON Schema Logic (JSL) with recursion, JSON Schema (draft-4
+//! fragment) with translations to and from JSL, J-automata, and the two
+//! practical query dialects the paper surveys (MongoDB-style `find` filters
+//! and JSONPath).
+//!
+//! This facade crate re-exports the individual workspace crates:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`data`] | `jsondata` | JSON values, parser, the §3 tree model, canonical subtree labels |
+//! | [`regex`] | `relex` | self-contained regular-expression engine over Σ |
+//! | [`nav`] | `jnl` | JSON Navigation Logic (§4) with evaluation + satisfiability |
+//! | [`schema_logic`] | `jsl` | JSON Schema Logic (§5), recursive JSL, JSL↔JNL |
+//! | [`schema`] | `jschema` | JSON Schema: parse, validate, Schema↔JSL, `$ref`, inference |
+//! | [`automata`] | `jautomata` | J-automata: runs, complement, emptiness |
+//! | [`mongo`] | `mongofind` | MongoDB-style `find` filters & projection over JNL |
+//! | [`path`] | `jsonpath` | JSONPath dialect over recursive JNL |
+//!
+//! See `README.md` for a tour and `DESIGN.md`/`EXPERIMENTS.md` for the
+//! mapping from the paper's propositions to code and measurements.
+
+pub use jsondata as data;
+pub use relex as regex;
+
+pub use jnl as nav;
+pub use jsl as schema_logic;
+
+pub use jautomata as automata;
+pub use jschema as schema;
+
+pub use jsonpath as path;
+pub use mongofind as mongo;
+
+/// Commonly used items, importable as `use json_foundations::prelude::*`.
+pub mod prelude {
+    pub use jsondata::{parse, CanonTable, Json, JsonTree, NodeId, NodeKind};
+}

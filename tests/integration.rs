@@ -1,0 +1,183 @@
+//! Cross-crate integration tests: the full pipelines the paper's sections
+//! chain together, exercised through the facade crate.
+
+use json_foundations::prelude::*;
+use json_foundations::schema::{is_valid, jsl_to_schema, schema_to_jsl, Schema};
+use jnl::ast::{Binary as B, Unary as U};
+use jsl::ast::{Jsl as J, NodeTest as T};
+
+#[test]
+fn figure1_through_every_layer() {
+    let doc = parse(
+        r#"{"name":{"first":"John","last":"Doe"},"age":32,"hobbies":["fishing","yoga"]}"#,
+    )
+    .unwrap();
+    let tree = JsonTree::build(&doc);
+
+    // JNL: deterministic navigation query (all four engines agree).
+    let phi = jnl::parse_unary(r#"eqdoc(@"name" ; @"first", "John") & [@"hobbies" ; @1]"#).unwrap();
+    assert!(jnl::eval::check_root(&tree, &phi));
+
+    // JSL: the same condition modally.
+    let psi = J::and(vec![
+        J::diamond_key("name", J::diamond_key("first", J::Test(T::EqDoc(parse("\"John\"").unwrap())))),
+        J::diamond_key("hobbies", J::Test(T::MinCh(2))),
+    ]);
+    assert!(jsl::eval::check_root(&tree, &psi));
+
+    // Schema: Table 1 keywords.
+    let schema = Schema::parse_str(
+        r#"{"type": "object", "required": ["name", "age", "hobbies"],
+            "properties": {"age": {"type": "number", "minimum": 18}}}"#,
+    )
+    .unwrap();
+    assert!(is_valid(&schema, &doc).unwrap());
+
+    // Theorem 1 loop: schema → JSL → (agrees) and JSL → schema → (agrees).
+    let delta = schema_to_jsl(&schema).unwrap();
+    assert!(delta.check_root(&tree));
+    let back = jsl_to_schema(&delta.base).unwrap();
+    let back_schema = Schema::parse(&back).unwrap();
+    assert!(is_valid(&back_schema, &doc).unwrap());
+}
+
+#[test]
+fn mongo_filter_jnl_satisfiability_pipeline() {
+    // Compile a MongoDB filter to JNL, prove it satisfiable, and check the
+    // produced witness actually matches the filter.
+    let filter =
+        mongofind::Filter::parse_str(r#"{"name.first": "Sue", "tags": {"$size": 2}}"#).unwrap();
+    let phi = filter.to_jnl();
+    match jnl::sat_deterministic(&phi) {
+        jnl::SatResult::Sat(witness) => {
+            assert!(filter.matches(&witness), "witness {witness} must match the filter");
+        }
+        other => panic!("expected Sat, got {other:?}"),
+    }
+    // An unsatisfiable filter: a path that must be both array and object.
+    let dead = mongofind::Filter::parse_str(
+        r#"{"a.0": 1, "a.b": 2}"#,
+    )
+    .unwrap();
+    assert!(jnl::sat_deterministic(&dead.to_jnl()).is_unsat());
+}
+
+#[test]
+fn jsonpath_jnl_jsl_translation_chain() {
+    // JSONPath → JNL (branches) → JSL (Theorem 2) all agree on selection
+    // emptiness at the root.
+    let doc = parse(r#"{"a": {"b": [{"c": 1}, {"d": 2}]}}"#).unwrap();
+    let tree = JsonTree::build(&doc);
+    let path = jsonpath::JsonPath::parse("$.a.b[*].c").unwrap();
+    let selected = path.select_nodes(&tree);
+    let phi = path.to_jnl_unary();
+    let via_jnl = jnl::eval::check_root(&tree, &phi);
+    assert_eq!(!selected.is_empty(), via_jnl);
+    // Star-free fragment translates to JSL (Theorem 2) — expand the
+    // wildcard branches first.
+    let nonrec = jsonpath::JsonPath::parse("$.a.b[0:2].c").unwrap();
+    let jsl_phi = jsl::jnl_to_jsl_cps(&nonrec.to_jnl_unary()).unwrap();
+    assert_eq!(
+        jsl::eval::check_root(&tree, &jsl_phi),
+        !nonrec.select_nodes(&tree).is_empty()
+    );
+}
+
+#[test]
+fn automaton_accepts_exactly_the_schema_language() {
+    // Schema → JSL → J-automaton; membership must match the validator.
+    let schema = Schema::parse_str(
+        r#"{"type": "object",
+            "properties": {"n": {"type": "number", "multipleOf": 3}},
+            "required": ["n"],
+            "additionalProperties": {"type": "string"}}"#,
+    )
+    .unwrap();
+    let delta = schema_to_jsl(&schema).unwrap();
+    let auto = jautomata::JAutomaton::from_recursive_jsl(&delta).unwrap();
+    for src in [
+        r#"{"n": 9}"#,
+        r#"{"n": 9, "note": "ok"}"#,
+        r#"{"n": 7}"#,
+        r#"{"n": 9, "bad": 1}"#,
+        r#"{}"#,
+        r#"[1]"#,
+    ] {
+        let doc = parse(src).unwrap();
+        let tree = JsonTree::build(&doc);
+        assert_eq!(
+            auto.accepts(&tree).unwrap(),
+            is_valid(&schema, &doc).unwrap(),
+            "doc {src}"
+        );
+    }
+}
+
+#[test]
+fn all_four_jnl_engines_agree() {
+    let doc = jsondata::gen::random_json(&jsondata::gen::GenConfig::sized(99, 400));
+    let tree = JsonTree::build(&doc);
+    // A formula in the common fragment of all engines (deterministic).
+    let phi = U::and(vec![
+        U::or(vec![
+            U::exists(B::key("a")),
+            U::exists(B::key("name")),
+            U::not(U::exists(B::key("items"))),
+        ]),
+        U::not(U::eq_doc(B::key("id"), parse("0").unwrap())),
+    ]);
+    let naive = jnl::eval::naive::eval(&tree, &phi);
+    let linear = jnl::eval::linear::eval(&tree, &phi).unwrap();
+    let pdl = jnl::eval::pdl::eval(&tree, &phi).unwrap();
+    let cubic = jnl::eval::cubic::eval(&tree, &phi);
+    assert_eq!(naive, linear);
+    assert_eq!(naive, pdl);
+    assert_eq!(naive, cubic);
+}
+
+#[test]
+fn formal_model_round_trip() {
+    let doc = jsondata::gen::random_json(&jsondata::gen::GenConfig::sized(5, 200));
+    let tree = JsonTree::build(&doc);
+    let formal = jsondata::domain::FormalJson::from_tree(&tree);
+    assert!(formal.validate().is_empty());
+    assert_eq!(formal.to_json().unwrap(), doc);
+}
+
+#[test]
+fn schema_inference_feeds_validation_and_logic() {
+    let examples: Vec<_> = (0..5)
+        .map(|i| {
+            jsondata::gen::person_records(3, i)
+                .as_array()
+                .unwrap()
+                .first()
+                .unwrap()
+                .clone()
+        })
+        .collect();
+    let schema = json_foundations::schema::infer(&examples);
+    let delta = schema_to_jsl(&schema).unwrap();
+    for e in &examples {
+        assert!(is_valid(&schema, e).unwrap());
+        assert!(delta.check_root(&JsonTree::build(e)));
+    }
+}
+
+#[test]
+fn minsky_reduction_round_trip() {
+    use jnl::reduce::minsky::{Instr, MinskyMachine};
+    let m = MinskyMachine {
+        program: vec![
+            Instr::Inc(0, 1),
+            Instr::Inc(1, 2),
+            Instr::Dec(0, 3),
+            Instr::IfZero(1, 4, 4),
+            Instr::Halt,
+        ],
+    };
+    let trace = m.run(50).expect("halts");
+    let witness = MinskyMachine::encode_trace(&trace);
+    let tree = JsonTree::build(&witness);
+    assert!(jnl::eval::cubic::eval(&tree, &m.to_jnl())[tree.root().index()]);
+}
