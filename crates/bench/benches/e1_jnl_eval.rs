@@ -12,22 +12,28 @@ fn bench(c: &mut Criterion) {
     for exp in [10u32, 12, 14] {
         let doc = scaling_doc(1 << exp, 1);
         let tree = JsonTree::build(&doc);
-        g.bench_with_input(BenchmarkId::new("linear_prop1", tree.node_count()), &tree, |b, t| {
-            b.iter(|| jnl::eval::linear::eval(t, &phi).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("linear_prop1", tree.node_count()),
+            &tree,
+            |b, t| b.iter(|| jnl::eval::linear::eval(t, &phi).unwrap()),
+        );
         if exp <= 12 {
-            g.bench_with_input(BenchmarkId::new("oracle_baseline", tree.node_count()), &tree, |b, t| {
-                b.iter(|| jnl::eval::naive::eval(t, &phi))
-            });
+            g.bench_with_input(
+                BenchmarkId::new("oracle_baseline", tree.node_count()),
+                &tree,
+                |b, t| b.iter(|| jnl::eval::naive::eval(t, &phi)),
+            );
         }
     }
     let doc = scaling_doc(1 << 12, 1);
     let tree = JsonTree::build(&doc);
     for k in [16usize, 64, 256] {
         let phi = e1_formula_sized(k);
-        g.bench_with_input(BenchmarkId::new("formula_sweep", phi.size()), &phi, |b, p| {
-            b.iter(|| jnl::eval::linear::eval(&tree, p).unwrap())
-        });
+        g.bench_with_input(
+            BenchmarkId::new("formula_sweep", phi.size()),
+            &phi,
+            |b, p| b.iter(|| jnl::eval::linear::eval(&tree, p).unwrap()),
+        );
     }
     g.finish();
 }

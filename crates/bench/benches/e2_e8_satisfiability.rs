@@ -18,9 +18,17 @@ fn bench(c: &mut Criterion) {
     for n in [2usize, 3] {
         let q = Qbf {
             prefix: (0..n)
-                .map(|i| if i % 2 == 0 { Quant::Exists } else { Quant::Forall })
+                .map(|i| {
+                    if i % 2 == 0 {
+                        Quant::Exists
+                    } else {
+                        Quant::Forall
+                    }
+                })
                 .collect(),
-            clauses: (0..n).map(|i| vec![(i, true), ((i + 1) % n, false)]).collect(),
+            clauses: (0..n)
+                .map(|i| vec![(i, true), ((i + 1) % n, false)])
+                .collect(),
         };
         g.bench_with_input(BenchmarkId::new("qbf_jsl", n), &q, |b, q| {
             b.iter(|| q.solve_via_jsl())

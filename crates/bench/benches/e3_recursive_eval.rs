@@ -13,12 +13,16 @@ fn bench(c: &mut Criterion) {
     for exp in [8u32, 10, 12] {
         let doc = scaling_doc(1 << exp, 3);
         let tree = JsonTree::build(&doc);
-        g.bench_with_input(BenchmarkId::new("pdl_eqfree", tree.node_count()), &tree, |b, t| {
-            b.iter(|| jnl::eval::pdl::eval(t, &eqfree).unwrap())
-        });
-        g.bench_with_input(BenchmarkId::new("cubic_eqpair", tree.node_count()), &tree, |b, t| {
-            b.iter(|| jnl::eval::cubic::eval(t, &eqpair))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("pdl_eqfree", tree.node_count()),
+            &tree,
+            |b, t| b.iter(|| jnl::eval::pdl::eval(t, &eqfree).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("cubic_eqpair", tree.node_count()),
+            &tree,
+            |b, t| b.iter(|| jnl::eval::cubic::eval(t, &eqpair)),
+        );
     }
     g.finish();
 }

@@ -14,18 +14,30 @@ fn bench(c: &mut Criterion) {
         let n = 1usize << exp;
         let doc = e7_doc(n, n / 2);
         let tree = JsonTree::build(&doc);
-        g.bench_with_input(BenchmarkId::new("unique_naive_pairwise", n), &tree, |b, t| {
+        g.bench_with_input(
+            BenchmarkId::new("unique_naive_pairwise", n),
+            &tree,
+            |b, t| {
+                b.iter(|| {
+                    jsl::eval::evaluate_with(
+                        t,
+                        &phi,
+                        EvalOptions {
+                            unique: UniqueStrategy::NaivePairwise,
+                        },
+                    )
+                })
+            },
+        );
+        g.bench_with_input(BenchmarkId::new("unique_canonical", n), &tree, |b, t| {
             b.iter(|| {
                 jsl::eval::evaluate_with(
                     t,
                     &phi,
-                    EvalOptions { unique: UniqueStrategy::NaivePairwise },
+                    EvalOptions {
+                        unique: UniqueStrategy::Canonical,
+                    },
                 )
-            })
-        });
-        g.bench_with_input(BenchmarkId::new("unique_canonical", n), &tree, |b, t| {
-            b.iter(|| {
-                jsl::eval::evaluate_with(t, &phi, EvalOptions { unique: UniqueStrategy::Canonical })
             })
         });
     }

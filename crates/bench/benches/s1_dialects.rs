@@ -10,8 +10,7 @@ fn bench(c: &mut Criterion) {
     for n in [1_000usize, 10_000] {
         let people = jsondata::gen::person_records(n, 7);
         let coll = mongofind::Collection::from_array(&people).unwrap();
-        let filter =
-            mongofind::Filter::parse_str(r#"{"name.first": {"$eq": "Sue"}}"#).unwrap();
+        let filter = mongofind::Filter::parse_str(r#"{"name.first": {"$eq": "Sue"}}"#).unwrap();
         g.bench_with_input(BenchmarkId::new("mongo_find_direct", n), &coll, |b, c| {
             b.iter(|| c.find(&filter).len())
         });

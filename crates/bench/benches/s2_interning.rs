@@ -1,0 +1,80 @@
+//! S2: the key-interning experiment — `Sym`-based hot paths against the
+//! frozen pre-interning string implementations of `bench::baseline`.
+//!
+//! Three measurements: `child_by_key` (hit and miss) on a wide object, E1
+//! deterministic JNL evaluation, and E7 JSL `Arr ∧ Unique` under the
+//! canonical strategy. The harness twin (`harness s2`) emits the same
+//! comparisons as `BENCH_interning.json`.
+
+use bench::baseline::{e7_canonical_strings, linear_eval_strings, StringChildIndex};
+use bench::{e1_formula, e7_formula, scaling_doc};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jsl::{EvalOptions, UniqueStrategy};
+use jsondata::JsonTree;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("s2_interning");
+    g.sample_size(10);
+
+    // Key lookup: interner probe + Sym binary search vs string binary search.
+    let n_keys = 4096usize;
+    let tree = JsonTree::build(&jsondata::gen::wide_object(n_keys));
+    let index = StringChildIndex::build(&tree);
+    let root = tree.root();
+    let hits: Vec<String> = (0..n_keys).map(|i| format!("k{i}")).collect();
+    let misses: Vec<String> = (0..n_keys).map(|i| format!("m{i}")).collect();
+    for (label, keys) in [("hit", &hits), ("miss", &misses)] {
+        g.bench_with_input(BenchmarkId::new("lookup_interned", label), keys, |b, ks| {
+            b.iter(|| {
+                ks.iter()
+                    .filter(|k| tree.child_by_key(root, k).is_some())
+                    .count()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("lookup_baseline", label), keys, |b, ks| {
+            b.iter(|| {
+                ks.iter()
+                    .filter(|k| index.child_by_key(root, k).is_some())
+                    .count()
+            })
+        });
+    }
+
+    // E1: deterministic JNL evaluation.
+    let phi = e1_formula();
+    for exp in [12u32, 14] {
+        let doc = scaling_doc(1 << exp, 1);
+        let t = JsonTree::build(&doc);
+        let idx = StringChildIndex::build(&t);
+        g.bench_with_input(
+            BenchmarkId::new("e1_interned", t.node_count()),
+            &t,
+            |b, t| b.iter(|| jnl::eval::linear::eval(t, &phi).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("e1_baseline", t.node_count()),
+            &t,
+            |b, t| b.iter(|| linear_eval_strings(t, &idx, &phi)),
+        );
+    }
+
+    // E7: JSL Arr ∧ Unique, canonical strategy.
+    let e7_phi = e7_formula();
+    let canonical = EvalOptions {
+        unique: UniqueStrategy::Canonical,
+    };
+    for exp in [11u32, 13] {
+        let n = 1usize << exp;
+        let t = JsonTree::build(&jsondata::gen::wide_array(n));
+        g.bench_with_input(BenchmarkId::new("e7_interned", n), &t, |b, t| {
+            b.iter(|| jsl::eval::evaluate_with(t, &e7_phi, canonical))
+        });
+        g.bench_with_input(BenchmarkId::new("e7_baseline", n), &t, |b, t| {
+            b.iter(|| e7_canonical_strings(t))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

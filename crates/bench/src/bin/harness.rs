@@ -55,6 +55,9 @@ fn main() {
     if want("s1") {
         s1();
     }
+    if want("s2") {
+        s2();
+    }
 }
 
 fn header(id: &str, claim: &str) {
@@ -65,7 +68,10 @@ fn header(id: &str, claim: &str) {
 fn e1() {
     header("E1", "Prop 1 — deterministic JNL evaluation, O(|J|·|phi|)");
     let phi = e1_formula();
-    println!("{}", row(&["|J|".into(), "linear ms".into(), "oracle ms".into()]));
+    println!(
+        "{}",
+        row(&["|J|".into(), "linear ms".into(), "oracle ms".into()])
+    );
     let mut pts = Vec::new();
     for exp in [10, 11, 12, 13, 14, 15, 16] {
         let n = 1usize << exp;
@@ -78,7 +84,14 @@ fn e1() {
             "-".into()
         };
         pts.push((tree.node_count() as f64, fast));
-        println!("{}", row(&[format!("{}", tree.node_count()), format!("{fast:.2}"), naive]));
+        println!(
+            "{}",
+            row(&[
+                format!("{}", tree.node_count()),
+                format!("{fast:.2}"),
+                naive
+            ])
+        );
     }
     println!("fitted |J|-exponent (claim: ~1): {:.2}", loglog_slope(&pts));
 
@@ -92,16 +105,28 @@ fn e1() {
         pts.push((phi.size() as f64, ms));
         println!("{}", row(&[format!("{}", phi.size()), format!("{ms:.2}")]));
     }
-    println!("fitted |phi|-exponent (claim: ~1): {:.2}", loglog_slope(&pts));
+    println!(
+        "fitted |phi|-exponent (claim: ~1): {:.2}",
+        loglog_slope(&pts)
+    );
 }
 
 /// E2 — Prop 2: deterministic JNL satisfiability (NP), 3SAT reduction.
 fn e2() {
-    header("E2", "Prop 2 — deterministic JNL satisfiability via 3SAT (NP-complete)");
+    header(
+        "E2",
+        "Prop 2 — deterministic JNL satisfiability via 3SAT (NP-complete)",
+    );
     use jnl::reduce::threesat::ThreeSat;
     println!(
         "{}",
-        row(&["vars".into(), "clauses".into(), "result".into(), "ms".into(), "verified".into()])
+        row(&[
+            "vars".into(),
+            "clauses".into(),
+            "result".into(),
+            "ms".into(),
+            "verified".into()
+        ])
     );
     for (n, seed) in [(5usize, 1u64), (8, 2), (10, 3), (12, 4), (14, 5)] {
         let m = (n as f64 * 4.2) as usize;
@@ -120,7 +145,13 @@ fn e2() {
         };
         println!(
             "{}",
-            row(&[n.to_string(), m.to_string(), label.into(), format!("{ms:.1}"), verified])
+            row(&[
+                n.to_string(),
+                m.to_string(),
+                label.into(),
+                format!("{ms:.1}"),
+                verified
+            ])
         );
     }
 }
@@ -128,10 +159,16 @@ fn e2() {
 /// E3 — Prop 3: recursive/non-deterministic evaluation, linear without
 /// EQ(α,β), cubic with it.
 fn e3() {
-    header("E3", "Prop 3 — recursive eval: linear eq-free (PDL) vs cubic with EQ(a,b)");
+    header(
+        "E3",
+        "Prop 3 — recursive eval: linear eq-free (PDL) vs cubic with EQ(a,b)",
+    );
     let eqfree = e3_formula_eqfree();
     let eqpair = e3_formula_eqpair();
-    println!("{}", row(&["|J|".into(), "pdl ms".into(), "cubic ms".into()]));
+    println!(
+        "{}",
+        row(&["|J|".into(), "pdl ms".into(), "cubic ms".into()])
+    );
     let mut pdl_pts = Vec::new();
     let mut cubic_pts = Vec::new();
     for exp in [8, 9, 10, 11, 12] {
@@ -144,7 +181,11 @@ fn e3() {
         cubic_pts.push((tree.node_count() as f64, c));
         println!(
             "{}",
-            row(&[tree.node_count().to_string(), format!("{p:.2}"), format!("{c:.2}")])
+            row(&[
+                tree.node_count().to_string(),
+                format!("{p:.2}"),
+                format!("{c:.2}")
+            ])
         );
     }
     println!(
@@ -156,7 +197,10 @@ fn e3() {
 
 /// E4 — Prop 4: the undecidability reduction exercised on a halting machine.
 fn e4() {
-    header("E4", "Prop 4 — Minsky-machine reduction (undecidability witness check)");
+    header(
+        "E4",
+        "Prop 4 — Minsky-machine reduction (undecidability witness check)",
+    );
     use jnl::reduce::minsky::{Instr, MinskyMachine};
     let m = MinskyMachine {
         program: vec![
@@ -175,21 +219,33 @@ fn e4() {
     let tree = JsonTree::build(&witness);
     let phi = m.to_jnl();
     let accepted = jnl::eval::cubic::eval(&tree, &phi)[0];
-    println!("halting run length {} -> formula accepts witness: {accepted}", trace.len());
+    println!(
+        "halting run length {} -> formula accepts witness: {accepted}",
+        trace.len()
+    );
     let mut bad = trace.clone();
     bad[1].counters[0] += 1;
     let corrupted = MinskyMachine::encode_trace(&bad);
     let t2 = JsonTree::build(&corrupted);
-    println!("corrupted run rejected: {}", !jnl::eval::cubic::eval(&t2, &phi)[0]);
+    println!(
+        "corrupted run rejected: {}",
+        !jnl::eval::cubic::eval(&t2, &phi)[0]
+    );
 }
 
 /// E5 — Prop 5: satisfiability of non-deterministic (eq-pair-free) JNL via
 /// the Theorem 2 route.
 fn e5() {
-    header("E5", "Prop 5 — nondeterministic JNL satisfiability through JSL (PSPACE route)");
+    header(
+        "E5",
+        "Prop 5 — nondeterministic JNL satisfiability through JSL (PSPACE route)",
+    );
     println!("{}", row(&["formula".into(), "result".into(), "ms".into()]));
     let cases: Vec<(&str, jnl::Unary)> = vec![
-        ("[X_{a(b|c)a}]T", jnl::parse_unary(r#"[@/a(b|c)a/]"#).unwrap()),
+        (
+            "[X_{a(b|c)a}]T",
+            jnl::parse_unary(r#"[@/a(b|c)a/]"#).unwrap(),
+        ),
         (
             "box-empty + diamond",
             jnl::parse_unary(r#"![@/.*/ ; <true>] & [@/x+/]"#).unwrap(),
@@ -199,7 +255,10 @@ fn e5() {
             jnl::parse_unary(r#"[@/a+/ ; <[@0]>] & ![@/a/ ; <[@0]>] & ![@/aa+/ ; <true>]"#)
                 .unwrap(),
         ),
-        ("range demands", jnl::parse_unary(r#"[@[3:5]] & ![@[0:*] ; <[@"k"]>]"#).unwrap()),
+        (
+            "range demands",
+            jnl::parse_unary(r#"[@[3:5]] & ![@[0:*] ; <[@"k"]>]"#).unwrap(),
+        ),
     ];
     for (label, phi) in cases {
         let t0 = std::time::Instant::now();
@@ -218,10 +277,18 @@ fn e5() {
 
 /// E6 — Thm 2: translation sizes on the blowup family.
 fn e6() {
-    header("E6", "Thm 2 — JNL->JSL translation size on the <[X_a]|[X_b]> chain family");
+    header(
+        "E6",
+        "Thm 2 — JNL->JSL translation size on the <[X_a]|[X_b]> chain family",
+    );
     println!(
         "{}",
-        row(&["k".into(), "paper-lit".into(), "path-expand".into(), "cps".into()])
+        row(&[
+            "k".into(),
+            "paper-lit".into(),
+            "path-expand".into(),
+            "cps".into()
+        ])
     );
     for k in 1..=12 {
         let phi = jsl::translate::blowup_family(k);
@@ -230,19 +297,32 @@ fn e6() {
         let cps = jsl::jnl_to_jsl_cps(&phi).unwrap().size();
         println!(
             "{}",
-            row(&[k.to_string(), paper.to_string(), paths.to_string(), cps.to_string()])
+            row(&[
+                k.to_string(),
+                paper.to_string(),
+                paths.to_string(),
+                cps.to_string()
+            ])
         );
     }
     println!("shape check: path-expansion doubles per step (exponential, the paper's remark);");
-    println!("the literal appendix construction and the CPS variant stay linear (see EXPERIMENTS.md).");
+    println!(
+        "the literal appendix construction and the CPS variant stay linear (see EXPERIMENTS.md)."
+    );
 }
 
 /// E7 — Prop 6: JSL evaluation; Unique ablation.
 fn e7() {
-    header("E7", "Prop 6 — JSL evaluation: Unique naive-pairwise (quadratic) vs canonical");
+    header(
+        "E7",
+        "Prop 6 — JSL evaluation: Unique naive-pairwise (quadratic) vs canonical",
+    );
     use jsl::{EvalOptions, UniqueStrategy};
     let phi = e7_formula();
-    println!("{}", row(&["array len".into(), "naive ms".into(), "canonical ms".into()]));
+    println!(
+        "{}",
+        row(&["array len".into(), "naive ms".into(), "canonical ms".into()])
+    );
     let mut naive_pts = Vec::new();
     let mut canon_pts = Vec::new();
     for exp in [8, 9, 10, 11, 12, 13] {
@@ -253,14 +333,29 @@ fn e7() {
         let _ = e7_doc;
         let tree = JsonTree::build(&doc);
         let naive = time_ms(1, || {
-            jsl::eval::evaluate_with(&tree, &phi, EvalOptions { unique: UniqueStrategy::NaivePairwise })
+            jsl::eval::evaluate_with(
+                &tree,
+                &phi,
+                EvalOptions {
+                    unique: UniqueStrategy::NaivePairwise,
+                },
+            )
         });
         let canon = time_ms(3, || {
-            jsl::eval::evaluate_with(&tree, &phi, EvalOptions { unique: UniqueStrategy::Canonical })
+            jsl::eval::evaluate_with(
+                &tree,
+                &phi,
+                EvalOptions {
+                    unique: UniqueStrategy::Canonical,
+                },
+            )
         });
         naive_pts.push((n as f64, naive));
         canon_pts.push((n as f64, canon));
-        println!("{}", row(&[n.to_string(), format!("{naive:.2}"), format!("{canon:.2}")]));
+        println!(
+            "{}",
+            row(&[n.to_string(), format!("{naive:.2}"), format!("{canon:.2}")])
+        );
     }
     println!(
         "fitted exponents — naive (claim ~2): {:.2}, canonical (claim ~1): {:.2}",
@@ -271,14 +366,31 @@ fn e7() {
 
 /// E8 — Prop 7: JSL satisfiability on the QBF reduction.
 fn e8() {
-    header("E8", "Prop 7 — JSL satisfiability on QBF instances (PSPACE-hard family)");
+    header(
+        "E8",
+        "Prop 7 — JSL satisfiability on QBF instances (PSPACE-hard family)",
+    );
     use jsl::reduce::qbf::{Qbf, Quant};
     use rand::{Rng, SeedableRng};
-    println!("{}", row(&["vars".into(), "oracle".into(), "via JSL".into(), "ms".into()]));
+    println!(
+        "{}",
+        row(&[
+            "vars".into(),
+            "oracle".into(),
+            "via JSL".into(),
+            "ms".into()
+        ])
+    );
     for n in 1..=5usize {
         let mut rng = rand::rngs::StdRng::seed_from_u64(n as u64);
         let prefix: Vec<Quant> = (0..n)
-            .map(|_| if rng.gen_bool(0.5) { Quant::Exists } else { Quant::Forall })
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    Quant::Exists
+                } else {
+                    Quant::Forall
+                }
+            })
             .collect();
         let clauses: Vec<Vec<(usize, bool)>> = (0..n + 1)
             .map(|_| {
@@ -297,7 +409,8 @@ fn e8() {
             row(&[
                 n.to_string(),
                 oracle.to_string(),
-                got.map(|b| b.to_string()).unwrap_or_else(|| "unknown".into()),
+                got.map(|b| b.to_string())
+                    .unwrap_or_else(|| "unknown".into()),
                 format!("{ms:.1}"),
             ])
         );
@@ -306,11 +419,20 @@ fn e8() {
 
 /// E9 — Prop 9: recursive JSL evaluation, PTIME vs the unfold baseline.
 fn e9() {
-    header("E9", "Prop 9 — recursive JSL: PTIME bottom-up vs exponential unfold");
+    header(
+        "E9",
+        "Prop 9 — recursive JSL: PTIME bottom-up vs exponential unfold",
+    );
     let delta = e9_even_depth();
     println!(
         "{}",
-        row(&["height".into(), "|J|".into(), "ptime ms".into(), "unfold |phi|".into(), "unfold ms".into()])
+        row(&[
+            "height".into(),
+            "|J|".into(),
+            "ptime ms".into(),
+            "unfold |phi|".into(),
+            "unfold ms".into()
+        ])
     );
     for h in [2usize, 4, 6, 8, 10] {
         let doc = e9_doc(h, 2);
@@ -353,7 +475,10 @@ fn e9() {
 
 /// E10 — Prop 10: J-automata emptiness.
 fn e10() {
-    header("E10", "Prop 10 — J-automata: membership, complement, emptiness");
+    header(
+        "E10",
+        "Prop 10 — J-automata: membership, complement, emptiness",
+    );
     let delta = e9_even_depth();
     let auto = jautomata::JAutomaton::from_recursive_jsl(&delta).unwrap();
     println!("automaton states: {}", auto.rules.len());
@@ -376,7 +501,10 @@ fn e10() {
     );
     let t0 = std::time::Instant::now();
     let never = auto.intersect(&auto.complement());
-    let e = never.is_empty(jsl::SatConfig { max_height: Some(5), ..Default::default() });
+    let e = never.is_empty(jsl::SatConfig {
+        max_height: Some(5),
+        ..Default::default()
+    });
     println!(
         "emptiness of L ∩ ¬L       : {:?} in {:.1} ms",
         match e {
@@ -399,8 +527,10 @@ fn e11() {
         let schema = jschema::infer(&examples);
         let delta = jschema::schema_to_jsl(&schema).unwrap();
         for probe_seed in 0..5u64 {
-            let probe =
-                jsondata::gen::random_json(&jsondata::gen::GenConfig::sized(9_000 + seed * 5 + probe_seed, 40));
+            let probe = jsondata::gen::random_json(&jsondata::gen::GenConfig::sized(
+                9_000 + seed * 5 + probe_seed,
+                40,
+            ));
             let via_schema = jschema::is_valid(&schema, &probe).unwrap();
             let via_jsl = delta.check_root(&JsonTree::build(&probe));
             checked += 1;
@@ -409,13 +539,18 @@ fn e11() {
             }
         }
     }
-    println!("document/schema pairs checked: {checked}; agreement: {agreed} ({:.1}%)",
-        100.0 * agreed as f64 / checked as f64);
+    println!(
+        "document/schema pairs checked: {checked}; agreement: {agreed} ({:.1}%)",
+        100.0 * agreed as f64 / checked as f64
+    );
 }
 
 /// E12 — Thm 3: recursive schema ⇔ recursive JSL differential.
 fn e12() {
-    header("E12", "Thm 3 — recursive Schema <-> recursive JSL (cons-list family)");
+    header(
+        "E12",
+        "Thm 3 — recursive Schema <-> recursive JSL (cons-list family)",
+    );
     let schema = jschema::Schema::parse_str(
         r##"{
         "definitions": {
@@ -457,24 +592,54 @@ fn e12() {
             agreed += 1;
         }
     }
-    println!("documents checked: {checked}; agreement: {agreed} ({:.1}%)",
-        100.0 * agreed as f64 / checked as f64);
+    println!(
+        "documents checked: {checked}; agreement: {agreed} ({:.1}%)",
+        100.0 * agreed as f64 / checked as f64
+    );
 }
 
 /// T1 — the Table 1 keyword coverage matrix.
 fn t1() {
-    header("T1", "Table 1 — keyword coverage (validator + Thm 1 translation)");
+    header(
+        "T1",
+        "Table 1 — keyword coverage (validator + Thm 1 translation)",
+    );
     let cases: Vec<(&str, &str, &str, bool)> = vec![
         ("type(string)", r#"{"type": "string"}"#, r#""x""#, true),
-        ("pattern", r#"{"type": "string", "pattern": "(0|1)+"}"#, r#""01""#, true),
+        (
+            "pattern",
+            r#"{"type": "string", "pattern": "(0|1)+"}"#,
+            r#""01""#,
+            true,
+        ),
         ("type(number)", r#"{"type": "number"}"#, "5", true),
-        ("multipleOf", r#"{"type": "number", "multipleOf": 4}"#, "12", true),
+        (
+            "multipleOf",
+            r#"{"type": "number", "multipleOf": 4}"#,
+            "12",
+            true,
+        ),
         ("minimum", r#"{"type": "number", "minimum": 3}"#, "2", false),
         ("maximum", r#"{"type": "number", "maximum": 3}"#, "4", false),
         ("type(object)", r#"{"type": "object"}"#, "{}", true),
-        ("required", r#"{"type": "object", "required": ["k"]}"#, "{}", false),
-        ("minProperties", r#"{"type": "object", "minProperties": 1}"#, "{}", false),
-        ("maxProperties", r#"{"type": "object", "maxProperties": 0}"#, "{}", true),
+        (
+            "required",
+            r#"{"type": "object", "required": ["k"]}"#,
+            "{}",
+            false,
+        ),
+        (
+            "minProperties",
+            r#"{"type": "object", "minProperties": 1}"#,
+            "{}",
+            false,
+        ),
+        (
+            "maxProperties",
+            r#"{"type": "object", "maxProperties": 0}"#,
+            "{}",
+            true,
+        ),
         (
             "properties",
             r#"{"type": "object", "properties": {"k": {"type": "number"}}}"#,
@@ -493,22 +658,52 @@ fn t1() {
             r#"{"k": 1, "z": "s"}"#,
             false,
         ),
-        ("items", r#"{"type": "array", "items": [{"type": "number"}]}"#, "[1]", true),
+        (
+            "items",
+            r#"{"type": "array", "items": [{"type": "number"}]}"#,
+            "[1]",
+            true,
+        ),
         (
             "additionalItems",
             r#"{"type": "array", "items": [{}], "additionalItems": {"type": "number"}}"#,
             r#"[1, "s"]"#,
             false,
         ),
-        ("uniqueItems", r#"{"type": "array", "uniqueItems": "true"}"#, "[1, 1]", false),
-        ("anyOf", r#"{"anyOf": [{"type": "number"}, {"type": "string"}]}"#, "{}", false),
-        ("allOf", r#"{"allOf": [{"type": "number"}, {"minimum": 2}]}"#, "3", true),
-        ("not", r#"{"not": {"type": "number", "multipleOf": 2}}"#, "3", true),
+        (
+            "uniqueItems",
+            r#"{"type": "array", "uniqueItems": "true"}"#,
+            "[1, 1]",
+            false,
+        ),
+        (
+            "anyOf",
+            r#"{"anyOf": [{"type": "number"}, {"type": "string"}]}"#,
+            "{}",
+            false,
+        ),
+        (
+            "allOf",
+            r#"{"allOf": [{"type": "number"}, {"minimum": 2}]}"#,
+            "3",
+            true,
+        ),
+        (
+            "not",
+            r#"{"not": {"type": "number", "multipleOf": 2}}"#,
+            "3",
+            true,
+        ),
         ("enum", r#"{"enum": [1, "a"]}"#, r#""a""#, true),
     ];
     println!(
         "{}",
-        row(&["keyword".into(), "validator".into(), "Thm1-JSL".into(), "agree".into()])
+        row(&[
+            "keyword".into(),
+            "validator".into(),
+            "Thm1-JSL".into(),
+            "agree".into()
+        ])
     );
     let mut all_agree = true;
     for (kw, schema_src, doc_src, expected) in cases {
@@ -529,7 +724,10 @@ fn t1() {
 
 /// S1 — the §4.1 systems survey: dialects vs their JNL compilations.
 fn s1() {
-    header("S1", "§4.1 — MongoDB find & JSONPath agree with their JNL compilations");
+    header(
+        "S1",
+        "§4.1 — MongoDB find & JSONPath agree with their JNL compilations",
+    );
     let people = jsondata::gen::person_records(20_000, 7);
     let coll = mongofind::Collection::from_array(&people).unwrap();
     let filter =
@@ -553,4 +751,139 @@ fn s1() {
         b.sort();
         println!("jsonpath {path}: {} hits, JNL agrees: {}", a.len(), a == b);
     }
+}
+
+/// S2 — the interning experiment: `Sym`-based hot paths vs the frozen
+/// pre-interning string implementations (`bench::baseline`), emitting the
+/// machine-readable `BENCH_interning.json` that tracks the perf trajectory
+/// from this change onward.
+fn s2() {
+    header(
+        "S2",
+        "Interning — Sym hot paths vs pre-interning string baseline",
+    );
+
+    // --- key lookup: hit and miss over a wide object ---
+    let n_keys = 4096usize;
+    let obj = jsondata::gen::wide_object(n_keys);
+    let tree = JsonTree::build(&obj);
+    let index = bench::baseline::StringChildIndex::build(&tree);
+    let root = tree.root();
+    let hits: Vec<String> = (0..n_keys).map(|i| format!("k{i}")).collect();
+    let misses: Vec<String> = (0..n_keys).map(|i| format!("m{i}")).collect();
+    let count = |keys: &[String], f: &dyn Fn(&str) -> Option<jsondata::NodeId>| {
+        keys.iter().filter(|k| f(k).is_some()).count()
+    };
+    assert_eq!(count(&hits, &|k| tree.child_by_key(root, k)), n_keys);
+    assert_eq!(count(&hits, &|k| index.child_by_key(root, k)), n_keys);
+    assert_eq!(count(&misses, &|k| tree.child_by_key(root, k)), 0);
+    let per_ns = |ms: f64| ms * 1e6 / n_keys as f64;
+    let hit_new = per_ns(time_ms(9, || count(&hits, &|k| tree.child_by_key(root, k))));
+    let hit_old = per_ns(time_ms(9, || {
+        count(&hits, &|k| index.child_by_key(root, k))
+    }));
+    let miss_new = per_ns(time_ms(9, || {
+        count(&misses, &|k| tree.child_by_key(root, k))
+    }));
+    let miss_old = per_ns(time_ms(9, || {
+        count(&misses, &|k| index.child_by_key(root, k))
+    }));
+    println!(
+        "{}",
+        row(&[
+            "lookup".into(),
+            "baseline ns".into(),
+            "interned ns".into(),
+            "speedup".into()
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "hit".into(),
+            format!("{hit_old:.1}"),
+            format!("{hit_new:.1}"),
+            format!("{:.2}x", hit_old / hit_new)
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            "miss".into(),
+            format!("{miss_old:.1}"),
+            format!("{miss_new:.1}"),
+            format!("{:.2}x", miss_old / miss_new)
+        ])
+    );
+
+    // --- E1: deterministic JNL evaluation throughput ---
+    let phi = e1_formula();
+    let doc = scaling_doc(1 << 14, 1);
+    let e1_tree = JsonTree::build(&doc);
+    let e1_nodes = e1_tree.node_count();
+    let e1_index = bench::baseline::StringChildIndex::build(&e1_tree);
+    assert_eq!(
+        bench::baseline::linear_eval_strings(&e1_tree, &e1_index, &phi),
+        jnl::eval::linear::eval(&e1_tree, &phi).unwrap(),
+        "baseline and interned E1 engines must agree"
+    );
+    let e1_old = time_ms(9, || {
+        bench::baseline::linear_eval_strings(&e1_tree, &e1_index, &phi)
+    });
+    let e1_new = time_ms(9, || jnl::eval::linear::eval(&e1_tree, &phi).unwrap());
+    let e1_speedup = e1_old / e1_new;
+
+    // --- E7: JSL Arr ∧ Unique (canonical strategy) throughput ---
+    use jsl::{EvalOptions, UniqueStrategy};
+    let e7_len = 8192usize;
+    let e7_doc = jsondata::gen::wide_array(e7_len);
+    let e7_tree = JsonTree::build(&e7_doc);
+    let e7_phi = e7_formula();
+    let canonical = EvalOptions {
+        unique: UniqueStrategy::Canonical,
+    };
+    assert_eq!(
+        bench::baseline::e7_canonical_strings(&e7_tree),
+        jsl::eval::evaluate_with(&e7_tree, &e7_phi, canonical),
+        "baseline and interned E7 evaluations must agree"
+    );
+    let e7_old = time_ms(9, || bench::baseline::e7_canonical_strings(&e7_tree));
+    let e7_new = time_ms(9, || jsl::eval::evaluate_with(&e7_tree, &e7_phi, canonical));
+    let e7_speedup = e7_old / e7_new;
+
+    println!(
+        "{}",
+        row(&[
+            "eval".into(),
+            "baseline ms".into(),
+            "interned ms".into(),
+            "speedup".into()
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            format!("E1 |J|={e1_nodes}"),
+            format!("{e1_old:.2}"),
+            format!("{e1_new:.2}"),
+            format!("{e1_speedup:.2}x")
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            format!("E7 len={e7_len}"),
+            format!("{e7_old:.2}"),
+            format!("{e7_new:.2}"),
+            format!("{e7_speedup:.2}x")
+        ])
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"s2_interning\",\n  \"units\": {{\"lookup\": \"ns_per_lookup\", \"eval\": \"ms_per_eval\"}},\n  \"key_lookup\": {{\n    \"object_keys\": {n_keys},\n    \"hit\": {{\"baseline\": {hit_old:.2}, \"interned\": {hit_new:.2}, \"speedup\": {:.3}}},\n    \"miss\": {{\"baseline\": {miss_old:.2}, \"interned\": {miss_new:.2}, \"speedup\": {:.3}}}\n  }},\n  \"e1_jnl_eval\": {{\"nodes\": {e1_nodes}, \"baseline\": {e1_old:.3}, \"interned\": {e1_new:.3}, \"speedup\": {e1_speedup:.3}}},\n  \"e7_jsl_eval\": {{\"array_len\": {e7_len}, \"baseline\": {e7_old:.3}, \"interned\": {e7_new:.3}, \"speedup\": {e7_speedup:.3}}}\n}}\n",
+        hit_old / hit_new,
+        miss_old / miss_new,
+    );
+    std::fs::write("BENCH_interning.json", &json).expect("write BENCH_interning.json");
+    println!("wrote BENCH_interning.json");
 }

@@ -3,6 +3,8 @@
 //! one complexity claim of the paper; the workloads here define the
 //! parameter sweeps both entry points use.
 
+pub mod baseline;
+
 use std::time::Instant;
 
 use jnl::ast::{Binary, Unary};
@@ -82,7 +84,10 @@ pub fn e1_formula_sized(k: usize) -> Unary {
                         Binary::key(format!("k{}", i % 7)),
                         Binary::key("x"),
                     ])),
-                    Unary::not(Unary::eq_doc(Binary::key(format!("k{}", i % 5)), Json::Num(i as u64))),
+                    Unary::not(Unary::eq_doc(
+                        Binary::key(format!("k{}", i % 5)),
+                        Json::Num(i as u64),
+                    )),
                 ])
             })
             .collect(),
@@ -140,7 +145,10 @@ pub fn e9_doc(height: usize, branch: usize) -> Json {
 
 /// Formats a measurement table row.
 pub fn row(cols: &[String]) -> String {
-    cols.iter().map(|c| format!("{c:>14}")).collect::<Vec<_>>().join(" ")
+    cols.iter()
+        .map(|c| format!("{c:>14}"))
+        .collect::<Vec<_>>()
+        .join(" ")
 }
 
 #[cfg(test)]
@@ -151,8 +159,7 @@ mod tests {
     fn slope_fits_known_exponents() {
         let linear: Vec<(f64, f64)> = (1..8).map(|i| (i as f64, 3.0 * i as f64)).collect();
         assert!((loglog_slope(&linear) - 1.0).abs() < 0.01);
-        let quad: Vec<(f64, f64)> =
-            (1..8).map(|i| (i as f64, 0.5 * (i * i) as f64)).collect();
+        let quad: Vec<(f64, f64)> = (1..8).map(|i| (i as f64, 0.5 * (i * i) as f64)).collect();
         assert!((loglog_slope(&quad) - 2.0).abs() < 0.01);
     }
 

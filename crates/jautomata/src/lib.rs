@@ -174,7 +174,9 @@ impl JAutomaton {
         // Normalise to a single final state first.
         let mut a = self.clone();
         let f = a.rules.len();
-        a.rules.push(Rule::Or(self.finals.iter().map(|&q| Rule::State(q)).collect()));
+        a.rules.push(Rule::Or(
+            self.finals.iter().map(|&q| Rule::State(q)).collect(),
+        ));
         a.names.push("⋁finals".to_owned());
         a.finals = vec![f];
         // Dualise every rule; state indices keep their meaning ("dual of q").
@@ -196,10 +198,20 @@ impl JAutomaton {
         let f = rules.len();
         rules.push(Rule::And(vec![
             Rule::Or(self.finals.iter().map(|&q| Rule::State(q)).collect()),
-            Rule::Or(other.finals.iter().map(|&q| Rule::State(q + offset)).collect()),
+            Rule::Or(
+                other
+                    .finals
+                    .iter()
+                    .map(|&q| Rule::State(q + offset))
+                    .collect(),
+            ),
         ]));
         names.push("⋀pair".to_owned());
-        JAutomaton { rules, names, finals: vec![f] }
+        JAutomaton {
+            rules,
+            names,
+            finals: vec![f],
+        }
     }
 
     /// Lemma 4/5: compiles a well-formed recursive JSL expression into an
@@ -249,7 +261,11 @@ impl JAutomaton {
                 }
             }
         }
-        Ok(JAutomaton { rules: b.rules, names: b.names, finals: vec![f] })
+        Ok(JAutomaton {
+            rules: b.rules,
+            names: b.names,
+            finals: vec![f],
+        })
     }
 
     /// The inverse of Lemma 4/5: presents the automaton as a well-formed
@@ -350,9 +366,7 @@ fn rule_to_jsl(rule: &Rule, name: &dyn Fn(usize) -> String) -> Jsl {
         Rule::State(q) => Jsl::Var(name(*q)),
         Rule::ExistsKey(e, q) => Jsl::DiamondKey(e.clone(), Box::new(Jsl::Var(name(*q)))),
         Rule::ForallKey(e, q) => Jsl::BoxKey(e.clone(), Box::new(Jsl::Var(name(*q)))),
-        Rule::ExistsRange(i, j, q) => {
-            Jsl::DiamondRange(*i, *j, Box::new(Jsl::Var(name(*q))))
-        }
+        Rule::ExistsRange(i, j, q) => Jsl::DiamondRange(*i, *j, Box::new(Jsl::Var(name(*q)))),
         Rule::ForallRange(i, j, q) => Jsl::BoxRange(*i, *j, Box::new(Jsl::Var(name(*q)))),
     }
 }
@@ -371,8 +385,11 @@ impl Builder {
         }
         let q = self.rules.len();
         self.rules.push(Rule::True); // placeholder, filled by the driver
-        self.names
-            .push(if polarity { name.to_owned() } else { format!("¬{name}") });
+        self.names.push(if polarity {
+            name.to_owned()
+        } else {
+            format!("¬{name}")
+        });
         self.index.insert((name.to_owned(), polarity), q);
         q
     }
@@ -384,18 +401,10 @@ impl Builder {
             (Jsl::True, true) => Rule::True,
             (Jsl::True, false) => Rule::False,
             (Jsl::Not(p), pol) => self.compile(p, !pol),
-            (Jsl::And(ps), true) => {
-                Rule::And(ps.iter().map(|p| self.compile(p, true)).collect())
-            }
-            (Jsl::And(ps), false) => {
-                Rule::Or(ps.iter().map(|p| self.compile(p, false)).collect())
-            }
-            (Jsl::Or(ps), true) => {
-                Rule::Or(ps.iter().map(|p| self.compile(p, true)).collect())
-            }
-            (Jsl::Or(ps), false) => {
-                Rule::And(ps.iter().map(|p| self.compile(p, false)).collect())
-            }
+            (Jsl::And(ps), true) => Rule::And(ps.iter().map(|p| self.compile(p, true)).collect()),
+            (Jsl::And(ps), false) => Rule::Or(ps.iter().map(|p| self.compile(p, false)).collect()),
+            (Jsl::Or(ps), true) => Rule::Or(ps.iter().map(|p| self.compile(p, true)).collect()),
+            (Jsl::Or(ps), false) => Rule::And(ps.iter().map(|p| self.compile(p, false)).collect()),
             (Jsl::Test(t), true) => Rule::Test(t.clone()),
             (Jsl::Test(t), false) => Rule::NegTest(t.clone()),
             (Jsl::Var(v), pol) => Rule::State(self.state_for(v, pol)),
@@ -537,10 +546,8 @@ mod tests {
     fn intersection_is_conjunction() {
         let delta = even_depth();
         let a = JAutomaton::from_recursive_jsl(&delta).unwrap();
-        let b = JAutomaton::from_recursive_jsl(&RecursiveJsl::plain(J::diamond_any_key(
-            J::True,
-        )))
-        .unwrap();
+        let b = JAutomaton::from_recursive_jsl(&RecursiveJsl::plain(J::diamond_any_key(J::True)))
+            .unwrap();
         let both = a.intersect(&b);
         both.validate().unwrap();
         for doc in docs() {
@@ -566,7 +573,10 @@ mod tests {
         }
         // Intersecting with its complement is empty.
         let never = auto.intersect(&auto.complement());
-        match never.is_empty(SatConfig { max_height: Some(6), ..Default::default() }) {
+        match never.is_empty(SatConfig {
+            max_height: Some(6),
+            ..Default::default()
+        }) {
             Emptiness::Empty | Emptiness::Unknown(_) => {}
             Emptiness::NonEmpty(w) => panic!("L ∩ ¬L gave witness {w}"),
         }
@@ -587,9 +597,15 @@ mod tests {
             finals: vec![1],
         };
         auto.validate().unwrap();
-        assert!(auto.accepts(&JsonTree::build(&parse("[7, 1]").unwrap())).unwrap());
-        assert!(!auto.accepts(&JsonTree::build(&parse("[1, 7]").unwrap())).unwrap());
-        assert!(!auto.accepts(&JsonTree::build(&parse("7").unwrap())).unwrap());
+        assert!(auto
+            .accepts(&JsonTree::build(&parse("[7, 1]").unwrap()))
+            .unwrap());
+        assert!(!auto
+            .accepts(&JsonTree::build(&parse("[1, 7]").unwrap()))
+            .unwrap());
+        assert!(!auto
+            .accepts(&JsonTree::build(&parse("7").unwrap()))
+            .unwrap());
     }
 
     #[test]
@@ -599,13 +615,19 @@ mod tests {
             names: vec!["a".into(), "b".into()],
             finals: vec![0],
         };
-        assert!(matches!(auto.validate(), Err(AutomatonError::SameNodeCycle(_))));
+        assert!(matches!(
+            auto.validate(),
+            Err(AutomatonError::SameNodeCycle(_))
+        ));
         let auto = JAutomaton {
             rules: vec![Rule::State(7)],
             names: vec!["a".into()],
             finals: vec![0],
         };
-        assert!(matches!(auto.validate(), Err(AutomatonError::UnknownState(7))));
+        assert!(matches!(
+            auto.validate(),
+            Err(AutomatonError::UnknownState(7))
+        ));
     }
 
     #[test]

@@ -5,8 +5,6 @@
 
 use jsl::eval::JslContext;
 use jsondata::{JsonTree, NodeId};
-use relex::CompiledRegex;
-use std::collections::HashMap;
 
 use crate::{AutomatonError, JAutomaton, Rule};
 
@@ -25,18 +23,10 @@ pub fn run(automaton: &JAutomaton, tree: &JsonTree) -> Result<Run, AutomatonErro
     let n_nodes = tree.node_count();
     let mut labels: Vec<Vec<bool>> = vec![vec![false; n_nodes]; n_states];
     let mut ctx = JslContext::new(tree);
-    let mut regexes: HashMap<String, CompiledRegex> = HashMap::new();
 
     for node in tree.bottom_up() {
         for &q in &order {
-            let v = eval_rule(
-                &automaton.rules[q],
-                tree,
-                node,
-                &labels,
-                &mut ctx,
-                &mut regexes,
-            );
+            let v = eval_rule(&automaton.rules[q], tree, node, &labels, &mut ctx);
             labels[q][node.index()] = v;
         }
     }
@@ -53,47 +43,35 @@ fn eval_rule(
     node: NodeId,
     labels: &[Vec<bool>],
     ctx: &mut JslContext<'_>,
-    regexes: &mut HashMap<String, CompiledRegex>,
 ) -> bool {
     match rule {
         Rule::True => true,
         Rule::False => false,
-        Rule::And(rs) => rs.iter().all(|r| eval_rule(r, tree, node, labels, ctx, regexes)),
-        Rule::Or(rs) => rs.iter().any(|r| eval_rule(r, tree, node, labels, ctx, regexes)),
+        Rule::And(rs) => rs.iter().all(|r| eval_rule(r, tree, node, labels, ctx)),
+        Rule::Or(rs) => rs.iter().any(|r| eval_rule(r, tree, node, labels, ctx)),
         Rule::Test(t) => ctx.node_test(t, node),
         Rule::NegTest(t) => !ctx.node_test(t, node),
         Rule::State(q) => labels[*q][node.index()],
         Rule::ExistsKey(e, q) => {
-            let compiled = regexes
-                .entry(e.to_string())
-                .or_insert_with(|| e.compile());
-            tree.obj_children(node)
-                .iter()
-                .any(|(k, c)| compiled.is_match(k) && labels[*q][c.index()])
+            // Key matching through the shared per-(regex, symbol) memo,
+            // fetched once per rule evaluation.
+            let memo = ctx.memo_for(e);
+            tree.obj_entries(node)
+                .any(|(k, c)| labels[*q][c.index()] && memo.matches_str(k.index(), tree.resolve(k)))
         }
         Rule::ForallKey(e, q) => {
-            let compiled = regexes
-                .entry(e.to_string())
-                .or_insert_with(|| e.compile());
-            tree.obj_children(node)
-                .iter()
-                .all(|(k, c)| !compiled.is_match(k) || labels[*q][c.index()])
+            let memo = ctx.memo_for(e);
+            tree.obj_entries(node).all(|(k, c)| {
+                labels[*q][c.index()] || !memo.matches_str(k.index(), tree.resolve(k))
+            })
         }
-        Rule::ExistsRange(i, j, q) => tree
-            .arr_children(node)
-            .iter()
-            .enumerate()
-            .any(|(pos, c)| {
-                let pos = pos as u64;
-                pos >= *i && j.map_or(true, |j| pos <= j) && labels[*q][c.index()]
-            }),
-        Rule::ForallRange(i, j, q) => tree
-            .arr_children(node)
-            .iter()
-            .enumerate()
-            .all(|(pos, c)| {
-                let pos = pos as u64;
-                !(pos >= *i && j.map_or(true, |j| pos <= j)) || labels[*q][c.index()]
-            }),
+        Rule::ExistsRange(i, j, q) => tree.arr_children(node).iter().enumerate().any(|(pos, c)| {
+            let pos = pos as u64;
+            pos >= *i && j.is_none_or(|j| pos <= j) && labels[*q][c.index()]
+        }),
+        Rule::ForallRange(i, j, q) => tree.arr_children(node).iter().enumerate().all(|(pos, c)| {
+            let pos = pos as u64;
+            !(pos >= *i && j.is_none_or(|j| pos <= j)) || labels[*q][c.index()]
+        }),
     }
 }

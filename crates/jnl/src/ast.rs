@@ -90,6 +90,7 @@ impl Unary {
     }
 
     /// `¬φ`, collapsing double negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(phi: Unary) -> Unary {
         match phi {
             Unary::Not(inner) => *inner,
@@ -389,9 +390,15 @@ mod tests {
             Unary::and(vec![Unary::True, Unary::True]),
             Unary::True,
         ]);
-        assert_eq!(nested, Unary::And(vec![Unary::True, Unary::True, Unary::True]));
+        assert_eq!(
+            nested,
+            Unary::And(vec![Unary::True, Unary::True, Unary::True])
+        );
         assert_eq!(Unary::not(Unary::not(Unary::True)), Unary::True);
-        assert_eq!(Binary::compose(vec![Binary::Epsilon, Binary::Epsilon]), Binary::Epsilon);
+        assert_eq!(
+            Binary::compose(vec![Binary::Epsilon, Binary::Epsilon]),
+            Binary::Epsilon
+        );
         assert_eq!(
             Binary::compose(vec![Binary::key("a"), Binary::Epsilon, Binary::key("b")]),
             Binary::Compose(vec![Binary::key("a"), Binary::key("b")])

@@ -12,7 +12,10 @@ pub struct BitSet {
 impl BitSet {
     /// An empty set over the universe `0..len`.
     pub fn new(len: usize) -> BitSet {
-        BitSet { blocks: vec![0; len.div_ceil(64)], len }
+        BitSet {
+            blocks: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// Universe size.
@@ -49,7 +52,10 @@ impl BitSet {
 
     /// Whether `self ∩ other` is non-empty.
     pub fn intersects(&self, other: &BitSet) -> bool {
-        self.blocks.iter().zip(&other.blocks).any(|(a, b)| a & b != 0)
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .any(|(a, b)| a & b != 0)
     }
 
     /// Whether the set is empty.

@@ -129,11 +129,11 @@ fn relation(ctx: &mut EvalContext<'_>, alpha: &Binary) -> Vec<BitSet> {
             rows
         }
         Binary::KeyRegex(e) => {
-            let compiled = e.compile();
+            let memo = ctx.memo_for(e);
             let mut rows = empty(n);
             for src in tree.node_ids() {
-                for (k, c) in tree.obj_children(src) {
-                    if compiled.is_match(k) {
+                for (k, c) in tree.obj_entries(src) {
+                    if memo.matches_str(k.index(), tree.resolve(k)) {
                         rows[src.index()].insert(c.index());
                     }
                 }
@@ -146,7 +146,7 @@ fn relation(ctx: &mut EvalContext<'_>, alpha: &Binary) -> Vec<BitSet> {
                 let cs = tree.arr_children(src);
                 for (pos, c) in cs.iter().enumerate() {
                     let pos = pos as u64;
-                    if pos >= *i && j.map_or(true, |j| pos <= j) {
+                    if pos >= *i && j.is_none_or(|j| pos <= j) {
                         rows[src.index()].insert(c.index());
                     }
                 }
@@ -258,7 +258,10 @@ mod tests {
         let desc = |k: &str| {
             B::compose(vec![
                 B::key(k),
-                B::star(B::compose(vec![B::star(B::any_key()), B::star(B::any_index())])),
+                B::star(B::compose(vec![
+                    B::star(B::any_key()),
+                    B::star(B::any_index()),
+                ])),
             ])
         };
         let phi = U::eq_pair(desc("l"), desc("r"));

@@ -11,7 +11,7 @@
 //! alternative, pre-comparing all node pairs, is the quadratic baseline
 //! measured in experiment E1).
 
-use jsondata::{JsonTree, NodeId};
+use jsondata::{JsonTree, NodeId, Sym};
 
 use crate::ast::{Binary, Unary};
 use crate::eval::{EvalContext, EvalError, NodeSet};
@@ -23,9 +23,12 @@ pub fn eval(tree: &JsonTree, phi: &Unary) -> Result<NodeSet, EvalError> {
     eval_unary(&mut ctx, phi)
 }
 
-/// One step of a compiled deterministic path.
+/// One step of a compiled deterministic path. Key steps carry the tree's
+/// interned symbol — resolved once at compile time, so the walk itself does
+/// pure `u32` binary searches. `Key(None)` records a key the tree never
+/// interned: no edge anywhere can match, and the walk fails immediately.
 enum Step {
-    Key(String),
+    Key(Option<Sym>),
     Index(i64),
     /// `⟨φ⟩`: proceed only if the current node is in the set.
     Test(NodeSet),
@@ -113,7 +116,7 @@ fn flatten(
 ) -> Result<(), EvalError> {
     match alpha {
         Binary::Epsilon => {}
-        Binary::Key(w) => out.push(Step::Key(w.clone())),
+        Binary::Key(w) => out.push(Step::Key(ctx.tree.sym(w))),
         Binary::Index(i) => out.push(Step::Index(*i)),
         Binary::Test(phi) => out.push(Step::Test(eval_unary(ctx, phi)?)),
         Binary::Compose(parts) => {
@@ -124,7 +127,7 @@ fn flatten(
         Binary::KeyRegex(e) => {
             // A singleton regex is deterministic in effect; accept it.
             match e.as_single_word() {
-                Some(w) => out.push(Step::Key(w)),
+                Some(w) => out.push(Step::Key(ctx.tree.sym(&w))),
                 None => return Err(EvalError::NotDeterministic("X_e (regex key step)")),
             }
         }
@@ -139,7 +142,7 @@ fn walk(tree: &JsonTree, steps: &[Step], from: NodeId) -> Option<NodeId> {
     let mut cur = from;
     for s in steps {
         match s {
-            Step::Key(w) => cur = tree.child_by_key(cur, w)?,
+            Step::Key(sym) => cur = tree.child_by_sym(cur, (*sym)?)?,
             Step::Index(i) => cur = tree.child_by_signed_index(cur, *i)?,
             Step::Test(set) => {
                 if !set[cur.index()] {
@@ -184,7 +187,10 @@ mod tests {
                 B::key("a"),
                 B::key("b"),
             ])),
-            U::eq_doc(B::compose(vec![B::key("hobbies"), B::index(-1)]), parse("\"yoga\"").unwrap()),
+            U::eq_doc(
+                B::compose(vec![B::key("hobbies"), B::index(-1)]),
+                parse("\"yoga\"").unwrap(),
+            ),
         ];
         for src in docs {
             let t = tree(src);

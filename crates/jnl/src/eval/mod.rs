@@ -20,10 +20,8 @@ pub mod naive;
 pub mod pathnfa;
 pub mod pdl;
 
-use std::collections::HashMap;
-
-use jsondata::{CanonTable, Json, JsonTree, NodeId};
-use relex::Regex;
+use jsondata::{CanonTable, Json, JsonTree, NodeId, Sym};
+use relex::{KeyMatchMemo, Regex, RegexMemoTable};
 
 use crate::ast::Unary;
 
@@ -40,7 +38,10 @@ impl std::fmt::Display for EvalError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EvalError::NotDeterministic(what) => {
-                write!(f, "formula uses {what}, outside the deterministic fragment (Prop 1)")
+                write!(
+                    f,
+                    "formula uses {what}, outside the deterministic fragment (Prop 1)"
+                )
             }
             EvalError::EqPairUnsupported => write!(
                 f,
@@ -52,67 +53,73 @@ impl std::fmt::Display for EvalError {
 
 impl std::error::Error for EvalError {}
 
-/// Shared evaluation state for one tree: canonical labels plus caches for
-/// the per-regex edge preprocessing step of the Proposition 3 proof.
+/// Shared evaluation state for one tree: canonical labels plus the
+/// per-`(regex, symbol)` edge-match memo of the Proposition 3 proof's
+/// preprocessing step.
+///
+/// Edge keys live in the tree itself as interned [`Sym`]s — nothing is
+/// cloned here — and each regex is evaluated at most once per **distinct**
+/// key symbol (`O(distinct keys)` runs) instead of once per node, with every
+/// later test a `u32`-indexed table load.
 pub struct EvalContext<'t> {
     /// The document tree.
     pub tree: &'t JsonTree,
     /// Canonical subtree labels (the online-equality refinement of Prop 1).
     pub canon: CanonTable,
-    /// For each node: the key labelling the edge from its parent (if any).
-    edge_key: Vec<Option<String>>,
-    /// For each node: the array position labelling the edge from its parent.
-    edge_index: Vec<Option<u64>>,
-    /// `regex → (per-node: does the incoming edge key match?)`.
-    regex_cache: HashMap<Regex, Vec<bool>>,
+    /// `regex → per-symbol match memo`.
+    regex_memos: RegexMemoTable,
 }
 
 impl<'t> EvalContext<'t> {
-    /// Builds the context (one `O(|J|)` pass).
+    /// Builds the context (one `O(|J|)` pass for the canonical labels; the
+    /// regex memos fill lazily).
     pub fn new(tree: &'t JsonTree) -> EvalContext<'t> {
-        let canon = CanonTable::build(tree);
-        let mut edge_key = vec![None; tree.node_count()];
-        let mut edge_index = vec![None; tree.node_count()];
-        for n in tree.node_ids() {
-            match tree.edge_from_parent(n) {
-                Some(jsondata::EdgeLabel::Key(k)) => edge_key[n.index()] = Some(k.to_owned()),
-                Some(jsondata::EdgeLabel::Index(i)) => edge_index[n.index()] = Some(i as u64),
-                None => {}
-            }
+        EvalContext {
+            tree,
+            canon: CanonTable::build(tree),
+            regex_memos: RegexMemoTable::new(),
         }
-        EvalContext { tree, canon, edge_key, edge_index, regex_cache: HashMap::new() }
     }
 
-    /// The key on the edge into `n`, if `n` is an object child.
-    pub fn incoming_key(&self, n: NodeId) -> Option<&str> {
-        self.edge_key[n.index()].as_deref()
+    /// The key on the edge into `n`, if `n` is an object child (resolved
+    /// string; hot paths should use [`JsonTree::incoming_key_sym`] and
+    /// compare symbols).
+    pub fn incoming_key(&self, n: NodeId) -> Option<&'t str> {
+        self.tree.incoming_key_sym(n).map(|s| self.tree.resolve(s))
     }
 
     /// The position on the edge into `n`, if `n` is an array child.
     pub fn incoming_index(&self, n: NodeId) -> Option<u64> {
-        self.edge_index[n.index()]
+        self.tree.incoming_index(n)
+    }
+
+    /// Whether the string behind `sym` (an edge key or string atom of this
+    /// tree) matches `e`, memoised per `(regex, symbol)`.
+    pub fn key_matches(&mut self, e: &Regex, sym: Sym) -> bool {
+        self.regex_memos
+            .memo(e)
+            .matches_str(sym.index(), self.tree.resolve(sym))
+    }
+
+    /// The per-symbol memo for `e` — fetch once before a loop over many
+    /// edges so the table probe (which hashes the regex AST) runs once, not
+    /// per edge.
+    pub fn memo_for(&mut self, e: &Regex) -> &mut KeyMatchMemo {
+        self.regex_memos.memo(e)
     }
 
     /// Whether the edge into `n` is an object edge whose key matches `e`.
-    /// Per-regex results are cached: this is the preprocessing step that
-    /// keeps Proposition 3 linear.
     pub fn edge_matches(&mut self, e: &Regex, n: NodeId) -> bool {
-        if !self.regex_cache.contains_key(e) {
-            let compiled = e.compile();
-            let marks: Vec<bool> = (0..self.tree.node_count())
-                .map(|i| {
-                    self.edge_key[i].as_deref().is_some_and(|k| compiled.is_match(k))
-                })
-                .collect();
-            self.regex_cache.insert(e.clone(), marks);
+        match self.tree.incoming_key_sym(n) {
+            Some(sym) => self.key_matches(e, sym),
+            None => false,
         }
-        self.regex_cache[e][n.index()]
     }
 
     /// The canonical class of an external document within this tree, if the
     /// document occurs as a subtree.
     pub fn class_of_doc(&self, doc: &Json) -> Option<u32> {
-        self.canon.class_of_json(doc)
+        self.canon.class_of_json(self.tree, doc)
     }
 }
 
@@ -143,6 +150,7 @@ pub fn selected_nodes(tree: &JsonTree, phi: &Unary) -> Vec<NodeId> {
     evaluate(tree, phi)
         .iter()
         .enumerate()
-        .filter_map(|(i, &b)| b.then(|| NodeId::from_index(i)))
+        .filter(|&(_i, &b)| b)
+        .map(|(i, &_b)| NodeId::from_index(i))
         .collect()
 }

@@ -97,7 +97,10 @@ fn eval_binary(ctx: &mut EvalContext<'_>, alpha: &Binary) -> HashSet<(NodeId, No
         Binary::Epsilon => tree.node_ids().map(|n| (n, n)).collect(),
         Binary::Test(phi) => {
             let s = eval_unary(ctx, phi);
-            tree.node_ids().filter(|n| s[n.index()]).map(|n| (n, n)).collect()
+            tree.node_ids()
+                .filter(|n| s[n.index()])
+                .map(|n| (n, n))
+                .collect()
         }
         Binary::Key(w) => tree
             .node_ids()
@@ -108,12 +111,12 @@ fn eval_binary(ctx: &mut EvalContext<'_>, alpha: &Binary) -> HashSet<(NodeId, No
             .filter_map(|n| tree.child_by_signed_index(n, *i).map(|c| (n, c)))
             .collect(),
         Binary::KeyRegex(e) => {
-            let compiled = e.compile();
+            let memo = ctx.memo_for(e);
             let mut out = HashSet::new();
             for n in tree.node_ids() {
-                for (k, c) in tree.obj_children(n) {
-                    if compiled.is_match(k) {
-                        out.insert((n, *c));
+                for (k, c) in tree.obj_entries(n) {
+                    if memo.matches_str(k.index(), tree.resolve(k)) {
+                        out.insert((n, c));
                     }
                 }
             }
@@ -203,7 +206,10 @@ mod tests {
     fn figure1_queries() {
         let src = r#"{"name":{"first":"John","last":"Doe"},"age":32,"hobbies":["fishing","yoga"]}"#;
         // [X_name ∘ X_first]
-        assert!(sat_root(src, &U::exists(B::compose(vec![B::key("name"), B::key("first")]))));
+        assert!(sat_root(
+            src,
+            &U::exists(B::compose(vec![B::key("name"), B::key("first")]))
+        ));
         // EQ(X_name ∘ X_first, "John")
         assert!(sat_root(
             src,
@@ -215,8 +221,14 @@ mod tests {
         // ¬[X_salary]
         assert!(sat_root(src, &U::not(U::exists(B::key("salary")))));
         // array access: [X_hobbies ∘ X_1]
-        assert!(sat_root(src, &U::exists(B::compose(vec![B::key("hobbies"), B::index(1)]))));
-        assert!(!sat_root(src, &U::exists(B::compose(vec![B::key("hobbies"), B::index(2)]))));
+        assert!(sat_root(
+            src,
+            &U::exists(B::compose(vec![B::key("hobbies"), B::index(1)]))
+        ));
+        assert!(!sat_root(
+            src,
+            &U::exists(B::compose(vec![B::key("hobbies"), B::index(2)]))
+        ));
         // negative index: EQ(X_hobbies ∘ X_{-1}, "yoga")
         assert!(sat_root(
             src,
@@ -251,18 +263,27 @@ mod tests {
         assert!(set[0]);
         let hits = eval(
             &t,
-            &U::eq_doc(B::compose(vec![B::key("arr"), B::range(1, Some(2))]), parse("30").unwrap()),
+            &U::eq_doc(
+                B::compose(vec![B::key("arr"), B::range(1, Some(2))]),
+                parse("30").unwrap(),
+            ),
         );
         assert!(hits[0]);
         let miss = eval(
             &t,
-            &U::eq_doc(B::compose(vec![B::key("arr"), B::range(0, Some(1))]), parse("30").unwrap()),
+            &U::eq_doc(
+                B::compose(vec![B::key("arr"), B::range(0, Some(1))]),
+                parse("30").unwrap(),
+            ),
         );
         assert!(!miss[0]);
         // open range i:∞
         let open = eval(
             &t,
-            &U::eq_doc(B::compose(vec![B::key("arr"), B::range(2, None)]), parse("40").unwrap()),
+            &U::eq_doc(
+                B::compose(vec![B::key("arr"), B::range(2, None)]),
+                parse("40").unwrap(),
+            ),
         );
         assert!(open[0]);
     }
@@ -272,11 +293,17 @@ mod tests {
         let src = r#"{"a": {"a": {"a": {"leaf": 7}}}}"#;
         let any_desc = B::star(B::any_key());
         // descendant with value 7 under key leaf
-        let phi = U::eq_doc(B::compose(vec![any_desc, B::key("leaf")]), parse("7").unwrap());
+        let phi = U::eq_doc(
+            B::compose(vec![any_desc, B::key("leaf")]),
+            parse("7").unwrap(),
+        );
         assert!(sat_root(src, &phi));
         // bounded composition fails before depth 3
         let two = B::power(B::key("a"), 2);
-        assert!(!sat_root(src, &U::exists(B::compose(vec![two, B::key("leaf")]))));
+        assert!(!sat_root(
+            src,
+            &U::exists(B::compose(vec![two, B::key("leaf")]))
+        ));
     }
 
     #[test]
@@ -284,8 +311,14 @@ mod tests {
         // From the paper (Prop 2 discussion): X_a[X_1] ∧ X_a[X_b] forces the
         // value under key a to be both array and object.
         let phi = U::and(vec![
-            U::exists(B::compose(vec![B::key("a"), B::test(U::exists(B::index(0)))])),
-            U::exists(B::compose(vec![B::key("a"), B::test(U::exists(B::key("b")))])),
+            U::exists(B::compose(vec![
+                B::key("a"),
+                B::test(U::exists(B::index(0))),
+            ])),
+            U::exists(B::compose(vec![
+                B::key("a"),
+                B::test(U::exists(B::key("b"))),
+            ])),
         ]);
         assert!(!sat_root(r#"{"a": [0]}"#, &phi));
         assert!(!sat_root(r#"{"a": {"b": 1}}"#, &phi));

@@ -7,6 +7,7 @@
 //! transitions are labelled with tree moves, then compute reachability over
 //! the product of the tree and the NFA ([`crate::eval::pdl`]).
 
+use jsondata::Sym;
 use relex::Regex;
 
 use crate::ast::{Binary, Unary};
@@ -19,8 +20,10 @@ pub enum PathLabel {
     Eps,
     /// `⟨φ⟩`: stay, but only where the referenced test set holds.
     Test(usize),
-    /// `X_w`: move to the object child under exactly this key.
-    Word(String),
+    /// `X_w`: move to the object child under exactly this key, resolved to
+    /// the tree's interned symbol at compile time (`None` when the tree
+    /// never interned the key — such a transition can never fire).
+    Word(Option<Sym>),
     /// `X_e`: move to any object child whose key matches.
     Re(Regex),
     /// `X_i`: move to the array child at this (possibly negative) position.
@@ -50,12 +53,21 @@ impl PathNfa {
         alpha: &Binary,
         eval_test: &mut dyn FnMut(&mut EvalContext<'_>, &Unary) -> Result<NodeSet, EvalError>,
     ) -> Result<(PathNfa, Vec<NodeSet>), EvalError> {
-        let mut b = Builder { trans: Vec::new(), n_states: 0, tests: Vec::new() };
+        let mut b = Builder {
+            trans: Vec::new(),
+            n_states: 0,
+            tests: Vec::new(),
+        };
         let start = b.state();
         let accept = b.state();
         b.build(ctx, alpha, start, accept, eval_test)?;
         Ok((
-            PathNfa { trans: b.trans, start, accept, n_states: b.n_states },
+            PathNfa {
+                trans: b.trans,
+                start,
+                accept,
+                n_states: b.n_states,
+            },
             b.tests,
         ))
     }
@@ -92,7 +104,9 @@ impl Builder {
     ) -> Result<(), EvalError> {
         match alpha {
             Binary::Epsilon => self.trans.push((from, PathLabel::Eps, to)),
-            Binary::Key(w) => self.trans.push((from, PathLabel::Word(w.clone()), to)),
+            Binary::Key(w) => self
+                .trans
+                .push((from, PathLabel::Word(ctx.tree.sym(w)), to)),
             Binary::Index(i) => self.trans.push((from, PathLabel::Index(*i), to)),
             Binary::KeyRegex(e) => self.trans.push((from, PathLabel::Re(e.clone()), to)),
             Binary::Range(i, j) => self.trans.push((from, PathLabel::Range(*i, *j), to)),
@@ -105,7 +119,11 @@ impl Builder {
             Binary::Compose(parts) => {
                 let mut cur = from;
                 for (i, p) in parts.iter().enumerate() {
-                    let next = if i + 1 == parts.len() { to } else { self.state() };
+                    let next = if i + 1 == parts.len() {
+                        to
+                    } else {
+                        self.state()
+                    };
                     self.build(ctx, p, cur, next, eval_test)?;
                     cur = next;
                 }
@@ -142,8 +160,7 @@ mod tests {
             B::range(0, None),
             B::test(crate::ast::Unary::True),
         ]);
-        let (nfa, tests) = PathNfa::compile(&mut ctx, &alpha, &mut |_, _| Ok(vec![true]))
-            .unwrap();
+        let (nfa, tests) = PathNfa::compile(&mut ctx, &alpha, &mut |_, _| Ok(vec![true])).unwrap();
         assert!(nfa.n_states <= 2 * alpha.size());
         assert_eq!(tests.len(), 1);
         // Every state is an endpoint of some transition or start/accept.

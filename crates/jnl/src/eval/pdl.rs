@@ -60,8 +60,8 @@ fn eval_unary(ctx: &mut EvalContext<'_>, phi: &Unary) -> Result<NodeSet, EvalErr
         Unary::EqDoc(alpha, doc) => {
             let mut target = vec![false; n];
             if let Some(class) = ctx.class_of_doc(doc) {
-                for i in 0..n {
-                    target[i] = ctx.canon.class_of(NodeId::from_index(i)) == class;
+                for (i, t) in target.iter_mut().enumerate() {
+                    *t = ctx.canon.class_of(NodeId::from_index(i)) == class;
                 }
             }
             pre(ctx, alpha, &target)?
@@ -96,8 +96,8 @@ fn pre(ctx: &mut EvalContext<'_>, alpha: &Binary, target: &NodeSet) -> Result<No
             let pred_node = match label {
                 PathLabel::Eps => Some(node),
                 PathLabel::Test(ti) => tests[*ti][node.index()].then_some(node),
-                PathLabel::Word(w) => match ctx.incoming_key(node) {
-                    Some(k) if k == w => tree.parent(node),
+                PathLabel::Word(sym) => match (sym, tree.incoming_key_sym(node)) {
+                    (Some(w), Some(k)) if *w == k => tree.parent(node),
                     _ => None,
                 },
                 PathLabel::Re(e) => {
@@ -112,7 +112,7 @@ fn pre(ctx: &mut EvalContext<'_>, alpha: &Binary, target: &NodeSet) -> Result<No
                     _ => None,
                 },
                 PathLabel::Range(i, j) => match ctx.incoming_index(node) {
-                    Some(pos) if pos >= *i && j.map_or(true, |j| pos <= j) => tree.parent(node),
+                    Some(pos) if pos >= *i && j.is_none_or(|j| pos <= j) => tree.parent(node),
                     _ => None,
                 },
             };

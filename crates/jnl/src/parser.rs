@@ -37,7 +37,11 @@ pub struct JnlParseError {
 
 impl fmt::Display for JnlParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JNL syntax error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "JNL syntax error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -78,7 +82,10 @@ impl<'a> P<'a> {
     }
 
     fn err(&self, msg: &str) -> JnlParseError {
-        JnlParseError { offset: self.pos, message: msg.to_owned() }
+        JnlParseError {
+            offset: self.pos,
+            message: msg.to_owned(),
+        }
     }
 
     fn done(&self) -> bool {
@@ -288,7 +295,11 @@ impl<'a> P<'a> {
                 self.ws();
                 self.expect(":")?;
                 self.ws();
-                let j = if self.eat("*") { None } else { Some(self.nat()?) };
+                let j = if self.eat("*") {
+                    None
+                } else {
+                    Some(self.nat()?)
+                };
                 self.ws();
                 self.expect("]")?;
                 if let Some(j) = j {
@@ -354,10 +365,7 @@ impl<'a> P<'a> {
         let mut depth = 0i32;
         let mut in_str = false;
         let mut escaped = false;
-        loop {
-            let Some(c) = self.peek() else {
-                break;
-            };
+        while let Some(c) = self.peek() {
             if in_str {
                 if escaped {
                     escaped = false;
@@ -405,7 +413,10 @@ mod tests {
     #[test]
     fn parses_deterministic_formulas() {
         let phi = parse_unary(r#"[@"name" ; @"first"]"#).unwrap();
-        assert_eq!(phi, U::exists(B::compose(vec![B::key("name"), B::key("first")])));
+        assert_eq!(
+            phi,
+            U::exists(B::compose(vec![B::key("name"), B::key("first")]))
+        );
         let phi = parse_unary(r#"eqdoc(@"age", 32)"#).unwrap();
         assert_eq!(phi, U::eq_doc(B::key("age"), jsondata::Json::Num(32)));
         let phi = parse_unary(r#"eqpair(@0, @-1)"#).unwrap();

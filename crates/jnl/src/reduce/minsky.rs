@@ -56,7 +56,10 @@ impl MinskyMachine {
     /// Runs the machine up to `max_steps`; returns the configuration trace
     /// ending in a `Halt` state, or `None` if it does not halt in time.
     pub fn run(&self, max_steps: usize) -> Option<Vec<Config>> {
-        let mut trace = vec![Config { state: 0, counters: [0, 0] }];
+        let mut trace = vec![Config {
+            state: 0,
+            counters: [0, 0],
+        }];
         for _ in 0..max_steps {
             let cur = trace.last().expect("trace nonempty").clone();
             match self.program.get(cur.state)? {
@@ -64,7 +67,10 @@ impl MinskyMachine {
                 Instr::Inc(c, q) => {
                     let mut counters = cur.counters;
                     counters[*c] += 1;
-                    trace.push(Config { state: *q, counters });
+                    trace.push(Config {
+                        state: *q,
+                        counters,
+                    });
                 }
                 Instr::Dec(c, q) => {
                     if cur.counters[*c] == 0 {
@@ -72,11 +78,21 @@ impl MinskyMachine {
                     }
                     let mut counters = cur.counters;
                     counters[*c] -= 1;
-                    trace.push(Config { state: *q, counters });
+                    trace.push(Config {
+                        state: *q,
+                        counters,
+                    });
                 }
                 Instr::IfZero(c, then_q, else_q) => {
-                    let q = if cur.counters[*c] == 0 { *then_q } else { *else_q };
-                    trace.push(Config { state: q, counters: cur.counters });
+                    let q = if cur.counters[*c] == 0 {
+                        *then_q
+                    } else {
+                        *else_q
+                    };
+                    trace.push(Config {
+                        state: q,
+                        counters: cur.counters,
+                    });
                 }
             }
         }
@@ -163,10 +179,7 @@ impl MinskyMachine {
                     state_is(q),
                     // current.c.a == next.c (implies current.c > 0).
                     Unary::eq_pair(
-                        Binary::compose(vec![
-                            Binary::key(Self::counter_key(*c)),
-                            Binary::key("a"),
-                        ]),
+                        Binary::compose(vec![Binary::key(Self::counter_key(*c)), Binary::key("a")]),
                         Binary::compose(vec![
                             Binary::key("next"),
                             Binary::key(Self::counter_key(*c)),
@@ -293,13 +306,21 @@ mod tests {
     #[test]
     fn non_halting_machine_never_accepts_prefixes() {
         // Loop forever: inc then jump back.
-        let m = MinskyMachine { program: vec![Instr::Inc(0, 1), Instr::IfZero(1, 0, 0)] };
+        let m = MinskyMachine {
+            program: vec![Instr::Inc(0, 1), Instr::IfZero(1, 0, 0)],
+        };
         assert!(m.run(200).is_none());
         // Hand-built prefix traces cannot satisfy the formula (no Halt).
         let phi = m.to_jnl();
         let fake = MinskyMachine::encode_trace(&[
-            Config { state: 0, counters: [0, 0] },
-            Config { state: 1, counters: [1, 0] },
+            Config {
+                state: 0,
+                counters: [0, 0],
+            },
+            Config {
+                state: 1,
+                counters: [1, 0],
+            },
         ]);
         let t = JsonTree::build(&fake);
         assert!(!crate::eval::cubic::eval(&t, &phi)[t.root().index()]);

@@ -59,9 +59,9 @@ impl ThreeSat {
 
     /// Evaluates an assignment.
     pub fn eval(&self, assignment: &[bool]) -> bool {
-        self.clauses.iter().all(|c| {
-            c.iter().any(|&(v, pos)| assignment[v] == pos)
-        })
+        self.clauses
+            .iter()
+            .all(|c| c.iter().any(|&(v, pos)| assignment[v] == pos))
     }
 
     /// The key used for variable `v`.
@@ -169,7 +169,10 @@ mod tests {
                 SatResult::Sat(w) => {
                     assert!(expected, "seed {seed}: solver said SAT, brute force UNSAT");
                     let assignment = inst.decode_witness(&w);
-                    assert!(inst.eval(&assignment), "seed {seed}: decoded assignment invalid");
+                    assert!(
+                        inst.eval(&assignment),
+                        "seed {seed}: decoded assignment invalid"
+                    );
                 }
                 SatResult::Unsat => {
                     assert!(!expected, "seed {seed}: solver said UNSAT, brute force SAT")

@@ -67,15 +67,17 @@ pub fn sat_deterministic_with_budget(phi: &Unary, budget: usize) -> SatResult {
     } else {
         phi
     };
-    let mut solver = Solver { budget, exhausted: false, original: phi };
+    let mut solver = Solver {
+        budget,
+        exhausted: false,
+        original: phi,
+    };
     let mut state = State::new();
     let root = state.fresh_node();
-    let nnf = nnf(&phi, false);
+    let nnf = nnf(phi, false);
     match solver.search(state, root, vec![(root, nnf)]) {
         Some(witness) => SatResult::Sat(witness),
-        None if solver.exhausted => {
-            SatResult::Unknown("branch budget exhausted".to_owned())
-        }
+        None if solver.exhausted => SatResult::Unknown("branch budget exhausted".to_owned()),
         None => SatResult::Unsat,
     }
 }
@@ -94,8 +96,11 @@ fn rank_preprocess(phi: &Unary) -> Unary {
     // correctness: the global ranking also preserves order).
     let mut indices: BTreeSet<u64> = BTreeSet::new();
     collect_indices_u(phi, &mut indices);
-    let rank: BTreeMap<u64, u64> =
-        indices.iter().enumerate().map(|(r, &i)| (i, r as u64)).collect();
+    let rank: BTreeMap<u64, u64> = indices
+        .iter()
+        .enumerate()
+        .map(|(r, &i)| (i, r as u64))
+        .collect();
     map_indices_u(phi, &rank)
 }
 
@@ -164,9 +169,7 @@ fn map_indices_b(alpha: &Binary, rank: &BTreeMap<u64, u64>) -> Binary {
     match alpha {
         Binary::Index(i) if *i >= 0 => Binary::Index(rank[&(*i as u64)] as i64),
         Binary::Test(p) => Binary::Test(Box::new(map_indices_u(p, rank))),
-        Binary::Compose(ps) => {
-            Binary::Compose(ps.iter().map(|p| map_indices_b(p, rank)).collect())
-        }
+        Binary::Compose(ps) => Binary::Compose(ps.iter().map(|p| map_indices_b(p, rank)).collect()),
         Binary::Star(a) => Binary::Star(Box::new(map_indices_b(a, rank))),
         other => other.clone(),
     }
@@ -243,7 +246,10 @@ impl State {
 
     fn fresh_node(&mut self) -> PId {
         let id = self.nodes.len();
-        self.nodes.push(PNode { uf: id, ..PNode::default() });
+        self.nodes.push(PNode {
+            uf: id,
+            ..PNode::default()
+        });
         id
     }
 
@@ -411,7 +417,9 @@ impl State {
                     node.idxs.iter().map(|(&i, &c)| (i, c)).collect()
                 };
                 for (i, c) in existing {
-                    let Some(sub) = items.get(i as usize) else { return false };
+                    let Some(sub) = items.get(i as usize) else {
+                        return false;
+                    };
                     if !self.impose_exact(c, &sub.clone()) {
                         return false;
                     }
@@ -700,18 +708,16 @@ impl<'a> Solver<'a> {
                     }
                 }
                 Unary::EqPair(alpha, beta) => {
-                    let Some(a) = self.walk_ob(&mut state, x, &alpha, &mut obligations) else {
-                        return None;
-                    };
-                    let Some(b) = self.walk_ob(&mut state, x, &beta, &mut obligations) else {
-                        return None;
-                    };
+                    let a = self.walk_ob(&mut state, x, &alpha, &mut obligations)?;
+                    let b = self.walk_ob(&mut state, x, &beta, &mut obligations)?;
                     if state.merge(a, b) {
                         continue;
                     }
                     return None;
                 }
-                Unary::Not(inner) => return self.search_negation(state, root, obligations, x, *inner),
+                Unary::Not(inner) => {
+                    return self.search_negation(state, root, obligations, x, *inner)
+                }
             }
         }
     }
@@ -726,70 +732,69 @@ impl<'a> Solver<'a> {
         inner: Unary,
     ) -> Option<Json> {
         match inner {
-                Unary::True => None,
-                Unary::Exists(alpha) => {
-                    self.branch_path_failure(state, root, obligations, x, &alpha, None)
+            Unary::True => None,
+            Unary::Exists(alpha) => {
+                self.branch_path_failure(state, root, obligations, x, &alpha, None)
+            }
+            Unary::EqDoc(alpha, doc) => {
+                // ¬EQ(α, A): path fails, or end differs from A.
+                self.branch_path_failure(
+                    state,
+                    root,
+                    obligations,
+                    x,
+                    &alpha,
+                    Some(NegEnd::NotDoc(doc)),
+                )
+            }
+            Unary::EqPair(alpha, beta) => {
+                // ¬EQ(α, β): α fails, or β fails, or both end nodes differ.
+                // Case 1: α fails.
+                if let Some(w) = self.branch_path_failure(
+                    state.clone(),
+                    root,
+                    obligations.clone(),
+                    x,
+                    &alpha,
+                    None,
+                ) {
+                    return Some(w);
                 }
-                Unary::EqDoc(alpha, doc) => {
-                    // ¬EQ(α, A): path fails, or end differs from A.
-                    self.branch_path_failure(
-                        state,
-                        root,
-                        obligations,
-                        x,
-                        &alpha,
-                        Some(NegEnd::NotDoc(doc)),
-                    )
+                if self.exhausted {
+                    return None;
                 }
-                Unary::EqPair(alpha, beta) => {
-                    // ¬EQ(α, β): α fails, or β fails, or both end nodes differ.
-                    // Case 1: α fails.
-                    if let Some(w) = self.branch_path_failure(
-                        state.clone(),
-                        root,
-                        obligations.clone(),
-                        x,
-                        &alpha,
-                        None,
-                    ) {
-                        return Some(w);
-                    }
-                    if self.exhausted {
-                        return None;
-                    }
-                    // Case 2: α succeeds, β fails.
-                    {
-                        let mut st = state.clone();
-                        let mut obs = obligations.clone();
-                        if self.walk_ob(&mut st, x, &alpha, &mut obs).is_some() {
-                            if let Some(w) = self.branch_path_failure(st, root, obs, x, &beta, None)
-                            {
-                                return Some(w);
-                            }
-                            if self.exhausted {
-                                return None;
-                            }
+                // Case 2: α succeeds, β fails.
+                {
+                    let mut st = state.clone();
+                    let mut obs = obligations.clone();
+                    if self.walk_ob(&mut st, x, &alpha, &mut obs).is_some() {
+                        if let Some(w) = self.branch_path_failure(st, root, obs, x, &beta, None) {
+                            return Some(w);
+                        }
+                        if self.exhausted {
+                            return None;
                         }
                     }
-                    // Case 3: both succeed, subtrees differ.
-                    let mut st = state;
-                    let mut obs = obligations;
-                    let a = self.walk_ob(&mut st, x, &alpha, &mut obs)?;
-                    let b = self.walk_ob(&mut st, x, &beta, &mut obs)?;
-                    let (ra, rb) = (st.find(a), st.find(b));
-                    if ra == rb {
-                        return None;
-                    }
-                    st.nodes[ra].diseq.push(rb);
-                    self.search(st, root, obs)
                 }
-                // NNF guarantees no other shapes under Not.
-                other => {
-                    let nf = nnf(&Unary::Not(Box::new(other)), false);
-                    let mut obs = obligations;
-                    obs.push((x, nf));
-                    self.search(state, root, obs)
+                // Case 3: both succeed, subtrees differ.
+                let mut st = state;
+                let mut obs = obligations;
+                let a = self.walk_ob(&mut st, x, &alpha, &mut obs)?;
+                let b = self.walk_ob(&mut st, x, &beta, &mut obs)?;
+                let (ra, rb) = (st.find(a), st.find(b));
+                if ra == rb {
+                    return None;
                 }
+                st.nodes[ra].diseq.push(rb);
+                self.search(st, root, obs)
+            }
+            // NNF guarantees no other shapes under Not.
+            other => {
+                let nf = nnf(&Unary::Not(Box::new(other)), false);
+                let mut obs = obligations;
+                obs.push((x, nf));
+                self.search(state, root, obs)
+            }
         }
     }
 
@@ -982,9 +987,8 @@ fn entailed(state: &State, x: PId, phi: &Unary) -> bool {
         Unary::And(ps) => ps.iter().all(|p| entailed(state, x, p)),
         Unary::Or(ps) => ps.iter().any(|p| entailed(state, x, p)),
         Unary::Exists(alpha) => peek_walk(state, x, alpha).is_some(),
-        Unary::EqDoc(alpha, doc) => peek_walk(state, x, alpha).is_some_and(|end| {
-            state.nodes[state.find(end)].exact.as_ref() == Some(doc)
-        }),
+        Unary::EqDoc(alpha, doc) => peek_walk(state, x, alpha)
+            .is_some_and(|end| state.nodes[state.find(end)].exact.as_ref() == Some(doc)),
         Unary::EqPair(alpha, beta) => match (peek_walk(state, x, alpha), peek_walk(state, x, beta))
         {
             (Some(a), Some(b)) => state.find(a) == state.find(b),
@@ -1105,8 +1109,14 @@ mod tests {
         // X_a[X_0] ∧ X_a[X_b]: key `a` must be both array and object
         // (the paper's Prop 2 discussion, positive and equality-free).
         let phi = U::and(vec![
-            U::exists(B::compose(vec![B::key("a"), B::test(U::exists(B::index(0)))])),
-            U::exists(B::compose(vec![B::key("a"), B::test(U::exists(B::key("b")))])),
+            U::exists(B::compose(vec![
+                B::key("a"),
+                B::test(U::exists(B::index(0))),
+            ])),
+            U::exists(B::compose(vec![
+                B::key("a"),
+                B::test(U::exists(B::key("b"))),
+            ])),
         ]);
         assert_eq!(sat_deterministic(&phi), SatResult::Unsat);
     }
@@ -1124,10 +1134,7 @@ mod tests {
     #[test]
     fn negation_branches() {
         // ¬[X_a] ∧ [X_b]
-        let phi = U::and(vec![
-            U::not(U::exists(B::key("a"))),
-            U::exists(B::key("b")),
-        ]);
+        let phi = U::and(vec![U::not(U::exists(B::key("a"))), U::exists(B::key("b"))]);
         let w = verify_sat(&phi);
         assert!(w.get("a").is_none());
         assert!(w.get("b").is_some());
@@ -1157,7 +1164,10 @@ mod tests {
         // EQ(X_l, X_r) ∧ EQ(X_l ∘ X_v, 7) ∧ [X_r ∘ X_w]
         let phi = U::and(vec![
             U::eq_pair(B::key("l"), B::key("r")),
-            U::eq_doc(B::compose(vec![B::key("l"), B::key("v")]), parse("7").unwrap()),
+            U::eq_doc(
+                B::compose(vec![B::key("l"), B::key("v")]),
+                parse("7").unwrap(),
+            ),
             U::exists(B::compose(vec![B::key("r"), B::key("w")])),
         ]);
         let w = verify_sat(&phi);

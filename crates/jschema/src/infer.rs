@@ -29,7 +29,10 @@ pub fn infer(examples: &[Json]) -> Schema {
     }
     let mut branches: Vec<Schema> = Vec::new();
     if !strings.is_empty() {
-        branches.push(Schema { ty: Some(SchemaType::String), ..Schema::default() });
+        branches.push(Schema {
+            ty: Some(SchemaType::String),
+            ..Schema::default()
+        });
     }
     if !numbers.is_empty() {
         branches.push(Schema {
@@ -43,9 +46,12 @@ pub fn infer(examples: &[Json]) -> Schema {
         branches.push(infer_objects(&objects));
     }
     if !arrays.is_empty() {
-        let all_items: Vec<Json> =
-            arrays.iter().flat_map(|a| a.iter().cloned()).collect();
-        let element = if all_items.is_empty() { Schema::default() } else { infer(&all_items) };
+        let all_items: Vec<Json> = arrays.iter().flat_map(|a| a.iter().cloned()).collect();
+        let element = if all_items.is_empty() {
+            Schema::default()
+        } else {
+            infer(&all_items)
+        };
         branches.push(Schema {
             ty: Some(SchemaType::Array),
             additional_items: Some(Box::new(element)),
@@ -55,7 +61,10 @@ pub fn infer(examples: &[Json]) -> Schema {
     match branches.len() {
         0 => Schema::default(),
         1 => branches.into_iter().next().expect("one branch"),
-        _ => Schema { any_of: branches, ..Schema::default() },
+        _ => Schema {
+            any_of: branches,
+            ..Schema::default()
+        },
     }
 }
 
@@ -72,10 +81,7 @@ fn infer_objects(objects: &[&Json]) -> Schema {
     let mut properties = Vec::new();
     let mut required = Vec::new();
     for k in keys {
-        let values: Vec<Json> = objects
-            .iter()
-            .filter_map(|o| o.get(&k).cloned())
-            .collect();
+        let values: Vec<Json> = objects.iter().filter_map(|o| o.get(&k).cloned()).collect();
         if values.len() == objects.len() {
             required.push(k.clone());
         }
@@ -114,7 +120,11 @@ mod tests {
         assert!(schema.required.contains(&"age".to_owned()));
         assert!(!schema.required.contains(&"id".to_owned()));
         // And kind violations are rejected.
-        assert!(!is_valid(&schema, &parse(r#"{"name": 3, "age": 1, "hobbies": []}"#).unwrap()).unwrap());
+        assert!(!is_valid(
+            &schema,
+            &parse(r#"{"name": 3, "age": 1, "hobbies": []}"#).unwrap()
+        )
+        .unwrap());
         assert!(!is_valid(&schema, &parse(r#"{"age": 1, "hobbies": []}"#).unwrap()).unwrap());
     }
 
@@ -158,7 +168,10 @@ mod tests {
     fn inferred_schema_translates_to_jsl() {
         // The inference output stays inside the Table 1 fragment, so the
         // Theorem 1 translation applies to it.
-        let examples = vec![parse(r#"{"a": 1}"#).unwrap(), parse(r#"{"a": 2, "b": "x"}"#).unwrap()];
+        let examples = vec![
+            parse(r#"{"a": 1}"#).unwrap(),
+            parse(r#"{"a": 2, "b": "x"}"#).unwrap(),
+        ];
         let schema = infer(&examples);
         let delta = crate::jsl_bridge::schema_to_jsl(&schema).unwrap();
         for e in &examples {

@@ -110,8 +110,10 @@ impl Schema {
 
     /// Parses a schema from JSON text.
     pub fn parse_str(src: &str) -> Result<Schema, SchemaError> {
-        let doc = jsondata::parse(src)
-            .map_err(|e| SchemaError { at: "#".into(), message: e.to_string() })?;
+        let doc = jsondata::parse(src).map_err(|e| SchemaError {
+            at: "#".into(),
+            message: e.to_string(),
+        })?;
         Schema::parse(&doc)
     }
 
@@ -143,7 +145,12 @@ impl Schema {
         {
             n += 1 + s.keyword_count();
         }
-        for s in self.items.iter().chain(self.any_of.iter()).chain(self.all_of.iter()) {
+        for s in self
+            .items
+            .iter()
+            .chain(self.any_of.iter())
+            .chain(self.all_of.iter())
+        {
             n += 1 + s.keyword_count();
         }
         for (_, s) in &self.definitions {
@@ -154,7 +161,10 @@ impl Schema {
 }
 
 fn err(at: &str, message: impl Into<String>) -> SchemaError {
-    SchemaError { at: at.to_owned(), message: message.into() }
+    SchemaError {
+        at: at.to_owned(),
+        message: message.into(),
+    }
 }
 
 fn parse_at(doc: &Json, at: &str) -> Result<Schema, SchemaError> {
@@ -203,7 +213,10 @@ fn parse_at(doc: &Json, at: &str) -> Result<Schema, SchemaError> {
                 };
                 for (i, item) in items.iter().enumerate() {
                     let Some(s) = item.as_str() else {
-                        return Err(err(&format!("{here}/{i}"), "required entries must be strings"));
+                        return Err(err(
+                            &format!("{here}/{i}"),
+                            "required entries must be strings",
+                        ));
                     };
                     schema.required.push(s.to_owned());
                 }
@@ -237,7 +250,10 @@ fn parse_at(doc: &Json, at: &str) -> Result<Schema, SchemaError> {
             }
             "items" => {
                 let Some(items) = value.as_array() else {
-                    return Err(err(&here, "items must be an array of schemas (Table 1 form)"));
+                    return Err(err(
+                        &here,
+                        "items must be an array of schemas (Table 1 form)",
+                    ));
                 };
                 for (i, sub) in items.iter().enumerate() {
                     schema.items.push(parse_at(sub, &format!("{here}/{i}"))?);
@@ -300,7 +316,9 @@ fn parse_at(doc: &Json, at: &str) -> Result<Schema, SchemaError> {
 }
 
 fn nat(value: &Json, at: &str) -> Result<u64, SchemaError> {
-    value.as_num().ok_or_else(|| err(at, "expected a natural number"))
+    value
+        .as_num()
+        .ok_or_else(|| err(at, "expected a natural number"))
 }
 
 fn sub_list(value: &Json, at: &str) -> Result<Vec<Schema>, SchemaError> {
@@ -367,7 +385,10 @@ mod tests {
         )
         .unwrap();
         assert_eq!(s.definitions.len(), 1);
-        assert_eq!(s.not.unwrap().reference.as_deref(), Some("#/definitions/email"));
+        assert_eq!(
+            s.not.unwrap().reference.as_deref(),
+            Some("#/definitions/email")
+        );
     }
 
     #[test]

@@ -6,9 +6,9 @@
 //! the reverse construction from the appendix. Both directions are
 //! differentially tested against the independent validator.
 
-use jsondata::{Json, JsonPointer};
 use jsl::ast::{Jsl, NodeTest};
 use jsl::recursive::RecursiveJsl;
+use jsondata::{Json, JsonPointer};
 use relex::Regex;
 
 use crate::ir::{Schema, SchemaError, SchemaType};
@@ -115,7 +115,11 @@ fn body_to_jsl(s: &Schema) -> Result<Jsl, SchemaError> {
         parts.push(Jsl::BoxKey(c, Box::new(body_to_jsl(ap)?)));
     }
     for (i, sub) in s.items.iter().enumerate() {
-        parts.push(Jsl::BoxRange(i as u64, Some(i as u64), Box::new(body_to_jsl(sub)?)));
+        parts.push(Jsl::BoxRange(
+            i as u64,
+            Some(i as u64),
+            Box::new(body_to_jsl(sub)?),
+        ));
     }
     match (&s.additional_items, s.items.is_empty()) {
         (Some(ai), _) => {
@@ -127,7 +131,11 @@ fn body_to_jsl(s: &Schema) -> Result<Jsl, SchemaError> {
         }
         (None, false) => {
             // The paper's reading: items alone bounds the length.
-            parts.push(Jsl::BoxRange(s.items.len() as u64, None, Box::new(Jsl::falsity())));
+            parts.push(Jsl::BoxRange(
+                s.items.len() as u64,
+                None,
+                Box::new(Jsl::falsity()),
+            ));
         }
         (None, true) => {}
     }
@@ -300,7 +308,10 @@ fn test_to_schema(t: &NodeTest) -> Json {
                 ]),
                 obj(vec![
                     ("type", Json::str("array")),
-                    ("items", Json::Array(vec![Json::empty_object(); *i as usize])),
+                    (
+                        "items",
+                        Json::Array(vec![Json::empty_object(); *i as usize]),
+                    ),
                 ]),
                 obj(vec![("type", Json::str("string"))]),
                 obj(vec![("type", Json::str("number"))]),
@@ -457,7 +468,10 @@ mod tests {
             J::Test(T::MinCh(2)),
             J::Test(T::MaxCh(1)),
             J::Test(T::EqDoc(parse(r#"{"k": 1}"#).unwrap())),
-            J::and(vec![J::Test(T::Obj), J::diamond_key("name", J::Test(T::Str))]),
+            J::and(vec![
+                J::Test(T::Obj),
+                J::diamond_key("name", J::Test(T::Str)),
+            ]),
             J::or(vec![J::Test(T::Int), J::box_any_key(J::Test(T::Int))]),
             J::not(J::diamond_key("x", J::True)),
             J::BoxRange(1, Some(2), Box::new(J::Test(T::Int))),

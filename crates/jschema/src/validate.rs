@@ -22,7 +22,11 @@ pub struct Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: [{}] {}", self.instance_path, self.keyword, self.message)
+        write!(
+            f,
+            "{}: [{}] {}",
+            self.instance_path, self.keyword, self.message
+        )
     }
 }
 
@@ -41,7 +45,11 @@ pub fn is_valid(schema: &Schema, instance: &Json) -> Result<bool, SchemaError> {
 }
 
 fn fail(out: &mut Vec<Violation>, path: &str, keyword: &'static str, message: String) {
-    out.push(Violation { instance_path: path.to_owned(), keyword, message });
+    out.push(Violation {
+        instance_path: path.to_owned(),
+        keyword,
+        message,
+    });
 }
 
 /// Resolves a `$ref` against the root schema document.
@@ -114,7 +122,12 @@ fn check(
         }
         if let Some(m) = schema.multiple_of {
             if v % m != 0 {
-                fail(out, path, "multipleOf", format!("{v} is not a multiple of {m}"));
+                fail(
+                    out,
+                    path,
+                    "multipleOf",
+                    format!("{v} is not a multiple of {m}"),
+                );
             }
         }
     }
@@ -214,7 +227,12 @@ fn check(
         let mut sub = Vec::new();
         check(s, root, value, path, &mut sub)?;
         if !sub.is_empty() {
-            fail(out, path, "allOf", format!("branch {i} failed ({})", sub[0]));
+            fail(
+                out,
+                path,
+                "allOf",
+                format!("branch {i} failed ({})", sub[0]),
+            );
         }
     }
     if !schema.any_of.is_empty() {
@@ -258,8 +276,14 @@ mod tests {
     fn paper_string_schemas() {
         assert!(ok(r#"{"type": "string"}"#, r#""anything""#));
         assert!(!ok(r#"{"type": "string"}"#, "5"));
-        assert!(ok(r#"{"type": "string", "pattern": "(0|1)+"}"#, r#""0101""#));
-        assert!(!ok(r#"{"type": "string", "pattern": "(0|1)+"}"#, r#""012""#));
+        assert!(ok(
+            r#"{"type": "string", "pattern": "(0|1)+"}"#,
+            r#""0101""#
+        ));
+        assert!(!ok(
+            r#"{"type": "string", "pattern": "(0|1)+"}"#,
+            r#""012""#
+        ));
     }
 
     #[test]

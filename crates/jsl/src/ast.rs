@@ -80,6 +80,7 @@ impl Jsl {
     }
 
     /// `¬φ`, collapsing double negation.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(phi: Jsl) -> Jsl {
         match phi {
             Jsl::Not(inner) => *inner,
@@ -166,9 +167,7 @@ impl Jsl {
         match self {
             Jsl::True | Jsl::Test(_) | Jsl::Var(_) => 0,
             Jsl::Not(p) => p.modal_depth(),
-            Jsl::And(ps) | Jsl::Or(ps) => {
-                ps.iter().map(Jsl::modal_depth).max().unwrap_or(0)
-            }
+            Jsl::And(ps) | Jsl::Or(ps) => ps.iter().map(Jsl::modal_depth).max().unwrap_or(0),
             Jsl::DiamondKey(_, p)
             | Jsl::BoxKey(_, p)
             | Jsl::DiamondRange(_, _, p)
@@ -295,7 +294,10 @@ mod tests {
     #[test]
     fn constructors_normalise() {
         assert_eq!(Jsl::and(vec![]), Jsl::True);
-        assert_eq!(Jsl::and(vec![Jsl::True, Jsl::Test(NodeTest::Obj)]), Jsl::Test(NodeTest::Obj));
+        assert_eq!(
+            Jsl::and(vec![Jsl::True, Jsl::Test(NodeTest::Obj)]),
+            Jsl::Test(NodeTest::Obj)
+        );
         assert_eq!(Jsl::or(vec![]), Jsl::falsity());
         assert_eq!(Jsl::not(Jsl::not(Jsl::True)), Jsl::True);
     }

@@ -8,10 +8,8 @@
 //! * [`UniqueStrategy::Canonical`] — children's canonical classes sorted
 //!   and scanned, `O(|J| log |J|)` (the refinement measured against it).
 
-use std::collections::HashMap;
-
-use jsondata::{CanonTable, Json, JsonTree, NodeId, NodeKind};
-use relex::{CompiledRegex, Regex};
+use jsondata::{CanonTable, Json, JsonTree, NodeId, NodeKind, Sym};
+use relex::{KeyMatchMemo, Regex, RegexMemoTable};
 
 use crate::ast::{Jsl, NodeTest};
 
@@ -36,13 +34,17 @@ pub struct EvalOptions {
     pub unique: UniqueStrategy,
 }
 
-/// Shared evaluation state (canonical table + compiled-regex cache).
+/// Shared evaluation state (canonical table + per-symbol regex memos).
+///
+/// Both edge keys and string atoms are interned by the tree, so every regex
+/// — key modality or `Pattern` node test — runs at most once per distinct
+/// symbol and is a `u32`-indexed table load afterwards.
 pub struct JslContext<'t> {
     /// The tree under evaluation.
     pub tree: &'t JsonTree,
     /// Canonical subtree labels.
     pub canon: CanonTable,
-    regexes: HashMap<Regex, CompiledRegex>,
+    regexes: RegexMemoTable,
     options: EvalOptions,
 }
 
@@ -54,11 +56,27 @@ impl<'t> JslContext<'t> {
 
     /// Builds a context with explicit options.
     pub fn with_options(tree: &'t JsonTree, options: EvalOptions) -> JslContext<'t> {
-        JslContext { tree, canon: CanonTable::build(tree), regexes: HashMap::new(), options }
+        JslContext {
+            tree,
+            canon: CanonTable::build(tree),
+            regexes: RegexMemoTable::new(),
+            options,
+        }
     }
 
-    fn compiled(&mut self, e: &Regex) -> &CompiledRegex {
-        self.regexes.entry(e.clone()).or_insert_with(|| e.compile())
+    /// Whether the string behind `sym` matches `e`, memoised per
+    /// `(regex, symbol)`.
+    pub fn key_matches(&mut self, e: &Regex, sym: Sym) -> bool {
+        self.regexes
+            .memo(e)
+            .matches_str(sym.index(), self.tree.resolve(sym))
+    }
+
+    /// The per-symbol memo for `e` — fetch once before a loop over many
+    /// edges so the table probe (which hashes the regex AST) runs once, not
+    /// per edge.
+    pub fn memo_for(&mut self, e: &Regex) -> &mut KeyMatchMemo {
+        self.regexes.memo(e)
     }
 
     /// Evaluates one node test at one node.
@@ -69,26 +87,20 @@ impl<'t> JslContext<'t> {
             NodeTest::Obj => tree.kind(n) == NodeKind::Obj,
             NodeTest::Str => tree.kind(n) == NodeKind::Str,
             NodeTest::Int => tree.kind(n) == NodeKind::Int,
-            NodeTest::Pattern(e) => match tree.str_value(n) {
-                Some(s) => {
-                    let c = self.compiled(e);
-                    c.is_match(s)
-                }
+            NodeTest::Pattern(e) => match tree.str_sym(n) {
+                Some(sym) => self.key_matches(e, sym),
                 None => false,
             },
             NodeTest::Min(i) => tree.num_value(n).is_some_and(|v| v >= *i),
             NodeTest::Max(i) => tree.num_value(n).is_some_and(|v| v <= *i),
-            NodeTest::MultOf(i) => tree.num_value(n).is_some_and(|v| {
-                if *i == 0 {
-                    v == 0
-                } else {
-                    v % i == 0
-                }
-            }),
+            NodeTest::MultOf(i) => {
+                tree.num_value(n)
+                    .is_some_and(|v| if *i == 0 { v == 0 } else { v % i == 0 })
+            }
             NodeTest::MinCh(i) => (tree.child_count(n) as u64) >= *i,
             NodeTest::MaxCh(i) => (tree.child_count(n) as u64) <= *i,
             NodeTest::EqDoc(doc) => {
-                self.canon.class_of_json(doc) == Some(self.canon.class_of(n))
+                self.canon.class_of_json(tree, doc) == Some(self.canon.class_of(n))
             }
             NodeTest::Unique => self.unique(n),
         }
@@ -102,8 +114,7 @@ impl<'t> JslContext<'t> {
         let cs = tree.arr_children(n);
         match self.options.unique {
             UniqueStrategy::Canonical => {
-                let mut classes: Vec<u32> =
-                    cs.iter().map(|c| self.canon.class_of(*c)).collect();
+                let mut classes: Vec<u32> = cs.iter().map(|c| self.canon.class_of(*c)).collect();
                 classes.sort_unstable();
                 classes.windows(2).all(|w| w[0] != w[1])
             }
@@ -180,39 +191,41 @@ pub(crate) fn eval_set(ctx: &mut JslContext<'_>, phi: &Jsl) -> NodeSet {
             .collect(),
         Jsl::DiamondKey(e, p) => {
             let inner = eval_set(ctx, p);
-            let compiled = ctx.compiled(e).clone();
-            ctx.tree
-                .node_ids()
-                .map(|nd| {
-                    ctx.tree
-                        .obj_children(nd)
-                        .iter()
-                        .any(|(k, c)| inner[c.index()] && compiled.is_match(k))
-                })
-                .collect()
+            let tree = ctx.tree;
+            let memo = ctx.memo_for(e);
+            let mut out = Vec::with_capacity(n);
+            for nd in tree.node_ids() {
+                out.push(tree.obj_entries(nd).any(|(k, c)| {
+                    inner[c.index()] && memo.matches_str(k.index(), tree.resolve(k))
+                }));
+            }
+            out
         }
         Jsl::BoxKey(e, p) => {
             let inner = eval_set(ctx, p);
-            let compiled = ctx.compiled(e).clone();
-            ctx.tree
-                .node_ids()
-                .map(|nd| {
-                    ctx.tree
-                        .obj_children(nd)
-                        .iter()
-                        .all(|(k, c)| !compiled.is_match(k) || inner[c.index()])
-                })
-                .collect()
+            let tree = ctx.tree;
+            let memo = ctx.memo_for(e);
+            let mut out = Vec::with_capacity(n);
+            for nd in tree.node_ids() {
+                out.push(tree.obj_entries(nd).all(|(k, c)| {
+                    inner[c.index()] || !memo.matches_str(k.index(), tree.resolve(k))
+                }));
+            }
+            out
         }
         Jsl::DiamondRange(i, j, p) => {
             let inner = eval_set(ctx, p);
             ctx.tree
                 .node_ids()
                 .map(|nd| {
-                    ctx.tree.arr_children(nd).iter().enumerate().any(|(pos, c)| {
-                        let pos = pos as u64;
-                        pos >= *i && j.map_or(true, |j| pos <= j) && inner[c.index()]
-                    })
+                    ctx.tree
+                        .arr_children(nd)
+                        .iter()
+                        .enumerate()
+                        .any(|(pos, c)| {
+                            let pos = pos as u64;
+                            pos >= *i && j.is_none_or(|j| pos <= j) && inner[c.index()]
+                        })
                 })
                 .collect()
         }
@@ -221,10 +234,14 @@ pub(crate) fn eval_set(ctx: &mut JslContext<'_>, phi: &Jsl) -> NodeSet {
             ctx.tree
                 .node_ids()
                 .map(|nd| {
-                    ctx.tree.arr_children(nd).iter().enumerate().all(|(pos, c)| {
-                        let pos = pos as u64;
-                        !(pos >= *i && j.map_or(true, |j| pos <= j)) || inner[c.index()]
-                    })
+                    ctx.tree
+                        .arr_children(nd)
+                        .iter()
+                        .enumerate()
+                        .all(|(pos, c)| {
+                            let pos = pos as u64;
+                            !(pos >= *i && j.is_none_or(|j| pos <= j)) || inner[c.index()]
+                        })
                 })
                 .collect()
         }
@@ -284,9 +301,17 @@ mod tests {
             let naive = evaluate_with(
                 &t,
                 &phi,
-                EvalOptions { unique: UniqueStrategy::NaivePairwise },
+                EvalOptions {
+                    unique: UniqueStrategy::NaivePairwise,
+                },
             );
-            let canon = evaluate_with(&t, &phi, EvalOptions { unique: UniqueStrategy::Canonical });
+            let canon = evaluate_with(
+                &t,
+                &phi,
+                EvalOptions {
+                    unique: UniqueStrategy::Canonical,
+                },
+            );
             assert_eq!(naive, canon, "doc {src}");
         }
     }
@@ -314,10 +339,30 @@ mod tests {
         assert!(!check_root(&t, &phi));
         // Array ranges under the key arr.
         let arr_phi = |inner: J| J::diamond_key("arr", inner);
-        assert!(check_root(&t, &arr_phi(J::DiamondRange(1, Some(2), Box::new(J::Test(NodeTest::Min(12)))))));
-        assert!(!check_root(&t, &arr_phi(J::DiamondRange(0, Some(1), Box::new(J::Test(NodeTest::Min(12)))))));
-        assert!(check_root(&t, &arr_phi(J::BoxRange(0, None, Box::new(J::Test(NodeTest::Min(10)))))));
-        assert!(!check_root(&t, &arr_phi(J::BoxRange(0, None, Box::new(J::Test(NodeTest::Min(11)))))));
+        assert!(check_root(
+            &t,
+            &arr_phi(J::DiamondRange(
+                1,
+                Some(2),
+                Box::new(J::Test(NodeTest::Min(12)))
+            ))
+        ));
+        assert!(!check_root(
+            &t,
+            &arr_phi(J::DiamondRange(
+                0,
+                Some(1),
+                Box::new(J::Test(NodeTest::Min(12)))
+            ))
+        ));
+        assert!(check_root(
+            &t,
+            &arr_phi(J::BoxRange(0, None, Box::new(J::Test(NodeTest::Min(10)))))
+        ));
+        assert!(!check_root(
+            &t,
+            &arr_phi(J::BoxRange(0, None, Box::new(J::Test(NodeTest::Min(11)))))
+        ));
     }
 
     #[test]
@@ -338,9 +383,7 @@ mod tests {
         // everything else exactly the number 1.
         let name_re = Regex::literal("name");
         let abc_re = Regex::parse("a(b|c)a").unwrap();
-        let other = name_re
-            .to_dfa()
-            .union(&abc_re.to_dfa());
+        let other = name_re.to_dfa().union(&abc_re.to_dfa());
         // Complement via DFA → we only need a regex for testing membership;
         // approximate with box over specific keys in the test documents.
         let _ = other;

@@ -47,8 +47,10 @@ pub mod streaming;
 pub mod translate;
 
 pub use ast::{Jsl, NodeTest};
-pub use parser::{parse_jsl, JslParseError};
 pub use eval::{check_root, evaluate, EvalOptions, UniqueStrategy};
+pub use parser::{parse_jsl, JslParseError};
 pub use recursive::{RecursiveJsl, WellFormednessError};
 pub use sat::{sat_jsl, sat_recursive, JslSatResult, SatConfig};
-pub use translate::{jnl_to_jsl_cps, jnl_to_jsl_paper, jnl_to_jsl_paths, jsl_to_jnl, TranslateError};
+pub use translate::{
+    jnl_to_jsl_cps, jnl_to_jsl_paper, jnl_to_jsl_paths, jsl_to_jnl, TranslateError,
+};

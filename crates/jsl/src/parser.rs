@@ -39,7 +39,11 @@ pub struct JslParseError {
 
 impl fmt::Display for JslParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSL syntax error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "JSL syntax error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -64,7 +68,10 @@ struct P<'a> {
 
 impl<'a> P<'a> {
     fn err(&self, m: &str) -> JslParseError {
-        JslParseError { offset: self.pos, message: m.to_owned() }
+        JslParseError {
+            offset: self.pos,
+            message: m.to_owned(),
+        }
     }
 
     fn ws(&mut self) {
@@ -101,7 +108,11 @@ impl<'a> P<'a> {
                 break;
             }
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("one") } else { Jsl::Or(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one")
+        } else {
+            Jsl::Or(parts)
+        })
     }
 
     fn and(&mut self) -> Result<Jsl, JslParseError> {
@@ -115,7 +126,11 @@ impl<'a> P<'a> {
                 break;
             }
         }
-        Ok(if parts.len() == 1 { parts.pop().expect("one") } else { Jsl::And(parts) })
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one")
+        } else {
+            Jsl::And(parts)
+        })
     }
 
     fn atom(&mut self) -> Result<Jsl, JslParseError> {
@@ -171,7 +186,11 @@ impl<'a> P<'a> {
                 let hi = if hi_txt == "inf" || hi_txt == "*" {
                     None
                 } else {
-                    Some(hi_txt.parse::<u64>().map_err(|_| self.err("bad range end"))?)
+                    Some(
+                        hi_txt
+                            .parse::<u64>()
+                            .map_err(|_| self.err("bad range end"))?,
+                    )
                 };
                 if let Some(h) = hi {
                     if h < lo {
@@ -213,11 +232,15 @@ impl<'a> P<'a> {
         self.expect("(")?;
         self.ws();
         let rest = &self.src[self.pos..];
-        let end = rest.find(|c: char| !c.is_ascii_digit()).unwrap_or(rest.len());
+        let end = rest
+            .find(|c: char| !c.is_ascii_digit())
+            .unwrap_or(rest.len());
         if end == 0 {
             return Err(self.err("expected a number"));
         }
-        let v: u64 = rest[..end].parse().map_err(|_| self.err("number too large"))?;
+        let v: u64 = rest[..end]
+            .parse()
+            .map_err(|_| self.err("number too large"))?;
         self.pos += end;
         self.ws();
         self.expect(")")?;
@@ -245,8 +268,10 @@ impl<'a> P<'a> {
         }
         let end = end.ok_or_else(|| self.err("unterminated Pattern(...)"))?;
         let src = &rest[..end];
-        let re = Regex::parse(src)
-            .map_err(|e| JslParseError { offset: self.pos, message: e.to_string() })?;
+        let re = Regex::parse(src).map_err(|e| JslParseError {
+            offset: self.pos,
+            message: e.to_string(),
+        })?;
         self.pos += end + 1;
         Ok(re)
     }
@@ -282,8 +307,10 @@ impl<'a> P<'a> {
             }
         }
         let end = end.ok_or_else(|| self.err("unterminated ~(...)"))?;
-        let doc = jsondata::parse(rest[..end].trim())
-            .map_err(|e| JslParseError { offset: self.pos, message: e.to_string() })?;
+        let doc = jsondata::parse(rest[..end].trim()).map_err(|e| JslParseError {
+            offset: self.pos,
+            message: e.to_string(),
+        })?;
         self.pos += end + 1;
         Ok(doc)
     }
@@ -299,7 +326,9 @@ const KEYWORDS: &[(&str, Builder)] = &[
     ("Str", |_| Ok(Jsl::Test(NodeTest::Str))),
     ("Int", |_| Ok(Jsl::Test(NodeTest::Int))),
     ("Unique", |_| Ok(Jsl::Test(NodeTest::Unique))),
-    ("Pattern", |p| Ok(Jsl::Test(NodeTest::Pattern(p.regex_arg()?)))),
+    ("Pattern", |p| {
+        Ok(Jsl::Test(NodeTest::Pattern(p.regex_arg()?)))
+    }),
     ("MinCh", |p| Ok(Jsl::Test(NodeTest::MinCh(p.nat_arg()?)))),
     ("MaxCh", |p| Ok(Jsl::Test(NodeTest::MaxCh(p.nat_arg()?)))),
     ("MultOf", |p| Ok(Jsl::Test(NodeTest::MultOf(p.nat_arg()?)))),
@@ -365,27 +394,40 @@ mod tests {
         ];
         for phi in phis {
             let shown = phi.to_string();
-            let back = parse_jsl(&shown)
-                .unwrap_or_else(|e| panic!("reparse of `{shown}` failed: {e}"));
+            let back =
+                parse_jsl(&shown).unwrap_or_else(|e| panic!("reparse of `{shown}` failed: {e}"));
             assert_eq!(phi, back, "source `{shown}`");
         }
     }
 
     #[test]
     fn parse_errors() {
-        for bad in ["", "Min()", "Min(x)", "<age>(", "[0:]()", "Frob", "T T", "~(null)", "<0:-1>(T)"] {
+        for bad in [
+            "",
+            "Min()",
+            "Min(x)",
+            "<age>(",
+            "[0:]()",
+            "Frob",
+            "T T",
+            "~(null)",
+            "<0:-1>(T)",
+        ] {
             assert!(parse_jsl(bad).is_err(), "`{bad}` should fail");
         }
     }
 
     #[test]
     fn parsed_formulas_evaluate() {
-        let phi = parse_jsl(r#"Obj & <name>(Pattern([A-Z][a-z]+)) & <age>(Min(18) & Max(99))"#)
-            .unwrap();
+        let phi =
+            parse_jsl(r#"Obj & <name>(Pattern([A-Z][a-z]+)) & <age>(Min(18) & Max(99))"#).unwrap();
         let doc = jsondata::parse(r#"{"name": "Sue", "age": 28}"#).unwrap();
         let tree = jsondata::JsonTree::build(&doc);
         assert!(crate::eval::check_root(&tree, &phi));
         let bad = jsondata::parse(r#"{"name": "sue", "age": 28}"#).unwrap();
-        assert!(!crate::eval::check_root(&jsondata::JsonTree::build(&bad), &phi));
+        assert!(!crate::eval::check_root(
+            &jsondata::JsonTree::build(&bad),
+            &phi
+        ));
     }
 }

@@ -45,7 +45,10 @@ impl std::error::Error for WellFormednessError {}
 impl RecursiveJsl {
     /// A non-recursive expression (no definitions).
     pub fn plain(base: Jsl) -> RecursiveJsl {
-        RecursiveJsl { defs: Vec::new(), base }
+        RecursiveJsl {
+            defs: Vec::new(),
+            base,
+        }
     }
 
     /// Total size.
@@ -70,8 +73,12 @@ impl RecursiveJsl {
     /// Checks well-formedness: every referenced symbol is defined and the
     /// precedence graph is acyclic.
     pub fn well_formed(&self) -> Result<(), WellFormednessError> {
-        let index: HashMap<&str, usize> =
-            self.defs.iter().enumerate().map(|(i, (n, _))| (n.as_str(), i)).collect();
+        let index: HashMap<&str, usize> = self
+            .defs
+            .iter()
+            .enumerate()
+            .map(|(i, (n, _))| (n.as_str(), i))
+            .collect();
         // Undefined symbols anywhere (including under modalities and base).
         for (_, phi) in &self.defs {
             for v in phi.vars() {
@@ -130,8 +137,12 @@ impl RecursiveJsl {
     /// Topological order of definitions under the precedence graph: if
     /// `γᵢ → γⱼ` (γᵢ *uses* γⱼ exposed), then γⱼ comes first.
     fn topo_order(&self) -> Vec<usize> {
-        let index: HashMap<&str, usize> =
-            self.defs.iter().enumerate().map(|(i, (n, _))| (n.as_str(), i)).collect();
+        let index: HashMap<&str, usize> = self
+            .defs
+            .iter()
+            .enumerate()
+            .map(|(i, (n, _))| (n.as_str(), i))
+            .collect();
         let n = self.defs.len();
         let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
         let mut indeg = vec![0usize; n];
@@ -163,8 +174,7 @@ impl RecursiveJsl {
     /// Fails (returns `None`) if the unfolded formula would exceed
     /// `max_size` syntax nodes.
     pub fn unfold(&self, height: usize, max_size: usize) -> Option<Jsl> {
-        let index: HashMap<&str, &Jsl> =
-            self.defs.iter().map(|(n, p)| (n.as_str(), p)).collect();
+        let index: HashMap<&str, &Jsl> = self.defs.iter().map(|(n, p)| (n.as_str(), p)).collect();
         let mut size_left = max_size;
         unfold_rec(&self.base, &index, height + 1, &mut size_left)
     }
@@ -181,8 +191,12 @@ impl RecursiveJsl {
     pub fn evaluate_with(&self, tree: &JsonTree, options: EvalOptions) -> NodeSet {
         self.well_formed().expect("expression must be well-formed");
         let mut ctx = JslContext::with_options(tree, options);
-        let index: HashMap<&str, usize> =
-            self.defs.iter().enumerate().map(|(i, (n, _))| (n.as_str(), i)).collect();
+        let index: HashMap<&str, usize> = self
+            .defs
+            .iter()
+            .enumerate()
+            .map(|(i, (n, _))| (n.as_str(), i))
+            .collect();
         let order = self.topo_order();
         let nodes = tree.node_count();
         // labels[d][n]: does definition d hold at node n?
@@ -291,24 +305,25 @@ fn eval_at(
         Jsl::Or(ps) => ps.iter().any(|p| eval_at(ctx, n, p, index, labels)),
         Jsl::Test(t) => ctx.node_test(t, n),
         Jsl::DiamondKey(e, p) => {
-            let compiled = e.compile();
-            let children: Vec<NodeId> = ctx
-                .tree
-                .obj_children(n)
-                .iter()
-                .filter(|(k, _)| compiled.is_match(k))
-                .map(|(_, c)| *c)
+            // Key filtering goes through the context's per-(regex, symbol)
+            // memo: each regex runs once per distinct key in the tree, not
+            // once per node visit.
+            let tree = ctx.tree;
+            let memo = ctx.memo_for(e);
+            let children: Vec<NodeId> = tree
+                .obj_entries(n)
+                .filter(|(k, _)| memo.matches_str(k.index(), tree.resolve(*k)))
+                .map(|(_, c)| c)
                 .collect();
             children.iter().any(|c| eval_at(ctx, *c, p, index, labels))
         }
         Jsl::BoxKey(e, p) => {
-            let compiled = e.compile();
-            let children: Vec<NodeId> = ctx
-                .tree
-                .obj_children(n)
-                .iter()
-                .filter(|(k, _)| compiled.is_match(k))
-                .map(|(_, c)| *c)
+            let tree = ctx.tree;
+            let memo = ctx.memo_for(e);
+            let children: Vec<NodeId> = tree
+                .obj_entries(n)
+                .filter(|(k, _)| memo.matches_str(k.index(), tree.resolve(*k)))
+                .map(|(_, c)| c)
                 .collect();
             children.iter().all(|c| eval_at(ctx, *c, p, index, labels))
         }
@@ -320,7 +335,7 @@ fn eval_at(
                 .enumerate()
                 .filter(|(pos, _)| {
                     let pos = *pos as u64;
-                    pos >= *i && j.map_or(true, |j| pos <= j)
+                    pos >= *i && j.is_none_or(|j| pos <= j)
                 })
                 .map(|(_, c)| *c)
                 .collect();
@@ -334,7 +349,7 @@ fn eval_at(
                 .enumerate()
                 .filter(|(pos, _)| {
                     let pos = *pos as u64;
-                    pos >= *i && j.map_or(true, |j| pos <= j)
+                    pos >= *i && j.is_none_or(|j| pos <= j)
                 })
                 .map(|(_, c)| *c)
                 .collect();

@@ -58,7 +58,10 @@ impl Circuit {
                 .iter()
                 .enumerate()
                 .map(|(i, &b)| {
-                    (format!("IN{i}"), Json::Str(if b { "T" } else { "F" }.to_owned()))
+                    (
+                        format!("IN{i}"),
+                        Json::Str(if b { "T" } else { "F" }.to_owned()),
+                    )
                 })
                 .collect(),
         )
@@ -83,9 +86,7 @@ impl Circuit {
                     Gate::And(gs) => {
                         Jsl::and(gs.iter().map(|g| Jsl::Var(format!("g{g}"))).collect())
                     }
-                    Gate::Or(gs) => {
-                        Jsl::or(gs.iter().map(|g| Jsl::Var(format!("g{g}"))).collect())
-                    }
+                    Gate::Or(gs) => Jsl::or(gs.iter().map(|g| Jsl::Var(format!("g{g}"))).collect()),
                     Gate::Not(g) => Jsl::not(Jsl::Var(format!("g{g}"))),
                 };
                 (format!("g{j}"), phi)
@@ -136,11 +137,7 @@ mod tests {
             let inputs: Vec<bool> = (0..3).map(|i| bits >> i & 1 == 1).collect();
             let doc = c.input_doc(&inputs);
             let t = JsonTree::build(&doc);
-            assert_eq!(
-                delta.check_root(&t),
-                c.eval(&inputs),
-                "inputs {inputs:?}"
-            );
+            assert_eq!(delta.check_root(&t), c.eval(&inputs), "inputs {inputs:?}");
         }
     }
 

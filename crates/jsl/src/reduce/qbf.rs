@@ -138,9 +138,7 @@ impl Qbf {
                 });
                 formula = match branch {
                     Some(b) => Jsl::diamond_key("X", Jsl::diamond_key(b, formula)),
-                    None => {
-                        Jsl::diamond_key("X", Jsl::diamond_any_key(formula))
-                    }
+                    None => Jsl::diamond_key("X", Jsl::diamond_any_key(formula)),
                 };
             }
             parts.push(Jsl::not(formula));
@@ -154,7 +152,10 @@ impl Qbf {
         let phi = self.to_jsl();
         match sat_recursive(
             &RecursiveJsl::plain(phi),
-            SatConfig { branch_budget: 2_000_000, ..Default::default() },
+            SatConfig {
+                branch_budget: 2_000_000,
+                ..Default::default()
+            },
         ) {
             JslSatResult::Sat(_) => Some(true),
             JslSatResult::Unsat => Some(false),
@@ -219,7 +220,10 @@ mod tests {
         assert!(q.brute_force());
         let model = q.model_tree();
         let t = JsonTree::build(&model);
-        assert!(crate::eval::check_root(&t, &q.to_jsl()), "canonical model satisfies encoding");
+        assert!(
+            crate::eval::check_root(&t, &q.to_jsl()),
+            "canonical model satisfies encoding"
+        );
     }
 
     #[test]
@@ -244,7 +248,10 @@ mod tests {
     #[test]
     fn falsifying_paths_are_rejected() {
         // ∀x₁ (x₁): false — every candidate tree must violate the encoding.
-        let q = Qbf { prefix: vec![Quant::Forall], clauses: vec![vec![(0, true)]] };
+        let q = Qbf {
+            prefix: vec![Quant::Forall],
+            clauses: vec![vec![(0, true)]],
+        };
         assert!(!q.brute_force());
         let full = Json::object(vec![(
             "X".to_owned(),
@@ -263,11 +270,17 @@ mod tests {
     fn solver_decides_small_qbfs() {
         let cases = vec![
             (
-                Qbf { prefix: vec![Quant::Exists], clauses: vec![vec![(0, true)]] },
+                Qbf {
+                    prefix: vec![Quant::Exists],
+                    clauses: vec![vec![(0, true)]],
+                },
                 true,
             ),
             (
-                Qbf { prefix: vec![Quant::Forall], clauses: vec![vec![(0, true)]] },
+                Qbf {
+                    prefix: vec![Quant::Forall],
+                    clauses: vec![vec![(0, true)]],
+                },
                 false,
             ),
             (

@@ -65,7 +65,10 @@ pub struct SatConfig {
 
 impl Default for SatConfig {
     fn default() -> Self {
-        SatConfig { max_height: None, branch_budget: 400_000 }
+        SatConfig {
+            max_height: None,
+            branch_budget: 400_000,
+        }
     }
 }
 
@@ -127,11 +130,17 @@ struct Lit {
 
 impl Lit {
     fn pos(phi: Jsl) -> Lit {
-        Lit { phi, positive: true }
+        Lit {
+            phi,
+            positive: true,
+        }
     }
 
     fn neg(phi: Jsl) -> Lit {
-        Lit { phi, positive: false }
+        Lit {
+            phi,
+            positive: false,
+        }
     }
 }
 
@@ -189,7 +198,10 @@ struct Tableau<'a> {
 
 impl<'a> Tableau<'a> {
     fn dfa(&mut self, e: &Regex) -> Dfa {
-        self.dfa_cache.entry(e.clone()).or_insert_with(|| e.to_dfa()).clone()
+        self.dfa_cache
+            .entry(e.clone())
+            .or_insert_with(|| e.to_dfa())
+            .clone()
     }
 
     /// Satisfies the literal set at one node, building a subtree of height
@@ -207,7 +219,10 @@ impl<'a> Tableau<'a> {
             match (lit.phi, lit.positive) {
                 (Jsl::True, true) => {}
                 (Jsl::True, false) => return None,
-                (Jsl::Not(p), sign) => work.push(Lit { phi: *p, positive: !sign }),
+                (Jsl::Not(p), sign) => work.push(Lit {
+                    phi: *p,
+                    positive: !sign,
+                }),
                 (Jsl::And(ps), true) => work.extend(ps.into_iter().map(Lit::pos)),
                 (Jsl::And(ps), false) => {
                     // ¬(∧) → branch on which conjunct fails.
@@ -233,7 +248,10 @@ impl<'a> Tableau<'a> {
                 (Jsl::Or(ps), false) => work.extend(ps.into_iter().map(Lit::neg)),
                 (Jsl::Var(v), sign) => {
                     let def = (*self.defs.get(v.as_str()).expect("well-formed")).clone();
-                    work.push(Lit { phi: def, positive: sign });
+                    work.push(Lit {
+                        phi: def,
+                        positive: sign,
+                    });
                 }
                 (Jsl::Test(t), sign) => {
                     if !accumulate_test(&mut atoms, t, sign) {
@@ -245,9 +263,7 @@ impl<'a> Tableau<'a> {
                 (Jsl::BoxKey(e, p), true) => atoms.box_key.push((e, *p)),
                 (Jsl::BoxKey(e, p), false) => atoms.dia_key.push((e, Jsl::not(*p))),
                 (Jsl::DiamondRange(i, j, p), true) => atoms.dia_rng.push((i, j, *p)),
-                (Jsl::DiamondRange(i, j, p), false) => {
-                    atoms.box_rng.push((i, j, Jsl::not(*p)))
-                }
+                (Jsl::DiamondRange(i, j, p), false) => atoms.box_rng.push((i, j, Jsl::not(*p))),
                 (Jsl::BoxRange(i, j, p), true) => atoms.box_rng.push((i, j, *p)),
                 (Jsl::BoxRange(i, j, p), false) => atoms.dia_rng.push((i, j, Jsl::not(*p))),
             }
@@ -269,7 +285,12 @@ impl<'a> Tableau<'a> {
     /// All boolean work done: pick a kind and discharge the atoms.
     fn close_node(&mut self, atoms: NodeAtoms, height: usize) -> Option<Json> {
         use NodeKindReq::*;
-        let mut allowed = vec![KindChoice::Str, KindChoice::Int, KindChoice::Obj, KindChoice::Arr];
+        let mut allowed = vec![
+            KindChoice::Str,
+            KindChoice::Int,
+            KindChoice::Obj,
+            KindChoice::Arr,
+        ];
         for req in &atoms.kind_pos {
             allowed.retain(|k| match req {
                 Obj => *k == KindChoice::Obj,
@@ -328,7 +349,10 @@ impl<'a> Tableau<'a> {
         let mut parts: Vec<Jsl> = Vec::new();
         collect_atom_formulas(atoms, &mut parts);
         let phi = Jsl::and(parts);
-        let delta = RecursiveJsl { defs: self.delta.defs.clone(), base: phi };
+        let delta = RecursiveJsl {
+            defs: self.delta.defs.clone(),
+            base: phi,
+        };
         delta.check_root(&tree)
     }
 
@@ -397,9 +421,19 @@ impl<'a> Tableau<'a> {
         let hi = hi_opt.unwrap_or(lo.saturating_add(window));
         let mut v = lo;
         while v <= hi {
-            let ok = atoms.mult_pos.iter().all(|m| if *m == 0 { v == 0 } else { v % m == 0 })
-                && atoms.mult_neg.iter().all(|m| if *m == 0 { v != 0 } else { v % m != 0 })
-                && !atoms.num_neq.contains(&v)
+            let ok = atoms.mult_pos.iter().all(|m| {
+                if *m == 0 {
+                    v == 0
+                } else {
+                    v.is_multiple_of(*m)
+                }
+            }) && atoms.mult_neg.iter().all(|m| {
+                if *m == 0 {
+                    v != 0
+                } else {
+                    !v.is_multiple_of(*m)
+                }
+            }) && !atoms.num_neq.contains(&v)
                 && !atoms.neq_docs.contains(&Json::Num(v));
             if ok {
                 return Some(Json::Num(v));
@@ -442,15 +476,7 @@ impl<'a> Tableau<'a> {
         // share a region. Regions are enumerated as bitmasks over `regexes`.
         let n_dia = atoms.dia_key.len();
         let mut assignment: Vec<u32> = vec![0; n_dia]; // region mask per diamond
-        self.assign_diamonds(
-            atoms,
-            &regexes,
-            &dfas,
-            &sigma,
-            &mut assignment,
-            0,
-            height,
-        )
+        self.assign_diamonds(atoms, &regexes, &dfas, &sigma, &mut assignment, 0, height)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -534,7 +560,10 @@ impl<'a> Tableau<'a> {
                 .box_key
                 .iter()
                 .filter(|(e, _)| {
-                    regexes.iter().position(|x| x == e).is_some_and(|i| mask & (1 << i) != 0)
+                    regexes
+                        .iter()
+                        .position(|x| x == e)
+                        .is_some_and(|i| mask & (1 << i) != 0)
                 })
                 .map(|(_, p)| p)
                 .collect();
@@ -548,8 +577,10 @@ impl<'a> Tableau<'a> {
                 }
             } else {
                 // Shared key: all diamond bodies conjoined.
-                let mut lits: Vec<Lit> =
-                    dias.iter().map(|d| Lit::pos(atoms.dia_key[*d].1.clone())).collect();
+                let mut lits: Vec<Lit> = dias
+                    .iter()
+                    .map(|d| Lit::pos(atoms.dia_key[*d].1.clone()))
+                    .collect();
                 lits.extend(box_bodies.iter().map(|b| Lit::pos((*b).clone())));
                 let child = self.solve(lits, height - 1)?;
                 pairs.push((keys[0].clone(), child));
@@ -656,7 +687,7 @@ impl<'a> Tableau<'a> {
         }
         candidates.sort_unstable();
         candidates.dedup();
-        candidates.retain(|&l| l >= atoms.minch && atoms.maxch.map_or(true, |m| l <= m));
+        candidates.retain(|&l| l >= atoms.minch && atoms.maxch.is_none_or(|m| l <= m));
 
         'lens: for &len in &candidates {
             if self.budget == 0 {
@@ -684,7 +715,7 @@ impl<'a> Tableau<'a> {
                     }
                 }
                 for (i, j, body) in &atoms.box_rng {
-                    if p >= *i && j.map_or(true, |j| p <= j) {
+                    if p >= *i && j.is_none_or(|j| p <= j) {
                         lits.push(Lit::pos(body.clone()));
                     }
                 }
@@ -893,11 +924,9 @@ fn make_distinct(items: &mut [Json]) {
     let mut seen: Vec<Json> = Vec::new();
     let mut next_free = 1_000_000u64;
     for item in items.iter_mut() {
-        if seen.contains(item) {
-            if matches!(item, Json::Num(_)) {
-                *item = Json::Num(next_free);
-                next_free += 1;
-            }
+        if seen.contains(item) && matches!(item, Json::Num(_)) {
+            *item = Json::Num(next_free);
+            next_free += 1;
         }
         seen.push(item.clone());
     }
@@ -1035,7 +1064,9 @@ mod tests {
             J::not(J::Test(T::Unique)),
         ]));
         let items = w.as_array().unwrap();
-        assert!(items.iter().any(|x| items.iter().filter(|y| *y == x).count() > 1));
+        assert!(items
+            .iter()
+            .any(|x| items.iter().filter(|y| *y == x).count() > 1));
     }
 
     #[test]
@@ -1084,13 +1115,16 @@ mod tests {
         // γ = ◇_a γ: every model would be infinite; the solver must report
         // Unknown (cap), never Sat.
         let delta = RecursiveJsl {
-            defs: vec![(
-                "g".into(),
-                J::diamond_key("a", J::Var("g".into())),
-            )],
+            defs: vec![("g".into(), J::diamond_key("a", J::Var("g".into())))],
             base: J::Var("g".into()),
         };
-        match sat_recursive(&delta, SatConfig { max_height: Some(6), ..Default::default() }) {
+        match sat_recursive(
+            &delta,
+            SatConfig {
+                max_height: Some(6),
+                ..Default::default()
+            },
+        ) {
             JslSatResult::Unknown(_) => {}
             other => panic!("expected Unknown, got {other:?}"),
         }
@@ -1100,10 +1134,7 @@ mod tests {
     fn kind_clashes_unsat() {
         assert_unsat(J::and(vec![J::Test(T::Str), J::Test(T::Int)]));
         assert_unsat(J::and(vec![J::Test(T::Obj), J::Test(T::Min(0))]));
-        assert_unsat(J::and(vec![
-            J::Test(T::Str),
-            J::Test(T::MinCh(1)),
-        ]));
+        assert_unsat(J::and(vec![J::Test(T::Str), J::Test(T::MinCh(1))]));
     }
 
     #[test]

@@ -106,7 +106,10 @@ impl fmt::Display for StreamingUnsupported {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StreamingUnsupported::Unique => {
-                write!(f, "Unique requires subtree buffering (excluded tree equality)")
+                write!(
+                    f,
+                    "Unique requires subtree buffering (excluded tree equality)"
+                )
             }
             StreamingUnsupported::ContainerEqDoc(d) => {
                 write!(f, "~({d}) on containers requires subtree buffering")
@@ -179,10 +182,17 @@ impl StreamingValidator {
     /// Compiles the formula (rejecting constructs that need subtree
     /// buffering) and prepares the virtual root frame.
     pub fn new(phi: &Jsl) -> Result<StreamingValidator, StreamingUnsupported> {
-        let mut table = Table { subs: Vec::new(), regexes: Vec::new(), child_idx: Vec::new() };
+        let mut table = Table {
+            subs: Vec::new(),
+            regexes: Vec::new(),
+            child_idx: Vec::new(),
+        };
         collect(phi, &mut table)?;
         let n = table.subs.len();
-        Ok(StreamingValidator { table, stack: vec![Frame::new(None, n)] })
+        Ok(StreamingValidator {
+            table,
+            stack: vec![Frame::new(None, n)],
+        })
     }
 
     /// Feeds one event.
@@ -194,7 +204,9 @@ impl StreamingValidator {
             Event::Key(k) => {
                 let top = self.top()?;
                 if top.is_object != Some(true) {
-                    return Err(StreamingUnsupported::BadStream("Key outside an object".into()));
+                    return Err(StreamingUnsupported::BadStream(
+                        "Key outside an object".into(),
+                    ));
                 }
                 top.pending_key = Some(k.clone());
             }
@@ -212,7 +224,9 @@ impl StreamingValidator {
                     .pop()
                     .ok_or_else(|| StreamingUnsupported::BadStream("unmatched End".into()))?;
                 if frame.is_object.is_none() {
-                    return Err(StreamingUnsupported::BadStream("End at the root slot".into()));
+                    return Err(StreamingUnsupported::BadStream(
+                        "End at the root slot".into(),
+                    ));
                 }
                 let truth = self.container_truth(&frame);
                 self.close_value(truth)?;
@@ -224,7 +238,9 @@ impl StreamingValidator {
     /// Finishes the pass, returning the root verdict.
     pub fn finish(mut self) -> Result<bool, StreamingUnsupported> {
         if self.stack.len() != 1 {
-            return Err(StreamingUnsupported::BadStream("unclosed containers".into()));
+            return Err(StreamingUnsupported::BadStream(
+                "unclosed containers".into(),
+            ));
         }
         let root = self.stack.pop().expect("root frame");
         let completed = root
@@ -249,7 +265,9 @@ impl StreamingValidator {
         match frame.is_object {
             None => {
                 if frame.completed.is_some() {
-                    return Err(StreamingUnsupported::BadStream("two top-level values".into()));
+                    return Err(StreamingUnsupported::BadStream(
+                        "two top-level values".into(),
+                    ));
                 }
                 frame.completed = Some(truth);
             }
@@ -282,7 +300,7 @@ impl StreamingValidator {
                 let pos = frame.child_count;
                 for (i, sub) in table.subs.iter().enumerate() {
                     if let Jsl::DiamondRange(lo, hi, _) | Jsl::BoxRange(lo, hi, _) = sub {
-                        if pos >= *lo && hi.map_or(true, |h| pos <= h) {
+                        if pos >= *lo && hi.is_none_or(|h| pos <= h) {
                             let body = table.child_idx[i][0];
                             if truth[body] {
                                 frame.exists_acc[i] = true;
@@ -446,12 +464,22 @@ mod tests {
                 J::not(J::diamond_key("missing", J::True)),
                 J::Test(T::MinCh(1)),
             ]),
-            J::DiamondKey(Regex::parse("a(b|c)a").unwrap(), Box::new(J::Test(T::MultOf(2)))),
+            J::DiamondKey(
+                Regex::parse("a(b|c)a").unwrap(),
+                Box::new(J::Test(T::MultOf(2))),
+            ),
             J::DiamondRange(1, Some(2), Box::new(J::Test(T::EqDoc(Json::Num(7))))),
-            J::BoxRange(0, None, Box::new(J::or(vec![J::Test(T::Str), J::Test(T::Int)]))),
+            J::BoxRange(
+                0,
+                None,
+                Box::new(J::or(vec![J::Test(T::Str), J::Test(T::Int)])),
+            ),
             J::Test(T::EqDoc(Json::Str("hello".into()))),
             J::Test(T::EqDoc(Json::empty_object())),
-            J::diamond_key("nested", J::diamond_key("deep", J::Test(T::Pattern(Regex::parse("x+").unwrap())))),
+            J::diamond_key(
+                "nested",
+                J::diamond_key("deep", J::Test(T::Pattern(Regex::parse("x+").unwrap()))),
+            ),
         ];
         let docs = [
             r#"{"age": 42}"#,

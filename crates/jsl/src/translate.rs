@@ -48,7 +48,10 @@ impl std::fmt::Display for TranslateError {
                 write!(f, "negative array indices have no JSL counterpart")
             }
             TranslateError::UnsupportedNodeTest(t) => {
-                write!(f, "node test {t} has no JNL counterpart (Theorem 2 allows only ∼(A))")
+                write!(
+                    f,
+                    "node test {t} has no JNL counterpart (Theorem 2 allows only ∼(A))"
+                )
             }
             TranslateError::FreeVariable(v) => write!(f, "free formula variable ${v}"),
         }
@@ -70,9 +73,7 @@ pub fn jsl_to_jnl(phi: &Jsl) -> Result<Unary, TranslateError> {
         Jsl::And(ps) => Unary::and(ps.iter().map(jsl_to_jnl).collect::<Result<_, _>>()?),
         Jsl::Or(ps) => Unary::or(ps.iter().map(jsl_to_jnl).collect::<Result<_, _>>()?),
         Jsl::Test(NodeTest::EqDoc(doc)) => Unary::eq_doc(Binary::Epsilon, doc.clone()),
-        Jsl::Test(other) => {
-            return Err(TranslateError::UnsupportedNodeTest(other.to_string()))
-        }
+        Jsl::Test(other) => return Err(TranslateError::UnsupportedNodeTest(other.to_string())),
         Jsl::Var(v) => return Err(TranslateError::FreeVariable(v.clone())),
         // ◇_e φ  ⇒  [X_e ∘ ⟨φ'⟩]
         Jsl::DiamondKey(e, p) => Unary::exists(Binary::compose(vec![
@@ -273,9 +274,7 @@ pub fn jnl_to_jsl_paths(phi: &Unary) -> Result<Jsl, TranslateError> {
     Ok(match phi {
         Unary::True => Jsl::True,
         Unary::Not(p) => Jsl::not(jnl_to_jsl_paths(p)?),
-        Unary::And(ps) => {
-            Jsl::and(ps.iter().map(jnl_to_jsl_paths).collect::<Result<_, _>>()?)
-        }
+        Unary::And(ps) => Jsl::and(ps.iter().map(jnl_to_jsl_paths).collect::<Result<_, _>>()?),
         Unary::Or(ps) => Jsl::or(ps.iter().map(jnl_to_jsl_paths).collect::<Result<_, _>>()?),
         Unary::Exists(alpha) => Jsl::or(expand(alpha, Jsl::True)?),
         Unary::EqDoc(alpha, doc) => {

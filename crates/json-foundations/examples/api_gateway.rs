@@ -73,9 +73,19 @@ fn main() {
     .collect();
     let learned = infer(&observed);
     println!("required keys: {:?}", learned.required);
-    println!("properties   : {:?}", learned.properties.iter().map(|(k, _)| k).collect::<Vec<_>>());
+    println!(
+        "properties   : {:?}",
+        learned
+            .properties
+            .iter()
+            .map(|(k, _)| k)
+            .collect::<Vec<_>>()
+    );
     for doc in &observed {
         assert!(json_foundations::schema::is_valid(&learned, doc).unwrap());
     }
-    println!("learned schema accepts all {} observed documents", observed.len());
+    println!(
+        "learned schema accepts all {} observed documents",
+        observed.len()
+    );
 }

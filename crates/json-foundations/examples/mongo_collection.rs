@@ -17,7 +17,10 @@ fn main() {
     // The paper's Example 1: find the person named Sue.
     let filter = Filter::parse_str(r#"{"name.first": {"$eq": "Sue"}}"#).unwrap();
     let sues = coll.find(&filter);
-    println!("find({{name.first: {{$eq: \"Sue\"}}}})     → {} documents", sues.len());
+    println!(
+        "find({{name.first: {{$eq: \"Sue\"}}}})     → {} documents",
+        sues.len()
+    );
     println!("  compiled JNL filter: {}", filter.to_jnl());
 
     // The JNL engine answers identically (Prop 1 evaluation per document).
@@ -26,17 +29,20 @@ fn main() {
     println!("  JNL engine agrees on all documents\n");
 
     // Richer filters.
-    let seniors = Filter::parse_str(
-        r#"{"$and": [{"age": {"$gte": 65}}, {"hobbies": {"$size": 2}}]}"#,
-    )
-    .unwrap();
-    println!("seniors with two hobbies              → {}", coll.find(&seniors).len());
+    let seniors =
+        Filter::parse_str(r#"{"$and": [{"age": {"$gte": 65}}, {"hobbies": {"$size": 2}}]}"#)
+            .unwrap();
+    println!(
+        "seniors with two hobbies              → {}",
+        coll.find(&seniors).len()
+    );
 
-    let any = Filter::parse_str(
-        r#"{"$or": [{"hobbies.0": "chess"}, {"hobbies.1": "chess"}]}"#,
-    )
-    .unwrap();
-    println!("chess in the first two hobby slots    → {}", coll.find(&any).len());
+    let any =
+        Filter::parse_str(r#"{"$or": [{"hobbies.0": "chess"}, {"hobbies.1": "chess"}]}"#).unwrap();
+    println!(
+        "chess in the first two hobby slots    → {}",
+        coll.find(&any).len()
+    );
 
     // Projection (§6 future work): keep only name.first and age.
     let projection = Projection::parse_str(r#"{"name.first": 1, "age": 1}"#).unwrap();

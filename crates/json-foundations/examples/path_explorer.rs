@@ -45,7 +45,11 @@ fn main() {
         }
         for h in &hits {
             let text = h.to_string();
-            let short = if text.len() > 64 { format!("{}…", &text[..63]) } else { text };
+            let short = if text.len() > 64 {
+                format!("{}…", &text[..63])
+            } else {
+                text
+            };
             println!("   → {short}");
         }
         println!();

@@ -19,12 +19,22 @@ fn main() {
     )
     .expect("Figure 1 parses");
     println!("document      : {doc}");
-    println!("J[name][first]: {}", doc.get("name").unwrap().get("first").unwrap());
-    println!("J[hobbies][1] : {}", doc.get("hobbies").unwrap().index(1).unwrap());
+    println!(
+        "J[name][first]: {}",
+        doc.get("name").unwrap().get("first").unwrap()
+    );
+    println!(
+        "J[hobbies][1] : {}",
+        doc.get("hobbies").unwrap().index(1).unwrap()
+    );
 
     // ---- §3: the JSON tree model ----
     let tree = JsonTree::build(&doc);
-    println!("\ntree: {} nodes, height {}", tree.node_count(), tree.height());
+    println!(
+        "\ntree: {} nodes, height {}",
+        tree.node_count(),
+        tree.height()
+    );
     for n in tree.node_ids() {
         println!(
             "  {:<22} {:<7} json(n) = {}",
@@ -40,7 +50,10 @@ fn main() {
     )
     .expect("well-formed JNL");
     println!("\nJNL  {phi}");
-    println!("  root satisfies it: {}", jnl::eval::check_root(&tree, &phi));
+    println!(
+        "  root satisfies it: {}",
+        jnl::eval::check_root(&tree, &phi)
+    );
 
     // ---- §5: JSL and JSON Schema ----
     let schema = Schema::parse_str(

@@ -69,10 +69,7 @@ fn main() {
             "equality contradiction",
             r#"eqdoc(@"x", 1) & eqdoc(@"x", 2)"#,
         ),
-        (
-            "negation squeeze    ",
-            r#"[@"arr" ; @2] & ![@"arr" ; @5]"#,
-        ),
+        ("negation squeeze    ", r#"[@"arr" ; @2] & ![@"arr" ; @5]"#),
     ];
     for (label, src) in filters {
         let phi = jnl::parse_unary(src).expect("JNL parses");

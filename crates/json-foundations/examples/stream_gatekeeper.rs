@@ -35,15 +35,17 @@ fn main() {
             events += 1;
         }
         let verdict = v.finish().expect("complete stream");
-        println!("doc {i}: {events:>2} events → {}", if verdict { "ACCEPT" } else { "REJECT" });
+        println!(
+            "doc {i}: {events:>2} events → {}",
+            if verdict { "ACCEPT" } else { "REJECT" }
+        );
     }
 
     // Static analysis before rollout: the new, stricter filter must only
     // ever accept documents the old one accepted (coNP via Prop 2).
     println!("\n== filter containment (deploy-time check) ==");
     let old_filter = jnl::parse_unary(r#"[@"amount"]"#).unwrap();
-    let new_filter =
-        jnl::parse_unary(r#"eqdoc(@"currency", "EUR") & [@"amount"]"#).unwrap();
+    let new_filter = jnl::parse_unary(r#"eqdoc(@"currency", "EUR") & [@"amount"]"#).unwrap();
     match contained_in(&new_filter, &old_filter) {
         Containment::Contained => {
             println!("new ⊑ old: safe to roll out (accepts a subset)")

@@ -1,17 +1,16 @@
 //! Cross-crate integration tests: the full pipelines the paper's sections
 //! chain together, exercised through the facade crate.
 
-use json_foundations::prelude::*;
-use json_foundations::schema::{is_valid, jsl_to_schema, schema_to_jsl, Schema};
 use jnl::ast::{Binary as B, Unary as U};
 use jsl::ast::{Jsl as J, NodeTest as T};
+use json_foundations::prelude::*;
+use json_foundations::schema::{is_valid, jsl_to_schema, schema_to_jsl, Schema};
 
 #[test]
 fn figure1_through_every_layer() {
-    let doc = parse(
-        r#"{"name":{"first":"John","last":"Doe"},"age":32,"hobbies":["fishing","yoga"]}"#,
-    )
-    .unwrap();
+    let doc =
+        parse(r#"{"name":{"first":"John","last":"Doe"},"age":32,"hobbies":["fishing","yoga"]}"#)
+            .unwrap();
     let tree = JsonTree::build(&doc);
 
     // JNL: deterministic navigation query (all four engines agree).
@@ -20,7 +19,10 @@ fn figure1_through_every_layer() {
 
     // JSL: the same condition modally.
     let psi = J::and(vec![
-        J::diamond_key("name", J::diamond_key("first", J::Test(T::EqDoc(parse("\"John\"").unwrap())))),
+        J::diamond_key(
+            "name",
+            J::diamond_key("first", J::Test(T::EqDoc(parse("\"John\"").unwrap()))),
+        ),
         J::diamond_key("hobbies", J::Test(T::MinCh(2))),
     ]);
     assert!(jsl::eval::check_root(&tree, &psi));
@@ -50,15 +52,15 @@ fn mongo_filter_jnl_satisfiability_pipeline() {
     let phi = filter.to_jnl();
     match jnl::sat_deterministic(&phi) {
         jnl::SatResult::Sat(witness) => {
-            assert!(filter.matches(&witness), "witness {witness} must match the filter");
+            assert!(
+                filter.matches(&witness),
+                "witness {witness} must match the filter"
+            );
         }
         other => panic!("expected Sat, got {other:?}"),
     }
     // An unsatisfiable filter: a path that must be both array and object.
-    let dead = mongofind::Filter::parse_str(
-        r#"{"a.0": 1, "a.b": 2}"#,
-    )
-    .unwrap();
+    let dead = mongofind::Filter::parse_str(r#"{"a.0": 1, "a.b": 2}"#).unwrap();
     assert!(jnl::sat_deterministic(&dead.to_jnl()).is_unsat());
 }
 

@@ -1,9 +1,9 @@
 //! Regression tests for bugs found (and fixed) during development — each
 //! case pins behaviour that once diverged.
 
-use json_foundations::prelude::*;
 use jnl::ast::{Binary as B, Unary as U};
 use jsl::ast::{Jsl as J, NodeTest as T};
+use json_foundations::prelude::*;
 
 /// `EQ(α, β)` identifying a node with its own descendant used to send the
 /// pattern-tree unifier into rational-tree divergence; it must terminate
@@ -75,17 +75,25 @@ fn negated_numeric_tests_do_not_constrain_other_kinds() {
 fn unique_strategies_agree_on_lookalikes() {
     use jsl::{EvalOptions, UniqueStrategy};
     let phi = J::Test(T::Unique);
-    for src in [r#"[1, "1", [1], {"1": 1}]"#, r#"[[1], [1]]"#, r#"[{"a":1},{"a":1}]"#] {
+    for src in [
+        r#"[1, "1", [1], {"1": 1}]"#,
+        r#"[[1], [1]]"#,
+        r#"[{"a":1},{"a":1}]"#,
+    ] {
         let tree = JsonTree::build(&parse(src).unwrap());
         let a = jsl::eval::evaluate_with(
             &tree,
             &phi,
-            EvalOptions { unique: UniqueStrategy::NaivePairwise },
+            EvalOptions {
+                unique: UniqueStrategy::NaivePairwise,
+            },
         );
         let b = jsl::eval::evaluate_with(
             &tree,
             &phi,
-            EvalOptions { unique: UniqueStrategy::Canonical },
+            EvalOptions {
+                unique: UniqueStrategy::Canonical,
+            },
         );
         assert_eq!(a, b, "doc {src}");
     }
@@ -176,5 +184,8 @@ fn degenerate_cases() {
     assert!(jsl::sat_jsl(&J::falsity()).is_unsat());
     // The empty JSONPath selects the root.
     let doc = parse("{}").unwrap();
-    assert_eq!(jsonpath::JsonPath::parse("$").unwrap().select(&doc), vec![doc]);
+    assert_eq!(
+        jsonpath::JsonPath::parse("$").unwrap().select(&doc),
+        vec![doc]
+    );
 }

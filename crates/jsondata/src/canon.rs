@@ -12,16 +12,21 @@
 //! after which every subtree equality test is `O(1)`. Class ids are computed
 //! by hash-consing node signatures (kind + value + child class list; object
 //! children keyed and sorted so the unordered object semantics is honoured).
+//!
+//! Signatures carry interned [`Sym`]s — never owned strings — so hashing a
+//! node costs a few `u64` mixes regardless of key/string lengths, and an
+//! external value whose keys or atoms were never interned is known to be
+//! absent before any tree node is visited.
 
-use std::collections::HashMap;
-
+use crate::fxhash::FxHashMap;
+use crate::intern::Sym;
 use crate::tree::{JsonTree, NodeId, NodeKind};
 use crate::value::Json;
 
 /// A canonical-label table for one [`JsonTree`].
 pub struct CanonTable {
     class: Vec<u32>,
-    interner: HashMap<Sig, u32>,
+    interner: FxHashMap<Sig, u32>,
 }
 
 /// The hash-consed signature of a node: its kind/value plus the classes of
@@ -29,11 +34,11 @@ pub struct CanonTable {
 #[derive(PartialEq, Eq, Hash)]
 enum Sig {
     Int(u64),
-    Str(String),
+    Str(Sym),
     Arr(Vec<u32>),
-    /// Key-sorted `(key, class)` pairs — object equality is unordered but
-    /// the tree already stores children key-sorted.
-    Obj(Vec<(String, u32)>),
+    /// Symbol-sorted `(key, class)` pairs — object equality is unordered but
+    /// the tree already stores children symbol-sorted.
+    Obj(Vec<(Sym, u32)>),
 }
 
 impl CanonTable {
@@ -41,7 +46,7 @@ impl CanonTable {
     /// before parents).
     pub fn build(tree: &JsonTree) -> CanonTable {
         let mut class = vec![0u32; tree.node_count()];
-        let mut interner: HashMap<Sig, u32> = HashMap::new();
+        let mut interner: FxHashMap<Sig, u32> = FxHashMap::default();
         for n in tree.bottom_up() {
             let sig = Self::signature_of_node(tree, &class, n);
             let next = interner.len() as u32;
@@ -54,14 +59,16 @@ impl CanonTable {
     fn signature_of_node(tree: &JsonTree, class: &[u32], n: NodeId) -> Sig {
         match tree.kind(n) {
             NodeKind::Int => Sig::Int(tree.num_value(n).expect("Int node has value")),
-            NodeKind::Str => Sig::Str(tree.str_value(n).expect("Str node has value").to_owned()),
+            NodeKind::Str => Sig::Str(tree.str_sym(n).expect("Str node has value")),
             NodeKind::Arr => Sig::Arr(
-                tree.arr_children(n).iter().map(|c| class[c.index()]).collect(),
+                tree.arr_children(n)
+                    .iter()
+                    .map(|c| class[c.index()])
+                    .collect(),
             ),
             NodeKind::Obj => Sig::Obj(
-                tree.obj_children(n)
-                    .iter()
-                    .map(|(k, c)| (k.clone(), class[c.index()]))
+                tree.obj_entries(n)
+                    .map(|(k, c)| (k, class[c.index()]))
                     .collect(),
             ),
         }
@@ -82,18 +89,21 @@ impl CanonTable {
         self.interner.len()
     }
 
-    /// The class id an *external* JSON value would have in this tree, or
-    /// `None` if the value does not occur as a subtree anywhere in the tree.
+    /// The class id an *external* JSON value would have in `tree` (the tree
+    /// this table was built from), or `None` if the value does not occur as
+    /// a subtree anywhere in the tree.
     ///
     /// Used by `EQ(α, A)` / `∼(A)`: a node `n` satisfies `json(n) == A` iff
-    /// `class_of(n) == class_of_json(A)`.
-    pub fn class_of_json(&self, value: &Json) -> Option<u32> {
+    /// `class_of(n) == class_of_json(tree, A)`. Keys and string atoms are
+    /// resolved through `tree`'s interner first; a probe miss proves absence
+    /// immediately.
+    pub fn class_of_json(&self, tree: &JsonTree, value: &Json) -> Option<u32> {
         // Iterative bottom-up over the external value, mirroring `build` but
         // lookup-only: any unseen signature proves the value is absent.
         enum Frame<'a> {
             Enter(&'a Json),
             ExitArr(usize),
-            ExitObj(Vec<&'a str>),
+            ExitObj(Vec<Sym>),
         }
         let mut work = vec![Frame::Enter(value)];
         let mut results: Vec<u32> = Vec::new();
@@ -104,7 +114,8 @@ impl CanonTable {
                         results.push(*self.interner.get(&Sig::Int(*n))?);
                     }
                     Json::Str(s) => {
-                        results.push(*self.interner.get(&Sig::Str(s.clone()))?);
+                        let sym = tree.sym(s)?;
+                        results.push(*self.interner.get(&Sig::Str(sym))?);
                     }
                     Json::Array(items) => {
                         work.push(Frame::ExitArr(items.len()));
@@ -113,9 +124,15 @@ impl CanonTable {
                         }
                     }
                     Json::Object(o) => {
-                        let mut entries: Vec<(&str, &Json)> = o.iter().collect();
-                        entries.sort_by(|a, b| a.0.cmp(b.0));
-                        work.push(Frame::ExitObj(entries.iter().map(|(k, _)| *k).collect()));
+                        // Keys must all be interned in the tree, and the
+                        // signature orders pairs by symbol (matching the
+                        // tree's storage order).
+                        let mut entries: Vec<(Sym, &Json)> = o
+                            .iter()
+                            .map(|(k, child)| tree.sym(k).map(|s| (s, child)))
+                            .collect::<Option<_>>()?;
+                        entries.sort_unstable_by_key(|(s, _)| *s);
+                        work.push(Frame::ExitObj(entries.iter().map(|(s, _)| *s).collect()));
                         for (_, child) in entries.iter().rev() {
                             work.push(Frame::Enter(child));
                         }
@@ -125,14 +142,9 @@ impl CanonTable {
                     let classes = results.split_off(results.len() - len);
                     results.push(*self.interner.get(&Sig::Arr(classes))?);
                 }
-                Frame::ExitObj(keys) => {
-                    let classes = results.split_off(results.len() - keys.len());
-                    let sig = Sig::Obj(
-                        keys.into_iter()
-                            .map(str::to_owned)
-                            .zip(classes)
-                            .collect(),
-                    );
+                Frame::ExitObj(syms) => {
+                    let classes = results.split_off(results.len() - syms.len());
+                    let sig = Sig::Obj(syms.into_iter().zip(classes).collect());
                     results.push(*self.interner.get(&sig)?);
                 }
             }
@@ -164,9 +176,7 @@ mod tests {
 
     #[test]
     fn class_equality_matches_json_equality_exhaustively() {
-        let (t, c) = table(
-            r#"{"p": [1, [1], "1", {"k": 1}, {"k": 1}, [1, 1]], "q": 1, "r": "1"}"#,
-        );
+        let (t, c) = table(r#"{"p": [1, [1], "1", {"k": 1}, {"k": 1}, [1, 1]], "q": 1, "r": "1"}"#);
         for a in t.node_ids() {
             for b in t.node_ids() {
                 assert_eq!(
@@ -193,20 +203,30 @@ mod tests {
     fn class_of_external_json() {
         let (t, c) = table(r#"{"name": {"first": "John"}, "other": {"first": "John"}}"#);
         let external = parse(r#"{"first": "John"}"#).unwrap();
-        let class = c.class_of_json(&external).expect("value occurs in tree");
+        let class = c
+            .class_of_json(&t, &external)
+            .expect("value occurs in tree");
         let name = t.child_by_key(t.root(), "name").unwrap();
         assert_eq!(class, c.class_of(name));
         // Absent values yield None.
-        assert_eq!(c.class_of_json(&parse(r#"{"first":"Jane"}"#).unwrap()), None);
-        assert_eq!(c.class_of_json(&Json::Num(99)), None);
+        assert_eq!(
+            c.class_of_json(&t, &parse(r#"{"first":"Jane"}"#).unwrap()),
+            None
+        );
+        assert_eq!(c.class_of_json(&t, &Json::Num(99)), None);
+        // Un-interned keys prove absence before any signature is hashed.
+        assert_eq!(
+            c.class_of_json(&t, &parse(r#"{"ghost": 1}"#).unwrap()),
+            None
+        );
     }
 
     #[test]
     fn class_of_external_nested_absent_child() {
-        let (_, c) = table(r#"{"a": [1, 2]}"#);
+        let (t, c) = table(r#"{"a": [1, 2]}"#);
         // `3` never occurs, so neither can `[3]`.
-        assert_eq!(c.class_of_json(&parse("[3]").unwrap()), None);
-        assert!(c.class_of_json(&parse("[1,2]").unwrap()).is_some());
+        assert_eq!(c.class_of_json(&t, &parse("[3]").unwrap()), None);
+        assert!(c.class_of_json(&t, &parse("[1,2]").unwrap()).is_some());
     }
 
     #[test]
@@ -234,5 +254,16 @@ mod tests {
         let c = CanonTable::build(&t);
         // distinct values: root array, object, inner array, 1, 2, 3 = 6
         assert_eq!(c.class_count(), 6);
+    }
+
+    #[test]
+    fn external_probe_with_unordered_keys() {
+        // External objects may list keys in any order; the symbol sort
+        // canonicalises them exactly like the tree's own storage.
+        let (t, c) = table(r#"{"a": {"x": 1, "y": 2}}"#);
+        let fwd = parse(r#"{"x": 1, "y": 2}"#).unwrap();
+        let rev = parse(r#"{"y": 2, "x": 1}"#).unwrap();
+        assert_eq!(c.class_of_json(&t, &fwd), c.class_of_json(&t, &rev));
+        assert!(c.class_of_json(&t, &fwd).is_some());
     }
 }

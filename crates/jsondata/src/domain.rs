@@ -76,7 +76,10 @@ impl fmt::Display for ModelViolation {
             if word.is_empty() {
                 "ε".to_owned()
             } else {
-                word.iter().map(usize::to_string).collect::<Vec<_>>().join(".")
+                word.iter()
+                    .map(usize::to_string)
+                    .collect::<Vec<_>>()
+                    .join(".")
             }
         }
         match self {
@@ -105,7 +108,12 @@ impl fmt::Display for ModelViolation {
                 write!(f, "node {} lacks a type-correct value", w(n))
             }
             ModelViolation::DanglingRelation(p, c) => {
-                write!(f, "relation edge {} → {} is not a parent/child pair", w(p), w(c))
+                write!(
+                    f,
+                    "relation edge {} → {} is not a parent/child pair",
+                    w(p),
+                    w(c)
+                )
             }
         }
     }
@@ -121,11 +129,11 @@ impl FormalJson {
             match tree.kind(n) {
                 crate::tree::NodeKind::Obj => {
                     out.obj.insert(word.clone());
-                    for (i, (k, c)) in tree.obj_children(n).iter().enumerate() {
+                    for (i, (k, c)) in tree.obj_children(n).enumerate() {
                         let mut cw = word.clone();
                         cw.push(i);
-                        debug_assert_eq!(cw, tree.domain_word(*c));
-                        out.o_rel.insert((word.clone(), k.clone(), cw));
+                        debug_assert_eq!(cw, tree.domain_word(c));
+                        out.o_rel.insert((word.clone(), k.to_owned(), cw));
                     }
                 }
                 crate::tree::NodeKind::Arr => {
@@ -365,7 +373,11 @@ mod tests {
         let mut f = formal(r#"{"a": 1, "b": 2}"#);
         // Relabel the edge to child 1 with the key of child 0.
         let edges: Vec<_> = f.o_rel.iter().cloned().collect();
-        let (p, _, c) = edges.iter().find(|(_, _, c)| c == &vec![1]).unwrap().clone();
+        let (p, _, c) = edges
+            .iter()
+            .find(|(_, _, c)| c == &vec![1])
+            .unwrap()
+            .clone();
         f.o_rel.retain(|(_, _, cc)| cc != &c);
         f.o_rel.insert((p, "a".into(), c));
         assert!(f
@@ -386,8 +398,12 @@ mod tests {
         f.int.insert(vec![5]);
         f.val.insert(vec![5], AtomValue::Num(9));
         let vs = f.validate();
-        assert!(vs.iter().any(|v| matches!(v, ModelViolation::NotPrefixClosed(_))));
-        assert!(vs.iter().any(|v| matches!(v, ModelViolation::MissingSibling(_, _))));
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, ModelViolation::NotPrefixClosed(_))));
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, ModelViolation::MissingSibling(_, _))));
     }
 
     #[test]
@@ -398,7 +414,9 @@ mod tests {
         f.int.insert(vec![]);
         f.val.insert(vec![], AtomValue::Num(0));
         let vs = f.validate();
-        assert!(vs.iter().any(|v| matches!(v, ModelViolation::LeafWithChildren(_))));
+        assert!(vs
+            .iter()
+            .any(|v| matches!(v, ModelViolation::LeafWithChildren(_))));
     }
 
     #[test]

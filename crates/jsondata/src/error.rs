@@ -16,7 +16,11 @@ pub struct Position {
 impl Position {
     /// The start of a document.
     pub fn start() -> Position {
-        Position { line: 1, col: 1, offset: 0 }
+        Position {
+            line: 1,
+            col: 1,
+            offset: 0,
+        }
     }
 }
 
@@ -170,7 +174,11 @@ mod tests {
     #[test]
     fn display_positions() {
         let e = ParseError {
-            position: Position { line: 3, col: 7, offset: 42 },
+            position: Position {
+                line: 3,
+                col: 7,
+                offset: 42,
+            },
             kind: ParseErrorKind::UnexpectedChar('%'),
         };
         let msg = e.to_string();

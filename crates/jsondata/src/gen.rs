@@ -36,10 +36,12 @@ impl Default for GenConfig {
             target_nodes: 256,
             max_depth: 8,
             max_width: 8,
-            key_pool: ["a", "b", "c", "d", "name", "age", "items", "id", "tags", "value"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
+            key_pool: [
+                "a", "b", "c", "d", "name", "age", "items", "id", "tags", "value",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
             string_pool: ["x", "y", "John", "Sue", "fishing", "yoga", ""]
                 .iter()
                 .map(|s| s.to_string())
@@ -52,7 +54,11 @@ impl Default for GenConfig {
 impl GenConfig {
     /// A config with the given seed and approximate size.
     pub fn sized(seed: u64, target_nodes: usize) -> GenConfig {
-        GenConfig { seed, target_nodes, ..GenConfig::default() }
+        GenConfig {
+            seed,
+            target_nodes,
+            ..GenConfig::default()
+        }
     }
 }
 
@@ -66,7 +72,11 @@ pub fn random_json(cfg: &GenConfig) -> Json {
 fn gen_value(rng: &mut StdRng, cfg: &GenConfig, depth: usize, budget: &mut usize) -> Json {
     *budget = budget.saturating_sub(1);
     let leaf_only = depth >= cfg.max_depth || *budget == 0;
-    let choice = if leaf_only { rng.gen_range(0..2) } else { rng.gen_range(0..4) };
+    let choice = if leaf_only {
+        rng.gen_range(0..2)
+    } else {
+        rng.gen_range(0..4)
+    };
     match choice {
         0 => Json::Num(rng.gen_range(0..cfg.num_bound)),
         1 => {
@@ -75,7 +85,11 @@ fn gen_value(rng: &mut StdRng, cfg: &GenConfig, depth: usize, budget: &mut usize
         }
         2 => {
             let width = rng.gen_range(0..=cfg.max_width.min(*budget));
-            Json::Array((0..width).map(|_| gen_value(rng, cfg, depth + 1, budget)).collect())
+            Json::Array(
+                (0..width)
+                    .map(|_| gen_value(rng, cfg, depth + 1, budget))
+                    .collect(),
+            )
         }
         _ => {
             let width = rng.gen_range(0..=cfg.max_width.min(*budget).min(cfg.key_pool.len()));
@@ -107,8 +121,12 @@ pub fn deep_chain(depth: usize, key: &str, leaf: Json) -> Json {
 
 /// An object with `n` distinct keys `k0..k{n-1}` mapping to their index.
 pub fn wide_object(n: usize) -> Json {
-    Json::object((0..n).map(|i| (format!("k{i}"), Json::Num(i as u64))).collect())
-        .expect("generated keys are distinct")
+    Json::object(
+        (0..n)
+            .map(|i| (format!("k{i}"), Json::Num(i as u64)))
+            .collect(),
+    )
+    .expect("generated keys are distinct")
 }
 
 /// An array of `n` numbers `0..n`.
@@ -206,7 +224,10 @@ mod tests {
 
     #[test]
     fn random_json_respects_depth_limit() {
-        let cfg = GenConfig { max_depth: 3, ..GenConfig::sized(1, 2000) };
+        let cfg = GenConfig {
+            max_depth: 3,
+            ..GenConfig::sized(1, 2000)
+        };
         let j = random_json(&cfg);
         assert!(j.height() <= 3, "height {} > 3", j.height());
     }
@@ -214,7 +235,10 @@ mod tests {
     #[test]
     fn random_json_size_tracks_target() {
         for target in [64, 512, 4096] {
-            let cfg = GenConfig { max_depth: 64, ..GenConfig::sized(3, target) };
+            let cfg = GenConfig {
+                max_depth: 64,
+                ..GenConfig::sized(3, target)
+            };
             let n = random_json(&cfg).node_count();
             assert!(n <= target + 1, "{n} nodes exceeds target {target}");
         }

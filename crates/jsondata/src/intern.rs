@@ -1,0 +1,135 @@
+//! String interning: stable `u32` symbols for object keys and string atoms.
+//!
+//! Every `O(|J|·|φ|)` bound in the paper assumes edge-label tests are
+//! `O(1)`, yet a string-keyed tree pays a full comparison (and often a
+//! clone) per test. Real-world JSON corpora have tiny key vocabularies
+//! relative to their node counts, so a per-tree [`Interner`] turns the
+//! dominant per-node string work into `u32` compares:
+//!
+//! * [`JsonTree::build`](crate::JsonTree::build) interns every object key
+//!   and string leaf once; nodes store [`Sym`]s, never owned strings.
+//! * `child_by_key` becomes an `O(1)` interner probe followed by a binary
+//!   search over `Sym`s — a key absent from the interner cannot label any
+//!   edge, so the miss answers `None` without touching the node.
+//! * Regex edge caches throughout the logic engines memoise per
+//!   `(regex, Sym)` — `O(distinct keys)` regex runs instead of
+//!   `O(nodes)`.
+//!
+//! Symbols are **per-tree**: comparing `Sym`s from different trees is
+//! meaningless (and the type offers no cross-tree guard beyond that
+//! documented contract, matching `NodeId`).
+
+use crate::fxhash::FxHashMap;
+
+/// An interned string: a dense index into one [`Interner`].
+///
+/// `Sym`s are ordered by interning time, **not** lexicographically; they
+/// support only equality/ordering as opaque ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// The dense index of this symbol (always `< Interner::len`).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a symbol from a raw index (bench/test helper; the index
+    /// must come from the same interner's [`Sym::index`]).
+    pub const fn from_index(i: usize) -> Sym {
+        Sym(i as u32)
+    }
+}
+
+/// A string interning table: each distinct string receives one [`Sym`].
+#[derive(Debug, Default, Clone)]
+pub struct Interner {
+    map: FxHashMap<Box<str>, Sym>,
+    strings: Vec<Box<str>>,
+}
+
+impl Interner {
+    /// An empty interner.
+    pub fn new() -> Interner {
+        Interner::default()
+    }
+
+    /// Interns `s`, returning its existing symbol or allocating the next one.
+    pub fn intern(&mut self, s: &str) -> Sym {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let sym = Sym(self.strings.len() as u32);
+        let owned: Box<str> = s.into();
+        self.strings.push(owned.clone());
+        self.map.insert(owned, sym);
+        sym
+    }
+
+    /// The symbol of `s`, if it has been interned — the `O(1)` probe that
+    /// fronts every key lookup.
+    pub fn lookup(&self, s: &str) -> Option<Sym> {
+        self.map.get(s).copied()
+    }
+
+    /// The string a symbol stands for.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates `(Sym, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.strings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Sym(i as u32), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent_and_dense() {
+        let mut i = Interner::new();
+        let a = i.intern("alpha");
+        let b = i.intern("beta");
+        assert_ne!(a, b);
+        assert_eq!(i.intern("alpha"), a);
+        assert_eq!(i.len(), 2);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::new();
+        for s in ["", "k", "key", "日本語", "k"] {
+            let sym = i.intern(s);
+            assert_eq!(i.resolve(sym), s);
+            assert_eq!(i.lookup(s), Some(sym));
+        }
+        assert_eq!(i.len(), 4, "duplicates collapse");
+        assert_eq!(i.lookup("absent"), None);
+    }
+
+    #[test]
+    fn iteration_follows_interning_order() {
+        let mut i = Interner::new();
+        i.intern("z");
+        i.intern("a");
+        let pairs: Vec<(usize, &str)> = i.iter().map(|(s, t)| (s.index(), t)).collect();
+        assert_eq!(pairs, vec![(0, "z"), (1, "a")]);
+    }
+}

@@ -12,6 +12,14 @@
 //! * [`JsonTree`] — the paper's §3 *JSON tree*: an arena-backed tree whose
 //!   nodes are partitioned into `Obj`/`Arr`/`Str`/`Int`, with a key-labelled
 //!   object-child relation and an index-labelled array-child relation.
+//!   Storage is CSR-style (flattened child arrays addressed by offset
+//!   spans), and every object key and string atom is interned into a
+//!   per-tree symbol table.
+//! * [`intern`] — the symbol layer: [`Sym`] (a stable `u32` per distinct
+//!   string) and [`Interner`]. Edge-label tests across the logic engines
+//!   compare symbols, never strings; `child_by_key` is an `O(1)` interner
+//!   probe plus a binary search over `u32`s, and a probe miss answers
+//!   without touching any node.
 //! * [`canon`] — canonical subtree labels: every node receives an integer
 //!   class id such that two nodes have equal ids iff their subtrees are equal
 //!   JSON values. This is the "online subtree equality" refinement that the
@@ -49,7 +57,9 @@
 pub mod canon;
 pub mod domain;
 pub mod error;
+pub mod fxhash;
 pub mod gen;
+pub mod intern;
 pub mod nav;
 pub mod parse;
 pub mod pointer;
@@ -59,6 +69,7 @@ pub mod value;
 
 pub use canon::CanonTable;
 pub use error::{JsonError, ParseError, Position};
+pub use intern::{Interner, Sym};
 pub use nav::{NavPath, NavStep};
 pub use parse::{parse, parse_with_limits, ParseLimits};
 pub use pointer::JsonPointer;

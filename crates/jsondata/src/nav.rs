@@ -53,7 +53,8 @@ impl NavStep {
                 if tree.kind(n) != crate::tree::NodeKind::Obj {
                     return Err(JsonError::NotAnObject);
                 }
-                tree.child_by_key(n, k).ok_or_else(|| JsonError::NoSuchKey(k.clone()))
+                tree.child_by_key(n, k)
+                    .ok_or_else(|| JsonError::NoSuchKey(k.clone()))
             }
             NavStep::Index(i) => {
                 if tree.kind(n) != crate::tree::NodeKind::Arr {
@@ -129,7 +130,9 @@ impl NavPath {
 
     /// Resolves against a tree node.
     pub fn resolve_tree(&self, tree: &JsonTree, from: NodeId) -> Result<NodeId, JsonError> {
-        self.steps.iter().try_fold(from, |n, s| s.apply_tree(tree, n))
+        self.steps
+            .iter()
+            .try_fold(from, |n, s| s.apply_tree(tree, n))
     }
 }
 
@@ -234,7 +237,11 @@ mod tests {
             &Json::str("fishing")
         );
         assert_eq!(
-            NavPath::root().key("hobbies").index(-1).resolve(&d).unwrap(),
+            NavPath::root()
+                .key("hobbies")
+                .index(-1)
+                .resolve(&d)
+                .unwrap(),
             &Json::str("yoga")
         );
         assert!(matches!(

@@ -59,15 +59,29 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn new(src: &'a str, limits: ParseLimits) -> Self {
-        Parser { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1, limits }
+        Parser {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            limits,
+        }
     }
 
     fn position(&self) -> Position {
-        Position { line: self.line, col: self.col, offset: self.pos }
+        Position {
+            line: self.line,
+            col: self.col,
+            offset: self.pos,
+        }
     }
 
     fn err(&self, kind: ParseErrorKind) -> ParseError {
-        ParseError { position: self.position(), kind }
+        ParseError {
+            position: self.position(),
+            kind,
+        }
     }
 
     fn at_end(&self) -> bool {
@@ -166,13 +180,18 @@ impl<'a> Parser<'a> {
             let key_pos = self.position();
             let key = self.parse_string()?;
             if pairs.iter().any(|(k, _)| *k == key) {
-                return Err(ParseError { position: key_pos, kind: ParseErrorKind::DuplicateKey(key) });
+                return Err(ParseError {
+                    position: key_pos,
+                    kind: ParseErrorKind::DuplicateKey(key),
+                });
             }
             self.skip_ws();
             match self.peek() {
                 Some(b':') => self.bump(),
                 None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
-                Some(b) => return Err(self.err(ParseErrorKind::UnexpectedChar(self.current_char(b)))),
+                Some(b) => {
+                    return Err(self.err(ParseErrorKind::UnexpectedChar(self.current_char(b))))
+                }
             }
             self.skip_ws();
             let value = self.parse_value(depth + 1)?;
@@ -188,7 +207,9 @@ impl<'a> Parser<'a> {
                     return Ok(Json::object(pairs).expect("duplicates checked during parse"));
                 }
                 None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
-                Some(b) => return Err(self.err(ParseErrorKind::UnexpectedChar(self.current_char(b)))),
+                Some(b) => {
+                    return Err(self.err(ParseErrorKind::UnexpectedChar(self.current_char(b))))
+                }
             }
         }
     }
@@ -214,7 +235,9 @@ impl<'a> Parser<'a> {
                     return Ok(Json::Array(items));
                 }
                 None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
-                Some(b) => return Err(self.err(ParseErrorKind::UnexpectedChar(self.current_char(b)))),
+                Some(b) => {
+                    return Err(self.err(ParseErrorKind::UnexpectedChar(self.current_char(b))))
+                }
             }
         }
     }
@@ -243,7 +266,10 @@ impl<'a> Parser<'a> {
                     self.bump();
                 }
                 _ => {
-                    let c = self.src[self.pos..].chars().next().ok_or_else(|| self.err(ParseErrorKind::InvalidUtf8))?;
+                    let c = self.src[self.pos..]
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err(ParseErrorKind::InvalidUtf8))?;
                     out.push(c);
                     self.bump_char(c);
                 }
@@ -306,9 +332,8 @@ impl<'a> Parser<'a> {
                 "unpaired low surrogate \\u{first:04X}"
             ))));
         } else {
-            char::from_u32(first).ok_or_else(|| {
-                self.err(ParseErrorKind::BadUnicodeEscape(format!("U+{first:X}")))
-            })?
+            char::from_u32(first)
+                .ok_or_else(|| self.err(ParseErrorKind::BadUnicodeEscape(format!("U+{first:X}"))))?
         };
         out.push(c);
         Ok(())
@@ -325,9 +350,7 @@ impl<'a> Parser<'a> {
                 b'a'..=b'f' => (b - b'a' + 10) as u32,
                 b'A'..=b'F' => (b - b'A' + 10) as u32,
                 _ => {
-                    return Err(self.err(ParseErrorKind::BadUnicodeEscape(
-                        (b as char).to_string(),
-                    )))
+                    return Err(self.err(ParseErrorKind::BadUnicodeEscape((b as char).to_string())))
                 }
             };
             v = (v << 4) | d;
@@ -379,7 +402,10 @@ mod tests {
     #[test]
     fn parses_nested_structures() {
         let j = parse(r#"{"a": [1, {"b": "c"}, []], "d": {}}"#).unwrap();
-        assert_eq!(j.get("a").unwrap().index(1).unwrap().get("b"), Some(&Json::str("c")));
+        assert_eq!(
+            j.get("a").unwrap().index(1).unwrap().get("b"),
+            Some(&Json::str("c"))
+        );
         assert_eq!(j.get("d"), Some(&Json::empty_object()));
     }
 
@@ -437,7 +463,10 @@ mod tests {
     fn string_escapes() {
         assert_eq!(parse(r#""A""#).unwrap(), Json::str("A"));
         assert_eq!(parse(r#""😀""#).unwrap(), Json::str("😀"));
-        assert_eq!(parse(r#""\\\"\/\b\f\n\r\t""#).unwrap(), Json::str("\\\"/\u{8}\u{c}\n\r\t"));
+        assert_eq!(
+            parse(r#""\\\"\/\b\f\n\r\t""#).unwrap(),
+            Json::str("\\\"/\u{8}\u{c}\n\r\t")
+        );
         assert!(matches!(kind(r#""\ud800""#), BadUnicodeEscape(_)));
         assert!(matches!(kind(r#""\udc00""#), BadUnicodeEscape(_)));
         assert!(matches!(kind(r#""\q""#), BadEscape(_)));

@@ -114,10 +114,9 @@ mod tests {
 
     #[test]
     fn resolves_schema_style_refs() {
-        let doc = parse(
-            r#"{"definitions": {"email": {"type": "string", "pattern": "[A-z]*@ciws.cl"}}}"#,
-        )
-        .unwrap();
+        let doc =
+            parse(r#"{"definitions": {"email": {"type": "string", "pattern": "[A-z]*@ciws.cl"}}}"#)
+                .unwrap();
         let p: JsonPointer = "#/definitions/email".parse().unwrap();
         let got = p.resolve(&doc).unwrap();
         assert_eq!(got.get("type"), Some(&Json::str("string")));
@@ -126,8 +125,14 @@ mod tests {
     #[test]
     fn root_pointer() {
         let doc = parse("[1,2]").unwrap();
-        assert_eq!("".parse::<JsonPointer>().unwrap().resolve(&doc).unwrap(), &doc);
-        assert_eq!("#".parse::<JsonPointer>().unwrap().resolve(&doc).unwrap(), &doc);
+        assert_eq!(
+            "".parse::<JsonPointer>().unwrap().resolve(&doc).unwrap(),
+            &doc
+        );
+        assert_eq!(
+            "#".parse::<JsonPointer>().unwrap().resolve(&doc).unwrap(),
+            &doc
+        );
     }
 
     #[test]
@@ -135,9 +140,21 @@ mod tests {
         let doc = parse(r#"{"a": [10, 20, 30]}"#).unwrap();
         let p: JsonPointer = "/a/2".parse().unwrap();
         assert_eq!(p.resolve(&doc).unwrap(), &Json::Num(30));
-        assert!("/a/03".parse::<JsonPointer>().unwrap().resolve(&doc).is_err());
-        assert!("/a/9".parse::<JsonPointer>().unwrap().resolve(&doc).is_err());
-        assert!("/a/x".parse::<JsonPointer>().unwrap().resolve(&doc).is_err());
+        assert!("/a/03"
+            .parse::<JsonPointer>()
+            .unwrap()
+            .resolve(&doc)
+            .is_err());
+        assert!("/a/9"
+            .parse::<JsonPointer>()
+            .unwrap()
+            .resolve(&doc)
+            .is_err());
+        assert!("/a/x"
+            .parse::<JsonPointer>()
+            .unwrap()
+            .resolve(&doc)
+            .is_err());
     }
 
     #[test]
@@ -167,6 +184,10 @@ mod tests {
     #[test]
     fn cannot_descend_into_scalars() {
         let doc = parse(r#"{"a": 1}"#).unwrap();
-        assert!("/a/b".parse::<JsonPointer>().unwrap().resolve(&doc).is_err());
+        assert!("/a/b"
+            .parse::<JsonPointer>()
+            .unwrap()
+            .resolve(&doc)
+            .is_err());
     }
 }

@@ -9,15 +9,23 @@
 //!   Iterating ids in *descending* order therefore visits children before
 //!   parents — the bottom-up evaluation order used throughout the logic
 //!   engines — without materialising an explicit post-order.
-//! * Object children are stored **sorted by key**, giving `O(log k)` key
-//!   lookup. JSON objects are unordered (§3.2 difference 1), so this loses
-//!   no information.
+//! * All strings — object keys **and** string leaves — are interned into a
+//!   per-tree [`Interner`]; nodes store [`Sym`]s, never owned strings. Edge
+//!   tests on the logic engines' hot paths are therefore `u32` compares.
+//! * Storage is CSR-style: one flattened `children` array (with a parallel
+//!   `keys` array of symbols) addressed by per-node offset spans, instead of
+//!   one heap allocation per node. Object children are stored **sorted by
+//!   `Sym`**, so [`JsonTree::child_by_key`] is an `O(1)` interner probe
+//!   followed by a binary search over `u32`s — and a key that was never
+//!   interned answers `None` without touching the node at all. JSON objects
+//!   are unordered (§3.2 difference 1), so no information is lost.
 //! * Construction and reconstruction are iterative: document depth never
 //!   translates into call-stack depth, so million-node chain documents used
 //!   by the scaling benchmarks are safe.
 
 use std::fmt;
 
+use crate::intern::{Interner, Sym};
 use crate::value::Json;
 
 /// Identifier of a node within one [`JsonTree`]; indexes the arena.
@@ -80,105 +88,179 @@ impl fmt::Display for EdgeLabel<'_> {
     }
 }
 
-enum Body {
-    /// Children sorted by key; pairwise-distinct keys by construction.
-    Obj(Vec<(String, NodeId)>),
-    Arr(Vec<NodeId>),
-    Str(String),
-    Int(u64),
-}
+/// Sentinel in the flattened `keys` array for array-edge slots.
+const NO_KEY: Sym = Sym::from_index(u32::MAX as usize);
 
-struct Node {
-    body: Body,
-    parent: Option<NodeId>,
-    /// Position of this node in its parent's child vector; 0 for the root.
-    slot: u32,
-}
+/// Sentinel in `parents` for the root.
+const NO_PARENT: u32 = u32::MAX;
 
 /// An immutable JSON tree `J = (D, Obj, Arr, Str, Int, A, O, val)`.
 pub struct JsonTree {
-    nodes: Vec<Node>,
+    kinds: Vec<NodeKind>,
+    /// Parent node index, or [`NO_PARENT`] at the root.
+    parents: Vec<u32>,
+    /// Position of each node in its parent's child span; 0 for the root.
+    slots: Vec<u32>,
+    /// CSR offsets: node `i`'s children live at
+    /// `children[child_start[i] .. child_start[i + 1]]`.
+    child_start: Vec<u32>,
+    /// Flattened child arrays (key-symbol-sorted for objects, positional for
+    /// arrays).
+    children: Vec<NodeId>,
+    /// Key symbol per child slot ([`NO_KEY`] under array nodes).
+    keys: Vec<Sym>,
+    /// Leaf payload: the number of an `Int` node, or the interned-string
+    /// index of a `Str` node.
+    payload: Vec<u64>,
     /// `height[i]`: height of the subtree rooted at node `i` (leaves = 0).
     height: Vec<u32>,
     /// `size[i]`: number of nodes in the subtree rooted at node `i`.
     size: Vec<u32>,
+    /// The per-tree symbol table for keys and string atoms.
+    interner: Interner,
+}
+
+/// Transient per-node body used during construction, flattened into the CSR
+/// arrays afterwards.
+enum TmpBody {
+    Obj(Vec<(Sym, NodeId)>),
+    Arr(Vec<NodeId>),
+    Str(Sym),
+    Int(u64),
 }
 
 impl JsonTree {
-    /// Builds the tree representation of a JSON document.
+    /// Builds the tree representation of a JSON document, interning every
+    /// object key and string leaf into the tree's symbol table.
     pub fn build(doc: &Json) -> JsonTree {
-        let mut nodes: Vec<Node> = Vec::with_capacity(doc.node_count());
+        let mut interner = Interner::new();
+        let capacity = doc.node_count();
+        let mut bodies: Vec<TmpBody> = Vec::with_capacity(capacity);
+        let mut parents: Vec<u32> = Vec::with_capacity(capacity);
+        let mut slots: Vec<u32> = Vec::with_capacity(capacity);
         // Iterative pre-order construction; the work stack holds
         // (value, parent, slot).
-        let mut stack: Vec<(&Json, Option<NodeId>, u32)> = vec![(doc, None, 0)];
+        let mut stack: Vec<(&Json, u32, u32)> = vec![(doc, NO_PARENT, 0)];
         while let Some((value, parent, slot)) = stack.pop() {
-            let id = NodeId(nodes.len() as u32);
-            if let Some(p) = parent {
+            let id = NodeId(bodies.len() as u32);
+            if parent != NO_PARENT {
                 // Patch the reserved child slot in the parent.
-                match &mut nodes[p.index()].body {
-                    Body::Obj(cs) => cs[slot as usize].1 = id,
-                    Body::Arr(cs) => cs[slot as usize] = id,
+                match &mut bodies[parent as usize] {
+                    TmpBody::Obj(cs) => cs[slot as usize].1 = id,
+                    TmpBody::Arr(cs) => cs[slot as usize] = id,
                     _ => unreachable!("leaf nodes have no children"),
                 }
             }
-            let body = match value {
-                Json::Num(n) => Body::Int(*n),
-                Json::Str(s) => Body::Str(s.clone()),
-                Json::Array(items) => Body::Arr(vec![NodeId(u32::MAX); items.len()]),
-                Json::Object(o) => {
-                    let mut cs: Vec<(String, NodeId)> =
-                        o.iter().map(|(k, _)| (k.to_owned(), NodeId(u32::MAX))).collect();
-                    cs.sort_by(|a, b| a.0.cmp(&b.0));
-                    Body::Obj(cs)
-                }
-            };
-            nodes.push(Node { body, parent, slot });
-            // Queue children. For pre-order ids we push in reverse so the
-            // first child is popped (and hence numbered) first.
+            parents.push(parent);
+            slots.push(slot);
+            // Create the body and queue children in one pass per node. For
+            // pre-order ids children are pushed in reverse so the first
+            // child is popped (and hence numbered) first.
             match value {
+                Json::Num(n) => bodies.push(TmpBody::Int(*n)),
+                Json::Str(s) => bodies.push(TmpBody::Str(interner.intern(s))),
                 Json::Array(items) => {
+                    bodies.push(TmpBody::Arr(vec![NodeId(u32::MAX); items.len()]));
                     for (i, item) in items.iter().enumerate().rev() {
-                        stack.push((item, Some(id), i as u32));
+                        stack.push((item, id.0, i as u32));
                     }
                 }
                 Json::Object(o) => {
-                    // Children were sorted by key above; find each key's slot.
-                    let sorted_keys: Vec<&str> = match &nodes[id.index()].body {
-                        Body::Obj(cs) => cs.iter().map(|(k, _)| k.as_str()).collect(),
-                        _ => unreachable!(),
-                    };
-                    let mut entries: Vec<(&str, &Json)> = o.iter().collect();
-                    entries.sort_by(|a, b| a.0.cmp(b.0));
-                    for (i, (k, v)) in entries.iter().enumerate().rev() {
-                        debug_assert_eq!(sorted_keys[i], *k);
-                        stack.push((v, Some(id), i as u32));
+                    // Intern and symbol-sort the entries once; both the body
+                    // slots and the child work items derive from that order.
+                    let mut entries: Vec<(Sym, &Json)> =
+                        o.iter().map(|(k, v)| (interner.intern(k), v)).collect();
+                    entries.sort_unstable_by_key(|(s, _)| *s);
+                    bodies.push(TmpBody::Obj(
+                        entries
+                            .iter()
+                            .map(|(s, _)| (*s, NodeId(u32::MAX)))
+                            .collect(),
+                    ));
+                    for (i, (_, v)) in entries.iter().enumerate().rev() {
+                        stack.push((v, id.0, i as u32));
                     }
                 }
-                _ => {}
             }
         }
-        let (height, size) = Self::measure(&nodes);
-        JsonTree { nodes, height, size }
+        Self::flatten(bodies, parents, slots, interner)
     }
 
-    fn measure(nodes: &[Node]) -> (Vec<u32>, Vec<u32>) {
-        let mut height = vec![0u32; nodes.len()];
-        let mut size = vec![1u32; nodes.len()];
-        // Descending id order visits children before parents (pre-order ids).
-        for i in (0..nodes.len()).rev() {
-            let (h, s) = match &nodes[i].body {
-                Body::Obj(cs) => cs.iter().fold((0, 1), |(h, s), (_, c)| {
-                    (h.max(height[c.index()] + 1), s + size[c.index()])
-                }),
-                Body::Arr(cs) => cs.iter().fold((0, 1), |(h, s), c| {
-                    (h.max(height[c.index()] + 1), s + size[c.index()])
-                }),
-                _ => (0, 1),
-            };
+    /// Flattens the per-node bodies into CSR arrays and computes the
+    /// height/size measures (one descending pass: children before parents).
+    fn flatten(
+        bodies: Vec<TmpBody>,
+        parents: Vec<u32>,
+        slots: Vec<u32>,
+        interner: Interner,
+    ) -> JsonTree {
+        let n = bodies.len();
+        let total_children: usize = bodies
+            .iter()
+            .map(|b| match b {
+                TmpBody::Obj(cs) => cs.len(),
+                TmpBody::Arr(cs) => cs.len(),
+                _ => 0,
+            })
+            .sum();
+        let mut kinds = Vec::with_capacity(n);
+        let mut payload = vec![0u64; n];
+        let mut child_start = Vec::with_capacity(n + 1);
+        let mut children = Vec::with_capacity(total_children);
+        let mut keys = Vec::with_capacity(total_children);
+        for (i, body) in bodies.into_iter().enumerate() {
+            child_start.push(children.len() as u32);
+            match body {
+                TmpBody::Int(v) => {
+                    kinds.push(NodeKind::Int);
+                    payload[i] = v;
+                }
+                TmpBody::Str(sym) => {
+                    kinds.push(NodeKind::Str);
+                    payload[i] = sym.index() as u64;
+                }
+                TmpBody::Arr(cs) => {
+                    kinds.push(NodeKind::Arr);
+                    for c in cs {
+                        children.push(c);
+                        keys.push(NO_KEY);
+                    }
+                }
+                TmpBody::Obj(cs) => {
+                    kinds.push(NodeKind::Obj);
+                    for (k, c) in cs {
+                        children.push(c);
+                        keys.push(k);
+                    }
+                }
+            }
+        }
+        child_start.push(children.len() as u32);
+
+        let mut height = vec![0u32; n];
+        let mut size = vec![1u32; n];
+        for i in (0..n).rev() {
+            let span = child_start[i] as usize..child_start[i + 1] as usize;
+            let (mut h, mut s) = (0u32, 1u32);
+            for c in &children[span] {
+                h = h.max(height[c.index()] + 1);
+                s += size[c.index()];
+            }
             height[i] = h;
             size[i] = s;
         }
-        (height, size)
+        JsonTree {
+            kinds,
+            parents,
+            slots,
+            child_start,
+            children,
+            keys,
+            payload,
+            height,
+            size,
+            interner,
+        }
     }
 
     /// The root node (always id 0).
@@ -188,12 +270,28 @@ impl JsonTree {
 
     /// Total number of nodes, `|J|`.
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.kinds.len()
+    }
+
+    /// The tree's symbol table (object keys and string atoms).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// The symbol of `key` in this tree, if any node's edge or string leaf
+    /// uses it — the `O(1)` probe fronting symbol-based lookups.
+    pub fn sym(&self, key: &str) -> Option<Sym> {
+        self.interner.lookup(key)
+    }
+
+    /// The string a symbol of this tree stands for.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        self.interner.resolve(sym)
     }
 
     /// Iterates over all node ids in pre-order (ascending, parents first).
     pub fn node_ids(&self) -> impl DoubleEndedIterator<Item = NodeId> {
-        (0..self.nodes.len() as u32).map(NodeId)
+        (0..self.kinds.len() as u32).map(NodeId)
     }
 
     /// Iterates node ids bottom-up (children before parents).
@@ -203,12 +301,7 @@ impl JsonTree {
 
     /// The kind (partition) of a node.
     pub fn kind(&self, n: NodeId) -> NodeKind {
-        match self.nodes[n.index()].body {
-            Body::Obj(_) => NodeKind::Obj,
-            Body::Arr(_) => NodeKind::Arr,
-            Body::Str(_) => NodeKind::Str,
-            Body::Int(_) => NodeKind::Int,
-        }
+        self.kinds[n.index()]
     }
 
     /// Height of the subtree rooted at `n` (leaves have height 0).
@@ -226,100 +319,173 @@ impl JsonTree {
         self.height_of(self.root())
     }
 
-    /// Object children `(key, child)` sorted by key; empty for non-objects.
-    pub fn obj_children(&self, n: NodeId) -> &[(String, NodeId)] {
-        match &self.nodes[n.index()].body {
-            Body::Obj(cs) => cs,
+    /// The child span of `n` in the flattened arrays.
+    fn span(&self, n: NodeId) -> std::ops::Range<usize> {
+        self.child_start[n.index()] as usize..self.child_start[n.index() + 1] as usize
+    }
+
+    /// Key symbols of an object node's children, sorted by `Sym`; empty for
+    /// non-objects.
+    pub fn obj_syms(&self, n: NodeId) -> &[Sym] {
+        match self.kind(n) {
+            NodeKind::Obj => &self.keys[self.span(n)],
             _ => &[],
         }
     }
 
+    /// Child ids of an object node (parallel to [`JsonTree::obj_syms`]);
+    /// empty for non-objects.
+    pub fn obj_child_ids(&self, n: NodeId) -> &[NodeId] {
+        match self.kind(n) {
+            NodeKind::Obj => &self.children[self.span(n)],
+            _ => &[],
+        }
+    }
+
+    /// Object children as `(key symbol, child)` pairs, sorted by symbol —
+    /// the allocation-free form the logic engines iterate.
+    pub fn obj_entries(&self, n: NodeId) -> impl Iterator<Item = (Sym, NodeId)> + '_ {
+        self.obj_syms(n)
+            .iter()
+            .copied()
+            .zip(self.obj_child_ids(n).iter().copied())
+    }
+
+    /// Object children as `(key, child)` pairs with resolved key strings
+    /// (for display and reference-oracle paths; hot paths should use
+    /// [`JsonTree::obj_entries`]).
+    pub fn obj_children(&self, n: NodeId) -> impl Iterator<Item = (&str, NodeId)> + '_ {
+        self.obj_entries(n)
+            .map(|(s, c)| (self.interner.resolve(s), c))
+    }
+
     /// Array children in positional order; empty for non-arrays.
     pub fn arr_children(&self, n: NodeId) -> &[NodeId] {
-        match &self.nodes[n.index()].body {
-            Body::Arr(cs) => cs,
+        match self.kind(n) {
+            NodeKind::Arr => &self.children[self.span(n)],
             _ => &[],
         }
     }
 
     /// Number of children of `n` (0 for leaves).
     pub fn child_count(&self, n: NodeId) -> usize {
-        match &self.nodes[n.index()].body {
-            Body::Obj(cs) => cs.len(),
-            Body::Arr(cs) => cs.len(),
-            _ => 0,
-        }
+        self.span(n).len()
     }
 
     /// The `O` relation restricted to `n`: the child under key `key`.
     /// Determinism (§3.1 condition 2) makes this at most one node.
+    ///
+    /// An `O(1)` interner probe resolves the key to a symbol — a miss means
+    /// no edge anywhere in the tree carries this key — then a binary search
+    /// over the node's key symbols (`u32` compares, no string work) finds
+    /// the child.
     pub fn child_by_key(&self, n: NodeId, key: &str) -> Option<NodeId> {
-        match &self.nodes[n.index()].body {
-            Body::Obj(cs) => cs
-                .binary_search_by(|(k, _)| k.as_str().cmp(key))
-                .ok()
-                .map(|i| cs[i].1),
+        self.child_by_sym(n, self.interner.lookup(key)?)
+    }
+
+    /// [`JsonTree::child_by_key`] for an already-resolved symbol.
+    pub fn child_by_sym(&self, n: NodeId, sym: Sym) -> Option<NodeId> {
+        match self.kind(n) {
+            NodeKind::Obj => {
+                let span = self.span(n);
+                let syms = &self.keys[span.clone()];
+                syms.binary_search(&sym)
+                    .ok()
+                    .map(|i| self.children[span.start + i])
+            }
             _ => None,
         }
     }
 
     /// The `A` relation restricted to `n`: the child at position `i`.
     pub fn child_by_index(&self, n: NodeId, i: usize) -> Option<NodeId> {
-        match &self.nodes[n.index()].body {
-            Body::Arr(cs) => cs.get(i).copied(),
-            _ => None,
-        }
+        self.arr_children(n).get(i).copied()
     }
 
     /// The child at a possibly negative position: `-1` is the last element,
     /// `-j` the j-th from the end (the paper's dual array operator).
     pub fn child_by_signed_index(&self, n: NodeId, i: i64) -> Option<NodeId> {
-        match &self.nodes[n.index()].body {
-            Body::Arr(cs) => {
-                let idx = if i >= 0 {
-                    i as usize
-                } else {
-                    cs.len().checked_sub(i.unsigned_abs() as usize)?
-                };
-                cs.get(idx).copied()
-            }
-            _ => None,
+        let cs = self.arr_children(n);
+        if self.kind(n) != NodeKind::Arr {
+            return None;
         }
+        let idx = if i >= 0 {
+            i as usize
+        } else {
+            cs.len().checked_sub(i.unsigned_abs() as usize)?
+        };
+        cs.get(idx).copied()
     }
 
     /// Iterates over all children with their edge labels.
     pub fn children(&self, n: NodeId) -> ChildIter<'_> {
-        ChildIter { body: &self.nodes[n.index()].body, pos: 0 }
+        ChildIter {
+            tree: self,
+            kind: self.kind(n),
+            span: self.span(n),
+            pos: 0,
+        }
     }
 
     /// The parent of `n`, or `None` at the root.
     pub fn parent(&self, n: NodeId) -> Option<NodeId> {
-        self.nodes[n.index()].parent
+        match self.parents[n.index()] {
+            NO_PARENT => None,
+            p => Some(NodeId(p)),
+        }
+    }
+
+    /// The key symbol on the edge into `n`, if `n` is an object child — the
+    /// `O(1)`, allocation-free edge label the logic engines test against.
+    pub fn incoming_key_sym(&self, n: NodeId) -> Option<Sym> {
+        let p = self.parent(n)?;
+        match self.kind(p) {
+            NodeKind::Obj => Some(
+                self.keys[self.child_start[p.index()] as usize + self.slots[n.index()] as usize],
+            ),
+            _ => None,
+        }
+    }
+
+    /// The position on the edge into `n`, if `n` is an array child.
+    pub fn incoming_index(&self, n: NodeId) -> Option<u64> {
+        let p = self.parent(n)?;
+        match self.kind(p) {
+            NodeKind::Arr => Some(self.slots[n.index()] as u64),
+            _ => None,
+        }
     }
 
     /// The label of the edge from the parent of `n` to `n`.
     pub fn edge_from_parent(&self, n: NodeId) -> Option<EdgeLabel<'_>> {
-        let node = &self.nodes[n.index()];
-        let p = node.parent?;
-        Some(match &self.nodes[p.index()].body {
-            Body::Obj(cs) => EdgeLabel::Key(&cs[node.slot as usize].0),
-            Body::Arr(_) => EdgeLabel::Index(node.slot as usize),
+        let p = self.parent(n)?;
+        Some(match self.kind(p) {
+            NodeKind::Obj => EdgeLabel::Key(self.interner.resolve(
+                self.keys[self.child_start[p.index()] as usize + self.slots[n.index()] as usize],
+            )),
+            NodeKind::Arr => EdgeLabel::Index(self.slots[n.index()] as usize),
             _ => unreachable!("leaves have no children"),
         })
     }
 
     /// The string value of a `Str` node.
     pub fn str_value(&self, n: NodeId) -> Option<&str> {
-        match &self.nodes[n.index()].body {
-            Body::Str(s) => Some(s),
+        self.str_sym(n).map(|s| self.interner.resolve(s))
+    }
+
+    /// The interned symbol of a `Str` node's value (string atoms share the
+    /// key symbol table, so pattern tests can memoise per symbol).
+    pub fn str_sym(&self, n: NodeId) -> Option<Sym> {
+        match self.kind(n) {
+            NodeKind::Str => Some(Sym::from_index(self.payload[n.index()] as usize)),
             _ => None,
         }
     }
 
     /// The numeric value of an `Int` node.
     pub fn num_value(&self, n: NodeId) -> Option<u64> {
-        match &self.nodes[n.index()].body {
-            Body::Int(v) => Some(*v),
+        match self.kind(n) {
+            NodeKind::Int => Some(self.payload[n.index()]),
             _ => None,
         }
     }
@@ -334,17 +500,26 @@ impl JsonTree {
         let hi = lo + self.subtree_size(n);
         let mut built: Vec<Option<Json>> = vec![None; hi - lo];
         for i in (lo..hi).rev() {
-            let j = match &self.nodes[i].body {
-                Body::Int(v) => Json::Num(*v),
-                Body::Str(s) => Json::Str(s.clone()),
-                Body::Arr(cs) => Json::Array(
-                    cs.iter()
+            let id = NodeId::from_index(i);
+            let j = match self.kind(id) {
+                NodeKind::Int => Json::Num(self.payload[i]),
+                NodeKind::Str => {
+                    Json::Str(self.str_value(id).expect("Str node has value").to_owned())
+                }
+                NodeKind::Arr => Json::Array(
+                    self.arr_children(id)
+                        .iter()
                         .map(|c| built[c.index() - lo].take().expect("child built"))
                         .collect(),
                 ),
-                Body::Obj(cs) => Json::object(
-                    cs.iter()
-                        .map(|(k, c)| (k.clone(), built[c.index() - lo].take().expect("child built")))
+                NodeKind::Obj => Json::object(
+                    self.obj_entries(id)
+                        .map(|(k, c)| {
+                            (
+                                self.interner.resolve(k).to_owned(),
+                                built[c.index() - lo].take().expect("child built"),
+                            )
+                        })
                         .collect(),
                 )
                 .expect("tree keys are distinct"),
@@ -361,13 +536,13 @@ impl JsonTree {
 
     /// The word in ℕ* addressing `n` in the tree domain (root = ε).
     /// Positions follow the §3.1 convention: a node's children are numbered
-    /// `0..k` in the stored order (key-sorted for objects, positional for
-    /// arrays).
+    /// `0..k` in the stored order (key-symbol-sorted for objects, positional
+    /// for arrays).
     pub fn domain_word(&self, n: NodeId) -> Vec<usize> {
         let mut w = Vec::new();
         let mut cur = n;
         while let Some(p) = self.parent(cur) {
-            w.push(self.nodes[cur.index()].slot as usize);
+            w.push(self.slots[cur.index()] as usize);
             cur = p;
         }
         w.reverse();
@@ -394,13 +569,21 @@ impl JsonTree {
 
 impl fmt::Debug for JsonTree {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JsonTree({} nodes, height {})", self.node_count(), self.height())
+        write!(
+            f,
+            "JsonTree({} nodes, height {}, {} symbols)",
+            self.node_count(),
+            self.height(),
+            self.interner.len()
+        )
     }
 }
 
 /// Iterator over `(EdgeLabel, NodeId)` children of one node.
 pub struct ChildIter<'a> {
-    body: &'a Body,
+    tree: &'a JsonTree,
+    kind: NodeKind,
+    span: std::ops::Range<usize>,
     pos: usize,
 }
 
@@ -408,15 +591,16 @@ impl<'a> Iterator for ChildIter<'a> {
     type Item = (EdgeLabel<'a>, NodeId);
 
     fn next(&mut self) -> Option<Self::Item> {
-        let out = match self.body {
-            Body::Obj(cs) => {
-                let (k, c) = cs.get(self.pos)?;
-                (EdgeLabel::Key(k.as_str()), *c)
-            }
-            Body::Arr(cs) => {
-                let c = cs.get(self.pos)?;
-                (EdgeLabel::Index(self.pos), *c)
-            }
+        let i = self.span.start + self.pos;
+        if i >= self.span.end {
+            return None;
+        }
+        let out = match self.kind {
+            NodeKind::Obj => (
+                EdgeLabel::Key(self.tree.interner.resolve(self.tree.keys[i])),
+                self.tree.children[i],
+            ),
+            NodeKind::Arr => (EdgeLabel::Index(self.pos), self.tree.children[i]),
             _ => return None,
         };
         self.pos += 1;
@@ -424,12 +608,7 @@ impl<'a> Iterator for ChildIter<'a> {
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
-        let len = match self.body {
-            Body::Obj(cs) => cs.len(),
-            Body::Arr(cs) => cs.len(),
-            _ => 0,
-        };
-        let rem = len.saturating_sub(self.pos);
+        let rem = self.span.len().saturating_sub(self.pos);
         (rem, Some(rem))
     }
 }
@@ -475,6 +654,54 @@ mod tests {
     }
 
     #[test]
+    fn interner_probes_and_symbol_lookups() {
+        let t = JsonTree::build(&figure1());
+        // Every key and string atom is interned; an absent key misses in
+        // O(1) without touching nodes.
+        assert_eq!(t.sym("no-such-key"), None);
+        assert_eq!(t.child_by_key(t.root(), "no-such-key"), None);
+        let name_sym = t.sym("name").expect("interned");
+        assert_eq!(t.resolve(name_sym), "name");
+        let name = t.child_by_sym(t.root(), name_sym).unwrap();
+        assert_eq!(t.child_by_key(t.root(), "name"), Some(name));
+        // String atoms share the table.
+        let yoga = t
+            .child_by_index(t.child_by_key(t.root(), "hobbies").unwrap(), 1)
+            .unwrap();
+        assert_eq!(t.resolve(t.str_sym(yoga).unwrap()), "yoga");
+        // A string-leaf symbol is not a key of any object.
+        assert_eq!(t.child_by_sym(t.root(), t.str_sym(yoga).unwrap()), None);
+    }
+
+    #[test]
+    fn incoming_edge_symbols() {
+        let t = JsonTree::build(&figure1());
+        let name = t.child_by_key(t.root(), "name").unwrap();
+        assert_eq!(t.incoming_key_sym(name), t.sym("name"));
+        assert_eq!(t.incoming_index(name), None);
+        let hobbies = t.child_by_key(t.root(), "hobbies").unwrap();
+        let yoga = t.child_by_index(hobbies, 1).unwrap();
+        assert_eq!(t.incoming_key_sym(yoga), None);
+        assert_eq!(t.incoming_index(yoga), Some(1));
+        assert_eq!(t.incoming_key_sym(t.root()), None);
+        assert_eq!(t.incoming_index(t.root()), None);
+    }
+
+    #[test]
+    fn obj_entries_are_sym_sorted_and_match_resolved_children() {
+        let t = JsonTree::build(&parse(r#"{"z": 1, "a": 2, "m": 3}"#).unwrap());
+        let syms = t.obj_syms(t.root());
+        assert_eq!(syms.len(), 3);
+        assert!(syms.windows(2).all(|w| w[0] < w[1]), "sorted by Sym");
+        let resolved: Vec<(&str, NodeId)> = t.obj_children(t.root()).collect();
+        let entries: Vec<(Sym, NodeId)> = t.obj_entries(t.root()).collect();
+        for ((k, c1), (s, c2)) in resolved.iter().zip(entries) {
+            assert_eq!(*c1, c2);
+            assert_eq!(*k, t.resolve(s));
+        }
+    }
+
+    #[test]
     fn preorder_ids_nest() {
         let t = JsonTree::build(&figure1());
         for n in t.node_ids() {
@@ -515,7 +742,10 @@ mod tests {
         let t = JsonTree::build(&doc);
         assert_eq!(t.to_json(), doc);
         let name = t.child_by_key(t.root(), "name").unwrap();
-        assert_eq!(t.json_at(name), parse(r#"{"first":"John","last":"Doe"}"#).unwrap());
+        assert_eq!(
+            t.json_at(name),
+            parse(r#"{"first":"John","last":"Doe"}"#).unwrap()
+        );
         let hobbies = t.child_by_key(t.root(), "hobbies").unwrap();
         assert_eq!(t.json_at(hobbies), parse(r#"["fishing","yoga"]"#).unwrap());
     }
@@ -524,10 +754,19 @@ mod tests {
     fn negative_indexing() {
         let t = JsonTree::build(&parse(r#"[10, 20, 30]"#).unwrap());
         let r = t.root();
-        assert_eq!(t.num_value(t.child_by_signed_index(r, -1).unwrap()), Some(30));
-        assert_eq!(t.num_value(t.child_by_signed_index(r, -3).unwrap()), Some(10));
+        assert_eq!(
+            t.num_value(t.child_by_signed_index(r, -1).unwrap()),
+            Some(30)
+        );
+        assert_eq!(
+            t.num_value(t.child_by_signed_index(r, -3).unwrap()),
+            Some(10)
+        );
         assert_eq!(t.child_by_signed_index(r, -4), None);
-        assert_eq!(t.num_value(t.child_by_signed_index(r, 1).unwrap()), Some(20));
+        assert_eq!(
+            t.num_value(t.child_by_signed_index(r, 1).unwrap()),
+            Some(20)
+        );
     }
 
     #[test]
@@ -592,6 +831,8 @@ mod tests {
                 let t = JsonTree::build(&j);
                 assert_eq!(t.node_count(), 100_001);
                 assert_eq!(t.height(), 100_000);
+                // One shared key: the interner collapses it to one symbol.
+                assert_eq!(t.interner().len(), 1);
                 assert_eq!(t.to_json(), j);
             })
             .unwrap()

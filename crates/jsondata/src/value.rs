@@ -8,7 +8,6 @@
 //! so that real-world inputs fail loudly rather than silently.
 
 use std::cmp::Ordering;
-use std::collections::BTreeMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
 
@@ -36,21 +35,42 @@ pub enum Json {
 }
 
 /// Internal object representation: insertion-ordered pairs with a uniqueness
-/// invariant maintained by construction.
+/// invariant maintained by construction, plus a key-sorted index giving
+/// `O(log n)` lookups (`get` sits on the `jschema` required-key loop and the
+/// `mongofind` path-traversal hot paths).
 #[derive(Clone, Default)]
 pub struct ObjectRepr {
     pairs: Vec<(String, Json)>,
+    /// Indices into `pairs`, sorted by key.
+    by_key: Vec<u32>,
 }
 
 impl ObjectRepr {
+    /// Builds the representation, rejecting duplicate keys. The sorted index
+    /// doubles as the duplicate detector (adjacent equal keys).
+    fn new(pairs: Vec<(String, Json)>) -> Result<ObjectRepr, JsonError> {
+        let mut by_key: Vec<u32> = (0..pairs.len() as u32).collect();
+        by_key.sort_unstable_by(|&a, &b| pairs[a as usize].0.cmp(&pairs[b as usize].0));
+        for w in by_key.windows(2) {
+            if pairs[w[0] as usize].0 == pairs[w[1] as usize].0 {
+                return Err(JsonError::DuplicateKey(pairs[w[1] as usize].0.clone()));
+            }
+        }
+        Ok(ObjectRepr { pairs, by_key })
+    }
+
     /// The key–value pairs in insertion order.
     pub fn pairs(&self) -> &[(String, Json)] {
         &self.pairs
     }
 
-    /// Looks up the value under `key`, if present.
+    /// Looks up the value under `key`, if present (`O(log n)` via the
+    /// sorted key index).
     pub fn get(&self, key: &str) -> Option<&Json> {
-        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.by_key
+            .binary_search_by(|&i| self.pairs[i as usize].0.as_str().cmp(key))
+            .ok()
+            .map(|pos| &self.pairs[self.by_key[pos] as usize].1)
     }
 
     /// Number of key–value pairs.
@@ -68,10 +88,12 @@ impl ObjectRepr {
         self.pairs.iter().map(|(k, v)| (k.as_str(), v))
     }
 
-    fn sorted_refs(&self) -> Vec<(&str, &Json)> {
-        let mut v: Vec<(&str, &Json)> = self.pairs.iter().map(|(k, val)| (k.as_str(), val)).collect();
-        v.sort_by(|a, b| a.0.cmp(b.0));
-        v
+    /// `(key, value)` pairs in key order (reuses the sorted index).
+    fn sorted_refs(&self) -> impl Iterator<Item = (&str, &Json)> {
+        self.by_key.iter().map(|&i| {
+            let (k, v) = &self.pairs[i as usize];
+            (k.as_str(), v)
+        })
     }
 }
 
@@ -89,13 +111,7 @@ impl Json {
     /// assert!(dup.is_err());
     /// ```
     pub fn object(pairs: Vec<(String, Json)>) -> Result<Json, JsonError> {
-        let mut seen: BTreeMap<&str, ()> = BTreeMap::new();
-        for (k, _) in &pairs {
-            if seen.insert(k.as_str(), ()).is_some() {
-                return Err(JsonError::DuplicateKey(k.clone()));
-            }
-        }
-        Ok(Json::Object(ObjectRepr { pairs }))
+        Ok(Json::Object(ObjectRepr::new(pairs)?))
     }
 
     /// The empty object `{}`.
@@ -237,9 +253,7 @@ impl Json {
                 a.len().cmp(&b.len())
             }
             (Json::Object(a), Json::Object(b)) => {
-                let sa = a.sorted_refs();
-                let sb = b.sorted_refs();
-                for ((ka, va), (kb, vb)) in sa.iter().zip(sb.iter()) {
+                for ((ka, va), (kb, vb)) in a.sorted_refs().zip(b.sorted_refs()) {
                     let c = ka.cmp(kb);
                     if c != Ordering::Equal {
                         return c;
@@ -249,7 +263,7 @@ impl Json {
                         return c;
                     }
                 }
-                sa.len().cmp(&sb.len())
+                a.len().cmp(&b.len())
             }
             (a, b) => rank(a).cmp(&rank(b)),
         }
@@ -419,16 +433,8 @@ mod tests {
 
     #[test]
     fn object_equality_is_unordered() {
-        let a = Json::object(vec![
-            ("x".into(), Json::Num(1)),
-            ("y".into(), Json::Num(2)),
-        ])
-        .unwrap();
-        let b = Json::object(vec![
-            ("y".into(), Json::Num(2)),
-            ("x".into(), Json::Num(1)),
-        ])
-        .unwrap();
+        let a = Json::object(vec![("x".into(), Json::Num(1)), ("y".into(), Json::Num(2))]).unwrap();
+        let b = Json::object(vec![("y".into(), Json::Num(2)), ("x".into(), Json::Num(1))]).unwrap();
         assert_eq!(a, b);
         assert_eq!(h(&a), h(&b));
     }
@@ -442,11 +448,8 @@ mod tests {
 
     #[test]
     fn duplicate_keys_rejected() {
-        let err = Json::object(vec![
-            ("k".into(), Json::Num(1)),
-            ("k".into(), Json::Num(1)),
-        ])
-        .unwrap_err();
+        let err =
+            Json::object(vec![("k".into(), Json::Num(1)), ("k".into(), Json::Num(1))]).unwrap_err();
         assert!(matches!(err, JsonError::DuplicateKey(k) if k == "k"));
     }
 

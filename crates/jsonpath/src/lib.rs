@@ -70,7 +70,11 @@ pub struct PathError {
 
 impl fmt::Display for PathError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "JSONPath error at byte {}: {}", self.offset, self.message)
+        write!(
+            f,
+            "JSONPath error at byte {}: {}",
+            self.offset, self.message
+        )
     }
 }
 
@@ -81,7 +85,10 @@ impl JsonPath {
     pub fn parse(src: &str) -> Result<JsonPath, PathError> {
         let bytes = src.as_bytes();
         let mut pos = 0usize;
-        let err = |pos: usize, m: &str| PathError { offset: pos, message: m.to_owned() };
+        let err = |pos: usize, m: &str| PathError {
+            offset: pos,
+            message: m.to_owned(),
+        };
         if !src.starts_with('$') {
             return Err(err(0, "a JSONPath starts with $"));
         }
@@ -112,8 +119,8 @@ impl JsonPath {
                         pos = next;
                     } else {
                         pos += 1;
-                        let (name, next) =
-                            take_name(src, pos).ok_or_else(|| err(pos, "expected a name after `.`"))?;
+                        let (name, next) = take_name(src, pos)
+                            .ok_or_else(|| err(pos, "expected a name after `.`"))?;
                         steps.push(if name == "*" {
                             PathStep::Wildcard
                         } else {
@@ -223,12 +230,17 @@ impl JsonPath {
     /// The selection condition as a unary JNL formula: "this node can make
     /// a compiled path move" — used for fragment analysis and engines.
     pub fn to_jnl_unary(&self) -> Unary {
-        Unary::or(self.to_jnl_branches().into_iter().map(Unary::exists).collect())
+        Unary::or(
+            self.to_jnl_branches()
+                .into_iter()
+                .map(Unary::exists)
+                .collect(),
+        )
     }
 
     /// Selects matching values by evaluating the JNL compilation with the
     /// Proposition 3 engine.
-    pub fn select<'a>(&self, doc: &'a Json) -> Vec<Json> {
+    pub fn select(&self, doc: &Json) -> Vec<Json> {
         let tree = JsonTree::build(doc);
         let nodes = self.select_nodes(&tree);
         let _ = doc;
@@ -262,7 +274,7 @@ impl JsonPath {
                     PathStep::Slice(i, j) => {
                         for (pos, c) in tree.arr_children(n).iter().enumerate() {
                             let pos = pos as u64;
-                            if pos >= *i && j.map_or(true, |j| pos < j) {
+                            if pos >= *i && j.is_none_or(|j| pos < j) {
                                 push(*c, &mut next);
                             }
                         }
@@ -292,8 +304,9 @@ impl JsonPath {
     /// against the direct evaluator.
     pub fn select_nodes_via_jnl(&self, tree: &JsonTree) -> Vec<NodeId> {
         let mut out: Vec<NodeId> = Vec::new();
+        let mut memos = relex::RegexMemoTable::new();
         for alpha in self.to_jnl_branches() {
-            for n in step_sets(tree, &alpha, vec![tree.root()]) {
+            for n in step_sets(tree, &alpha, vec![tree.root()], &mut memos) {
                 if !out.contains(&n) {
                     out.push(n);
                 }
@@ -315,7 +328,12 @@ fn descendant_or_self() -> Binary {
 
 /// Direct set-stepping evaluation of a binary formula from a source set —
 /// the forward image `{m | ∃n ∈ from: (n, m) ∈ JαK}`.
-fn step_sets(tree: &JsonTree, alpha: &Binary, from: Vec<NodeId>) -> Vec<NodeId> {
+fn step_sets(
+    tree: &JsonTree,
+    alpha: &Binary,
+    from: Vec<NodeId>,
+    memos: &mut relex::RegexMemoTable,
+) -> Vec<NodeId> {
     match alpha {
         Binary::Epsilon => from,
         Binary::Key(w) => from
@@ -327,12 +345,15 @@ fn step_sets(tree: &JsonTree, alpha: &Binary, from: Vec<NodeId>) -> Vec<NodeId> 
             .filter_map(|n| tree.child_by_signed_index(n, *i))
             .collect(),
         Binary::KeyRegex(e) => {
-            let compiled = e.compile();
+            // Memoised per key symbol through the threaded table: a regex
+            // under `(α)*` keeps its warm cache across fixpoint rounds
+            // instead of recompiling every iteration.
+            let memo = memos.memo(e);
             let mut out = Vec::new();
             for n in from {
-                for (k, c) in tree.obj_children(n) {
-                    if compiled.is_match(k) && !out.contains(c) {
-                        out.push(*c);
+                for (k, c) in tree.obj_entries(n) {
+                    if memo.matches_str(k.index(), tree.resolve(k)) && !out.contains(&c) {
+                        out.push(c);
                     }
                 }
             }
@@ -343,7 +364,7 @@ fn step_sets(tree: &JsonTree, alpha: &Binary, from: Vec<NodeId>) -> Vec<NodeId> 
             for n in from {
                 for (pos, c) in tree.arr_children(n).iter().enumerate() {
                     let pos = pos as u64;
-                    if pos >= *i && j.map_or(true, |j| pos <= j) && !out.contains(c) {
+                    if pos >= *i && j.is_none_or(|j| pos <= j) && !out.contains(c) {
                         out.push(*c);
                     }
                 }
@@ -354,13 +375,13 @@ fn step_sets(tree: &JsonTree, alpha: &Binary, from: Vec<NodeId>) -> Vec<NodeId> 
             let sets = jnl::eval::evaluate(tree, phi);
             from.into_iter().filter(|n| sets[n.index()]).collect()
         }
-        Binary::Compose(parts) => {
-            parts.iter().fold(from, |acc, p| step_sets(tree, p, acc))
-        }
+        Binary::Compose(parts) => parts
+            .iter()
+            .fold(from, |acc, p| step_sets(tree, p, acc, memos)),
         Binary::Star(inner) => {
             let mut acc = from;
             loop {
-                let next = step_sets(tree, inner, acc.clone());
+                let next = step_sets(tree, inner, acc.clone(), memos);
                 let mut changed = false;
                 let mut merged = acc.clone();
                 for n in next {
@@ -377,6 +398,18 @@ fn step_sets(tree: &JsonTree, alpha: &Binary, from: Vec<NodeId>) -> Vec<NodeId> 
             acc
         }
     }
+}
+
+fn take_name(src: &str, pos: usize) -> Option<(String, usize)> {
+    let rest = &src[pos..];
+    if rest.starts_with('*') {
+        return Some(("*".to_owned(), pos + 1));
+    }
+    let end = rest.find(['.', '[']).unwrap_or(rest.len());
+    if end == 0 {
+        return None;
+    }
+    Some((rest[..end].to_owned(), pos + end))
 }
 
 #[cfg(test)]
@@ -402,15 +435,21 @@ mod tests {
     fn basic_selection() {
         let doc = store();
         assert_eq!(
-            JsonPath::parse("$.store.book[0].title").unwrap().select(&doc),
+            JsonPath::parse("$.store.book[0].title")
+                .unwrap()
+                .select(&doc),
             vec![Json::str("Sayings of the Century")]
         );
         assert_eq!(
-            JsonPath::parse("$.store.book[-1].price").unwrap().select(&doc),
+            JsonPath::parse("$.store.book[-1].price")
+                .unwrap()
+                .select(&doc),
             vec![Json::Num(22)]
         );
         assert_eq!(
-            JsonPath::parse("$['store']['bicycle']['color']").unwrap().select(&doc),
+            JsonPath::parse("$['store']['bicycle']['color']")
+                .unwrap()
+                .select(&doc),
             vec![Json::str("red")]
         );
     }
@@ -418,11 +457,17 @@ mod tests {
     #[test]
     fn wildcard_and_slices() {
         let doc = store();
-        let titles = JsonPath::parse("$.store.book[*].title").unwrap().select(&doc);
+        let titles = JsonPath::parse("$.store.book[*].title")
+            .unwrap()
+            .select(&doc);
         assert_eq!(titles.len(), 3);
-        let slice = JsonPath::parse("$.store.book[0:2].price").unwrap().select(&doc);
+        let slice = JsonPath::parse("$.store.book[0:2].price")
+            .unwrap()
+            .select(&doc);
         assert_eq!(slice, vec![Json::Num(8), Json::Num(9)]);
-        let open = JsonPath::parse("$.store.book[1:].price").unwrap().select(&doc);
+        let open = JsonPath::parse("$.store.book[1:].price")
+            .unwrap()
+            .select(&doc);
         assert_eq!(open, vec![Json::Num(9), Json::Num(22)]);
         let all = JsonPath::parse("$.store.*").unwrap().select(&doc);
         assert_eq!(all.len(), 2);
@@ -484,18 +529,4 @@ mod tests {
         let r = JsonPath::parse("$").unwrap().select(&doc);
         assert_eq!(r, vec![doc]);
     }
-}
-
-fn take_name(src: &str, pos: usize) -> Option<(String, usize)> {
-    let rest = &src[pos..];
-    if rest.starts_with('*') {
-        return Some(("*".to_owned(), pos + 1));
-    }
-    let end = rest
-        .find(|c: char| c == '.' || c == '[')
-        .unwrap_or(rest.len());
-    if end == 0 {
-        return None;
-    }
-    Some((rest[..end].to_owned(), pos + end))
 }

@@ -133,7 +133,11 @@ impl Filter {
                     };
                     let subs: Vec<Filter> =
                         items.iter().map(Filter::parse).collect::<Result<_, _>>()?;
-                    parts.push(if k == "$and" { Filter::And(subs) } else { Filter::Or(subs) });
+                    parts.push(if k == "$and" {
+                        Filter::And(subs)
+                    } else {
+                        Filter::Or(subs)
+                    });
                 }
                 "$not" => parts.push(Filter::Not(Box::new(Filter::parse(v)?))),
                 _ if k.starts_with('$') => {
@@ -410,7 +414,9 @@ impl Collection {
     /// Builds from a JSON array document.
     pub fn from_array(doc: &Json) -> Result<Collection, FilterError> {
         match doc.as_array() {
-            Some(items) => Ok(Collection { docs: items.to_vec() }),
+            Some(items) => Ok(Collection {
+                docs: items.to_vec(),
+            }),
             None => Err(FilterError("collection must be a JSON array".into())),
         }
     }
@@ -427,7 +433,10 @@ impl Collection {
 
     /// `find(filter, projection)`.
     pub fn find_project(&self, filter: &Filter, projection: &Projection) -> Vec<Json> {
-        self.find(filter).into_iter().map(|d| projection.apply(d)).collect()
+        self.find(filter)
+            .into_iter()
+            .map(|d| projection.apply(d))
+            .collect()
     }
 
     /// Evaluates the filter by compiling to JNL and running the Prop 1
@@ -487,10 +496,26 @@ mod tests {
     #[test]
     fn comparison_operators() {
         let coll = people();
-        assert_eq!(coll.find(&Filter::parse_str(r#"{"age": {"$gt": 28}}"#).unwrap()).len(), 2);
-        assert_eq!(coll.find(&Filter::parse_str(r#"{"age": {"$gte": 28}}"#).unwrap()).len(), 3);
-        assert_eq!(coll.find(&Filter::parse_str(r#"{"age": {"$lt": 30}}"#).unwrap()).len(), 1);
-        assert_eq!(coll.find(&Filter::parse_str(r#"{"age": {"$ne": 32}}"#).unwrap()).len(), 2);
+        assert_eq!(
+            coll.find(&Filter::parse_str(r#"{"age": {"$gt": 28}}"#).unwrap())
+                .len(),
+            2
+        );
+        assert_eq!(
+            coll.find(&Filter::parse_str(r#"{"age": {"$gte": 28}}"#).unwrap())
+                .len(),
+            3
+        );
+        assert_eq!(
+            coll.find(&Filter::parse_str(r#"{"age": {"$lt": 30}}"#).unwrap())
+                .len(),
+            1
+        );
+        assert_eq!(
+            coll.find(&Filter::parse_str(r#"{"age": {"$ne": 32}}"#).unwrap())
+                .len(),
+            2
+        );
         assert_eq!(
             coll.find(&Filter::parse_str(r#"{"age": {"$gte": 28, "$lte": 32}}"#).unwrap())
                 .len(),
@@ -501,17 +526,13 @@ mod tests {
     #[test]
     fn logical_operators() {
         let coll = people();
-        let f = Filter::parse_str(
-            r#"{"$or": [{"age": 28}, {"name.first": {"$eq": "Ana"}}]}"#,
-        )
-        .unwrap();
+        let f =
+            Filter::parse_str(r#"{"$or": [{"age": 28}, {"name.first": {"$eq": "Ana"}}]}"#).unwrap();
         assert_eq!(coll.find(&f).len(), 2);
         let f = Filter::parse_str(r#"{"$not": {"age": {"$gte": 30}}}"#).unwrap();
         assert_eq!(coll.find(&f).len(), 1);
-        let f = Filter::parse_str(
-            r#"{"$and": [{"age": {"$gt": 20}}, {"hobbies": {"$size": 1}}]}"#,
-        )
-        .unwrap();
+        let f = Filter::parse_str(r#"{"$and": [{"age": {"$gt": 20}}, {"hobbies": {"$size": 1}}]}"#)
+            .unwrap();
         assert_eq!(coll.find(&f).len(), 1);
     }
 
@@ -519,11 +540,13 @@ mod tests {
     fn in_exists_size_type() {
         let coll = people();
         assert_eq!(
-            coll.find(&Filter::parse_str(r#"{"age": {"$in": [28, 45]}}"#).unwrap()).len(),
+            coll.find(&Filter::parse_str(r#"{"age": {"$in": [28, 45]}}"#).unwrap())
+                .len(),
             2
         );
         assert_eq!(
-            coll.find(&Filter::parse_str(r#"{"age": {"$nin": [28, 45]}}"#).unwrap()).len(),
+            coll.find(&Filter::parse_str(r#"{"age": {"$nin": [28, 45]}}"#).unwrap())
+                .len(),
             1
         );
         assert_eq!(
@@ -537,15 +560,18 @@ mod tests {
             1
         );
         assert_eq!(
-            coll.find(&Filter::parse_str(r#"{"hobbies": {"$size": 0}}"#).unwrap()).len(),
+            coll.find(&Filter::parse_str(r#"{"hobbies": {"$size": 0}}"#).unwrap())
+                .len(),
             1
         );
         assert_eq!(
-            coll.find(&Filter::parse_str(r#"{"hobbies": {"$type": "array"}}"#).unwrap()).len(),
+            coll.find(&Filter::parse_str(r#"{"hobbies": {"$type": "array"}}"#).unwrap())
+                .len(),
             3
         );
         assert_eq!(
-            coll.find(&Filter::parse_str(r#"{"age": {"$type": "string"}}"#).unwrap()).len(),
+            coll.find(&Filter::parse_str(r#"{"age": {"$type": "string"}}"#).unwrap())
+                .len(),
             0
         );
     }
@@ -605,11 +631,13 @@ mod tests {
     fn missing_paths_never_match_comparisons() {
         let coll = people();
         assert_eq!(
-            coll.find(&Filter::parse_str(r#"{"salary": {"$gt": 0}}"#).unwrap()).len(),
+            coll.find(&Filter::parse_str(r#"{"salary": {"$gt": 0}}"#).unwrap())
+                .len(),
             0
         );
         assert_eq!(
-            coll.find(&Filter::parse_str(r#"{"salary": {"$ne": 1}}"#).unwrap()).len(),
+            coll.find(&Filter::parse_str(r#"{"salary": {"$ne": 1}}"#).unwrap())
+                .len(),
             0,
             "$ne still requires the path to exist in this dialect"
         );

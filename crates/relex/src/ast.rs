@@ -39,7 +39,11 @@ impl Regex {
         match w.chars().count() {
             0 => Regex::Epsilon,
             1 => Regex::Class(CharClass::single(w.chars().next().expect("one char"))),
-            _ => Regex::Concat(w.chars().map(|c| Regex::Class(CharClass::single(c))).collect()),
+            _ => Regex::Concat(
+                w.chars()
+                    .map(|c| Regex::Class(CharClass::single(c)))
+                    .collect(),
+            ),
         }
     }
 
@@ -250,8 +254,14 @@ mod tests {
             // Compare languages on a sample rather than ASTs (derived forms
             // normalise differently).
             let (ca, cb) = (r.compile(), back.compile());
-            for w in ["", "a", "b", "aba", "aa", "abbba", "0", "99", "xy", "y", "c"] {
-                assert_eq!(ca.is_match(w), cb.is_match(w), "word {w} under {src} vs {shown}");
+            for w in [
+                "", "a", "b", "aba", "aa", "abbba", "0", "99", "xy", "y", "c",
+            ] {
+                assert_eq!(
+                    ca.is_match(w),
+                    cb.is_match(w),
+                    "word {w} under {src} vs {shown}"
+                );
             }
         }
     }

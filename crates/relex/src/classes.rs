@@ -23,24 +23,32 @@ impl CharClass {
 
     /// The class of every unicode scalar value (`.` with "dot-all").
     pub fn any() -> CharClass {
-        CharClass { ranges: vec![(0, SURROGATE_LO - 1), (SURROGATE_HI + 1, MAX_SCALAR)] }
+        CharClass {
+            ranges: vec![(0, SURROGATE_LO - 1), (SURROGATE_HI + 1, MAX_SCALAR)],
+        }
     }
 
     /// A singleton class.
     pub fn single(c: char) -> CharClass {
-        CharClass { ranges: vec![(c as u32, c as u32)] }
+        CharClass {
+            ranges: vec![(c as u32, c as u32)],
+        }
     }
 
     /// A class from an inclusive character range.
     pub fn range(lo: char, hi: char) -> CharClass {
-        let mut cc = CharClass { ranges: vec![(lo as u32, hi as u32)] };
+        let mut cc = CharClass {
+            ranges: vec![(lo as u32, hi as u32)],
+        };
         cc.normalize();
         cc
     }
 
     /// Builds from arbitrary raw ranges (normalised, surrogates removed).
     pub fn from_ranges(ranges: impl IntoIterator<Item = (u32, u32)>) -> CharClass {
-        let mut cc = CharClass { ranges: ranges.into_iter().collect() };
+        let mut cc = CharClass {
+            ranges: ranges.into_iter().collect(),
+        };
         cc.normalize();
         cc
     }
@@ -108,13 +116,21 @@ impl CharClass {
 
     /// Number of characters in the class.
     pub fn len(&self) -> u64 {
-        self.ranges.iter().map(|&(lo, hi)| (hi - lo + 1) as u64).sum()
+        self.ranges
+            .iter()
+            .map(|&(lo, hi)| (hi - lo + 1) as u64)
+            .sum()
     }
 
     /// Union of two classes.
     pub fn union(&self, other: &CharClass) -> CharClass {
         let mut cc = CharClass {
-            ranges: self.ranges.iter().chain(other.ranges.iter()).copied().collect(),
+            ranges: self
+                .ranges
+                .iter()
+                .chain(other.ranges.iter())
+                .copied()
+                .collect(),
         };
         cc.normalize();
         cc

@@ -29,7 +29,11 @@ pub struct DfaTooLarge {
 
 impl fmt::Display for DfaTooLarge {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "DFA construction exceeded {MAX_DFA_STATES} states (reached {})", self.reached)
+        write!(
+            f,
+            "DFA construction exceeded {MAX_DFA_STATES} states (reached {})",
+            self.reached
+        )
     }
 }
 
@@ -106,7 +110,9 @@ impl Dfa {
                     None => {
                         let id = trans.len() as u32;
                         if trans.len() >= MAX_DFA_STATES {
-                            return Err(DfaTooLarge { reached: trans.len() });
+                            return Err(DfaTooLarge {
+                                reached: trans.len(),
+                            });
                         }
                         trans.push(vec![0; intervals.len()]);
                         accept.push(next.contains(&nfa.accept));
@@ -119,7 +125,12 @@ impl Dfa {
             }
         }
 
-        Ok(Dfa { intervals, trans, accept, start: start_id })
+        Ok(Dfa {
+            intervals,
+            trans,
+            accept,
+            start: start_id,
+        })
     }
 
     /// Number of states (including the dead state).
@@ -131,7 +142,9 @@ impl Dfa {
     pub fn is_match(&self, s: &str) -> bool {
         let mut cur = self.start;
         for c in s.chars() {
-            let Some(i) = self.interval_of(c) else { return false };
+            let Some(i) = self.interval_of(c) else {
+                return false;
+            };
             cur = self.trans[cur as usize][i];
         }
         self.accept[cur as usize]
@@ -199,7 +212,9 @@ impl Dfa {
         let mut chars = Vec::new();
         while let Some((prev, i)) = back[cur as usize] {
             let (lo, hi) = self.intervals[i];
-            let c = CharClass::from_ranges([(lo, hi)]).example().expect("interval nonempty");
+            let c = CharClass::from_ranges([(lo, hi)])
+                .example()
+                .expect("interval nonempty");
             chars.push(c);
             cur = prev;
         }
@@ -230,11 +245,11 @@ impl Dfa {
                 Some(prev) => R::alt(vec![prev, r]),
             });
         };
-        for s in 0..n {
-            for (i, &to) in self.trans[s].iter().enumerate() {
+        for (trans_row, edge_row) in self.trans.iter().zip(edge.iter_mut()) {
+            for (i, &to) in trans_row.iter().enumerate() {
                 let (lo, hi) = self.intervals[i];
                 let class = crate::classes::CharClass::from_ranges([(lo, hi)]);
-                add(&mut edge[s][to as usize], R::Class(class));
+                add(&mut edge_row[to as usize], R::Class(class));
             }
         }
         add(&mut edge[n][self.start as usize], R::Epsilon);
@@ -270,9 +285,11 @@ impl Dfa {
                     });
                 }
             }
-            for x in 0..size {
-                edge[x][k] = None;
-                edge[k][x] = None;
+            for row in edge.iter_mut() {
+                row[k] = None;
+            }
+            for slot in edge[k].iter_mut() {
+                *slot = None;
             }
         }
         edge[n][n + 1].take().unwrap_or(R::Empty)
@@ -397,7 +414,10 @@ impl Dfa {
         let start_pair = (self.start, other.start);
         index.insert(start_pair, 0);
         trans.push(vec![u32::MAX; intervals.len()]);
-        accept.push(acc(self.accept[self.start as usize], other.accept[other.start as usize]));
+        accept.push(acc(
+            self.accept[self.start as usize],
+            other.accept[other.start as usize],
+        ));
         queue.push_back(start_pair);
         while let Some((a, b)) = queue.pop_front() {
             let sid = index[&(a, b)];
@@ -418,7 +438,12 @@ impl Dfa {
                 trans[sid as usize][i] = nid;
             }
         }
-        Dfa { intervals, trans, accept, start: 0 }
+        Dfa {
+            intervals,
+            trans,
+            accept,
+            start: 0,
+        }
     }
 }
 
@@ -471,10 +496,7 @@ fn partition_for(nfa: &Nfa) -> Vec<(u32, u32)> {
 
 /// Common refinement of two partitions; returns (merged, index-map-a,
 /// index-map-b) with `merged[i] ⊆ a[map_a[i]]` and `merged[i] ⊆ b[map_b[i]]`.
-fn refine(
-    a: &[(u32, u32)],
-    b: &[(u32, u32)],
-) -> (Vec<(u32, u32)>, Vec<usize>, Vec<usize>) {
+fn refine(a: &[(u32, u32)], b: &[(u32, u32)]) -> (Vec<(u32, u32)>, Vec<usize>, Vec<usize>) {
     let mut merged = Vec::new();
     let mut map_a = Vec::new();
     let mut map_b = Vec::new();
@@ -511,11 +533,30 @@ mod tests {
 
     #[test]
     fn dfa_matching_agrees_with_nfa() {
-        for pat in ["a(b|c)a", "(0|1)+", "[a-z]*@ciws\\.cl", "a{2,4}b?", "(ab|a)b*"] {
+        for pat in [
+            "a(b|c)a",
+            "(0|1)+",
+            "[a-z]*@ciws\\.cl",
+            "a{2,4}b?",
+            "(ab|a)b*",
+        ] {
             let r = Regex::parse(pat).unwrap();
             let nfa = r.compile();
             let d = r.to_dfa();
-            for w in ["", "a", "aba", "aca", "ada", "01", "2", "x@ciws.cl", "aab", "ab", "abb", "aaaa"] {
+            for w in [
+                "",
+                "a",
+                "aba",
+                "aca",
+                "ada",
+                "01",
+                "2",
+                "x@ciws.cl",
+                "aab",
+                "ab",
+                "abb",
+                "aaaa",
+            ] {
                 assert_eq!(nfa.is_match(w), d.is_match(w), "pattern {pat}, word {w}");
             }
         }
@@ -612,7 +653,10 @@ mod tests {
     fn examples_enumerates_distinct_words() {
         let d = dfa("a|bb|ccc");
         let got = d.examples(3);
-        assert_eq!(got, vec!["a".to_string(), "bb".to_string(), "ccc".to_string()]);
+        assert_eq!(
+            got,
+            vec!["a".to_string(), "bb".to_string(), "ccc".to_string()]
+        );
         assert_eq!(d.examples(10).len(), 3, "finite language saturates");
         // Infinite language yields as many as asked.
         assert_eq!(dfa("x+").examples(5).len(), 5);

@@ -39,11 +39,13 @@
 pub mod ast;
 pub mod classes;
 pub mod dfa;
+pub mod memo;
 pub mod nfa;
 pub mod parse;
 
 pub use ast::Regex;
 pub use classes::CharClass;
 pub use dfa::Dfa;
+pub use memo::{KeyMatchMemo, RegexMemoTable};
 pub use nfa::{CompiledRegex, Nfa};
 pub use parse::RegexError;

@@ -1,0 +1,118 @@
+//! Per-symbol memoisation of anchored regex membership.
+//!
+//! The logic engines test edge keys and string atoms against regular
+//! expressions. With keys interned to dense `u32` symbols (see
+//! `jsondata::intern`), each regex needs to run **once per distinct
+//! symbol** rather than once per node: a [`KeyMatchMemo`] caches the
+//! verdict in a dense tri-state table indexed by symbol.
+//!
+//! This replaces the previous per-regex `Vec<bool>` over *all nodes* —
+//! `O(distinct keys)` regex runs instead of `O(nodes)`.
+
+use std::collections::HashMap;
+
+use crate::nfa::CompiledRegex;
+use crate::Regex;
+
+const UNKNOWN: u8 = 0;
+const NO: u8 = 1;
+const YES: u8 = 2;
+
+/// A compiled regex plus a dense per-symbol verdict cache.
+pub struct KeyMatchMemo {
+    compiled: CompiledRegex,
+    verdicts: Vec<u8>,
+}
+
+impl KeyMatchMemo {
+    /// Wraps a compiled regex with an empty cache.
+    pub fn new(compiled: CompiledRegex) -> KeyMatchMemo {
+        KeyMatchMemo {
+            compiled,
+            verdicts: Vec::new(),
+        }
+    }
+
+    /// Unmemoised membership test on a resolved string.
+    pub fn is_match(&self, s: &str) -> bool {
+        self.compiled.is_match(s)
+    }
+
+    /// Memoised membership: the string `s` behind symbol index `sym` is run
+    /// through the regex at most once per distinct symbol; later calls are a
+    /// table load. Symbols denote one string by contract, so the cached
+    /// verdict wins regardless of the `s` passed on later calls.
+    pub fn matches_str(&mut self, sym: usize, s: &str) -> bool {
+        if sym >= self.verdicts.len() {
+            self.verdicts.resize(sym + 1, UNKNOWN);
+        }
+        match self.verdicts[sym] {
+            YES => true,
+            NO => false,
+            _ => {
+                let hit = self.compiled.is_match(s);
+                self.verdicts[sym] = if hit { YES } else { NO };
+                hit
+            }
+        }
+    }
+
+    /// Number of symbols with a cached verdict (for tests/diagnostics).
+    pub fn cached(&self) -> usize {
+        self.verdicts.iter().filter(|&&v| v != UNKNOWN).count()
+    }
+}
+
+/// A per-regex collection of [`KeyMatchMemo`]s, shared by the evaluation
+/// contexts of the logic crates so the probe/insert logic lives in one
+/// place. [`RegexMemoTable::memo`] probes before inserting — `entry` would
+/// deep-clone the regex AST on every call, including cache hits.
+///
+/// Callers iterating many symbols against one regex should fetch the memo
+/// **once** and reuse it inside the loop; the table probe hashes the full
+/// regex AST each time.
+#[derive(Default)]
+pub struct RegexMemoTable {
+    memos: HashMap<Regex, KeyMatchMemo>,
+}
+
+impl RegexMemoTable {
+    /// An empty table.
+    pub fn new() -> RegexMemoTable {
+        RegexMemoTable::default()
+    }
+
+    /// The memo for `e`, compiling the regex on first sight.
+    pub fn memo(&mut self, e: &Regex) -> &mut KeyMatchMemo {
+        if !self.memos.contains_key(e) {
+            self.memos.insert(e.clone(), KeyMatchMemo::new(e.compile()));
+        }
+        self.memos.get_mut(e).expect("just inserted")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Regex;
+
+    #[test]
+    fn memoises_per_symbol() {
+        let mut memo = KeyMatchMemo::new(Regex::parse("a(b|c)a").unwrap().compile());
+        for _ in 0..5 {
+            assert!(memo.matches_str(0, "aba"));
+            assert!(!memo.matches_str(7, "nope"));
+        }
+        assert_eq!(memo.cached(), 2, "only the two distinct symbols resolved");
+    }
+
+    #[test]
+    fn matches_str_agrees_with_direct() {
+        let mut memo = KeyMatchMemo::new(Regex::parse("x+").unwrap().compile());
+        assert!(memo.matches_str(3, "xxx"));
+        // Cached verdict wins even if a different string is passed for the
+        // same symbol (symbols denote one string by contract).
+        assert!(memo.matches_str(3, "zzz"));
+        assert!(!memo.matches_str(4, "zzz"));
+    }
+}

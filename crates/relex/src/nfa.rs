@@ -29,7 +29,11 @@ pub struct Nfa {
 impl Nfa {
     /// Thompson construction. Linear in the size of the regex.
     pub fn from_regex(r: &Regex) -> Nfa {
-        let mut nfa = Nfa { trans: Vec::new(), start: 0, accept: 0 };
+        let mut nfa = Nfa {
+            trans: Vec::new(),
+            start: 0,
+            accept: 0,
+        };
         let start = nfa.new_state();
         let accept = nfa.new_state();
         nfa.start = start;
@@ -55,7 +59,11 @@ impl Nfa {
             Regex::Concat(parts) => {
                 let mut cur = from;
                 for (i, p) in parts.iter().enumerate() {
-                    let next = if i + 1 == parts.len() { to } else { self.new_state() };
+                    let next = if i + 1 == parts.len() {
+                        to
+                    } else {
+                        self.new_state()
+                    };
                     self.build(p, cur, next);
                     cur = next;
                 }

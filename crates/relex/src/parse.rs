@@ -59,7 +59,10 @@ struct P {
 
 impl P {
     fn err(&self, msg: &str) -> RegexError {
-        RegexError { offset: self.pos, message: msg.to_owned() }
+        RegexError {
+            offset: self.pos,
+            message: msg.to_owned(),
+        }
     }
 
     fn peek(&self) -> Option<char> {
@@ -168,7 +171,9 @@ impl P {
             return Err(self.err("expected a number"));
         }
         let text: String = self.chars[start..self.pos].iter().collect();
-        let v: u32 = text.parse().map_err(|_| self.err("repetition count too large"))?;
+        let v: u32 = text
+            .parse()
+            .map_err(|_| self.err("repetition count too large"))?;
         if v > MAX_BOUNDED_REPEAT {
             return Err(self.err("bounded repetition too large"));
         }
@@ -210,9 +215,10 @@ impl P {
             Some('^') | Some('$') => Err(self.err(
                 "anchors are not supported: matching is anchored by definition (L(e) membership)",
             )),
-            Some(c @ ('*' | '+' | '?' | '{' | '}' | ')' | '|')) => {
-                Err(RegexError { offset: self.pos, message: format!("misplaced metacharacter '{c}'") })
-            }
+            Some(c @ ('*' | '+' | '?' | '{' | '}' | ')' | '|')) => Err(RegexError {
+                offset: self.pos,
+                message: format!("misplaced metacharacter '{c}'"),
+            }),
             Some(c) => {
                 self.bump();
                 Ok(Regex::Class(CharClass::single(c)))
@@ -240,7 +246,9 @@ impl P {
                     let Some(h) = self.bump() else {
                         return Err(self.err("truncated \\uXXXX escape"));
                     };
-                    let d = h.to_digit(16).ok_or_else(|| self.err("bad hex in \\uXXXX"))?;
+                    let d = h
+                        .to_digit(16)
+                        .ok_or_else(|| self.err("bad hex in \\uXXXX"))?;
                     v = v * 16 + d;
                 }
                 let ch = char::from_u32(v)

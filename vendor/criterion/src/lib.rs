@@ -1,0 +1,177 @@
+//! Offline shim for the subset of the `criterion` benchmark harness this
+//! workspace uses.
+//!
+//! The build environment cannot fetch crates.io, so this crate provides the
+//! same entry points (`criterion_group!`, `criterion_main!`, `Criterion`,
+//! `BenchmarkGroup`, `BenchmarkId`, `Bencher`, `black_box`) with a simple
+//! median-of-samples timer instead of criterion's full statistics engine.
+//! Sample counts are respected, warm-up is one iteration, and results print
+//! as `group/function/param  median  (samples)` lines.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            group: name.to_owned(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single benchmark outside a group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = self.benchmark_group("default");
+        g.run(name, &mut f);
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup {
+    group: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` with the given input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = id.label();
+        self.run(&label, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks `f` under a plain name.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(name, &mut f);
+        self
+    }
+
+    fn run(&mut self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        // One warm-up pass, then the timed samples.
+        for i in 0..=self.sample_size {
+            let mut b = Bencher { elapsed_ns: 0 };
+            f(&mut b);
+            if i > 0 {
+                samples.push(b.elapsed_ns);
+            }
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        println!(
+            "  {}/{label}: median {:.3} ms ({} samples)",
+            self.group,
+            median as f64 / 1e6,
+            samples.len()
+        );
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter value.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> String {
+        format!("{}/{}", self.function, self.parameter)
+    }
+}
+
+/// The per-benchmark timing handle passed to closures.
+pub struct Bencher {
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times one call of `routine` (one iteration per sample keeps the shim
+    /// cheap enough to run in CI).
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        let t0 = Instant::now();
+        black_box(routine());
+        self.elapsed_ns = t0.elapsed().as_nanos();
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        let mut runs = 0usize;
+        g.bench_with_input(BenchmarkId::new("count", 1), &5u64, |b, &x| {
+            b.iter(|| {
+                runs += 1;
+                x * 2
+            })
+        });
+        g.finish();
+        assert_eq!(runs, 4, "warm-up + 3 samples");
+    }
+}

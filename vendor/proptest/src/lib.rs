@@ -1,0 +1,447 @@
+//! Offline shim for the subset of the `proptest` framework this workspace
+//! uses.
+//!
+//! The build environment cannot fetch crates.io. This crate implements the
+//! strategy combinators and macros the workspace's property tests call —
+//! ranges, simple `[a-z]{m,n}` string patterns, `Just`, tuples,
+//! `prop_map`, `prop_recursive`, `prop_oneof!`, `prop::collection::vec`,
+//! `prop::collection::btree_map`, and the `proptest!`/`prop_assert*!`
+//! macros — over a seeded RNG. No shrinking is performed: a failing case
+//! reports its inputs and panics directly.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::Range;
+use std::rc::Rc;
+
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// Test-case RNG (one per case, deterministic in the case number).
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// The RNG for one numbered case. The base seed can be overridden with
+    /// `PROPTEST_SEED` for reproduction.
+    pub fn for_case(case: u64) -> TestRng {
+        let base = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0x5EED_CAFE_u64);
+        TestRng {
+            inner: StdRng::seed_from_u64(base.wrapping_add(case.wrapping_mul(0x9E37_79B9))),
+        }
+    }
+
+    fn below(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            0
+        } else {
+            self.inner.gen_range(0..bound)
+        }
+    }
+}
+
+/// Failure raised by `prop_assert!`-style macros.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Run configuration (shim of `proptest::test_runner::Config`).
+#[derive(Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// A value generator (shim of `proptest::strategy::Strategy`, without
+/// shrinking).
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+        U: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| f(self.generate(rng))))
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf case and `recurse`
+    /// wraps a strategy for depth `d` into one for depth `d + 1`. The
+    /// `_desired_size`/`_expected_branch` hints are accepted for API
+    /// compatibility and ignored.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut current = self.boxed();
+        for _ in 0..depth {
+            current = recurse(current).boxed();
+        }
+        current
+    }
+}
+
+/// A type-erased, clonable strategy.
+pub struct BoxedStrategy<T>(Rc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+
+    fn boxed(self) -> BoxedStrategy<T>
+    where
+        Self: Sized + 'static,
+    {
+        self
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.inner.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// String strategies from simple patterns: `&'static str` supports the
+/// `[<lo>-<hi>]{m,n}` character-class-with-repetition shape the workspace
+/// uses (e.g. `"[a-d]{0,3}"`); any other pattern is treated as a literal.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        match parse_class_repeat(self) {
+            Some((lo, hi, min, max)) => {
+                let len = min + rng.below(max - min + 1);
+                (0..len)
+                    .map(|_| {
+                        let span = (hi as u32) - (lo as u32) + 1;
+                        char::from_u32(lo as u32 + rng.below(span as usize) as u32)
+                            .expect("ASCII class")
+                    })
+                    .collect()
+            }
+            None => (*self).to_owned(),
+        }
+    }
+}
+
+/// Parses `[x-y]{m,n}` into `(x, y, m, n)`.
+fn parse_class_repeat(pat: &str) -> Option<(char, char, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let mut chars = class.chars();
+    let (lo, dash, hi) = (chars.next()?, chars.next()?, chars.next()?);
+    if dash != '-' || chars.next().is_some() || hi < lo {
+        return None;
+    }
+    let body = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (m, n) = body.split_once(',')?;
+    let (min, max) = (m.trim().parse().ok()?, n.trim().parse().ok()?);
+    if min > max {
+        return None;
+    }
+    Some((lo, hi, min, max))
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Uniform choice between strategies of a common value type (the engine
+/// behind `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given arms (at least one).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len());
+        self.arms[i].generate(rng)
+    }
+}
+
+/// Collection strategies (shim of `proptest::collection`).
+pub mod collection {
+    use super::*;
+
+    /// A `Vec` of values with a length drawn from `len`.
+    pub fn vec<S>(element: S, len: Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| {
+            let n = len.start + rng.below(len.end - len.start);
+            (0..n).map(|_| element.generate(rng)).collect()
+        }))
+    }
+
+    /// A `BTreeMap` with approximately `len` entries (duplicate keys
+    /// collapse, matching upstream semantics).
+    pub fn btree_map<K, V>(
+        key: K,
+        value: V,
+        len: Range<usize>,
+    ) -> BoxedStrategy<BTreeMap<K::Value, V::Value>>
+    where
+        K: Strategy + 'static,
+        V: Strategy + 'static,
+        K::Value: Ord + 'static,
+        V::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| {
+            let n = len.start + rng.below(len.end - len.start);
+            (0..n)
+                .map(|_| (key.generate(rng), value.generate(rng)))
+                .collect()
+        }))
+    }
+}
+
+/// The glob-import surface (`use proptest::prelude::*`).
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+
+    /// Mirror of `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Uniform choice between the listed strategies (all of one value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($strategy)),+])
+    };
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l == r, "assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(l != r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` seeded cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for case in 0..cfg.cases as u64 {
+                    let mut rng = $crate::TestRng::for_case(case);
+                    $(let $arg = $crate::Strategy::generate(&$strategy, &mut rng);)*
+                    let result: ::core::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(e) = result {
+                        panic!(
+                            "proptest case {case} failed: {e}\ninputs:{}",
+                            [$(format!("\n  {} = {:?}", stringify!($arg), $arg)),*].concat()
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, v in prop::collection::vec(0usize..4, 1..5)) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&e| e < 4));
+        }
+
+        #[test]
+        fn string_patterns_generate_the_class(s in "[a-d]{0,3}") {
+            prop_assert!(s.len() <= 3, "{}", s);
+            prop_assert!(s.chars().all(|c| ('a'..='d').contains(&c)));
+        }
+
+        #[test]
+        fn oneof_and_map_combine(v in prop_oneof![
+            (0u64..5).prop_map(|n| n.to_string()),
+            Just("fixed".to_string()),
+        ]) {
+            prop_assert!(v == "fixed" || v.parse::<u64>().unwrap() < 5);
+        }
+    }
+
+    #[test]
+    fn recursive_strategies_terminate() {
+        #[derive(Debug, Clone)]
+        #[allow(dead_code)]
+        enum T {
+            Leaf(u64),
+            Node(Vec<T>),
+        }
+        let strat = (0u64..10)
+            .prop_map(T::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                prop::collection::vec(inner, 0..4).prop_map(T::Node)
+            });
+        let mut rng = crate::TestRng::for_case(0);
+        for _ in 0..50 {
+            fn depth(t: &T) -> usize {
+                match t {
+                    T::Leaf(_) => 0,
+                    T::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+                }
+            }
+            assert!(depth(&strat.generate(&mut rng)) <= 3);
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Offline shim for the subset of the `rand` crate this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the real
+//! `rand` cannot be fetched. This crate implements the exact API surface the
+//! workspace calls — `StdRng::seed_from_u64`, `Rng::gen_range` over
+//! (inclusive and exclusive) integer ranges, and `Rng::gen_bool` — on top of
+//! the public-domain xoshiro256++ generator.
+//!
+//! Streams are deterministic in the seed (all the workspace requires) but do
+//! **not** bit-match the upstream `rand` implementation.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators (shim of `rand::SeedableRng` for the methods used).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The sampling interface (shim of `rand::Rng` for the methods used).
+pub trait Rng {
+    /// The next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from an integer range (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample(&mut |bound| self.gen_bounded(bound))
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability out of range"
+        );
+        // 53 uniform mantissa bits, as the real implementation does.
+        let x = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        x < p
+    }
+
+    /// Uniform value in `0..bound` via Lemire-style rejection.
+    fn gen_bounded(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "cannot sample from an empty range");
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+}
+
+/// Integer types that can be drawn from a uniform range.
+pub trait SampleUniform: Copy {
+    /// Converts to the common u64 offset domain (order-preserving).
+    fn to_offset(self) -> u64;
+    /// Converts back from the offset domain.
+    fn from_offset(offset: u64) -> Self;
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_offset(self) -> u64 {
+                self as u64
+            }
+            fn from_offset(offset: u64) -> Self {
+                offset as $t
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_offset(self) -> u64 {
+                (self as i64).wrapping_sub(i64::MIN) as u64
+            }
+            fn from_offset(offset: u64) -> Self {
+                (offset as i64).wrapping_add(i64::MIN) as $t
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+/// Ranges a value can be uniformly drawn from.
+pub trait SampleRange<T> {
+    /// Draws one value using `draw(bound) -> uniform in 0..bound`.
+    fn sample(self, draw: &mut dyn FnMut(u64) -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, draw: &mut dyn FnMut(u64) -> u64) -> T {
+        let (lo, hi) = (self.start.to_offset(), self.end.to_offset());
+        assert!(lo < hi, "cannot sample from an empty range");
+        T::from_offset(lo + draw(hi - lo))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, draw: &mut dyn FnMut(u64) -> u64) -> T {
+        let (lo, hi) = (self.start().to_offset(), self.end().to_offset());
+        assert!(lo <= hi, "cannot sample from an empty range");
+        if lo == 0 && hi == u64::MAX {
+            // Full domain: no rejection needed, any draw works.
+            return T::from_offset(draw(u64::MAX));
+        }
+        T::from_offset(lo + draw(hi - lo + 1))
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Shim of `rand::rngs::StdRng`: xoshiro256++ seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion, the standard seeding recipe for xoshiro.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u64 = r.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let v: usize = r.gen_range(0..=4);
+            assert!(v <= 4);
+            let v: i64 = r.gen_range(-5..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn bool_probabilities_are_sane() {
+        let mut r = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "{hits} hits for p=0.25");
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn covers_whole_small_range() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[r.gen_range(0..5usize)] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}
