@@ -24,6 +24,7 @@ fn bench(c: &mut Criterion) {
                         &phi,
                         EvalOptions {
                             unique: UniqueStrategy::NaivePairwise,
+                            ..Default::default()
                         },
                     )
                 })
@@ -36,6 +37,7 @@ fn bench(c: &mut Criterion) {
                     &phi,
                     EvalOptions {
                         unique: UniqueStrategy::Canonical,
+                        ..Default::default()
                     },
                 )
             })

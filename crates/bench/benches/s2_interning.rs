@@ -62,6 +62,7 @@ fn bench(c: &mut Criterion) {
     let e7_phi = e7_formula();
     let canonical = EvalOptions {
         unique: UniqueStrategy::Canonical,
+        ..Default::default()
     };
     for exp in [11u32, 13] {
         let n = 1usize << exp;

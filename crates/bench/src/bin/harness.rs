@@ -58,6 +58,9 @@ fn main() {
     if want("s2") {
         s2();
     }
+    if want("s3") {
+        s3();
+    }
 }
 
 fn header(id: &str, claim: &str) {
@@ -338,6 +341,7 @@ fn e7() {
                 &phi,
                 EvalOptions {
                     unique: UniqueStrategy::NaivePairwise,
+                    ..Default::default()
                 },
             )
         });
@@ -347,6 +351,7 @@ fn e7() {
                 &phi,
                 EvalOptions {
                     unique: UniqueStrategy::Canonical,
+                    ..Default::default()
                 },
             )
         });
@@ -841,6 +846,7 @@ fn s2() {
     let e7_phi = e7_formula();
     let canonical = EvalOptions {
         unique: UniqueStrategy::Canonical,
+        ..Default::default()
     };
     assert_eq!(
         bench::baseline::e7_canonical_strings(&e7_tree),
@@ -886,4 +892,101 @@ fn s2() {
     );
     std::fs::write("BENCH_interning.json", &json).expect("write BENCH_interning.json");
     println!("wrote BENCH_interning.json");
+}
+
+/// S3 — the DFA-bitset experiment: regex edge matching through precomputed
+/// symbol bitsets vs the lazy per-symbol memo tier vs the frozen
+/// per-node-visit string baseline, on regex-heavy E1/E7-style workloads
+/// over high-distinct-key trees. Asserts exact three-way agreement (the
+/// deterministic CI gate) and emits `BENCH_dfa_bitset.json`.
+fn s3() {
+    header(
+        "S3",
+        "DFA symbol bitsets — bitset vs lazy memo vs per-node string baseline",
+    );
+    use relex::EdgeStrategy;
+
+    // --- E1-style: JNL regex navigation, 4096 objects × 8 keys, all 32k
+    // keys distinct ---
+    let (n_objects, keys_each) = (4096usize, 8usize);
+    let n_keys = n_objects * keys_each;
+    let doc = s3_jnl_doc(n_objects, keys_each);
+    let tree = JsonTree::build(&doc);
+    let (e, phi) = s3_jnl_workload();
+    let jnl_strings = bench::baseline::exists_regex_edge_strings(&tree, &e);
+    let jnl_memo = jnl::eval::pdl::eval_with(&tree, &phi, EdgeStrategy::LazyMemo).unwrap();
+    let jnl_bits = jnl::eval::pdl::eval_with(&tree, &phi, EdgeStrategy::DfaBitset).unwrap();
+    assert_eq!(jnl_strings, jnl_memo, "E1 memo tier disagrees with strings");
+    assert_eq!(jnl_memo, jnl_bits, "E1 bitset tier disagrees with memo");
+    let e1_str = time_ms(5, || bench::baseline::exists_regex_edge_strings(&tree, &e));
+    let e1_memo = time_ms(5, || {
+        jnl::eval::pdl::eval_with(&tree, &phi, EdgeStrategy::LazyMemo).unwrap()
+    });
+    let e1_bits = time_ms(5, || {
+        jnl::eval::pdl::eval_with(&tree, &phi, EdgeStrategy::DfaBitset).unwrap()
+    });
+
+    // --- E7-style: JSL patternProperties over 32k keys + 32k string atoms ---
+    let n_props = 32_768usize;
+    let jsl_doc = s3_doc(n_props);
+    let jsl_tree = JsonTree::build(&jsl_doc);
+    let psi = s3_jsl_formula();
+    use jsl::EvalOptions;
+    let memo_opts = EvalOptions {
+        edge: EdgeStrategy::LazyMemo,
+        ..Default::default()
+    };
+    let bits_opts = EvalOptions {
+        edge: EdgeStrategy::DfaBitset,
+        ..Default::default()
+    };
+    let jsl_strings = bench::baseline::jsl_eval_strings(&jsl_tree, &psi);
+    let jsl_memo = jsl::eval::evaluate_with(&jsl_tree, &psi, memo_opts);
+    let jsl_bits = jsl::eval::evaluate_with(&jsl_tree, &psi, bits_opts);
+    assert_eq!(jsl_strings, jsl_memo, "E7 memo tier disagrees with strings");
+    assert_eq!(jsl_memo, jsl_bits, "E7 bitset tier disagrees with memo");
+    let e7_str = time_ms(5, || bench::baseline::jsl_eval_strings(&jsl_tree, &psi));
+    let e7_memo = time_ms(5, || jsl::eval::evaluate_with(&jsl_tree, &psi, memo_opts));
+    let e7_bits = time_ms(5, || jsl::eval::evaluate_with(&jsl_tree, &psi, bits_opts));
+
+    println!(
+        "{}",
+        row(&[
+            "eval".into(),
+            "strings ms".into(),
+            "memo ms".into(),
+            "bitset ms".into(),
+            "bitset/memo".into(),
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            format!("E1 keys={n_keys}"),
+            format!("{e1_str:.2}"),
+            format!("{e1_memo:.2}"),
+            format!("{e1_bits:.2}"),
+            format!("{:.2}x", e1_memo / e1_bits),
+        ])
+    );
+    println!(
+        "{}",
+        row(&[
+            format!("E7 props={n_props}"),
+            format!("{e7_str:.2}"),
+            format!("{e7_memo:.2}"),
+            format!("{e7_bits:.2}"),
+            format!("{:.2}x", e7_memo / e7_bits),
+        ])
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"s3_dfa_bitset\",\n  \"units\": \"ms_per_eval\",\n  \"agreement\": \"asserted: strings == memo == bitset on both workloads\",\n  \"e1_jnl_regex_nav\": {{\"distinct_keys\": {n_keys}, \"strings\": {e1_str:.3}, \"memo\": {e1_memo:.3}, \"bitset\": {e1_bits:.3}, \"bitset_vs_memo\": {:.3}, \"bitset_vs_strings\": {:.3}}},\n  \"e7_jsl_pattern_props\": {{\"properties\": {n_props}, \"strings\": {e7_str:.3}, \"memo\": {e7_memo:.3}, \"bitset\": {e7_bits:.3}, \"bitset_vs_memo\": {:.3}, \"bitset_vs_strings\": {:.3}}}\n}}\n",
+        e1_memo / e1_bits,
+        e1_str / e1_bits,
+        e7_memo / e7_bits,
+        e7_str / e7_bits,
+    );
+    std::fs::write("BENCH_dfa_bitset.json", &json).expect("write BENCH_dfa_bitset.json");
+    println!("wrote BENCH_dfa_bitset.json");
 }

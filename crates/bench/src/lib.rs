@@ -121,6 +121,64 @@ pub fn e7_formula() -> Jsl {
     Jsl::and(vec![Jsl::Test(NodeTest::Arr), Jsl::Test(NodeTest::Unique)])
 }
 
+/// S3 (JNL side): an array of `objects` objects with `keys_each` keys
+/// apiece, all `objects × keys_each` keys globally distinct — a
+/// high-distinct-key tree where the lazy memo gets no cross-node reuse (it
+/// degenerates to one NFA run per key, like the string baseline) while the
+/// bitset tier replaces every NFA run with a DFA table walk.
+pub fn s3_jnl_doc(objects: usize, keys_each: usize) -> Json {
+    Json::Array(
+        (0..objects)
+            .map(|o| {
+                Json::object(
+                    (0..keys_each)
+                        .map(|j| {
+                            let i = o * keys_each + j;
+                            (format!("k{i}"), Json::Num(i as u64))
+                        })
+                        .collect(),
+                )
+                .expect("generated keys are distinct")
+            })
+            .collect(),
+    )
+}
+
+/// S3 (JNL side): a regex over the `s3_jnl_doc` key space — keys whose last
+/// digit is 7, ≈10% of them, so existential scans rarely short-circuit —
+/// plus the `[X_e]⊤` formula navigating it.
+pub fn s3_jnl_workload() -> (relex::Regex, Unary) {
+    let e = relex::Regex::parse("k[0-9]*7").expect("well-formed");
+    let phi = Unary::exists(Binary::key_regex(e.clone()));
+    (e, phi)
+}
+
+/// S3 (JSL side): an object with `n` distinct keys `u{i}` whose values are
+/// `n` distinct string atoms `v{i}` — the high-distinct-symbol regime where
+/// a lazy memo pays one NFA run per symbol and the bitset tier pays one
+/// (much cheaper) DFA table walk.
+pub fn s3_doc(n: usize) -> Json {
+    Json::object(
+        (0..n)
+            .map(|i| (format!("u{i}"), Json::Str(format!("v{i}"))))
+            .collect(),
+    )
+    .expect("generated keys are distinct")
+}
+
+/// S3 (JSL side): a `patternProperties`-shaped formula — keys with an even
+/// last digit must hold string atoms matching `v[0-9]+`, and some key
+/// ending in 7 must exist.
+pub fn s3_jsl_formula() -> Jsl {
+    let even_keys = relex::Regex::parse("u[0-9]*[02468]").expect("well-formed");
+    let seven_keys = relex::Regex::parse("u[0-9]*7").expect("well-formed");
+    let values = relex::Regex::parse("v[0-9]+").expect("well-formed");
+    Jsl::and(vec![
+        Jsl::BoxKey(even_keys, Box::new(Jsl::Test(NodeTest::Pattern(values)))),
+        Jsl::DiamondKey(seven_keys, Box::new(Jsl::Test(NodeTest::Str))),
+    ])
+}
+
 /// E9: the even-depth recursive JSL expression of the paper's Example 2.
 pub fn e9_even_depth() -> jsl::RecursiveJsl {
     jsl::RecursiveJsl {

@@ -53,16 +53,18 @@ fn eval_rule(
         Rule::NegTest(t) => !ctx.node_test(t, node),
         Rule::State(q) => labels[*q][node.index()],
         Rule::ExistsKey(e, q) => {
-            // Key matching through the shared per-(regex, symbol) memo,
-            // fetched once per rule evaluation.
-            let memo = ctx.memo_for(e);
-            tree.obj_entries(node)
-                .any(|(k, c)| labels[*q][c.index()] && memo.matches_str(k.index(), tree.resolve(k)))
+            // Key matching through the shared per-regex edge matcher
+            // (precomputed symbol bitset on the default tier), fetched once
+            // per rule evaluation.
+            let matcher = ctx.matcher_for(e);
+            tree.obj_entries(node).any(|(k, c)| {
+                labels[*q][c.index()] && matcher.matches_sym(k.index(), || tree.resolve(k))
+            })
         }
         Rule::ForallKey(e, q) => {
-            let memo = ctx.memo_for(e);
+            let matcher = ctx.matcher_for(e);
             tree.obj_entries(node).all(|(k, c)| {
-                labels[*q][c.index()] || !memo.matches_str(k.index(), tree.resolve(k))
+                labels[*q][c.index()] || !matcher.matches_sym(k.index(), || tree.resolve(k))
             })
         }
         Rule::ExistsRange(i, j, q) => tree.arr_children(node).iter().enumerate().any(|(pos, c)| {

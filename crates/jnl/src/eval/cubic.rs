@@ -23,6 +23,12 @@ pub fn eval(tree: &jsondata::JsonTree, phi: &Unary) -> NodeSet {
     eval_unary(&mut ctx, phi)
 }
 
+/// [`eval`] with an explicit edge-matching strategy (benchmark ablations).
+pub fn eval_with(tree: &jsondata::JsonTree, phi: &Unary, strategy: relex::EdgeStrategy) -> NodeSet {
+    let mut ctx = EvalContext::with_strategy(tree, strategy);
+    eval_unary(&mut ctx, phi)
+}
+
 fn eval_unary(ctx: &mut EvalContext<'_>, phi: &Unary) -> NodeSet {
     let n = ctx.tree.node_count();
     match phi {
@@ -129,11 +135,13 @@ fn relation(ctx: &mut EvalContext<'_>, alpha: &Binary) -> Vec<BitSet> {
             rows
         }
         Binary::KeyRegex(e) => {
-            let memo = ctx.memo_for(e);
+            // One matcher fetch per relation; on the default tier each edge
+            // test below is a single bit load.
+            let matcher = ctx.matcher_for(e);
             let mut rows = empty(n);
             for src in tree.node_ids() {
                 for (k, c) in tree.obj_entries(src) {
-                    if memo.matches_str(k.index(), tree.resolve(k)) {
+                    if matcher.matches_sym(k.index(), || tree.resolve(k)) {
                         rows[src.index()].insert(c.index());
                     }
                 }

@@ -21,7 +21,7 @@ pub mod pathnfa;
 pub mod pdl;
 
 use jsondata::{CanonTable, Json, JsonTree, NodeId, Sym};
-use relex::{KeyMatchMemo, Regex, RegexMemoTable};
+use relex::{EdgeStrategy, MatcherId, Regex, SymMatcher, SymMatcherTable};
 
 use crate::ast::Unary;
 
@@ -54,30 +54,37 @@ impl std::fmt::Display for EvalError {
 impl std::error::Error for EvalError {}
 
 /// Shared evaluation state for one tree: canonical labels plus the
-/// per-`(regex, symbol)` edge-match memo of the Proposition 3 proof's
-/// preprocessing step.
+/// per-regex edge matchers of the Proposition 3 proof's preprocessing step.
 ///
 /// Edge keys live in the tree itself as interned [`Sym`]s — nothing is
-/// cloned here — and each regex is evaluated at most once per **distinct**
-/// key symbol (`O(distinct keys)` runs) instead of once per node, with every
-/// later test a `u32`-indexed table load.
+/// cloned here. On the default [`EdgeStrategy::DfaBitset`] tier each regex
+/// is compiled to a DFA once per (query, tree) and evaluated over the whole
+/// symbol table in one pass, so every later edge test is a single bit load
+/// (no string resolution, no automaton run); regexes too large to
+/// determinise fall back to the lazy per-`(regex, symbol)` memo.
 pub struct EvalContext<'t> {
     /// The document tree.
     pub tree: &'t JsonTree,
     /// Canonical subtree labels (the online-equality refinement of Prop 1).
     pub canon: CanonTable,
-    /// `regex → per-symbol match memo`.
-    regex_memos: RegexMemoTable,
+    /// `regex → edge matcher` (bitset tier with lazy-memo fallback).
+    matchers: SymMatcherTable,
 }
 
 impl<'t> EvalContext<'t> {
     /// Builds the context (one `O(|J|)` pass for the canonical labels; the
-    /// regex memos fill lazily).
+    /// edge matchers compile on first sight of each regex).
     pub fn new(tree: &'t JsonTree) -> EvalContext<'t> {
+        EvalContext::with_strategy(tree, EdgeStrategy::default())
+    }
+
+    /// [`EvalContext::new`] with an explicit edge-matching strategy (the
+    /// lazy-memo tier is kept selectable for benchmark ablations).
+    pub fn with_strategy(tree: &'t JsonTree, strategy: EdgeStrategy) -> EvalContext<'t> {
         EvalContext {
             tree,
             canon: CanonTable::build(tree),
-            regex_memos: RegexMemoTable::new(),
+            matchers: SymMatcherTable::with_strategy(strategy),
         }
     }
 
@@ -94,26 +101,35 @@ impl<'t> EvalContext<'t> {
     }
 
     /// Whether the string behind `sym` (an edge key or string atom of this
-    /// tree) matches `e`, memoised per `(regex, symbol)`.
+    /// tree) matches `e` — a bit load on the default tier.
     pub fn key_matches(&mut self, e: &Regex, sym: Sym) -> bool {
-        self.regex_memos
-            .memo(e)
-            .matches_str(sym.index(), self.tree.resolve(sym))
+        let tree = self.tree;
+        self.matcher_for(e)
+            .matches_sym(sym.index(), || tree.resolve(sym))
     }
 
-    /// The per-symbol memo for `e` — fetch once before a loop over many
-    /// edges so the table probe (which hashes the regex AST) runs once, not
-    /// per edge.
-    pub fn memo_for(&mut self, e: &Regex) -> &mut KeyMatchMemo {
-        self.regex_memos.memo(e)
+    /// The edge matcher for `e` — fetch once before a loop over many edges
+    /// so the table probe (which hashes the regex AST) runs once, not per
+    /// edge.
+    pub fn matcher_for(&mut self, e: &Regex) -> &mut SymMatcher {
+        let tree = self.tree;
+        self.matchers
+            .matcher(e, || tree.interner().iter().map(|(_, s)| s))
     }
 
-    /// Whether the edge into `n` is an object edge whose key matches `e`.
-    pub fn edge_matches(&mut self, e: &Regex, n: NodeId) -> bool {
-        match self.tree.incoming_key_sym(n) {
-            Some(sym) => self.key_matches(e, sym),
-            None => false,
-        }
+    /// Pre-resolves `e` to a stable matcher id (compiling on first sight),
+    /// so hot loops can fetch the matcher by vector index via
+    /// [`EvalContext::matcher`] with no AST hashing per edge.
+    pub fn matcher_id(&mut self, e: &Regex) -> MatcherId {
+        let tree = self.tree;
+        self.matchers
+            .id(e, || tree.interner().iter().map(|(_, s)| s))
+    }
+
+    /// The matcher behind a pre-resolved id.
+    #[inline]
+    pub fn matcher(&mut self, id: MatcherId) -> &mut SymMatcher {
+        self.matchers.get_mut(id)
     }
 
     /// The canonical class of an external document within this tree, if the

@@ -111,11 +111,15 @@ fn eval_binary(ctx: &mut EvalContext<'_>, alpha: &Binary) -> HashSet<(NodeId, No
             .filter_map(|n| tree.child_by_signed_index(n, *i).map(|c| (n, c)))
             .collect(),
         Binary::KeyRegex(e) => {
-            let memo = ctx.memo_for(e);
+            // Reference semantics on purpose: a fresh NFA run per resolved
+            // key, independent of the bitset/memo tiers the efficient
+            // engines use — so differential tests exercise those tiers
+            // against an implementation that cannot share their bugs.
+            let compiled = e.compile();
             let mut out = HashSet::new();
             for n in tree.node_ids() {
                 for (k, c) in tree.obj_entries(n) {
-                    if memo.matches_str(k.index(), tree.resolve(k)) {
+                    if compiled.is_match(tree.resolve(k)) {
                         out.insert((n, c));
                     }
                 }

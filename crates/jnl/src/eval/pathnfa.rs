@@ -8,7 +8,7 @@
 //! the product of the tree and the NFA ([`crate::eval::pdl`]).
 
 use jsondata::Sym;
-use relex::Regex;
+use relex::MatcherId;
 
 use crate::ast::{Binary, Unary};
 use crate::eval::{EvalContext, EvalError, NodeSet};
@@ -24,8 +24,11 @@ pub enum PathLabel {
     /// the tree's interned symbol at compile time (`None` when the tree
     /// never interned the key — such a transition can never fire).
     Word(Option<Sym>),
-    /// `X_e`: move to any object child whose key matches.
-    Re(Regex),
+    /// `X_e`: move to any object child whose key matches. The regex is
+    /// resolved to a context matcher id at compile time, so the product BFS
+    /// fetches its (bitset or memo) matcher by vector index — no AST
+    /// hashing on the inner loop.
+    Re(MatcherId),
     /// `X_i`: move to the array child at this (possibly negative) position.
     Index(i64),
     /// `X_{i:j}`: move to any array child at a position in the range.
@@ -108,7 +111,10 @@ impl Builder {
                 .trans
                 .push((from, PathLabel::Word(ctx.tree.sym(w)), to)),
             Binary::Index(i) => self.trans.push((from, PathLabel::Index(*i), to)),
-            Binary::KeyRegex(e) => self.trans.push((from, PathLabel::Re(e.clone()), to)),
+            Binary::KeyRegex(e) => {
+                let id = ctx.matcher_id(e);
+                self.trans.push((from, PathLabel::Re(id), to));
+            }
             Binary::Range(i, j) => self.trans.push((from, PathLabel::Range(*i, *j), to)),
             Binary::Test(phi) => {
                 let set = eval_test(ctx, phi)?;

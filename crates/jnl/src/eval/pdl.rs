@@ -5,9 +5,11 @@
 //! NFA ([`super::pathnfa`]) and the set `pre_α(T)` — the nodes from which
 //! some `α`-path reaches the target set `T` — is computed by a *backward*
 //! BFS over the product of the tree and the NFA. Each product vertex
-//! `(node, state)` is visited at most once, and the per-regex edge-match
-//! preprocessing of [`EvalContext::edge_matches`] makes every edge check
-//! `O(1)`, so the whole pass is linear in `|J| · |α|`.
+//! `(node, state)` is visited at most once, and regex edge labels are
+//! pre-resolved to context matchers at NFA compile time (a precomputed
+//! symbol bitset on the default tier), so every edge check is `O(1)` — a
+//! vector index plus a bit load — and the whole pass is linear in
+//! `|J| · |α|`.
 //!
 //! `EQ(α, β)` is rejected here — the paper shows it forces comparing pairs
 //! of nodes ([`super::cubic`] implements that case).
@@ -22,6 +24,16 @@ use crate::eval::{EvalContext, EvalError, NodeSet};
 /// allowed).
 pub fn eval(tree: &jsondata::JsonTree, phi: &Unary) -> Result<NodeSet, EvalError> {
     let mut ctx = EvalContext::new(tree);
+    eval_unary(&mut ctx, phi)
+}
+
+/// [`eval`] with an explicit edge-matching strategy (benchmark ablations).
+pub fn eval_with(
+    tree: &jsondata::JsonTree,
+    phi: &Unary,
+    strategy: relex::EdgeStrategy,
+) -> Result<NodeSet, EvalError> {
+    let mut ctx = EvalContext::with_strategy(tree, strategy);
     eval_unary(&mut ctx, phi)
 }
 
@@ -100,13 +112,16 @@ fn pre(ctx: &mut EvalContext<'_>, alpha: &Binary, target: &NodeSet) -> Result<No
                     (Some(w), Some(k)) if *w == k => tree.parent(node),
                     _ => None,
                 },
-                PathLabel::Re(e) => {
-                    if ctx.edge_matches(e, node) {
-                        tree.parent(node)
-                    } else {
-                        None
+                PathLabel::Re(id) => match tree.incoming_key_sym(node) {
+                    Some(k) => {
+                        if ctx.matcher(*id).matches_sym(k.index(), || tree.resolve(k)) {
+                            tree.parent(node)
+                        } else {
+                            None
+                        }
                     }
-                }
+                    None => None,
+                },
                 PathLabel::Index(i) => match tree.parent(node) {
                     Some(p) if tree.child_by_signed_index(p, *i) == Some(node) => Some(p),
                     _ => None,

@@ -9,7 +9,7 @@
 //!   and scanned, `O(|J| log |J|)` (the refinement measured against it).
 
 use jsondata::{CanonTable, Json, JsonTree, NodeId, NodeKind, Sym};
-use relex::{KeyMatchMemo, Regex, RegexMemoTable};
+use relex::{EdgeStrategy, Regex, SymMatcher, SymMatcherTable};
 
 use crate::ast::{Jsl, NodeTest};
 
@@ -32,19 +32,24 @@ pub enum UniqueStrategy {
 pub struct EvalOptions {
     /// Strategy for `Unique`.
     pub unique: UniqueStrategy,
+    /// Strategy for regex edge/pattern tests (default: precomputed DFA
+    /// bitsets over the symbol table; the lazy memo tier is kept for
+    /// benchmark ablations).
+    pub edge: EdgeStrategy,
 }
 
-/// Shared evaluation state (canonical table + per-symbol regex memos).
+/// Shared evaluation state (canonical table + per-regex edge matchers).
 ///
 /// Both edge keys and string atoms are interned by the tree, so every regex
-/// — key modality or `Pattern` node test — runs at most once per distinct
-/// symbol and is a `u32`-indexed table load afterwards.
+/// — key modality or `Pattern` node test — is compiled once per (query,
+/// tree); on the default tier its verdicts are precomputed as a symbol
+/// bitset and every test afterwards is a single bit load.
 pub struct JslContext<'t> {
     /// The tree under evaluation.
     pub tree: &'t JsonTree,
     /// Canonical subtree labels.
     pub canon: CanonTable,
-    regexes: RegexMemoTable,
+    matchers: SymMatcherTable,
     options: EvalOptions,
 }
 
@@ -59,24 +64,26 @@ impl<'t> JslContext<'t> {
         JslContext {
             tree,
             canon: CanonTable::build(tree),
-            regexes: RegexMemoTable::new(),
+            matchers: SymMatcherTable::with_strategy(options.edge),
             options,
         }
     }
 
-    /// Whether the string behind `sym` matches `e`, memoised per
-    /// `(regex, symbol)`.
+    /// Whether the string behind `sym` matches `e` — a bit load on the
+    /// default tier.
     pub fn key_matches(&mut self, e: &Regex, sym: Sym) -> bool {
-        self.regexes
-            .memo(e)
-            .matches_str(sym.index(), self.tree.resolve(sym))
+        let tree = self.tree;
+        self.matcher_for(e)
+            .matches_sym(sym.index(), || tree.resolve(sym))
     }
 
-    /// The per-symbol memo for `e` — fetch once before a loop over many
-    /// edges so the table probe (which hashes the regex AST) runs once, not
-    /// per edge.
-    pub fn memo_for(&mut self, e: &Regex) -> &mut KeyMatchMemo {
-        self.regexes.memo(e)
+    /// The edge matcher for `e` — fetch once before a loop over many edges
+    /// so the table probe (which hashes the regex AST) runs once, not per
+    /// edge.
+    pub fn matcher_for(&mut self, e: &Regex) -> &mut SymMatcher {
+        let tree = self.tree;
+        self.matchers
+            .matcher(e, || tree.interner().iter().map(|(_, s)| s))
     }
 
     /// Evaluates one node test at one node.
@@ -186,17 +193,29 @@ pub(crate) fn eval_set(ctx: &mut JslContext<'_>, phi: &Jsl) -> NodeSet {
             }
             acc
         }
+        // Pattern is special-cased so the matcher is fetched once for the
+        // whole pass, not table-probed per node.
+        Jsl::Test(NodeTest::Pattern(e)) => {
+            let tree = ctx.tree;
+            let matcher = ctx.matcher_for(e);
+            tree.node_ids()
+                .map(|nd| match tree.str_sym(nd) {
+                    Some(sym) => matcher.matches_sym(sym.index(), || tree.resolve(sym)),
+                    None => false,
+                })
+                .collect()
+        }
         Jsl::Test(t) => (0..n)
             .map(|i| ctx.node_test(t, NodeId::from_index(i)))
             .collect(),
         Jsl::DiamondKey(e, p) => {
             let inner = eval_set(ctx, p);
             let tree = ctx.tree;
-            let memo = ctx.memo_for(e);
+            let matcher = ctx.matcher_for(e);
             let mut out = Vec::with_capacity(n);
             for nd in tree.node_ids() {
                 out.push(tree.obj_entries(nd).any(|(k, c)| {
-                    inner[c.index()] && memo.matches_str(k.index(), tree.resolve(k))
+                    inner[c.index()] && matcher.matches_sym(k.index(), || tree.resolve(k))
                 }));
             }
             out
@@ -204,11 +223,11 @@ pub(crate) fn eval_set(ctx: &mut JslContext<'_>, phi: &Jsl) -> NodeSet {
         Jsl::BoxKey(e, p) => {
             let inner = eval_set(ctx, p);
             let tree = ctx.tree;
-            let memo = ctx.memo_for(e);
+            let matcher = ctx.matcher_for(e);
             let mut out = Vec::with_capacity(n);
             for nd in tree.node_ids() {
                 out.push(tree.obj_entries(nd).all(|(k, c)| {
-                    inner[c.index()] || !memo.matches_str(k.index(), tree.resolve(k))
+                    inner[c.index()] || !matcher.matches_sym(k.index(), || tree.resolve(k))
                 }));
             }
             out
@@ -303,6 +322,7 @@ mod tests {
                 &phi,
                 EvalOptions {
                     unique: UniqueStrategy::NaivePairwise,
+                    ..Default::default()
                 },
             );
             let canon = evaluate_with(
@@ -310,6 +330,7 @@ mod tests {
                 &phi,
                 EvalOptions {
                     unique: UniqueStrategy::Canonical,
+                    ..Default::default()
                 },
             );
             assert_eq!(naive, canon, "doc {src}");

@@ -305,24 +305,25 @@ fn eval_at(
         Jsl::Or(ps) => ps.iter().any(|p| eval_at(ctx, n, p, index, labels)),
         Jsl::Test(t) => ctx.node_test(t, n),
         Jsl::DiamondKey(e, p) => {
-            // Key filtering goes through the context's per-(regex, symbol)
-            // memo: each regex runs once per distinct key in the tree, not
-            // once per node visit.
+            // Key filtering goes through the context's per-regex edge
+            // matcher: the regex is compiled once per (query, tree) and each
+            // edge test is a bit load on the default tier, not a per-visit
+            // automaton run.
             let tree = ctx.tree;
-            let memo = ctx.memo_for(e);
+            let matcher = ctx.matcher_for(e);
             let children: Vec<NodeId> = tree
                 .obj_entries(n)
-                .filter(|(k, _)| memo.matches_str(k.index(), tree.resolve(*k)))
+                .filter(|(k, _)| matcher.matches_sym(k.index(), || tree.resolve(*k)))
                 .map(|(_, c)| c)
                 .collect();
             children.iter().any(|c| eval_at(ctx, *c, p, index, labels))
         }
         Jsl::BoxKey(e, p) => {
             let tree = ctx.tree;
-            let memo = ctx.memo_for(e);
+            let matcher = ctx.matcher_for(e);
             let children: Vec<NodeId> = tree
                 .obj_entries(n)
-                .filter(|(k, _)| memo.matches_str(k.index(), tree.resolve(*k)))
+                .filter(|(k, _)| matcher.matches_sym(k.index(), || tree.resolve(*k)))
                 .map(|(_, c)| c)
                 .collect();
             children.iter().all(|c| eval_at(ctx, *c, p, index, labels))

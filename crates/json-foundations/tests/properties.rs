@@ -25,6 +25,52 @@ fn arb_json() -> impl Strategy<Value = Json> {
     })
 }
 
+/// An arbitrary regular expression over a small ascii + greek alphabet
+/// (overlapping the key/atom alphabets below, so matches actually occur).
+fn arb_regex() -> impl Strategy<Value = relex::Regex> {
+    use relex::{CharClass, Regex};
+    let leaf = prop_oneof![
+        Just(Regex::Epsilon),
+        "[a-e]{1,2}".prop_map(|s| Regex::literal(&s)),
+        "[α-γ]{1,1}".prop_map(|s| Regex::literal(&s)),
+        Just(Regex::Class(CharClass::from_ranges([(
+            'a' as u32, 'c' as u32
+        )]))),
+        Just(Regex::Class(CharClass::from_ranges([(
+            'α' as u32,
+            'ω' as u32
+        )]))),
+    ];
+    leaf.prop_recursive(3, 16, 3, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 1..3).prop_map(relex::Regex::concat),
+            prop::collection::vec(inner.clone(), 1..3).prop_map(relex::Regex::alt),
+            inner.prop_map(|r| relex::Regex::Star(Box::new(r))),
+        ]
+    })
+}
+
+/// An arbitrary document whose keys and string atoms mix ascii and greek —
+/// the symbol universe the edge-matching tiers are tested over.
+fn arb_json_unicode() -> impl Strategy<Value = Json> {
+    let leaf = prop_oneof![
+        (0u64..50).prop_map(Json::Num),
+        "[a-d]{0,3}".prop_map(Json::Str),
+        "[α-δ]{1,2}".prop_map(Json::Str),
+    ];
+    leaf.prop_recursive(4, 64, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..5).prop_map(Json::Array),
+            prop::collection::btree_map("[a-e]{1,2}", inner.clone(), 0..5).prop_map(|m| {
+                Json::object(m.into_iter().collect()).expect("btree keys are distinct")
+            }),
+            prop::collection::btree_map("[α-γ]{1,2}", inner, 0..4).prop_map(|m| {
+                Json::object(m.into_iter().collect()).expect("btree keys are distinct")
+            }),
+        ]
+    })
+}
+
 /// An arbitrary deterministic JNL formula over a small key space.
 fn arb_det_unary() -> impl Strategy<Value = Unary> {
     let path = prop::collection::vec(
@@ -117,6 +163,66 @@ proptest! {
         if !phi.fragment().eq_pair {
             let pdl = jnl::eval::pdl::eval(&tree, &phi).unwrap();
             prop_assert_eq!(&oracle, &pdl, "pdl vs oracle for {}", phi);
+        }
+    }
+
+    // -------------------------------------------------------------
+    // Edge-matching tiers: string baseline vs lazy memo vs DFA bitset
+    // -------------------------------------------------------------
+
+    #[test]
+    fn regex_tiers_three_way_agreement(doc in arb_json_unicode(), e in arb_regex()) {
+        let tree = JsonTree::build(&doc);
+        // Tier 0 (string baseline): a fresh NFA run per resolved string.
+        let compiled = e.compile();
+        // Tier 1 (lazy memo): tri-state per-symbol cache.
+        let mut memo = relex::KeyMatchMemo::new(e.compile());
+        // Tier 2 (DFA bitset): precomputed over the whole symbol table.
+        let mut matcher = relex::SymMatcher::compile(&e, tree.interner().iter().map(|(_, s)| s));
+        prop_assert!(matcher.is_bitset(), "small regexes must determinise");
+        for (sym, s) in tree.interner().iter() {
+            let direct = compiled.is_match(s);
+            prop_assert_eq!(direct, memo.matches_str(sym.index(), s), "memo on {:?}", s);
+            prop_assert_eq!(direct, matcher.matches_sym(sym.index(), || s), "bitset on {:?}", s);
+        }
+        // And through a whole evaluation: the JSL key modalities and pattern
+        // test agree across the bitset and lazy-memo strategies.
+        let phi = jsl::Jsl::and(vec![
+            jsl::Jsl::DiamondKey(e.clone(), Box::new(jsl::Jsl::True)),
+            jsl::Jsl::not(jsl::Jsl::BoxKey(
+                e.clone(),
+                Box::new(jsl::Jsl::Test(jsl::NodeTest::Pattern(e.clone()))),
+            )),
+        ]);
+        let via_bitset = jsl::eval::evaluate_with(
+            &tree,
+            &phi,
+            jsl::EvalOptions { edge: relex::EdgeStrategy::DfaBitset, ..Default::default() },
+        );
+        let via_memo = jsl::eval::evaluate_with(
+            &tree,
+            &phi,
+            jsl::EvalOptions { edge: relex::EdgeStrategy::LazyMemo, ..Default::default() },
+        );
+        prop_assert_eq!(via_bitset, via_memo, "strategies diverge under {}", e);
+    }
+
+    #[test]
+    fn dfa_too_large_fallback_agrees(doc in arb_json_unicode()) {
+        // (a|b)*a(a|b)^12 needs 2^13 DFA states — above MAX_EDGE_DFA_STATES —
+        // so the matcher must pick the lazy memo tier and still agree with
+        // the string baseline on every interned symbol.
+        let e = relex::Regex::parse("(a|b)*a(a|b){12}").unwrap();
+        let tree = JsonTree::build(&doc);
+        let mut matcher = relex::SymMatcher::compile(&e, tree.interner().iter().map(|(_, s)| s));
+        prop_assert!(!matcher.is_bitset(), "blowup regex must fall back");
+        let compiled = e.compile();
+        for (sym, s) in tree.interner().iter() {
+            prop_assert_eq!(
+                compiled.is_match(s),
+                matcher.matches_sym(sym.index(), || s),
+                "fallback on {:?}", s
+            );
         }
     }
 

@@ -86,6 +86,7 @@ fn unique_strategies_agree_on_lookalikes() {
             &phi,
             EvalOptions {
                 unique: UniqueStrategy::NaivePairwise,
+                ..Default::default()
             },
         );
         let b = jsl::eval::evaluate_with(
@@ -93,6 +94,7 @@ fn unique_strategies_agree_on_lookalikes() {
             &phi,
             EvalOptions {
                 unique: UniqueStrategy::Canonical,
+                ..Default::default()
             },
         );
         assert_eq!(a, b, "doc {src}");

@@ -22,6 +22,9 @@ use std::sync::OnceLock;
 /// `HashMap` keyed with [`FxHasher`].
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<FxHasher>>;
 
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<FxHasher>>;
+
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
 
 /// One random value per process, so hash layouts differ across runs.

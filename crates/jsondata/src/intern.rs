@@ -11,13 +11,22 @@
 //! * `child_by_key` becomes an `O(1)` interner probe followed by a binary
 //!   search over `Sym`s — a key absent from the interner cannot label any
 //!   edge, so the miss answers `None` without touching the node.
-//! * Regex edge caches throughout the logic engines memoise per
-//!   `(regex, Sym)` — `O(distinct keys)` regex runs instead of
-//!   `O(nodes)`.
+//! * Regex edge tests throughout the logic engines run per **distinct
+//!   symbol**, not per node: the default tier compiles each regex to a DFA
+//!   and evaluates it over the whole table in one pass (a `SymBitset` in
+//!   `relex::bitset`, one bit per `Sym`), so the inner loops do a single
+//!   bit load; the lazy `(regex, Sym)` memo remains as the fallback for
+//!   regexes too large to determinise.
 //!
 //! Symbols are **per-tree**: comparing `Sym`s from different trees is
 //! meaningless (and the type offers no cross-tree guard beyond that
 //! documented contract, matching `NodeId`).
+//!
+//! Symbols are allocated densely in interning order and never move, so a
+//! consumer can snapshot the table (`len` plus [`Interner::iter`]), build a
+//! dense per-symbol structure, and later catch up on symbols interned after
+//! the snapshot with [`Interner::iter_from`] — the contract the bitset tier
+//! relies on to stay valid while new atoms are interned.
 
 use crate::fxhash::FxHashMap;
 
@@ -89,9 +98,18 @@ impl Interner {
 
     /// Iterates `(Sym, &str)` pairs in interning order.
     pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> {
+        self.iter_from(0)
+    }
+
+    /// Iterates `(Sym, &str)` pairs starting at symbol index `start` — the
+    /// catch-up half of the snapshot contract: a dense structure built over
+    /// symbols `0..start` extends itself with exactly the strings interned
+    /// since.
+    pub fn iter_from(&self, start: usize) -> impl Iterator<Item = (Sym, &str)> {
         self.strings
             .iter()
             .enumerate()
+            .skip(start)
             .map(|(i, s)| (Sym(i as u32), s.as_ref()))
     }
 }
@@ -131,5 +149,20 @@ mod tests {
         i.intern("a");
         let pairs: Vec<(usize, &str)> = i.iter().map(|(s, t)| (s.index(), t)).collect();
         assert_eq!(pairs, vec![(0, "z"), (1, "a")]);
+    }
+
+    #[test]
+    fn iter_from_resumes_a_snapshot() {
+        let mut i = Interner::new();
+        i.intern("a");
+        i.intern("b");
+        let snapshot = i.len();
+        i.intern("c");
+        i.intern("a"); // duplicate: no new symbol
+        i.intern("d");
+        let fresh: Vec<(usize, &str)> =
+            i.iter_from(snapshot).map(|(s, t)| (s.index(), t)).collect();
+        assert_eq!(fresh, vec![(2, "c"), (3, "d")]);
+        assert!(i.iter_from(i.len()).next().is_none());
     }
 }

@@ -8,7 +8,10 @@
 //! configurable limit (default 512), avoiding stack overflow on adversarial
 //! inputs while still being plain recursive descent in shape.
 
+use std::hash::{Hash, Hasher};
+
 use crate::error::{ParseError, ParseErrorKind, Position};
+use crate::fxhash::{FxHashSet, FxHasher};
 use crate::value::Json;
 
 /// Resource limits applied while parsing.
@@ -164,6 +167,12 @@ impl<'a> Parser<'a> {
     fn parse_object(&mut self, depth: usize) -> Result<Json, ParseError> {
         self.bump(); // consume '{'
         let mut pairs: Vec<(String, Json)> = Vec::new();
+        // Duplicate-key detection: a set of key *hashes* keeps the probe
+        // allocation-free and the whole object near-linear (a hash hit — in
+        // practice only a true duplicate — is confirmed by one scan, so an
+        // adversarial collision degrades a single key to O(n), never the
+        // silent acceptance of a duplicate).
+        let mut seen: FxHashSet<u64> = FxHashSet::default();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.bump();
@@ -179,7 +188,9 @@ impl<'a> Parser<'a> {
             }
             let key_pos = self.position();
             let key = self.parse_string()?;
-            if pairs.iter().any(|(k, _)| *k == key) {
+            let mut h = FxHasher::default();
+            key.hash(&mut h);
+            if !seen.insert(h.finish()) && pairs.iter().any(|(k, _)| *k == key) {
                 return Err(ParseError {
                     position: key_pos,
                     kind: ParseErrorKind::DuplicateKey(key),
@@ -444,6 +455,31 @@ mod tests {
         let e = parse(r#"{"a":1, "a":2}"#).unwrap_err();
         assert!(matches!(e.kind, DuplicateKey(ref k) if k == "a"));
         assert_eq!(e.position.line, 1);
+    }
+
+    #[test]
+    fn wide_object_duplicate_check_is_near_linear() {
+        // 50k distinct keys: the per-key duplicate probe must be a hash-set
+        // lookup, not a scan of all previous pairs (the old O(n²) check did
+        // ~1.25e9 string compares here and took minutes in debug builds).
+        let n = 50_000usize;
+        let mut src = String::with_capacity(n * 12);
+        src.push('{');
+        for i in 0..n {
+            if i > 0 {
+                src.push(',');
+            }
+            src.push_str(&format!("\"key{i}\":{i}"));
+        }
+        src.push('}');
+        let doc = parse(&src).unwrap();
+        assert_eq!(doc.as_object().unwrap().len(), n);
+        // The same object with one duplicate appended is still rejected,
+        // with the position of the *second* occurrence.
+        let dup = format!("{}, \"key0\": 0}}", &src[..src.len() - 1]);
+        let e = parse(&dup).unwrap_err();
+        assert!(matches!(e.kind, DuplicateKey(ref k) if k == "key0"));
+        assert_eq!(e.position.offset, dup.len() - 10);
     }
 
     #[test]

@@ -304,9 +304,9 @@ impl JsonPath {
     /// against the direct evaluator.
     pub fn select_nodes_via_jnl(&self, tree: &JsonTree) -> Vec<NodeId> {
         let mut out: Vec<NodeId> = Vec::new();
-        let mut memos = relex::RegexMemoTable::new();
+        let mut matchers = relex::SymMatcherTable::new();
         for alpha in self.to_jnl_branches() {
-            for n in step_sets(tree, &alpha, vec![tree.root()], &mut memos) {
+            for n in step_sets(tree, &alpha, vec![tree.root()], &mut matchers) {
                 if !out.contains(&n) {
                     out.push(n);
                 }
@@ -332,7 +332,7 @@ fn step_sets(
     tree: &JsonTree,
     alpha: &Binary,
     from: Vec<NodeId>,
-    memos: &mut relex::RegexMemoTable,
+    matchers: &mut relex::SymMatcherTable,
 ) -> Vec<NodeId> {
     match alpha {
         Binary::Epsilon => from,
@@ -345,14 +345,15 @@ fn step_sets(
             .filter_map(|n| tree.child_by_signed_index(n, *i))
             .collect(),
         Binary::KeyRegex(e) => {
-            // Memoised per key symbol through the threaded table: a regex
-            // under `(α)*` keeps its warm cache across fixpoint rounds
-            // instead of recompiling every iteration.
-            let memo = memos.memo(e);
+            // Compiled once through the threaded matcher table: a regex
+            // under `(α)*` keeps its precomputed symbol bitset (or warm
+            // memo) across fixpoint rounds instead of recompiling every
+            // iteration.
+            let matcher = matchers.matcher(e, || tree.interner().iter().map(|(_, s)| s));
             let mut out = Vec::new();
             for n in from {
                 for (k, c) in tree.obj_entries(n) {
-                    if memo.matches_str(k.index(), tree.resolve(k)) && !out.contains(&c) {
+                    if matcher.matches_sym(k.index(), || tree.resolve(k)) && !out.contains(&c) {
                         out.push(c);
                     }
                 }
@@ -377,11 +378,11 @@ fn step_sets(
         }
         Binary::Compose(parts) => parts
             .iter()
-            .fold(from, |acc, p| step_sets(tree, p, acc, memos)),
+            .fold(from, |acc, p| step_sets(tree, p, acc, matchers)),
         Binary::Star(inner) => {
             let mut acc = from;
             loop {
-                let next = step_sets(tree, inner, acc.clone(), memos);
+                let next = step_sets(tree, inner, acc.clone(), matchers);
                 let mut changed = false;
                 let mut merged = acc.clone();
                 for n in next {

@@ -9,6 +9,7 @@
 //! though Σ has a million characters.
 
 use std::collections::HashMap;
+use std::collections::HashSet;
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -20,7 +21,9 @@ use crate::nfa::{Nfa, Transition};
 /// we refuse rather than thrash.
 pub const MAX_DFA_STATES: usize = 1 << 20;
 
-/// Error raised when determinisation exceeds [`MAX_DFA_STATES`].
+/// Error raised when determinisation exceeds its state budget
+/// ([`MAX_DFA_STATES`], or the explicit cap of
+/// [`Dfa::try_from_nfa_capped`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DfaTooLarge {
     /// Number of states reached before giving up.
@@ -31,7 +34,7 @@ impl fmt::Display for DfaTooLarge {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "DFA construction exceeded {MAX_DFA_STATES} states (reached {})",
+            "DFA construction exceeded its state budget (reached {})",
             self.reached
         )
     }
@@ -62,6 +65,13 @@ impl Dfa {
     /// Determinises an NFA via subset construction over the interval
     /// partition induced by the NFA's character classes.
     pub fn try_from_nfa(nfa: &Nfa) -> Result<Dfa, DfaTooLarge> {
+        Dfa::try_from_nfa_capped(nfa, MAX_DFA_STATES)
+    }
+
+    /// [`Dfa::try_from_nfa`] with an explicit state cap — the edge-matching
+    /// tier ([`crate::bitset`]) uses a much smaller budget than the language
+    /// algebra, refusing early instead of materialising huge automata.
+    pub fn try_from_nfa_capped(nfa: &Nfa, max_states: usize) -> Result<Dfa, DfaTooLarge> {
         let intervals = partition_for(nfa);
 
         // Dead state is always index 0.
@@ -109,7 +119,7 @@ impl Dfa {
                     Some(&id) => id,
                     None => {
                         let id = trans.len() as u32;
-                        if trans.len() >= MAX_DFA_STATES {
+                        if trans.len() >= max_states {
                             return Err(DfaTooLarge {
                                 reached: trans.len(),
                             });
@@ -298,30 +308,42 @@ impl Dfa {
     /// Up to `count` distinct words of the language, shortest-first.
     /// Used by satisfiability engines to measure the "capacity" of a key
     /// region and to synthesise distinct sibling keys.
+    ///
+    /// Breadth-first over `(state, word)` pairs. The live-state set is
+    /// precomputed once (one reverse reachability pass) instead of a full
+    /// forward scan per transition, and duplicates are filtered through a
+    /// hash set instead of a linear scan of the output. The search breadth
+    /// is bounded by a **deterministic frontier cap** of `64 × count`
+    /// entries per length: each round expands frontier entries in order and
+    /// stops expanding once the cap is reached, so enumeration of very wide
+    /// languages is best-effort beyond the cap but always reproducible.
     pub fn examples(&self, count: usize) -> Vec<String> {
         let mut out = Vec::new();
         if count == 0 {
             return out;
         }
-        // Breadth-first over (state, word) with per-interval character
-        // fan-out capped by `count`; total work bounded by count × states ×
-        // intervals which is small for formula-sized automata.
+        let live = self.live_states();
+        let cap = count.saturating_mul(64);
+        let mut seen: HashSet<String> = HashSet::new();
         let mut frontier: Vec<(u32, String)> = vec![(self.start, String::new())];
         let max_len = self.state_count() + count;
         for _ in 0..=max_len {
-            let mut next = Vec::new();
             for (s, w) in &frontier {
-                if self.accept[*s as usize] && !out.contains(w) {
+                if self.accept[*s as usize] && seen.insert(w.clone()) {
                     out.push(w.clone());
                     if out.len() >= count {
                         return out;
                     }
                 }
             }
+            let mut next = Vec::new();
             for (s, w) in frontier {
+                if next.len() >= cap {
+                    break; // deterministic breadth cap (entries kept in order)
+                }
                 for (i, &to) in self.trans[s as usize].iter().enumerate() {
                     // Skip transitions that cannot reach acceptance.
-                    if self.dead(to) {
+                    if !live[to as usize] {
                         continue;
                     }
                     let (lo, hi) = self.intervals[i];
@@ -338,9 +360,6 @@ impl Dfa {
                         v += 1;
                     }
                 }
-                if next.len() > count * 64 {
-                    break; // keep the frontier bounded
-                }
             }
             frontier = next;
             if frontier.is_empty() {
@@ -350,23 +369,35 @@ impl Dfa {
         out
     }
 
-    /// Whether no accepting state is reachable from `s`.
-    fn dead(&self, s: u32) -> bool {
-        let mut visited = vec![false; self.state_count()];
-        let mut stack = vec![s];
-        visited[s as usize] = true;
-        while let Some(x) = stack.pop() {
-            if self.accept[x as usize] {
-                return false;
+    /// `live[s]`: some accepting state is reachable from `s`. One backward
+    /// BFS from the accepting states over reversed transitions —
+    /// `O(states × intervals)` total, replacing the per-transition forward
+    /// scans that made enumeration quadratic in the state count.
+    fn live_states(&self) -> Vec<bool> {
+        let n = self.state_count();
+        let mut rev: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (s, row) in self.trans.iter().enumerate() {
+            for &to in row {
+                rev[to as usize].push(s as u32);
             }
-            for &to in &self.trans[x as usize] {
-                if !visited[to as usize] {
-                    visited[to as usize] = true;
-                    stack.push(to);
+        }
+        let mut live = vec![false; n];
+        let mut stack: Vec<u32> = Vec::new();
+        for (s, &acc) in self.accept.iter().enumerate() {
+            if acc {
+                live[s] = true;
+                stack.push(s as u32);
+            }
+        }
+        while let Some(x) = stack.pop() {
+            for &p in &rev[x as usize] {
+                if !live[p as usize] {
+                    live[p as usize] = true;
+                    stack.push(p);
                 }
             }
         }
-        true
+        live
     }
 
     /// The complement automaton (`Σ* \ L(self)`).

@@ -18,6 +18,21 @@
 //! subset-construction DFA over unicode scalar-value ranges, with product
 //! and complement constructions on DFAs.
 //!
+//! For role (1) on *interned* trees the crate provides a two-tier matching
+//! layer keyed by dense symbol indexes (see `jsondata::intern`):
+//!
+//! * [`bitset`] — the default tier. Each distinct regex is compiled to a
+//!   [`Dfa`] once per (query, tree) and evaluated over the whole symbol
+//!   table in one pass, yielding a [`SymBitset`] (one bit per symbol);
+//!   every edge test in an evaluation inner loop is then a single bit
+//!   load, with no string resolution and no automaton run.
+//! * [`memo`] — the lazy fallback tier. Regexes whose determinisation
+//!   exceeds [`bitset::MAX_EDGE_DFA_STATES`] keep the tri-state
+//!   [`KeyMatchMemo`] that runs the NFA once per first-seen symbol.
+//!
+//! [`SymMatcher`] packages the per-regex choice (made once, at compile
+//! time) and [`SymMatcherTable`] the per-context collection.
+//!
 //! Semantics note: all matching is **anchored** (full-word membership in
 //! `L(e)`), exactly as the paper defines (`val(n) ∈ L(e)`). Unanchored
 //! "search" behaviour can be recovered with explicit `.*` padding.
@@ -37,6 +52,7 @@
 //! ```
 
 pub mod ast;
+pub mod bitset;
 pub mod classes;
 pub mod dfa;
 pub mod memo;
@@ -44,6 +60,7 @@ pub mod nfa;
 pub mod parse;
 
 pub use ast::Regex;
+pub use bitset::{EdgeStrategy, MatcherId, SymBitset, SymMatcher, SymMatcherTable};
 pub use classes::CharClass;
 pub use dfa::Dfa;
 pub use memo::{KeyMatchMemo, RegexMemoTable};

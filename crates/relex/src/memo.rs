@@ -1,15 +1,25 @@
-//! Per-symbol memoisation of anchored regex membership.
+//! Lazy per-symbol memoisation of anchored regex membership — the
+//! **fallback tier** of edge matching.
 //!
 //! The logic engines test edge keys and string atoms against regular
 //! expressions. With keys interned to dense `u32` symbols (see
 //! `jsondata::intern`), each regex needs to run **once per distinct
 //! symbol** rather than once per node: a [`KeyMatchMemo`] caches the
-//! verdict in a dense tri-state table indexed by symbol.
+//! verdict in a dense tri-state table indexed by symbol, filled lazily by
+//! NFA runs.
 //!
-//! This replaces the previous per-regex `Vec<bool>` over *all nodes* —
-//! `O(distinct keys)` regex runs instead of `O(nodes)`.
+//! The evaluation contexts now default to the *precomputed* tier —
+//! [`crate::bitset::SymMatcher`] compiles each regex to a DFA once per
+//! (query, tree) and materialises the whole verdict table as a
+//! [`crate::bitset::SymBitset`] in one pass. This lazy tier remains for
+//! regexes whose determinisation exceeds
+//! [`crate::bitset::MAX_EDGE_DFA_STATES`] (where an eager pass could be
+//! arbitrarily expensive), and as the ablation baseline benchmarks compare
+//! the bitset tier against.
 
+use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 use crate::nfa::CompiledRegex;
 use crate::Regex;
@@ -63,17 +73,71 @@ impl KeyMatchMemo {
     }
 }
 
-/// A per-regex collection of [`KeyMatchMemo`]s, shared by the evaluation
-/// contexts of the logic crates so the probe/insert logic lives in one
-/// place. [`RegexMemoTable::memo`] probes before inserting — `entry` would
-/// deep-clone the regex AST on every call, including cache hits.
+/// A regex-keyed vector with a single-probe hit path, shared by
+/// [`RegexMemoTable`] and `crate::bitset::SymMatcherTable`.
 ///
-/// Callers iterating many symbols against one regex should fetch the memo
-/// **once** and reuse it inside the loop; the table probe hashes the full
-/// regex AST each time.
+/// Values are keyed by a **precomputed 64-bit hash** of the regex AST: a
+/// hit costs one AST hash + one `u64` map probe + one AST equality check,
+/// replacing the previous `contains_key` → `insert` → `get_mut` sequence
+/// that hashed the full AST up to three times per call. Hash collisions
+/// between distinct regexes are handled by a per-slot bucket scan. Slots
+/// are dense and stable, so callers can also hold the returned index and
+/// skip the probe entirely.
+pub(crate) struct RegexKeyedVec<V> {
+    index: HashMap<u64, Vec<(Regex, usize)>>,
+    values: Vec<V>,
+}
+
+impl<V> Default for RegexKeyedVec<V> {
+    fn default() -> Self {
+        RegexKeyedVec {
+            index: HashMap::new(),
+            values: Vec::new(),
+        }
+    }
+}
+
+impl<V> RegexKeyedVec<V> {
+    pub(crate) fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The slot of `e`, constructing its value on first sight.
+    pub(crate) fn slot_or_insert_with(
+        &mut self,
+        e: &Regex,
+        make: impl FnOnce(&Regex) -> V,
+    ) -> usize {
+        let mut h = DefaultHasher::new();
+        e.hash(&mut h);
+        let bucket = match self.index.entry(h.finish()) {
+            Entry::Occupied(o) => o.into_mut(),
+            Entry::Vacant(v) => v.insert(Vec::new()),
+        };
+        if let Some((_, slot)) = bucket.iter().find(|(r, _)| r == e) {
+            return *slot;
+        }
+        let slot = self.values.len();
+        self.values.push(make(e));
+        bucket.push((e.clone(), slot));
+        slot
+    }
+
+    #[inline]
+    pub(crate) fn get_mut(&mut self, slot: usize) -> &mut V {
+        &mut self.values[slot]
+    }
+}
+
+/// A per-regex collection of [`KeyMatchMemo`]s for standalone lazy-tier
+/// users (the evaluation contexts use `crate::bitset::SymMatcherTable`).
+///
+/// Callers iterating many symbols against one regex should still fetch the
+/// memo **once** and reuse it inside the loop; the probe hashes the full
+/// regex AST each call.
 #[derive(Default)]
 pub struct RegexMemoTable {
-    memos: HashMap<Regex, KeyMatchMemo>,
+    memos: RegexKeyedVec<KeyMatchMemo>,
 }
 
 impl RegexMemoTable {
@@ -82,12 +146,13 @@ impl RegexMemoTable {
         RegexMemoTable::default()
     }
 
-    /// The memo for `e`, compiling the regex on first sight.
+    /// The memo for `e`, compiling the regex on first sight (single probe;
+    /// see [`RegexKeyedVec`]).
     pub fn memo(&mut self, e: &Regex) -> &mut KeyMatchMemo {
-        if !self.memos.contains_key(e) {
-            self.memos.insert(e.clone(), KeyMatchMemo::new(e.compile()));
-        }
-        self.memos.get_mut(e).expect("just inserted")
+        let slot = self
+            .memos
+            .slot_or_insert_with(e, |e| KeyMatchMemo::new(e.compile()));
+        self.memos.get_mut(slot)
     }
 }
 
