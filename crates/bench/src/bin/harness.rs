@@ -9,6 +9,13 @@
 use bench::*;
 use jsondata::JsonTree;
 
+/// S4 reports allocation profiles, so the harness installs the counting
+/// allocator — its counters are disabled outside `memtrack::measure`
+/// windows (one relaxed bool load per allocation), so no experiment's
+/// *timed* region is instrumented, including S4's own wall clocks.
+#[global_allocator]
+static ALLOC: bench::memtrack::CountingAlloc = bench::memtrack::CountingAlloc;
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let want = |id: &str| args.is_empty() || args.iter().any(|a| a == id);
@@ -60,6 +67,9 @@ fn main() {
     }
     if want("s3") {
         s3();
+    }
+    if want("s4") {
+        s4();
     }
 }
 
@@ -989,4 +999,106 @@ fn s3() {
     );
     std::fs::write("BENCH_dfa_bitset.json", &json).expect("write BENCH_dfa_bitset.json");
     println!("wrote BENCH_dfa_bitset.json");
+}
+
+/// S4 — the parser→tree fusion experiment: the fused `parse_to_tree`
+/// single pass vs the two-pass `parse` + `JsonTree::build` pipeline, on the
+/// large-document workloads. Two deterministic gates run inside the
+/// harness: the fused tree must be node-for-node identical to the two-pass
+/// tree (arena layout + symbol table), and the fused path must not be
+/// slower. Wall times plus allocation profiles (calls, peak live bytes —
+/// the "intermediate `Json`" cost fusion removes) land in
+/// `BENCH_parse_fusion.json`.
+fn s4() {
+    header(
+        "S4",
+        "Parser→tree fusion — fused parse_to_tree vs parse + JsonTree::build",
+    );
+    println!(
+        "{}",
+        row(&[
+            "workload".into(),
+            "MB".into(),
+            "nodes".into(),
+            "two-pass ms".into(),
+            "fused ms".into(),
+            "speedup".into(),
+            "allocs 2p/fused".into(),
+            "peak MB 2p/fused".into(),
+        ])
+    );
+    let mut entries = Vec::new();
+    for (label, src) in s4_workloads() {
+        // Deterministic gate 1: node-for-node identity (layout + symbols
+        // + canon signatures).
+        let fused = jsondata::parse_to_tree(&src).expect("workload parses");
+        let doc = jsondata::parse(&src).expect("workload parses");
+        let two_pass = JsonTree::build(&doc);
+        assert!(
+            fused.identical(&two_pass),
+            "S4 gate: fused tree differs from two-pass on {label}"
+        );
+        assert_eq!(
+            jsondata::CanonTable::build(&fused).classes(),
+            jsondata::CanonTable::build(&two_pass).classes(),
+            "S4 gate: canon classes differ on {label}"
+        );
+        let nodes = fused.node_count();
+        drop((fused, two_pass, doc));
+
+        let two_ms = time_ms(9, || {
+            let doc = jsondata::parse(&src).expect("parses");
+            JsonTree::build(&doc)
+        });
+        let fused_ms = time_ms(9, || jsondata::parse_to_tree(&src).expect("parses"));
+        let (t, fused_prof) = memtrack::measure(|| jsondata::parse_to_tree(&src).unwrap());
+        drop(t);
+        let (t, two_prof) = memtrack::measure(|| {
+            let doc = jsondata::parse(&src).unwrap();
+            JsonTree::build(&doc)
+        });
+        drop(t);
+
+        // Deterministic gate 2: the fused path must not be slower than the
+        // two-pass pipeline it replaces (it does strictly less work; the
+        // observed margin is recorded in the JSON for trend tracking).
+        assert!(
+            fused_ms <= two_ms,
+            "S4 gate: fused path slower than two-pass on {label}: {fused_ms:.2} ms vs {two_ms:.2} ms"
+        );
+
+        let mb = src.len() as f64 / (1024.0 * 1024.0);
+        println!(
+            "{}",
+            row(&[
+                label.into(),
+                format!("{mb:.1}"),
+                nodes.to_string(),
+                format!("{two_ms:.2}"),
+                format!("{fused_ms:.2}"),
+                format!("{:.2}x", two_ms / fused_ms),
+                format!("{}/{}", two_prof.allocs, fused_prof.allocs),
+                format!(
+                    "{:.1}/{:.1}",
+                    two_prof.peak_bytes as f64 / (1024.0 * 1024.0),
+                    fused_prof.peak_bytes as f64 / (1024.0 * 1024.0)
+                ),
+            ])
+        );
+        entries.push(format!(
+            "    {{\"workload\": \"{label}\", \"bytes\": {}, \"nodes\": {nodes}, \"two_pass_ms\": {two_ms:.3}, \"fused_ms\": {fused_ms:.3}, \"speedup\": {:.3}, \"two_pass_allocs\": {}, \"fused_allocs\": {}, \"two_pass_peak_bytes\": {}, \"fused_peak_bytes\": {}}}",
+            src.len(),
+            two_ms / fused_ms,
+            two_prof.allocs,
+            fused_prof.allocs,
+            two_prof.peak_bytes,
+            fused_prof.peak_bytes,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"s4_parse_fusion\",\n  \"units\": {{\"time\": \"ms_per_parse (median of 9)\", \"allocs\": \"heap allocation calls per parse\", \"peak_bytes\": \"peak live heap bytes above entry\"}},\n  \"gates\": \"asserted: fused tree identical to two-pass (layout + symbols + canon); fused_ms <= two_pass_ms\",\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_parse_fusion.json", &json).expect("write BENCH_parse_fusion.json");
+    println!("wrote BENCH_parse_fusion.json");
 }

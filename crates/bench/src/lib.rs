@@ -4,6 +4,7 @@
 //! parameter sweeps both entry points use.
 
 pub mod baseline;
+pub mod memtrack;
 
 use std::time::Instant;
 
@@ -177,6 +178,24 @@ pub fn s3_jsl_formula() -> Jsl {
         Jsl::BoxKey(even_keys, Box::new(Jsl::Test(NodeTest::Pattern(values)))),
         Jsl::DiamondKey(seven_keys, Box::new(Jsl::Test(NodeTest::Str))),
     ])
+}
+
+/// S4: the large-document parse-fusion workloads — `(label, text)` pairs
+/// covering the mixed random scaling document (deep-ish, container-heavy)
+/// and a wide record batch (the `mongofind`-collection shape: many small
+/// objects over a shared key vocabulary).
+pub fn s4_workloads() -> Vec<(&'static str, String)> {
+    use jsondata::serialize::to_string;
+    vec![
+        (
+            "scaling_mixed_64k_nodes",
+            to_string(&scaling_doc(1 << 16, 5)),
+        ),
+        (
+            "person_records_20k",
+            to_string(&gen::person_records(20_000, 7)),
+        ),
+    ]
 }
 
 /// E9: the even-depth recursive JSL expression of the paper's Example 2.

@@ -10,9 +10,17 @@ use json_foundations::mongo::{Collection, Filter, Projection};
 use jsondata::gen::person_records;
 
 fn main() {
-    let people = person_records(10_000, 42);
-    let coll = Collection::from_array(&people).expect("array collection");
-    println!("collection: {} documents\n", coll.docs().len());
+    // Load the collection from text through the fused parser: one pass
+    // lexes, interns and builds the persistent tree column every query
+    // below runs against (no intermediate value tree).
+    let text = jsondata::serialize::to_string(&person_records(10_000, 42));
+    let coll = Collection::parse_str(&text).expect("array collection");
+    println!(
+        "collection: {} documents ({} tree nodes, {} interned symbols)\n",
+        coll.docs().len(),
+        coll.tree().node_count(),
+        coll.tree().interner().len()
+    );
 
     // The paper's Example 1: find the person named Sue.
     let filter = Filter::parse_str(r#"{"name.first": {"$eq": "Sue"}}"#).unwrap();

@@ -28,8 +28,9 @@ fn main() {
         doc.get("hobbies").unwrap().index(1).unwrap()
     );
 
-    // ---- §3: the JSON tree model ----
-    let tree = JsonTree::build(&doc);
+    // ---- §3: the JSON tree model (fused: text → tree in one pass) ----
+    let tree = jsondata::parse_to_tree(&doc.to_string()).expect("round-trip parses");
+    assert!(tree.identical(&JsonTree::build(&doc)));
     println!(
         "\ntree: {} nodes, height {}",
         tree.node_count(),

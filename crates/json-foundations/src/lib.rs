@@ -38,5 +38,5 @@ pub use mongofind as mongo;
 
 /// Commonly used items, importable as `use json_foundations::prelude::*`.
 pub mod prelude {
-    pub use jsondata::{parse, CanonTable, Json, JsonTree, NodeId, NodeKind};
+    pub use jsondata::{parse, parse_to_tree, CanonTable, Json, JsonTree, NodeId, NodeKind};
 }

@@ -8,10 +8,11 @@ use json_foundations::schema::{is_valid, jsl_to_schema, schema_to_jsl, Schema};
 
 #[test]
 fn figure1_through_every_layer() {
-    let doc =
-        parse(r#"{"name":{"first":"John","last":"Doe"},"age":32,"hobbies":["fishing","yoga"]}"#)
-            .unwrap();
-    let tree = JsonTree::build(&doc);
+    let src = r#"{"name":{"first":"John","last":"Doe"},"age":32,"hobbies":["fishing","yoga"]}"#;
+    let doc = parse(src).unwrap();
+    // The engines query the fused parse; it is the identical tree.
+    let tree = jsondata::parse_to_tree(src).unwrap();
+    assert!(tree.identical(&JsonTree::build(&doc)));
 
     // JNL: deterministic navigation query (all four engines agree).
     let phi = jnl::parse_unary(r#"eqdoc(@"name" ; @"first", "John") & [@"hobbies" ; @1]"#).unwrap();
@@ -67,9 +68,9 @@ fn mongo_filter_jnl_satisfiability_pipeline() {
 #[test]
 fn jsonpath_jnl_jsl_translation_chain() {
     // JSONPath → JNL (branches) → JSL (Theorem 2) all agree on selection
-    // emptiness at the root.
-    let doc = parse(r#"{"a": {"b": [{"c": 1}, {"d": 2}]}}"#).unwrap();
-    let tree = JsonTree::build(&doc);
+    // emptiness at the root. Built through the fused parser: the engines
+    // only need the tree, so no value is ever materialised.
+    let tree = jsondata::parse_to_tree(r#"{"a": {"b": [{"c": 1}, {"d": 2}]}}"#).unwrap();
     let path = jsonpath::JsonPath::parse("$.a.b[*].c").unwrap();
     let selected = path.select_nodes(&tree);
     let phi = path.to_jnl_unary();

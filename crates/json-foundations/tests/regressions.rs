@@ -191,3 +191,35 @@ fn degenerate_cases() {
         vec![doc]
     );
 }
+
+/// The fused parser's duplicate-key probe must stay near-linear on wide
+/// objects (the `Sym`-pair hash probe, mirroring the O(n²)→O(n) fix the
+/// value parser got): a 50k-key object parses straight to a tree in one
+/// pass, and a duplicate appended at the end is still rejected at the
+/// position of the second occurrence — identically by both paths.
+#[test]
+fn fused_wide_object_duplicate_check_is_near_linear() {
+    let n = 50_000usize;
+    let mut src = String::with_capacity(n * 12);
+    src.push('{');
+    for i in 0..n {
+        if i > 0 {
+            src.push(',');
+        }
+        src.push_str(&format!("\"key{i}\":{i}"));
+    }
+    src.push('}');
+    let tree = jsondata::parse_to_tree(&src).unwrap();
+    assert_eq!(tree.child_count(tree.root()), n);
+    assert_eq!(tree.node_count(), n + 1);
+    // Keys are interned once each and spans are symbol-sorted.
+    assert_eq!(tree.interner().len(), n);
+    assert!(tree.obj_syms(tree.root()).windows(2).all(|w| w[0] < w[1]));
+    // One duplicate appended: rejected with the second occurrence's
+    // position, identically to the value parser.
+    let dup = format!("{}, \"key0\": 0}}", &src[..src.len() - 1]);
+    let e_fused = jsondata::parse_to_tree(&dup).unwrap_err();
+    let e_value = parse(&dup).unwrap_err();
+    assert_eq!(e_fused, e_value);
+    assert_eq!(e_fused.position.offset, dup.len() - 10);
+}

@@ -79,6 +79,14 @@ impl CanonTable {
         self.class[n.index()]
     }
 
+    /// The full class vector, indexed by node id. Class ids are assigned
+    /// deterministically (bottom-up, first-seen order), so two structurally
+    /// identical trees — e.g. the fused and two-pass parse of one document —
+    /// must yield byte-identical vectors; the differential tests assert it.
+    pub fn classes(&self) -> &[u32] {
+        &self.class
+    }
+
     /// `O(1)` subtree equality: `json(a) == json(b)`.
     pub fn equal(&self, a: NodeId, b: NodeId) -> bool {
         self.class_of(a) == self.class_of(b)

@@ -51,11 +51,25 @@ impl Sym {
 }
 
 /// A string interning table: each distinct string receives one [`Sym`].
+///
+/// Equality compares the symbol assignment itself — two interners are equal
+/// iff they map exactly the same strings to exactly the same [`Sym`]s (the
+/// lookup map is derived from that sequence, so only the dense string table
+/// is compared). This is the contract the parse-fusion differential tests
+/// rely on: identical event streams must produce identical symbol tables.
 #[derive(Debug, Default, Clone)]
 pub struct Interner {
     map: FxHashMap<Box<str>, Sym>,
     strings: Vec<Box<str>>,
 }
+
+impl PartialEq for Interner {
+    fn eq(&self, other: &Interner) -> bool {
+        self.strings == other.strings
+    }
+}
+
+impl Eq for Interner {}
 
 impl Interner {
     /// An empty interner.

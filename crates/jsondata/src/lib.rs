@@ -8,7 +8,11 @@
 //!   objects (with pairwise-distinct keys), arrays, strings, and natural
 //!   numbers. Object equality is **unordered**, as the paper requires.
 //! * A from-scratch [`parse`](parse()) / [`serialize`](mod@serialize) pair
-//!   for the textual format, with precise error positions.
+//!   for the textual format, with precise error positions — plus the fused
+//!   [`parse_to_tree`](parse_to_tree()) family, which lexes, interns and
+//!   assembles a [`JsonTree`] in one pass with no intermediate [`Json`]
+//!   (identical trees and identical errors to the two-pass route, proven
+//!   differentially).
 //! * [`JsonTree`] — the paper's §3 *JSON tree*: an arena-backed tree whose
 //!   nodes are partitioned into `Obj`/`Arr`/`Str`/`Int`, with a key-labelled
 //!   object-child relation and an index-labelled array-child relation.
@@ -71,7 +75,10 @@ pub use canon::CanonTable;
 pub use error::{JsonError, ParseError, Position};
 pub use intern::{Interner, Sym};
 pub use nav::{NavPath, NavStep};
-pub use parse::{parse, parse_with_limits, ParseLimits};
+pub use parse::{
+    parse, parse_to_tree, parse_to_tree_into, parse_to_tree_with_limits, parse_with_limits,
+    ParseLimits,
+};
 pub use pointer::JsonPointer;
 pub use tree::{EdgeLabel, JsonTree, NodeId, NodeKind};
 pub use value::{Json, ObjectBuilder};

@@ -1,17 +1,50 @@
-//! A from-scratch JSON text parser for the paper's fragment.
+//! A from-scratch JSON text parser for the paper's fragment, with two
+//! construction targets sharing one lexer and one syntax driver.
 //!
-//! The lexer recognises the complete RFC 8259 grammar so that out-of-fragment
-//! constructs (`null`, `true`, `false`, negative or fractional numbers) are
-//! reported with precise, targeted errors instead of generic syntax noise.
+//! ## The two entry points
 //!
-//! The parser is iterative over object/array nesting depth up to a
-//! configurable limit (default 512), avoiding stack overflow on adversarial
-//! inputs while still being plain recursive descent in shape.
+//! * [`parse`] / [`parse_with_limits`] produce an owned [`Json`] **value** —
+//!   use these when the document will be inspected or transformed as a
+//!   value (schema inference, filter constants, witnesses, serialization).
+//! * [`parse_to_tree`] / [`parse_to_tree_with_limits`] /
+//!   [`parse_to_tree_into`] produce a [`JsonTree`] **directly** — the fused
+//!   path for the dominant build-then-query pipeline. Lexing, interning and
+//!   CSR assembly happen in one pass: keys and string atoms are interned the
+//!   moment they are lexed and nodes stream into the tree's arena, so the
+//!   intermediate `Json` (one heap allocation per node plus owned strings)
+//!   is never materialised. `parse_to_tree(s)` is guaranteed to be
+//!   [`JsonTree::identical`] to `JsonTree::build(&parse(s)?)` — both reduce
+//!   to the same event core — and returns the same [`ParseError`] on every
+//!   malformed input; `tests/parse_fusion.rs` asserts both properties
+//!   differentially.
+//!
+//! [`parse_to_tree_into`] additionally threads a caller-owned [`Interner`]
+//! through the parse, so a batch of documents loaded through one interner
+//! assigns the same [`Sym`](crate::Sym) to the same string across all of
+//! their trees (each tree carries a snapshot clone of the shared table; on a
+//! parse error the shared table is preserved, though it may retain symbols
+//! interned from the failed prefix).
+//!
+//! ## Shape
+//!
+//! The lexer recognises the complete RFC 8259 grammar so that
+//! out-of-fragment constructs (`null`, `true`, `false`, negative or
+//! fractional numbers) are reported with precise, targeted errors instead of
+//! generic syntax noise. The syntax driver ([`parse_document`]) is a single
+//! iterative loop over an explicit container stack — document depth never
+//! becomes call-stack depth — parameterised by a [`Sink`] that receives the
+//! document-order event stream: [`JsonSink`] folds events into a [`Json`],
+//! and [`TreeBuilder`](crate::tree) (the same core [`JsonTree::build`]
+//! replays values through) assembles CSR arrays. Nesting depth is limited by
+//! [`ParseLimits`] (default 512).
 
+use std::borrow::Cow;
 use std::hash::{Hash, Hasher};
 
 use crate::error::{ParseError, ParseErrorKind, Position};
 use crate::fxhash::{FxHashSet, FxHasher};
+use crate::intern::Interner;
+use crate::tree::{JsonTree, TreeBuilder};
 use crate::value::Json;
 
 /// Resource limits applied while parsing.
@@ -41,14 +74,306 @@ pub fn parse(input: &str) -> Result<Json, ParseError> {
 
 /// Parses with explicit [`ParseLimits`].
 pub fn parse_with_limits(input: &str, limits: ParseLimits) -> Result<Json, ParseError> {
+    let mut sink = JsonSink::default();
+    parse_document(input, limits, &mut sink)?;
+    Ok(sink.out.take().expect("driver completed a document"))
+}
+
+/// Parses a complete JSON document straight into a [`JsonTree`] (default
+/// limits) — the fused single-pass path: no intermediate [`Json`] is built.
+///
+/// ```
+/// use jsondata::parse_to_tree;
+/// let tree = parse_to_tree(r#"{"name": {"first": "John"}, "age": 32}"#).unwrap();
+/// let name = tree.child_by_key(tree.root(), "name").unwrap();
+/// let first = tree.child_by_key(name, "first").unwrap();
+/// assert_eq!(tree.str_value(first), Some("John"));
+/// ```
+pub fn parse_to_tree(input: &str) -> Result<JsonTree, ParseError> {
+    parse_to_tree_with_limits(input, ParseLimits::default())
+}
+
+/// [`parse_to_tree`] with explicit [`ParseLimits`]. Limit and error
+/// semantics match [`parse_with_limits`] exactly (same error kind at the
+/// same position on every malformed input).
+pub fn parse_to_tree_with_limits(input: &str, limits: ParseLimits) -> Result<JsonTree, ParseError> {
+    let mut builder = TreeBuilder::new(Interner::new());
+    parse_document(input, limits, &mut builder)?;
+    Ok(builder.finish())
+}
+
+/// [`parse_to_tree_with_limits`] interning into a caller-owned shared table
+/// — the batch-loading form: every document parsed through one `interner`
+/// assigns the same [`Sym`](crate::Sym) to the same string, so symbols are
+/// comparable across the resulting trees. Each returned tree carries a
+/// snapshot clone of the shared table (cost `O(symbols interned so far)`);
+/// on error the shared table is left usable (it may retain symbols from the
+/// document's well-formed prefix).
+pub fn parse_to_tree_into(
+    input: &str,
+    limits: ParseLimits,
+    interner: &mut Interner,
+) -> Result<JsonTree, ParseError> {
+    let mut builder = TreeBuilder::new(std::mem::take(interner));
+    match parse_document(input, limits, &mut builder) {
+        Ok(()) => {
+            let tree = builder.finish();
+            *interner = tree.interner().clone();
+            Ok(tree)
+        }
+        Err(e) => {
+            *interner = builder.into_interner();
+            Err(e)
+        }
+    }
+}
+
+/// Receiver of the document-order parse event stream. Exactly one value is
+/// produced at the top level; containers arrive as balanced begin/end pairs
+/// with member keys preceding member values.
+pub(crate) trait Sink {
+    fn num(&mut self, n: u64);
+    fn str_atom(&mut self, s: &str);
+    fn begin_object(&mut self);
+    /// Records a member key of the innermost open object; `false` reports a
+    /// duplicate (the driver raises [`ParseErrorKind::DuplicateKey`]).
+    fn object_key(&mut self, key: &str) -> bool;
+    fn end_object(&mut self);
+    fn begin_array(&mut self);
+    fn end_array(&mut self);
+}
+
+impl Sink for TreeBuilder {
+    fn num(&mut self, n: u64) {
+        TreeBuilder::num(self, n);
+    }
+    fn str_atom(&mut self, s: &str) {
+        TreeBuilder::str_atom(self, s);
+    }
+    fn begin_object(&mut self) {
+        TreeBuilder::begin_object(self);
+    }
+    fn object_key(&mut self, key: &str) -> bool {
+        TreeBuilder::object_key(self, key)
+    }
+    fn end_object(&mut self) {
+        TreeBuilder::end_object(self);
+    }
+    fn begin_array(&mut self) {
+        TreeBuilder::begin_array(self);
+    }
+    fn end_array(&mut self) {
+        TreeBuilder::end_array(self);
+    }
+}
+
+/// Folds parse events into an owned [`Json`] value.
+#[derive(Default)]
+struct JsonSink {
+    stack: Vec<JsonFrame>,
+    pending_key: Option<String>,
+    out: Option<Json>,
+}
+
+enum JsonFrame {
+    Obj {
+        /// The member key this object attaches under in its parent object
+        /// (captured at `begin_object`, before the object's own keys start
+        /// overwriting the pending slot).
+        key: Option<String>,
+        pairs: Vec<(String, Json)>,
+        /// Duplicate-key detection: a set of key *hashes* keeps the probe
+        /// allocation-free and the whole object near-linear (a hash hit —
+        /// in practice only a true duplicate — is confirmed by one scan, so
+        /// an adversarial collision degrades a single key to O(n), never
+        /// the silent acceptance of a duplicate).
+        seen: FxHashSet<u64>,
+    },
+    Arr {
+        /// The member key this array attaches under, as above.
+        key: Option<String>,
+        items: Vec<Json>,
+    },
+}
+
+impl JsonSink {
+    /// Attaches a completed value: under `key` in the innermost open
+    /// object, positionally in the innermost open array, or as the result.
+    fn complete(&mut self, v: Json, key: Option<String>) {
+        match self.stack.last_mut() {
+            Some(JsonFrame::Obj { pairs, .. }) => {
+                pairs.push((key.expect("member key before value"), v));
+            }
+            Some(JsonFrame::Arr { items, .. }) => items.push(v),
+            None => self.out = Some(v),
+        }
+    }
+}
+
+impl Sink for JsonSink {
+    fn num(&mut self, n: u64) {
+        let key = self.pending_key.take();
+        self.complete(Json::Num(n), key);
+    }
+
+    fn str_atom(&mut self, s: &str) {
+        let key = self.pending_key.take();
+        self.complete(Json::Str(s.to_owned()), key);
+    }
+
+    fn begin_object(&mut self) {
+        self.stack.push(JsonFrame::Obj {
+            key: self.pending_key.take(),
+            pairs: Vec::new(),
+            seen: FxHashSet::default(),
+        });
+    }
+
+    fn object_key(&mut self, key: &str) -> bool {
+        let Some(JsonFrame::Obj { pairs, seen, .. }) = self.stack.last_mut() else {
+            unreachable!("object_key outside an object");
+        };
+        let mut h = FxHasher::default();
+        key.hash(&mut h);
+        if !seen.insert(h.finish()) && pairs.iter().any(|(k, _)| k == key) {
+            return false;
+        }
+        self.pending_key = Some(key.to_owned());
+        true
+    }
+
+    fn end_object(&mut self) {
+        let Some(JsonFrame::Obj { key, pairs, .. }) = self.stack.pop() else {
+            unreachable!("end_object without begin_object");
+        };
+        self.complete(
+            Json::object(pairs).expect("duplicates checked during parse"),
+            key,
+        );
+    }
+
+    fn begin_array(&mut self) {
+        self.stack.push(JsonFrame::Arr {
+            key: self.pending_key.take(),
+            items: Vec::new(),
+        });
+    }
+
+    fn end_array(&mut self) {
+        let Some(JsonFrame::Arr { key, items }) = self.stack.pop() else {
+            unreachable!("end_array without begin_array");
+        };
+        self.complete(Json::Array(items), key);
+    }
+}
+
+/// An enclosing container on the driver's explicit stack.
+enum Frame {
+    Obj,
+    Arr,
+}
+
+/// The single syntax driver both construction targets run through: one
+/// iterative loop, one error policy, one depth-limit policy — which is what
+/// guarantees the fused and two-pass paths agree error-for-error.
+fn parse_document<S: Sink>(
+    input: &str,
+    limits: ParseLimits,
+    sink: &mut S,
+) -> Result<(), ParseError> {
     let mut p = Parser::new(input, limits);
+    let mut frames: Vec<Frame> = Vec::new();
     p.skip_ws();
-    let v = p.parse_value(0)?;
+    'value: loop {
+        // -- parse one value (containers descend instead of recursing) --
+        if frames.len() > p.limits.max_depth {
+            return Err(p.err(ParseErrorKind::TooDeep(p.limits.max_depth)));
+        }
+        match p.peek() {
+            None => return Err(p.err(ParseErrorKind::UnexpectedEof)),
+            Some(b'{') => {
+                p.bump();
+                sink.begin_object();
+                p.skip_ws();
+                if p.peek() == Some(b'}') {
+                    p.bump();
+                    sink.end_object();
+                } else {
+                    frames.push(Frame::Obj);
+                    p.member_key(sink)?;
+                    continue 'value;
+                }
+            }
+            Some(b'[') => {
+                p.bump();
+                sink.begin_array();
+                p.skip_ws();
+                if p.peek() == Some(b']') {
+                    p.bump();
+                    sink.end_array();
+                } else {
+                    frames.push(Frame::Arr);
+                    continue 'value;
+                }
+            }
+            Some(b'"') => {
+                let s = p.lex_string()?;
+                sink.str_atom(&s);
+            }
+            Some(b'0'..=b'9') => {
+                let n = p.lex_number()?;
+                sink.num(n);
+            }
+            Some(b'-') => return Err(p.err(ParseErrorKind::NegativeNumber)),
+            Some(b't') => return Err(p.reject_literal("true")),
+            Some(b'f') => return Err(p.reject_literal("false")),
+            Some(b'n') => return Err(p.reject_literal("null")),
+            Some(b) => {
+                let c = p.current_char(b);
+                return Err(p.err(ParseErrorKind::UnexpectedChar(c)));
+            }
+        }
+        // -- a value just finished; separators close or continue containers --
+        loop {
+            let Some(top) = frames.last() else {
+                break 'value;
+            };
+            p.skip_ws();
+            match (top, p.peek()) {
+                (_, None) => return Err(p.err(ParseErrorKind::UnexpectedEof)),
+                (Frame::Obj, Some(b',')) => {
+                    p.bump();
+                    p.skip_ws();
+                    p.member_key(sink)?;
+                    continue 'value;
+                }
+                (Frame::Obj, Some(b'}')) => {
+                    p.bump();
+                    sink.end_object();
+                    frames.pop();
+                }
+                (Frame::Arr, Some(b',')) => {
+                    p.bump();
+                    p.skip_ws();
+                    continue 'value;
+                }
+                (Frame::Arr, Some(b']')) => {
+                    p.bump();
+                    sink.end_array();
+                    frames.pop();
+                }
+                (_, Some(b)) => {
+                    let c = p.current_char(b);
+                    return Err(p.err(ParseErrorKind::UnexpectedChar(c)));
+                }
+            }
+        }
+    }
     p.skip_ws();
     if !p.at_end() {
         return Err(p.err(ParseErrorKind::TrailingContent));
     }
-    Ok(v)
+    Ok(())
 }
 
 struct Parser<'a> {
@@ -126,27 +451,6 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_value(&mut self, depth: usize) -> Result<Json, ParseError> {
-        if depth > self.limits.max_depth {
-            return Err(self.err(ParseErrorKind::TooDeep(self.limits.max_depth)));
-        }
-        match self.peek() {
-            None => Err(self.err(ParseErrorKind::UnexpectedEof)),
-            Some(b'{') => self.parse_object(depth),
-            Some(b'[') => self.parse_array(depth),
-            Some(b'"') => Ok(Json::Str(self.parse_string()?)),
-            Some(b'0'..=b'9') => self.parse_number(),
-            Some(b'-') => Err(self.err(ParseErrorKind::NegativeNumber)),
-            Some(b't') => self.reject_literal("true"),
-            Some(b'f') => self.reject_literal("false"),
-            Some(b'n') => self.reject_literal("null"),
-            Some(b) => {
-                let c = self.current_char(b);
-                Err(self.err(ParseErrorKind::UnexpectedChar(c)))
-            }
-        }
-    }
-
     fn current_char(&self, first: u8) -> char {
         if first.is_ascii() {
             first as char
@@ -155,107 +459,81 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn reject_literal(&mut self, lit: &'static str) -> Result<Json, ParseError> {
+    fn reject_literal(&mut self, lit: &'static str) -> ParseError {
         if self.src[self.pos..].starts_with(lit) {
-            Err(self.err(ParseErrorKind::UnsupportedLiteral(lit)))
+            self.err(ParseErrorKind::UnsupportedLiteral(lit))
         } else {
             let b = self.bytes[self.pos];
-            Err(self.err(ParseErrorKind::UnexpectedChar(b as char)))
+            self.err(ParseErrorKind::UnexpectedChar(b as char))
         }
     }
 
-    fn parse_object(&mut self, depth: usize) -> Result<Json, ParseError> {
-        self.bump(); // consume '{'
-        let mut pairs: Vec<(String, Json)> = Vec::new();
-        // Duplicate-key detection: a set of key *hashes* keeps the probe
-        // allocation-free and the whole object near-linear (a hash hit — in
-        // practice only a true duplicate — is confirmed by one scan, so an
-        // adversarial collision degrades a single key to O(n), never the
-        // silent acceptance of a duplicate).
-        let mut seen: FxHashSet<u64> = FxHashSet::default();
+    /// Lexes one `"..."` member key plus the `:` separator, reporting it to
+    /// the sink. Callers have already skipped leading whitespace.
+    fn member_key<S: Sink>(&mut self, sink: &mut S) -> Result<(), ParseError> {
+        if self.peek() != Some(b'"') {
+            return Err(match self.peek() {
+                None => self.err(ParseErrorKind::UnexpectedEof),
+                Some(b) => {
+                    let c = self.current_char(b);
+                    self.err(ParseErrorKind::UnexpectedChar(c))
+                }
+            });
+        }
+        let key_pos = self.position();
+        let key = self.lex_string()?;
+        if !sink.object_key(&key) {
+            return Err(ParseError {
+                position: key_pos,
+                kind: ParseErrorKind::DuplicateKey(key.into_owned()),
+            });
+        }
         self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.bump();
-            return Ok(Json::empty_object());
-        }
-        loop {
-            self.skip_ws();
-            if self.peek() != Some(b'"') {
-                return match self.peek() {
-                    None => Err(self.err(ParseErrorKind::UnexpectedEof)),
-                    Some(b) => Err(self.err(ParseErrorKind::UnexpectedChar(self.current_char(b)))),
-                };
-            }
-            let key_pos = self.position();
-            let key = self.parse_string()?;
-            let mut h = FxHasher::default();
-            key.hash(&mut h);
-            if !seen.insert(h.finish()) && pairs.iter().any(|(k, _)| *k == key) {
-                return Err(ParseError {
-                    position: key_pos,
-                    kind: ParseErrorKind::DuplicateKey(key),
-                });
-            }
-            self.skip_ws();
-            match self.peek() {
-                Some(b':') => self.bump(),
-                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
-                Some(b) => {
-                    return Err(self.err(ParseErrorKind::UnexpectedChar(self.current_char(b))))
-                }
-            }
-            self.skip_ws();
-            let value = self.parse_value(depth + 1)?;
-            pairs.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => {
-                    self.bump();
-                }
-                Some(b'}') => {
-                    self.bump();
-                    // Duplicates already rejected pair-by-pair above.
-                    return Ok(Json::object(pairs).expect("duplicates checked during parse"));
-                }
-                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
-                Some(b) => {
-                    return Err(self.err(ParseErrorKind::UnexpectedChar(self.current_char(b))))
-                }
+        match self.peek() {
+            Some(b':') => self.bump(),
+            None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
+            Some(b) => {
+                let c = self.current_char(b);
+                return Err(self.err(ParseErrorKind::UnexpectedChar(c)));
             }
         }
-    }
-
-    fn parse_array(&mut self, depth: usize) -> Result<Json, ParseError> {
-        self.bump(); // consume '['
-        let mut items = Vec::new();
         self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.bump();
-            return Ok(Json::Array(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.parse_value(depth + 1)?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => {
-                    self.bump();
-                }
-                Some(b']') => {
-                    self.bump();
-                    return Ok(Json::Array(items));
-                }
-                None => return Err(self.err(ParseErrorKind::UnexpectedEof)),
-                Some(b) => {
-                    return Err(self.err(ParseErrorKind::UnexpectedChar(self.current_char(b))))
-                }
-            }
-        }
+        Ok(())
     }
 
-    fn parse_string(&mut self) -> Result<String, ParseError> {
+    /// Lexes one string token (the opening `"` is at `pos`). Escape-free
+    /// strings — the overwhelmingly common case — borrow straight from the
+    /// source; the first `\` switches to an owned buffer.
+    fn lex_string(&mut self) -> Result<Cow<'a, str>, ParseError> {
         self.bump(); // consume '"'
-        let mut out = String::new();
+        let start = self.pos;
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err(ParseErrorKind::UnexpectedEof));
+            };
+            match b {
+                b'"' => {
+                    let s = &self.src[start..self.pos];
+                    self.bump();
+                    return Ok(Cow::Borrowed(s));
+                }
+                b'\\' => break,
+                0x00..=0x1f => {
+                    return Err(self.err(ParseErrorKind::ControlCharInString(b as char)));
+                }
+                _ if b.is_ascii() => self.bump(),
+                _ => {
+                    let c = self.src[self.pos..]
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err(ParseErrorKind::InvalidUtf8))?;
+                    self.bump_char(c);
+                }
+            }
+        }
+        // Escaped string: copy the clean prefix, then decode escapes.
+        let mut out = String::with_capacity(self.pos - start + 16);
+        out.push_str(&self.src[start..self.pos]);
         loop {
             let Some(b) = self.peek() else {
                 return Err(self.err(ParseErrorKind::UnexpectedEof));
@@ -263,7 +541,7 @@ impl<'a> Parser<'a> {
             match b {
                 b'"' => {
                     self.bump();
-                    return Ok(out);
+                    return Ok(Cow::Owned(out));
                 }
                 b'\\' => {
                     self.bump();
@@ -370,7 +648,7 @@ impl<'a> Parser<'a> {
         Ok(v)
     }
 
-    fn parse_number(&mut self) -> Result<Json, ParseError> {
+    fn lex_number(&mut self) -> Result<u64, ParseError> {
         let start = self.pos;
         let first = self.bytes[self.pos];
         self.bump();
@@ -388,7 +666,6 @@ impl<'a> Parser<'a> {
             return Err(self.err(ParseErrorKind::LeadingZero));
         }
         text.parse::<u64>()
-            .map(Json::Num)
             .map_err(|_| self.err(ParseErrorKind::NumberOverflow))
     }
 }
@@ -509,6 +786,13 @@ mod tests {
     }
 
     #[test]
+    fn escape_after_clean_prefix_keeps_both_halves() {
+        assert_eq!(parse(r#""abc\ndef""#).unwrap(), Json::str("abc\ndef"));
+        assert_eq!(parse(r#""čšAž""#).unwrap(), Json::str("čšAž"));
+        assert_eq!(parse(r#""😀 ok""#).unwrap(), Json::str("\u{1F600} ok"));
+    }
+
+    #[test]
     fn unescaped_control_char_rejected() {
         assert!(matches!(kind("\"a\u{0001}b\""), ControlCharInString(_)));
     }
@@ -539,5 +823,62 @@ mod tests {
     fn whitespace_everywhere() {
         let j = parse(" \t\r\n{ \"a\" : [ 1 , 2 ] } \n").unwrap();
         assert_eq!(j.get("a").unwrap().as_array().unwrap().len(), 2);
+    }
+
+    // ---- fused path smoke tests (the differential suite lives in
+    // crates/json-foundations/tests/parse_fusion.rs) ----
+
+    #[test]
+    fn fused_parse_matches_two_pass_on_figure1() {
+        let src = r#"{
+            "name": {"first": "John", "last": "Doe"},
+            "age": 32,
+            "hobbies": ["fishing", "yoga"]
+        }"#;
+        let fused = parse_to_tree(src).unwrap();
+        let two_pass = JsonTree::build(&parse(src).unwrap());
+        assert!(fused.identical(&two_pass));
+        assert_eq!(fused.to_json(), parse(src).unwrap());
+    }
+
+    #[test]
+    fn fused_parse_errors_match_value_parse() {
+        for bad in [
+            "",
+            "null",
+            "{\"a\":1, \"a\":2}",
+            "[1, 2",
+            "{} {}",
+            "012",
+            "\"a\u{0001}\"",
+        ] {
+            assert_eq!(
+                parse(bad).unwrap_err(),
+                parse_to_tree(bad).unwrap_err(),
+                "input {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_depth_limit_matches() {
+        let deep = "[".repeat(600) + &"]".repeat(600);
+        assert_eq!(parse(&deep).unwrap_err(), parse_to_tree(&deep).unwrap_err());
+        let scalar_at_limit = parse_to_tree_with_limits("7", ParseLimits { max_depth: 0 });
+        assert!(scalar_at_limit.is_ok());
+        let nested = parse_to_tree_with_limits("[7]", ParseLimits { max_depth: 0 });
+        assert!(matches!(nested.unwrap_err().kind, TooDeep(0)));
+    }
+
+    #[test]
+    fn shared_interner_keeps_symbols_stable() {
+        let mut shared = Interner::new();
+        let limits = ParseLimits::default();
+        let t1 = parse_to_tree_into(r#"{"k": "v"}"#, limits, &mut shared).unwrap();
+        let t2 = parse_to_tree_into(r#"{"v": "k", "w": 1}"#, limits, &mut shared).unwrap();
+        assert_eq!(t1.sym("k"), t2.sym("k"));
+        assert_eq!(t1.sym("v"), t2.sym("v"));
+        assert_eq!(t1.sym("w"), None, "t1 snapshot predates \"w\"");
+        assert_eq!(shared.lookup("w"), t2.sym("w"));
     }
 }

@@ -4,11 +4,13 @@
 //!
 //! Design notes:
 //!
-//! * Node ids are assigned in **pre-order** during construction, so for every
-//!   node `n` and every descendant `d` of `n`, `n.index() < d.index()`.
-//!   Iterating ids in *descending* order therefore visits children before
-//!   parents — the bottom-up evaluation order used throughout the logic
-//!   engines — without materialising an explicit post-order.
+//! * Node ids are assigned in **document-order pre-order** during
+//!   construction (the order a streaming parser encounters values), so for
+//!   every node `n` and every descendant `d` of `n`, `n.index() < d.index()`
+//!   and every subtree occupies a contiguous id block. Iterating ids in
+//!   *descending* order therefore visits children before parents — the
+//!   bottom-up evaluation order used throughout the logic engines — without
+//!   materialising an explicit post-order.
 //! * All strings — object keys **and** string leaves — are interned into a
 //!   per-tree [`Interner`]; nodes store [`Sym`]s, never owned strings. Edge
 //!   tests on the logic engines' hot paths are therefore `u32` compares.
@@ -25,6 +27,7 @@
 
 use std::fmt;
 
+use crate::fxhash::FxHashSet;
 use crate::intern::{Interner, Sym};
 use crate::value::Json;
 
@@ -120,119 +123,198 @@ pub struct JsonTree {
     interner: Interner,
 }
 
-/// Transient per-node body used during construction, flattened into the CSR
-/// arrays afterwards.
-enum TmpBody {
-    Obj(Vec<(Sym, NodeId)>),
-    Arr(Vec<NodeId>),
-    Str(Sym),
-    Int(u64),
+/// The streaming construction core shared by [`JsonTree::build`] and the
+/// fused parser (`parse_to_tree` in [`crate::parse`]).
+///
+/// The builder consumes a **document-order event stream** — the sequence of
+/// tokens a streaming JSON parser naturally produces — and assembles the CSR
+/// arrays directly, with no intermediate [`Json`]:
+///
+/// * Node ids are assigned in document-order pre-order (parents before
+///   children, subtrees contiguous).
+/// * Keys and string atoms are interned the moment they are lexed, so the
+///   symbol table grows in document order.
+/// * Open containers live on an explicit stack (`open`); their pending child
+///   entries stack up in one shared `scratch` buffer, so construction does
+///   **no per-node allocation** and document depth never becomes call-stack
+///   depth.
+/// * When an object closes, its entries are symbol-sorted in place — the
+///   invariant `child_by_sym` binary-searches on — and moved to the `closed`
+///   buffer; [`TreeBuilder::finish`] lays the spans out in node-id order.
+/// * Duplicate keys are detected exactly, as `Sym` collisions within one
+///   open object (one probe of a shared `(node, Sym)` hash set per key —
+///   symbols make the probe collision-free, unlike string hashes).
+///
+/// Because both construction paths reduce to this one event consumer, a
+/// fused parse and a parse-then-build of the same document produce
+/// [`JsonTree::identical`] trees by construction; the differential test
+/// suite (`tests/parse_fusion.rs`) pins that equivalence.
+pub(crate) struct TreeBuilder {
+    interner: Interner,
+    kinds: Vec<NodeKind>,
+    parents: Vec<u32>,
+    payload: Vec<u64>,
+    /// Stack of open containers.
+    open: Vec<OpenFrame>,
+    /// Child entries `(key or NO_KEY, child id)` of all open containers,
+    /// stacked; each frame owns `scratch[frame.scratch_start..]` up to the
+    /// next frame's start.
+    scratch: Vec<(Sym, u32)>,
+    /// Child entries of closed containers, grouped per node (object spans
+    /// already symbol-sorted).
+    closed: Vec<(Sym, u32)>,
+    /// Per-node `(offset, len)` span into `closed`; `(0, 0)` for leaves.
+    closed_span: Vec<(u32, u32)>,
+    /// Duplicate-key probe: `(object node id, key symbol)` pairs of every
+    /// open object. Node ids never repeat, so stale entries of closed
+    /// objects are inert and need no cleanup.
+    seen_keys: FxHashSet<(u32, Sym)>,
+    /// The key awaiting its value inside the innermost open object.
+    pending_key: Sym,
 }
 
-impl JsonTree {
-    /// Builds the tree representation of a JSON document, interning every
-    /// object key and string leaf into the tree's symbol table.
-    pub fn build(doc: &Json) -> JsonTree {
-        let mut interner = Interner::new();
-        let capacity = doc.node_count();
-        let mut bodies: Vec<TmpBody> = Vec::with_capacity(capacity);
-        let mut parents: Vec<u32> = Vec::with_capacity(capacity);
-        let mut slots: Vec<u32> = Vec::with_capacity(capacity);
-        // Iterative pre-order construction; the work stack holds
-        // (value, parent, slot).
-        let mut stack: Vec<(&Json, u32, u32)> = vec![(doc, NO_PARENT, 0)];
-        while let Some((value, parent, slot)) = stack.pop() {
-            let id = NodeId(bodies.len() as u32);
-            if parent != NO_PARENT {
-                // Patch the reserved child slot in the parent.
-                match &mut bodies[parent as usize] {
-                    TmpBody::Obj(cs) => cs[slot as usize].1 = id,
-                    TmpBody::Arr(cs) => cs[slot as usize] = id,
-                    _ => unreachable!("leaf nodes have no children"),
-                }
-            }
-            parents.push(parent);
-            slots.push(slot);
-            // Create the body and queue children in one pass per node. For
-            // pre-order ids children are pushed in reverse so the first
-            // child is popped (and hence numbered) first.
-            match value {
-                Json::Num(n) => bodies.push(TmpBody::Int(*n)),
-                Json::Str(s) => bodies.push(TmpBody::Str(interner.intern(s))),
-                Json::Array(items) => {
-                    bodies.push(TmpBody::Arr(vec![NodeId(u32::MAX); items.len()]));
-                    for (i, item) in items.iter().enumerate().rev() {
-                        stack.push((item, id.0, i as u32));
-                    }
-                }
-                Json::Object(o) => {
-                    // Intern and symbol-sort the entries once; both the body
-                    // slots and the child work items derive from that order.
-                    let mut entries: Vec<(Sym, &Json)> =
-                        o.iter().map(|(k, v)| (interner.intern(k), v)).collect();
-                    entries.sort_unstable_by_key(|(s, _)| *s);
-                    bodies.push(TmpBody::Obj(
-                        entries
-                            .iter()
-                            .map(|(s, _)| (*s, NodeId(u32::MAX)))
-                            .collect(),
-                    ));
-                    for (i, (_, v)) in entries.iter().enumerate().rev() {
-                        stack.push((v, id.0, i as u32));
-                    }
-                }
-            }
+struct OpenFrame {
+    id: u32,
+    scratch_start: u32,
+    is_obj: bool,
+}
+
+impl TreeBuilder {
+    /// A builder interning into `interner` (possibly pre-populated, for
+    /// shared-interner batch loading).
+    pub(crate) fn new(interner: Interner) -> TreeBuilder {
+        TreeBuilder {
+            interner,
+            kinds: Vec::new(),
+            parents: Vec::new(),
+            payload: Vec::new(),
+            open: Vec::new(),
+            scratch: Vec::new(),
+            closed: Vec::new(),
+            closed_span: Vec::new(),
+            seen_keys: FxHashSet::default(),
+            pending_key: NO_KEY,
         }
-        Self::flatten(bodies, parents, slots, interner)
     }
 
-    /// Flattens the per-node bodies into CSR arrays and computes the
-    /// height/size measures (one descending pass: children before parents).
-    fn flatten(
-        bodies: Vec<TmpBody>,
-        parents: Vec<u32>,
-        slots: Vec<u32>,
-        interner: Interner,
-    ) -> JsonTree {
-        let n = bodies.len();
-        let total_children: usize = bodies
-            .iter()
-            .map(|b| match b {
-                TmpBody::Obj(cs) => cs.len(),
-                TmpBody::Arr(cs) => cs.len(),
-                _ => 0,
-            })
-            .sum();
-        let mut kinds = Vec::with_capacity(n);
-        let mut payload = vec![0u64; n];
+    fn new_node(&mut self, kind: NodeKind, payload: u64) -> u32 {
+        let id = self.kinds.len() as u32;
+        self.kinds.push(kind);
+        self.payload.push(payload);
+        self.closed_span.push((0, 0));
+        match self.open.last() {
+            Some(f) => {
+                self.parents.push(f.id);
+                let key = if f.is_obj {
+                    std::mem::replace(&mut self.pending_key, NO_KEY)
+                } else {
+                    NO_KEY
+                };
+                self.scratch.push((key, id));
+            }
+            None => self.parents.push(NO_PARENT),
+        }
+        id
+    }
+
+    /// A number value.
+    pub(crate) fn num(&mut self, n: u64) {
+        self.new_node(NodeKind::Int, n);
+    }
+
+    /// A string value (interned as an atom).
+    pub(crate) fn str_atom(&mut self, s: &str) {
+        let sym = self.interner.intern(s);
+        self.new_node(NodeKind::Str, sym.index() as u64);
+    }
+
+    /// Opens an object value.
+    pub(crate) fn begin_object(&mut self) {
+        let id = self.new_node(NodeKind::Obj, 0);
+        self.open.push(OpenFrame {
+            id,
+            scratch_start: self.scratch.len() as u32,
+            is_obj: true,
+        });
+    }
+
+    /// A member key inside the innermost open object. Returns `false` if the
+    /// key duplicates an earlier member of that object (the caller reports
+    /// the error; the builder is then abandoned).
+    pub(crate) fn object_key(&mut self, key: &str) -> bool {
+        let sym = self.interner.intern(key);
+        let top = self.open.last().expect("object_key outside an object");
+        debug_assert!(top.is_obj, "object_key inside an array");
+        if !self.seen_keys.insert((top.id, sym)) {
+            return false;
+        }
+        self.pending_key = sym;
+        true
+    }
+
+    /// Closes the innermost object: symbol-sorts its entries and retires
+    /// them to the closed buffer.
+    pub(crate) fn end_object(&mut self) {
+        let f = self.open.pop().expect("end_object without begin_object");
+        debug_assert!(f.is_obj);
+        let start = f.scratch_start as usize;
+        self.scratch[start..].sort_unstable_by_key(|(s, _)| *s);
+        self.closed_span[f.id as usize] = (
+            self.closed.len() as u32,
+            (self.scratch.len() - start) as u32,
+        );
+        self.closed.extend_from_slice(&self.scratch[start..]);
+        self.scratch.truncate(start);
+    }
+
+    /// Opens an array value.
+    pub(crate) fn begin_array(&mut self) {
+        let id = self.new_node(NodeKind::Arr, 0);
+        self.open.push(OpenFrame {
+            id,
+            scratch_start: self.scratch.len() as u32,
+            is_obj: false,
+        });
+    }
+
+    /// Closes the innermost array (entries keep positional order).
+    pub(crate) fn end_array(&mut self) {
+        let f = self.open.pop().expect("end_array without begin_array");
+        debug_assert!(!f.is_obj);
+        let start = f.scratch_start as usize;
+        self.closed_span[f.id as usize] = (
+            self.closed.len() as u32,
+            (self.scratch.len() - start) as u32,
+        );
+        self.closed.extend_from_slice(&self.scratch[start..]);
+        self.scratch.truncate(start);
+    }
+
+    /// Recovers the interner from an abandoned builder (the shared-interner
+    /// entry point restores its caller's table on parse errors).
+    pub(crate) fn into_interner(self) -> Interner {
+        self.interner
+    }
+
+    /// Flattens into the final CSR arrays and computes the height/size
+    /// measures (one descending pass: children before parents).
+    pub(crate) fn finish(self) -> JsonTree {
+        debug_assert!(self.open.is_empty(), "finish with open containers");
+        debug_assert!(!self.kinds.is_empty(), "finish without a root value");
+        let n = self.kinds.len();
+        let total = self.closed.len();
         let mut child_start = Vec::with_capacity(n + 1);
-        let mut children = Vec::with_capacity(total_children);
-        let mut keys = Vec::with_capacity(total_children);
-        for (i, body) in bodies.into_iter().enumerate() {
+        let mut children = Vec::with_capacity(total);
+        let mut keys = Vec::with_capacity(total);
+        let mut slots = vec![0u32; n];
+        for i in 0..n {
             child_start.push(children.len() as u32);
-            match body {
-                TmpBody::Int(v) => {
-                    kinds.push(NodeKind::Int);
-                    payload[i] = v;
-                }
-                TmpBody::Str(sym) => {
-                    kinds.push(NodeKind::Str);
-                    payload[i] = sym.index() as u64;
-                }
-                TmpBody::Arr(cs) => {
-                    kinds.push(NodeKind::Arr);
-                    for c in cs {
-                        children.push(c);
-                        keys.push(NO_KEY);
-                    }
-                }
-                TmpBody::Obj(cs) => {
-                    kinds.push(NodeKind::Obj);
-                    for (k, c) in cs {
-                        children.push(c);
-                        keys.push(k);
-                    }
-                }
+            let (off, len) = self.closed_span[i];
+            let span = &self.closed[off as usize..(off + len) as usize];
+            for (slot, &(k, c)) in span.iter().enumerate() {
+                children.push(NodeId(c));
+                keys.push(k);
+                slots[c as usize] = slot as u32;
             }
         }
         child_start.push(children.len() as u32);
@@ -250,17 +332,111 @@ impl JsonTree {
             size[i] = s;
         }
         JsonTree {
-            kinds,
-            parents,
+            kinds: self.kinds,
+            parents: self.parents,
             slots,
             child_start,
             children,
             keys,
-            payload,
+            payload: self.payload,
             height,
             size,
-            interner,
+            interner: self.interner,
         }
+    }
+}
+
+impl JsonTree {
+    /// Builds the tree representation of a JSON document, interning every
+    /// object key and string leaf into the tree's symbol table.
+    ///
+    /// Construction replays the document in document order through the same
+    /// [`TreeBuilder`] event core the fused parser drives, so
+    /// `JsonTree::build(&parse(s)?)` and `parse_to_tree(s)` produce
+    /// [`JsonTree::identical`] trees.
+    pub fn build(doc: &Json) -> JsonTree {
+        let mut b = TreeBuilder::new(Interner::new());
+        Self::feed(&mut b, doc);
+        b.finish()
+    }
+
+    /// [`JsonTree::build`] interning into a caller-owned table — the batch
+    /// loading form: documents built through one interner assign the same
+    /// [`Sym`] to the same string, so symbols are comparable across their
+    /// trees. The returned tree carries a snapshot clone of the interner
+    /// (cost `O(symbols)`); `interner` keeps accumulating for the next
+    /// document.
+    pub fn build_into(doc: &Json, interner: &mut Interner) -> JsonTree {
+        let mut b = TreeBuilder::new(std::mem::take(interner));
+        Self::feed(&mut b, doc);
+        let tree = b.finish();
+        *interner = tree.interner.clone();
+        tree
+    }
+
+    /// Replays `doc` into the builder as a document-order event stream.
+    fn feed(b: &mut TreeBuilder, doc: &Json) {
+        enum Ev<'a> {
+            Val(&'a Json),
+            Member(&'a str, &'a Json),
+            EndObj,
+            EndArr,
+        }
+        let mut stack: Vec<Ev<'_>> = vec![Ev::Val(doc)];
+        while let Some(ev) = stack.pop() {
+            let v = match ev {
+                Ev::EndObj => {
+                    b.end_object();
+                    continue;
+                }
+                Ev::EndArr => {
+                    b.end_array();
+                    continue;
+                }
+                Ev::Member(k, v) => {
+                    let fresh = b.object_key(k);
+                    debug_assert!(fresh, "Json object keys are pairwise distinct");
+                    v
+                }
+                Ev::Val(v) => v,
+            };
+            match v {
+                Json::Num(n) => b.num(*n),
+                Json::Str(s) => b.str_atom(s),
+                Json::Array(items) => {
+                    b.begin_array();
+                    stack.push(Ev::EndArr);
+                    for item in items.iter().rev() {
+                        stack.push(Ev::Val(item));
+                    }
+                }
+                Json::Object(o) => {
+                    b.begin_object();
+                    stack.push(Ev::EndObj);
+                    for (k, v) in o.pairs().iter().rev() {
+                        stack.push(Ev::Member(k, v));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Structural identity of the arena representation: same node ids, CSR
+    /// layout, payloads **and symbol table**. This is strictly finer than
+    /// JSON value equality — two trees of unordered-equal documents parsed
+    /// from differently-ordered texts intern in different orders and are
+    /// *not* identical, while `to_json()` equality still holds. The
+    /// parse-fusion differential suite asserts identity between the fused
+    /// and two-pass constructions of one text.
+    pub fn identical(&self, other: &JsonTree) -> bool {
+        self.kinds == other.kinds
+            && self.parents == other.parents
+            && self.slots == other.slots
+            && self.child_start == other.child_start
+            && self.children == other.children
+            && self.keys == other.keys
+            && self.payload == other.payload
+            && self.interner == other.interner
     }
 
     /// The root node (always id 0).

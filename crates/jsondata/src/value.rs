@@ -88,8 +88,11 @@ impl ObjectRepr {
         self.pairs.iter().map(|(k, v)| (k.as_str(), v))
     }
 
-    /// `(key, value)` pairs in key order (reuses the sorted index).
-    fn sorted_refs(&self) -> impl Iterator<Item = (&str, &Json)> {
+    /// Iterates `(key, value)` pairs in **key order** (reuses the sorted
+    /// index) — the canonical order [`Json::total_cmp`] compares objects in,
+    /// exposed so tree-backed evaluators can mirror that comparison without
+    /// materialising a [`Json`].
+    pub fn iter_sorted(&self) -> impl Iterator<Item = (&str, &Json)> {
         self.by_key.iter().map(|&i| {
             let (k, v) = &self.pairs[i as usize];
             (k.as_str(), v)
@@ -253,7 +256,7 @@ impl Json {
                 a.len().cmp(&b.len())
             }
             (Json::Object(a), Json::Object(b)) => {
-                for ((ka, va), (kb, vb)) in a.sorted_refs().zip(b.sorted_refs()) {
+                for ((ka, va), (kb, vb)) in a.iter_sorted().zip(b.iter_sorted()) {
                     let c = ka.cmp(kb);
                     if c != Ordering::Equal {
                         return c;
@@ -338,7 +341,7 @@ impl Hash for Json {
                 3u8.hash(state);
                 o.len().hash(state);
                 // Order-independent: hash sorted pairs.
-                for (k, v) in o.sorted_refs() {
+                for (k, v) in o.iter_sorted() {
                     k.hash(state);
                     v.hash(state);
                 }

@@ -34,10 +34,11 @@
 //! assert_eq!(hits[0].get("age"), Some(&jsondata::Json::Num(28)));
 //! ```
 
+use std::cmp::Ordering;
 use std::fmt;
 
 use jnl::ast::{Binary, Unary};
-use jsondata::{Json, JsonTree};
+use jsondata::{Json, JsonTree, NodeId, NodeKind};
 
 /// A comparison operator of the dialect.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -327,6 +328,56 @@ impl Filter {
             }),
         }
     }
+
+    /// [`Filter::matches`] evaluated directly on a [`JsonTree`] — the
+    /// tree-backed twin used by [`Collection`], so documents loaded through
+    /// the fused parser (`jsondata::parse_to_tree`) are queried without ever
+    /// re-materialising a [`Json`]. Semantics agree with `matches` on
+    /// `tree.to_json()` exactly (differentially tested).
+    pub fn matches_tree(&self, tree: &JsonTree) -> bool {
+        self.matches_at(tree, tree.root())
+    }
+
+    /// [`Filter::matches_tree`] anchored at an arbitrary node — `doc` plays
+    /// the document root, which is how [`Collection`] evaluates one filter
+    /// over every element of a single whole-collection tree.
+    pub fn matches_at(&self, tree: &JsonTree, doc: NodeId) -> bool {
+        match self {
+            Filter::And(fs) => fs.iter().all(|f| f.matches_at(tree, doc)),
+            Filter::Or(fs) => fs.iter().any(|f| f.matches_at(tree, doc)),
+            Filter::Not(f) => !f.matches_at(tree, doc),
+            Filter::Compare(p, cmp, v) => match resolve_node(tree, doc, p) {
+                Some(n) => {
+                    let ord = cmp_node_json(tree, n, v);
+                    match cmp {
+                        Cmp::Eq => ord.is_eq(),
+                        Cmp::Ne => !ord.is_eq(),
+                        Cmp::Gt => ord.is_gt(),
+                        Cmp::Gte => ord.is_ge(),
+                        Cmp::Lt => ord.is_lt(),
+                        Cmp::Lte => ord.is_le(),
+                    }
+                }
+                None => false,
+            },
+            Filter::In(p, items, pos) => match resolve_node(tree, doc, p) {
+                Some(n) => items.iter().any(|v| cmp_node_json(tree, n, v).is_eq()) == *pos,
+                None => false,
+            },
+            Filter::Exists(p, flag) => resolve_node(tree, doc, p).is_some() == *flag,
+            Filter::Size(p, n) => resolve_node(tree, doc, p)
+                .is_some_and(|m| tree.kind(m) == NodeKind::Arr && tree.child_count(m) as u64 == *n),
+            Filter::Type(p, ty) => resolve_node(tree, doc, p).is_some_and(|m| {
+                matches!(
+                    (*ty, tree.kind(m)),
+                    ("string", NodeKind::Str)
+                        | ("number", NodeKind::Int)
+                        | ("object", NodeKind::Obj)
+                        | ("array", NodeKind::Arr)
+                )
+            }),
+        }
+    }
 }
 
 fn resolve<'a>(doc: &'a Json, path: &Path) -> Option<&'a Json> {
@@ -339,6 +390,74 @@ fn resolve<'a>(doc: &'a Json, path: &Path) -> Option<&'a Json> {
         };
     }
     Some(cur)
+}
+
+/// [`resolve`] on a tree: numeric segments index array nodes, every segment
+/// is a key lookup on object nodes (an `O(1)` interner probe + `u32` binary
+/// search — no string is ever cloned).
+fn resolve_node(tree: &JsonTree, doc: NodeId, path: &Path) -> Option<NodeId> {
+    let mut cur = doc;
+    for seg in &path.0 {
+        cur = match (tree.kind(cur), seg.parse::<usize>()) {
+            (NodeKind::Arr, Ok(i)) => tree.child_by_index(cur, i)?,
+            (NodeKind::Obj, _) => tree.child_by_key(cur, seg)?,
+            _ => return None,
+        };
+    }
+    Some(cur)
+}
+
+/// [`Json::total_cmp`] between a tree node's subtree and an external value,
+/// without materialising the subtree. Mirrors the value-side order exactly:
+/// numbers < strings < arrays < objects; arrays element-wise; objects as
+/// sorted key→value maps (the tree side sorts its keys *by string* here —
+/// symbol order is interning order, not lexicographic).
+fn cmp_node_json(tree: &JsonTree, n: NodeId, v: &Json) -> Ordering {
+    fn rank_kind(k: NodeKind) -> u8 {
+        match k {
+            NodeKind::Int => 0,
+            NodeKind::Str => 1,
+            NodeKind::Arr => 2,
+            NodeKind::Obj => 3,
+        }
+    }
+    fn rank_json(v: &Json) -> u8 {
+        match v {
+            Json::Num(_) => 0,
+            Json::Str(_) => 1,
+            Json::Array(_) => 2,
+            Json::Object(_) => 3,
+        }
+    }
+    match (tree.kind(n), v) {
+        (NodeKind::Int, Json::Num(b)) => tree.num_value(n).expect("Int payload").cmp(b),
+        (NodeKind::Str, Json::Str(b)) => tree.str_value(n).expect("Str payload").cmp(b.as_str()),
+        (NodeKind::Arr, Json::Array(b)) => {
+            for (&c, y) in tree.arr_children(n).iter().zip(b.iter()) {
+                let ord = cmp_node_json(tree, c, y);
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            tree.child_count(n).cmp(&b.len())
+        }
+        (NodeKind::Obj, Json::Object(b)) => {
+            let mut entries: Vec<(&str, NodeId)> = tree.obj_children(n).collect();
+            entries.sort_unstable_by(|x, y| x.0.cmp(y.0));
+            for ((ka, ca), (kb, vb)) in entries.iter().zip(b.iter_sorted()) {
+                let ord = ka.cmp(&kb);
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+                let ord = cmp_node_json(tree, *ca, vb);
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            entries.len().cmp(&b.len())
+        }
+        (k, v) => rank_kind(k).cmp(&rank_json(v)),
+    }
 }
 
 /// A projection: the second argument of `find` (§6 future work, basic
@@ -405,19 +524,53 @@ fn insert_path(pairs: &mut Vec<(String, Json)>, path: &[String], value: Json) {
     pairs.push((head.clone(), Json::object(inner).expect("distinct")));
 }
 
-/// A queryable collection of documents.
+/// A queryable collection of documents, backed by a **persistent tree
+/// column**: the whole collection array is kept as one [`JsonTree`] (one
+/// shared symbol table for every document), and each `find` evaluates the
+/// filter on that tree directly — no per-query parsing, tree building, or
+/// value traversal. The owned [`Json`] documents are materialised once at
+/// construction, purely to serve the value-returning public API.
 pub struct Collection {
     docs: Vec<Json>,
+    tree: JsonTree,
+    /// The root's array children: `doc_nodes[i]` is document `i`'s subtree.
+    doc_nodes: Vec<NodeId>,
 }
 
 impl Collection {
     /// Builds from a JSON array document.
     pub fn from_array(doc: &Json) -> Result<Collection, FilterError> {
         match doc.as_array() {
-            Some(items) => Ok(Collection {
-                docs: items.to_vec(),
-            }),
+            Some(items) => Ok(Collection::with_tree(items.to_vec(), JsonTree::build(doc))),
             None => Err(FilterError("collection must be a JSON array".into())),
+        }
+    }
+
+    /// Builds from collection text through the **fused parser**: the array
+    /// is lexed, interned and flattened into the tree column in one pass —
+    /// no intermediate value tree is ever built for querying (the owned
+    /// docs backing the `&Json`-returning API are reconstructed per
+    /// document from the tree, once).
+    pub fn parse_str(src: &str) -> Result<Collection, FilterError> {
+        let tree = jsondata::parse_to_tree(src).map_err(|e| FilterError(e.to_string()))?;
+        if tree.kind(tree.root()) != NodeKind::Arr {
+            return Err(FilterError("collection must be a JSON array".into()));
+        }
+        let docs = tree
+            .arr_children(tree.root())
+            .iter()
+            .map(|&n| tree.json_at(n))
+            .collect();
+        Ok(Collection::with_tree(docs, tree))
+    }
+
+    fn with_tree(docs: Vec<Json>, tree: JsonTree) -> Collection {
+        let doc_nodes = tree.arr_children(tree.root()).to_vec();
+        debug_assert_eq!(docs.len(), doc_nodes.len());
+        Collection {
+            docs,
+            tree,
+            doc_nodes,
         }
     }
 
@@ -426,9 +579,20 @@ impl Collection {
         &self.docs
     }
 
-    /// `db.collection.find(filter)`: documents matching the filter.
+    /// The collection's tree column (one tree, one interner, all documents).
+    pub fn tree(&self) -> &JsonTree {
+        &self.tree
+    }
+
+    /// `db.collection.find(filter)`: documents matching the filter,
+    /// evaluated on the tree column via [`Filter::matches_at`].
     pub fn find(&self, filter: &Filter) -> Vec<&Json> {
-        self.docs.iter().filter(|d| filter.matches(d)).collect()
+        self.doc_nodes
+            .iter()
+            .zip(&self.docs)
+            .filter(|&(&n, _)| filter.matches_at(&self.tree, n))
+            .map(|(_, d)| d)
+            .collect()
     }
 
     /// `find(filter, projection)`.
@@ -440,15 +604,18 @@ impl Collection {
     }
 
     /// Evaluates the filter by compiling to JNL and running the Prop 1
-    /// engine per document (the differential path used in tests/benches).
+    /// engine (the differential path used in tests/benches). One evaluation
+    /// over the whole collection tree answers every document at once — JNL
+    /// navigation is downward-only, so a formula's truth at a document node
+    /// equals its truth at the root of that document parsed standalone.
     pub fn find_via_jnl(&self, filter: &Filter) -> Vec<&Json> {
         let phi = filter.to_jnl();
-        self.docs
+        let sat = jnl::eval::evaluate(&self.tree, &phi);
+        self.doc_nodes
             .iter()
-            .filter(|d| {
-                let tree = JsonTree::build(d);
-                jnl::eval::check_root(&tree, &phi)
-            })
+            .zip(&self.docs)
+            .filter(|&(&n, _)| sat[n.index()])
+            .map(|(_, d)| d)
             .collect()
     }
 }
@@ -625,6 +792,105 @@ mod tests {
         assert!(Filter::parse_str(r#"{"a": {"$size": "x"}}"#).is_err());
         assert!(Filter::parse_str("[1]").is_err());
         assert!(Projection::parse_str(r#"{"a": 0}"#).is_err());
+    }
+
+    /// The filter corpus used by the tree/value equivalence sweeps: every
+    /// operator, nested paths, numeric segments, compound booleans, and
+    /// whole-subtree (object/array) comparison constants.
+    fn filter_corpus() -> Vec<Filter> {
+        [
+            r#"{"name.first": {"$eq": "Sue"}}"#,
+            r#"{"name": {"first": "Ana"}}"#,
+            r#"{"name": {"$eq": {"last": "Kim", "first": "Sue"}}}"#,
+            r#"{"hobbies": ["yoga", "chess"]}"#,
+            r#"{"hobbies.0": "fishing"}"#,
+            r#"{"hobbies.2": {"$exists": "true"}}"#,
+            r#"{"age": {"$gt": 28}}"#,
+            r#"{"age": {"$gte": 28, "$lte": 32}}"#,
+            r#"{"age": {"$lt": 30}}"#,
+            r#"{"age": {"$ne": 32}}"#,
+            r#"{"age": {"$in": [28, 45]}}"#,
+            r#"{"age": {"$nin": [28, 45]}}"#,
+            r#"{"name.last": {"$exists": "true"}}"#,
+            r#"{"name.last": {"$exists": "false"}}"#,
+            r#"{"hobbies": {"$size": 0}}"#,
+            r#"{"hobbies": {"$size": 2}}"#,
+            r#"{"hobbies": {"$type": "array"}}"#,
+            r#"{"age": {"$type": "string"}}"#,
+            r#"{"name": {"$type": "object"}}"#,
+            r#"{"$or": [{"age": 28}, {"name.first": {"$eq": "Ana"}}]}"#,
+            r#"{"$and": [{"age": {"$gt": 20}}, {"hobbies": {"$size": 1}}]}"#,
+            r#"{"$not": {"age": {"$gte": 30}}}"#,
+            r#"{"age": {"$not": {"$lt": 30}}}"#,
+            r#"{"salary": {"$gt": 0}}"#,
+            r#"{"name": {"$gt": {"first": "Bob"}}}"#,
+            r#"{"hobbies": {"$lte": ["zzz"]}}"#,
+        ]
+        .iter()
+        .map(|src| Filter::parse_str(src).expect("corpus filter parses"))
+        .collect()
+    }
+
+    #[test]
+    fn matches_tree_agrees_with_matches_on_the_corpus() {
+        // Per-document equivalence: the tree-backed evaluation must decide
+        // exactly like the value-backed one on every (filter, doc) pair.
+        let coll = people();
+        for f in filter_corpus() {
+            for d in coll.docs() {
+                let tree = JsonTree::build(d);
+                assert_eq!(f.matches(d), f.matches_tree(&tree), "filter {f:?} on {d}");
+            }
+            // And collection-level: find (tree column) == value filtering.
+            let via_tree: Vec<&Json> = coll.find(&f);
+            let via_value: Vec<&Json> = coll.docs().iter().filter(|d| f.matches(d)).collect();
+            assert_eq!(via_tree, via_value, "filter {f:?}");
+        }
+    }
+
+    #[test]
+    fn matches_tree_agrees_on_random_documents() {
+        // Random-document sweep, including docs whose shapes the filters'
+        // paths only partially fit (missing keys, type mismatches, numeric
+        // segments over objects).
+        let filters = filter_corpus();
+        for seed in 0..80u64 {
+            let doc = jsondata::gen::random_json(&jsondata::gen::GenConfig::sized(seed, 60));
+            let tree = JsonTree::build(&doc);
+            for f in &filters {
+                assert_eq!(
+                    f.matches(&doc),
+                    f.matches_tree(&tree),
+                    "seed {seed}, filter {f:?} on {doc}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parse_str_collection_equals_from_array() {
+        // The fused constructor and the value constructor must answer every
+        // query identically (and expose equal documents).
+        let src = r#"[
+            {"name": {"first": "Sue", "last": "Kim"}, "age": 28, "hobbies": ["yoga", "chess"]},
+            {"name": {"first": "John", "last": "Doe"}, "age": 32, "hobbies": ["fishing"]},
+            {"name": {"first": "Ana"}, "age": 45, "hobbies": []}
+        ]"#;
+        let fused = Collection::parse_str(src).unwrap();
+        let two_pass = Collection::from_array(&parse(src).unwrap()).unwrap();
+        assert_eq!(fused.docs(), two_pass.docs());
+        assert!(fused.tree().identical(two_pass.tree()));
+        for f in filter_corpus() {
+            assert_eq!(fused.find(&f), two_pass.find(&f), "filter {f:?}");
+            assert_eq!(
+                fused.find_via_jnl(&f),
+                two_pass.find_via_jnl(&f),
+                "filter {f:?}"
+            );
+        }
+        // Non-array text is rejected like non-array values.
+        assert!(Collection::parse_str(r#"{"not": "an array"}"#).is_err());
+        assert!(Collection::parse_str("[1, 2").is_err());
     }
 
     #[test]
