@@ -198,6 +198,62 @@ pub fn s4_workloads() -> Vec<(&'static str, String)> {
     ]
 }
 
+/// S5: the aggregation workload collection — 20k person records serialized,
+/// loaded through the fused parser into one tree column.
+pub fn s5_collection_text() -> String {
+    jsondata::serialize::to_string(&gen::person_records(20_000, 7))
+}
+
+/// S5: the benchmark pipelines (label, pipeline JSON). Together they cover
+/// every stage class: selection, unnest, grouping with five accumulators,
+/// projection, sorting and pagination.
+pub fn s5_pipelines() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "match_unwind_group_sort",
+            r#"[
+                {"$match": {"age": {"$gte": 30}}},
+                {"$unwind": "$hobbies"},
+                {"$group": {"_id": "$hobbies",
+                            "n": {"$count": {}},
+                            "total_age": {"$sum": "$age"},
+                            "avg_age": {"$avg": "$age"},
+                            "min_age": {"$min": "$age"},
+                            "max_age": {"$max": "$age"}}},
+                {"$sort": {"n": 0, "_id": 1}}
+            ]"#,
+        ),
+        (
+            // The leading $match is deliberately OUTSIDE the exact JNL
+            // fragment ($in alongside an order comparison), so this
+            // pipeline exercises the per-document `matches_at` path.
+            "match_project_sort_paginate",
+            r#"[
+                {"$match": {"name.first": {"$in": ["Sue", "Omar", "Ivy"]}, "age": {"$lte": 89}}},
+                {"$project": {"name.first": 1, "age": 1, "nh": "$hobbies"}},
+                {"$sort": {"age": 0, "name.first": 1}},
+                {"$skip": 100},
+                {"$limit": 50}
+            ]"#,
+        ),
+        (
+            // The leading $match IS in the exact fragment: the executor
+            // answers it with one whole-tree JNL evaluation per segment
+            // (Filter::jnl_exact fast path) before the group stage.
+            "jnl_match_group_compound_id",
+            r#"[
+                {"$match": {"name.last": {"$in": ["Doe", "Smith", "Lopez", "Chen", "Haddad", "Kim"]}}},
+                {"$group": {"_id": {"f": "$name.first", "l": "$name.last"},
+                            "n": {"$count": {}},
+                            "ages": {"$push": "$age"},
+                            "youngest": {"$min": "$age"}}},
+                {"$sort": {"n": 0, "_id": 1}},
+                {"$limit": 10}
+            ]"#,
+        ),
+    ]
+}
+
 /// E9: the even-depth recursive JSL expression of the paper's Example 2.
 pub fn e9_even_depth() -> jsl::RecursiveJsl {
     jsl::RecursiveJsl {

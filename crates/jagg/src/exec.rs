@@ -1,0 +1,773 @@
+//! The tree-backed pipeline executor.
+//!
+//! ## Row representation
+//!
+//! A pipeline row is **not** an owned document. It is a cursor into the
+//! collection's persistent tree column plus overlay bindings:
+//!
+//! * [`Base::Node`] — a `(segment, node)` cursor ([`DocRef`]) into the
+//!   collection's CSR trees. This is every row at pipeline entry, and stays
+//!   the representation through `$match`, `$unwind`, `$sort`, `$skip`,
+//!   `$limit`.
+//! * Overlay bindings `path ↦ (segment, node)` record `$unwind`
+//!   substitutions without copying the document: the row *means* "the base
+//!   subtree with the value at `path` replaced by the bound subtree".
+//!   Bindings are applied in list order (a later binding resolves through —
+//!   and therefore nests inside or shadows — earlier ones).
+//! * [`Base::Owned`] — an owned [`Json`], produced only at a `$group` or
+//!   `$project` boundary, which must synthesize values that exist in no
+//!   tree.
+//!
+//! Documents are materialised to [`Json`] exactly once, at pipeline output
+//! — or earlier only where a stage genuinely observes a synthesized value
+//! (a `$group` key, a projected field, a sort key, an accumulator
+//! observation, or the rare merged view of a subtree that contains a
+//! binding).
+//!
+//! ## Fast paths
+//!
+//! * A leading `$match` whose filter is in the exactly-compilable JNL
+//!   fragment ([`Filter::jnl_exact`]) is answered by **one** whole-tree JNL
+//!   evaluation per segment (the Proposition 1 engine), not a per-document
+//!   walk; outside the fragment it runs [`Filter::matches_at`] per
+//!   document — no materialisation either way.
+//! * `$group` keys that resolve to tree nodes are hashed by their
+//!   [`CanonTable`] class (built once per segment, lazily): two key nodes
+//!   with equal subtrees share a class, so the common case never
+//!   materialises or hashes a key value at all. Classes from different
+//!   segments — and synthesized keys — unify through one [`Json`]-keyed
+//!   table that each class materialises into at most once.
+
+use std::cmp::Ordering;
+
+use jsondata::fxhash::FxHashMap;
+use jsondata::{CanonTable, Json, JsonTree, NodeKind};
+use mongofind::{
+    cmp_node_json, insert_path, json_kind, resolve_node_step, type_matches_kind, Collection,
+    DocRef, Filter, Path,
+};
+
+use crate::pipeline::{
+    Accumulator, GroupSpec, IdExpr, Pipeline, ProjectField, SortOrder, Stage, ValueExpr,
+};
+
+/// Runs an aggregation pipeline over a collection's tree column, returning
+/// the output documents. Agrees exactly with
+/// [`crate::reference::aggregate`] over [`Collection::docs`] (differentially
+/// tested and CI-gated).
+pub fn aggregate(coll: &Collection, pipeline: &Pipeline) -> Vec<Json> {
+    Engine::new(coll).run(&pipeline.stages)
+}
+
+/// The base value of a row.
+#[derive(Clone)]
+enum Base {
+    /// A cursor into the collection's tree column.
+    Node(DocRef),
+    /// An owned document synthesized by `$group`/`$project`.
+    Owned(Json),
+}
+
+/// One pipeline row: a base document plus `$unwind` overlay bindings
+/// (only ever non-empty on [`Base::Node`] rows — owned documents are
+/// rebound in place).
+#[derive(Clone)]
+struct Row {
+    base: Base,
+    binds: Vec<(Path, DocRef)>,
+}
+
+impl Row {
+    fn node(d: DocRef) -> Row {
+        Row {
+            base: Base::Node(d),
+            binds: Vec::new(),
+        }
+    }
+
+    fn owned(j: Json) -> Row {
+        Row {
+            base: Base::Owned(j),
+            binds: Vec::new(),
+        }
+    }
+}
+
+/// The value a path resolves to on a row.
+enum Resolved<'a> {
+    /// A pure tree subtree (no binding beneath it).
+    Node(DocRef),
+    /// A borrowed owned value (row base is [`Base::Owned`]).
+    Owned(&'a Json),
+    /// A synthesized merged view: the subtree contained overlay bindings.
+    Merged(Json),
+}
+
+struct Engine<'c> {
+    coll: &'c Collection,
+    /// Lazily built canonical-label tables, one slot per segment (the
+    /// `$group` key fast path).
+    canon: Vec<Option<CanonTable>>,
+}
+
+impl<'c> Engine<'c> {
+    fn new(coll: &'c Collection) -> Engine<'c> {
+        Engine {
+            coll,
+            canon: (0..coll.segments().len()).map(|_| None).collect(),
+        }
+    }
+
+    fn tree(&self, seg: u32) -> &'c JsonTree {
+        &self.coll.segments()[seg as usize]
+    }
+
+    fn json_of(&self, d: DocRef) -> Json {
+        self.tree(d.seg).json_at(d.node)
+    }
+
+    fn canon(&mut self, seg: u32) -> &CanonTable {
+        let slot = &mut self.canon[seg as usize];
+        if slot.is_none() {
+            *slot = Some(CanonTable::build(&self.coll.segments()[seg as usize]));
+        }
+        slot.as_ref().expect("just built")
+    }
+
+    fn run(&mut self, stages: &[Stage]) -> Vec<Json> {
+        let mut rows: Vec<Row>;
+        let rest = match stages.first() {
+            // Leading-$match fast path: the filter runs over the tree
+            // column before any row struct is even built.
+            Some(Stage::Match(f)) => {
+                rows = self.leading_match(f);
+                &stages[1..]
+            }
+            _ => {
+                rows = self
+                    .coll
+                    .doc_refs()
+                    .iter()
+                    .copied()
+                    .map(Row::node)
+                    .collect();
+                stages
+            }
+        };
+        for stage in rest {
+            rows = self.step(rows, stage);
+        }
+        rows.into_iter().map(|r| self.materialize(r)).collect()
+    }
+
+    /// The first `$match` of a pipeline, straight off the collection:
+    /// one whole-tree JNL evaluation per segment when the filter compiles
+    /// exactly (Proposition 1 answers every document of a segment at
+    /// once), [`Filter::matches_at`] per document otherwise.
+    fn leading_match(&self, f: &Filter) -> Vec<Row> {
+        let refs = if f.jnl_exact() {
+            self.coll.find_refs_via_jnl(f)
+        } else {
+            self.coll.find_refs(f)
+        };
+        refs.into_iter().map(Row::node).collect()
+    }
+
+    fn step(&mut self, mut rows: Vec<Row>, stage: &Stage) -> Vec<Row> {
+        match stage {
+            Stage::Match(f) => {
+                rows.retain(|r| self.row_matches(r, f));
+                rows
+            }
+            Stage::Project(spec) => rows
+                .into_iter()
+                .map(|r| {
+                    let projected = self.project(&r, spec);
+                    Row::owned(projected)
+                })
+                .collect(),
+            Stage::Unwind(path) => self.unwind(rows, path),
+            Stage::Group(spec) => self.group(rows, spec),
+            Stage::Sort(spec) => self.sort(rows, spec),
+            Stage::Skip(n) => {
+                let n = clamp_len(*n).min(rows.len());
+                rows.drain(..n);
+                rows
+            }
+            Stage::Limit(n) => {
+                rows.truncate(clamp_len(*n));
+                rows
+            }
+            Stage::Count(label) => {
+                // MongoDB emits no document at all for an empty input.
+                if rows.is_empty() {
+                    Vec::new()
+                } else {
+                    let doc = Json::object(vec![(label.clone(), Json::Num(rows.len() as u64))])
+                        .expect("single key");
+                    vec![Row::owned(doc)]
+                }
+            }
+        }
+    }
+
+    // ---- path resolution over rows ----------------------------------
+
+    /// Resolves a dotted path on a row, honouring overlay bindings. At each
+    /// step, a binding whose (remaining) path is empty substitutes the
+    /// current cursor — the **last** such binding wins, and bindings
+    /// recorded before it are stale (they addressed the subtree it
+    /// replaced; the executor only ever appends a binding at or below the
+    /// resolution frontier of earlier ones, so this drop is exact). If
+    /// bindings survive below the final cursor, the subtree is synthesized
+    /// as a merged view.
+    fn resolve<'r>(&self, row: &'r Row, path: &Path) -> Option<Resolved<'r>> {
+        match &row.base {
+            Base::Owned(j) => path.resolve(j).map(Resolved::Owned),
+            Base::Node(d) => {
+                let mut cur = *d;
+                let mut active: Vec<(&[String], DocRef)> = row
+                    .binds
+                    .iter()
+                    .map(|(p, v)| (p.0.as_slice(), *v))
+                    .collect();
+                for seg in &path.0 {
+                    substitute(&mut cur, &mut active);
+                    let t = self.tree(cur.seg);
+                    cur = DocRef {
+                        seg: cur.seg,
+                        node: resolve_node_step(t, cur.node, seg)?,
+                    };
+                    active = active
+                        .into_iter()
+                        .filter_map(|(p, v)| {
+                            p.split_first()
+                                .and_then(|(head, rest)| (head == seg).then_some((rest, v)))
+                        })
+                        .collect();
+                }
+                substitute(&mut cur, &mut active);
+                if active.is_empty() {
+                    Some(Resolved::Node(cur))
+                } else {
+                    Some(Resolved::Merged(self.merge(cur, &active)))
+                }
+            }
+        }
+    }
+
+    /// Materialises `cur` with the surviving bindings written in, in order.
+    fn merge(&self, cur: DocRef, binds: &[(&[String], DocRef)]) -> Json {
+        let mut j = self.json_of(cur);
+        for (p, v) in binds {
+            set_at(&mut j, p, self.json_of(*v));
+        }
+        j
+    }
+
+    /// Materialises a whole row (pipeline output, or an owned rebase).
+    fn materialize(&self, row: Row) -> Json {
+        match row.base {
+            Base::Owned(j) => j,
+            Base::Node(d) => {
+                let mut j = self.json_of(d);
+                for (p, v) in &row.binds {
+                    set_at(&mut j, &p.0, self.json_of(*v));
+                }
+                j
+            }
+        }
+    }
+
+    fn materialize_resolved(&self, r: Resolved<'_>) -> Json {
+        match r {
+            Resolved::Node(d) => self.json_of(d),
+            Resolved::Owned(j) => j.clone(),
+            Resolved::Merged(j) => j,
+        }
+    }
+
+    /// Evaluates a value expression on a row, materialising the result
+    /// (accumulator observations, compound `_id` fields, projected values).
+    fn eval_expr(&self, row: &Row, e: &ValueExpr) -> Option<Json> {
+        match e {
+            ValueExpr::Const(c) => Some(c.clone()),
+            ValueExpr::Field(p) => self.resolve(row, p).map(|r| self.materialize_resolved(r)),
+        }
+    }
+
+    /// Evaluates a value expression as a number (`$sum`/`$avg`
+    /// observations) without materialising non-numeric values.
+    fn eval_num(&self, row: &Row, e: &ValueExpr) -> Option<u64> {
+        match e {
+            ValueExpr::Const(c) => c.as_num(),
+            ValueExpr::Field(p) => match self.resolve(row, p)? {
+                Resolved::Node(d) => self.tree(d.seg).num_value(d.node),
+                Resolved::Owned(j) => j.as_num(),
+                Resolved::Merged(j) => j.as_num(),
+            },
+        }
+    }
+
+    // ---- $match ------------------------------------------------------
+
+    fn row_matches(&self, row: &Row, f: &Filter) -> bool {
+        match &row.base {
+            Base::Node(d) if row.binds.is_empty() => f.matches_at(self.tree(d.seg), d.node),
+            Base::Owned(j) => f.matches(j),
+            Base::Node(_) => self.matches_overlay(row, f),
+        }
+    }
+
+    /// [`Filter::matches`] semantics on a row with overlay bindings.
+    fn matches_overlay(&self, row: &Row, f: &Filter) -> bool {
+        match f {
+            Filter::And(fs) => fs.iter().all(|f| self.matches_overlay(row, f)),
+            Filter::Or(fs) => fs.iter().any(|f| self.matches_overlay(row, f)),
+            Filter::Not(f) => !self.matches_overlay(row, f),
+            Filter::Compare(p, cmp, v) => match self.resolve(row, p) {
+                Some(r) => {
+                    let ord = self.cmp_resolved(&r, v);
+                    match cmp {
+                        mongofind::Cmp::Eq => ord.is_eq(),
+                        mongofind::Cmp::Ne => !ord.is_eq(),
+                        mongofind::Cmp::Gt => ord.is_gt(),
+                        mongofind::Cmp::Gte => ord.is_ge(),
+                        mongofind::Cmp::Lt => ord.is_lt(),
+                        mongofind::Cmp::Lte => ord.is_le(),
+                    }
+                }
+                None => false,
+            },
+            Filter::In(p, items, pos) => match self.resolve(row, p) {
+                Some(r) => items.iter().any(|v| self.cmp_resolved(&r, v).is_eq()) == *pos,
+                None => false,
+            },
+            Filter::Exists(p, flag) => self.resolve(row, p).is_some() == *flag,
+            Filter::Size(p, n) => self
+                .resolve(row, p)
+                .and_then(|r| self.resolved_arr_len(&r))
+                .is_some_and(|len| len as u64 == *n),
+            Filter::Type(p, ty) => self
+                .resolve(row, p)
+                .is_some_and(|r| self.resolved_type_is(&r, ty)),
+        }
+    }
+
+    fn cmp_resolved(&self, r: &Resolved<'_>, v: &Json) -> Ordering {
+        match r {
+            Resolved::Node(d) => cmp_node_json(self.tree(d.seg), d.node, v),
+            Resolved::Owned(j) => j.total_cmp(v),
+            Resolved::Merged(j) => j.total_cmp(v),
+        }
+    }
+
+    fn resolved_arr_len(&self, r: &Resolved<'_>) -> Option<usize> {
+        match r {
+            Resolved::Node(d) => {
+                let t = self.tree(d.seg);
+                (t.kind(d.node) == NodeKind::Arr).then(|| t.child_count(d.node))
+            }
+            Resolved::Owned(j) => j.as_array().map(<[Json]>::len),
+            Resolved::Merged(j) => j.as_array().map(<[Json]>::len),
+        }
+    }
+
+    fn resolved_type_is(&self, r: &Resolved<'_>, ty: &str) -> bool {
+        let kind = match r {
+            Resolved::Node(d) => self.tree(d.seg).kind(d.node),
+            Resolved::Owned(j) => json_kind(j),
+            Resolved::Merged(j) => json_kind(j),
+        };
+        type_matches_kind(ty, kind)
+    }
+
+    // ---- $project ----------------------------------------------------
+
+    fn project(&self, row: &Row, spec: &[(Path, ProjectField)]) -> Json {
+        let mut pairs: Vec<(String, Json)> = Vec::new();
+        for (path, field) in spec {
+            let value = match field {
+                ProjectField::Include => self
+                    .resolve(row, path)
+                    .map(|r| self.materialize_resolved(r)),
+                ProjectField::Expr(e) => self.eval_expr(row, e),
+            };
+            if let Some(v) = value {
+                insert_path(&mut pairs, &path.0, v);
+            }
+        }
+        Json::object(pairs).expect("insert_path keeps keys distinct")
+    }
+
+    // ---- $unwind -----------------------------------------------------
+
+    fn unwind(&self, rows: Vec<Row>, path: &Path) -> Vec<Row> {
+        enum Plan {
+            Keep,
+            Drop,
+            /// Bind each child of this array node over the existing row.
+            BindElems(DocRef),
+            /// Rebase the materialised row once per element.
+            OwnedElems(Vec<Json>),
+        }
+        let mut out = Vec::new();
+        for row in rows {
+            let plan = match self.resolve(&row, path) {
+                None => Plan::Drop,
+                Some(Resolved::Node(d)) => {
+                    if self.tree(d.seg).kind(d.node) == NodeKind::Arr {
+                        Plan::BindElems(d)
+                    } else {
+                        // MongoDB treats a non-array value as the
+                        // single-element case: the row passes unchanged.
+                        Plan::Keep
+                    }
+                }
+                Some(Resolved::Owned(j)) => match j.as_array() {
+                    Some(items) => Plan::OwnedElems(items.to_vec()),
+                    None => Plan::Keep,
+                },
+                Some(Resolved::Merged(j)) => match j {
+                    Json::Array(items) => Plan::OwnedElems(items),
+                    _ => Plan::Keep,
+                },
+            };
+            match plan {
+                Plan::Drop => {}
+                Plan::Keep => out.push(row),
+                Plan::BindElems(arr) => {
+                    let t = self.tree(arr.seg);
+                    for &node in t.arr_children(arr.node) {
+                        let mut unwound = row.clone();
+                        unwound
+                            .binds
+                            .push((path.clone(), DocRef { seg: arr.seg, node }));
+                        out.push(unwound);
+                    }
+                }
+                Plan::OwnedElems(items) => {
+                    // The resolve borrow has ended, so the row materialises
+                    // by move — an owned base is reused, not re-cloned.
+                    let base = self.materialize(row);
+                    for elem in items {
+                        let mut doc = base.clone();
+                        set_at(&mut doc, &path.0, elem);
+                        out.push(Row::owned(doc));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    // ---- $group ------------------------------------------------------
+
+    fn group(&mut self, rows: Vec<Row>, spec: &GroupSpec) -> Vec<Row> {
+        // Group keys: canonical-class fast path for tree-node keys, one
+        // shared Json-keyed table for everything (classes materialise into
+        // it at most once, synthesized keys go straight in). `None` is the
+        // missing-key group.
+        let mut by_json: FxHashMap<Option<Json>, usize> = FxHashMap::default();
+        let mut by_class: FxHashMap<(u32, u32), usize> = FxHashMap::default();
+        let mut groups: Vec<(Option<Json>, Vec<AccState>)> = Vec::new();
+
+        for row in rows {
+            // Field keys resolve exactly once: pure nodes go through the
+            // class table, synthesized/owned/missing resolutions fall back
+            // to the Json table directly.
+            let gi = match &spec.id {
+                IdExpr::Field(p) => match self.resolve(&row, p) {
+                    Some(Resolved::Node(d)) => {
+                        let ck = (d.seg, self.canon(d.seg).class_of(d.node));
+                        match by_class.get(&ck) {
+                            Some(&gi) => gi,
+                            None => {
+                                let key = Some(self.json_of(d));
+                                let gi = Self::group_slot(&mut by_json, &mut groups, key, spec);
+                                by_class.insert(ck, gi);
+                                gi
+                            }
+                        }
+                    }
+                    resolved => {
+                        let key = resolved.map(|r| self.materialize_resolved(r));
+                        Self::group_slot(&mut by_json, &mut groups, key, spec)
+                    }
+                },
+                id => {
+                    let key = self.group_key(&row, id);
+                    Self::group_slot(&mut by_json, &mut groups, key, spec)
+                }
+            };
+            for (state, (_, acc)) in groups[gi].1.iter_mut().zip(&spec.accs) {
+                self.accumulate_into(state, acc, &row);
+            }
+        }
+
+        // Deterministic output order: missing key first, then total order.
+        groups.sort_by(|a, b| cmp_opt_json(&a.0, &b.0));
+        groups
+            .into_iter()
+            .map(|(id, states)| {
+                let mut pairs: Vec<(String, Json)> = Vec::new();
+                if let Some(idj) = id {
+                    pairs.push(("_id".into(), idj));
+                }
+                for ((name, _), state) in spec.accs.iter().zip(states) {
+                    if let Some(v) = state.finish() {
+                        pairs.push((name.clone(), v));
+                    }
+                }
+                Row::owned(Json::object(pairs).expect("parser validated distinct names"))
+            })
+            .collect()
+    }
+
+    fn group_slot(
+        by_json: &mut FxHashMap<Option<Json>, usize>,
+        groups: &mut Vec<(Option<Json>, Vec<AccState>)>,
+        key: Option<Json>,
+        spec: &GroupSpec,
+    ) -> usize {
+        if let Some(&gi) = by_json.get(&key) {
+            return gi;
+        }
+        let gi = groups.len();
+        let states = spec.accs.iter().map(|(_, a)| AccState::new(a)).collect();
+        groups.push((key.clone(), states));
+        by_json.insert(key, gi);
+        gi
+    }
+
+    /// The group key of a row (`Field` ids are resolved inline by
+    /// [`Engine::group`] so the class fast path shares the resolution).
+    fn group_key(&self, row: &Row, id: &IdExpr) -> Option<Json> {
+        match id {
+            IdExpr::Const(c) => Some(c.clone()),
+            IdExpr::Field(_) => unreachable!("Field ids are resolved inline by group()"),
+            IdExpr::Doc(fields) => {
+                let mut pairs: Vec<(String, Json)> = Vec::new();
+                for (name, e) in fields {
+                    if let Some(v) = self.eval_expr(row, e) {
+                        pairs.push((name.clone(), v));
+                    }
+                }
+                Some(Json::object(pairs).expect("parser validated distinct names"))
+            }
+        }
+    }
+
+    fn accumulate_into(&self, state: &mut AccState, acc: &Accumulator, row: &Row) {
+        match (state, acc) {
+            (AccState::Sum(total), Accumulator::Sum(e)) => {
+                if let Some(n) = self.eval_num(row, e) {
+                    *total += n as u128;
+                }
+            }
+            (AccState::Avg { sum, count }, Accumulator::Avg(e)) => {
+                if let Some(n) = self.eval_num(row, e) {
+                    *sum += n as u128;
+                    *count += 1;
+                }
+            }
+            (AccState::Min(best), Accumulator::Min(e)) => {
+                if let Some(v) = self.observe_cmp(row, e, best, Ordering::Less) {
+                    *best = Some(v);
+                }
+            }
+            (AccState::Max(best), Accumulator::Max(e)) => {
+                if let Some(v) = self.observe_cmp(row, e, best, Ordering::Greater) {
+                    *best = Some(v);
+                }
+            }
+            (AccState::Count(n), Accumulator::Count) => *n += 1,
+            (AccState::Push(items), Accumulator::Push(e)) => {
+                if let Some(v) = self.eval_expr(row, e) {
+                    items.push(v);
+                }
+            }
+            (AccState::First(slot), Accumulator::First(e)) => {
+                if slot.is_none() {
+                    *slot = self.eval_expr(row, e);
+                }
+            }
+            (AccState::Last(slot), Accumulator::Last(e)) => {
+                if let Some(v) = self.eval_expr(row, e) {
+                    *slot = Some(v);
+                }
+            }
+            _ => unreachable!("state shape fixed by AccState::new"),
+        }
+    }
+
+    /// Observes a `$min`/`$max` candidate, materialising it **only** when
+    /// it displaces the current best (tree-node candidates are compared in
+    /// place via [`cmp_node_json`]).
+    fn observe_cmp(
+        &self,
+        row: &Row,
+        e: &ValueExpr,
+        best: &Option<Json>,
+        want: Ordering,
+    ) -> Option<Json> {
+        match e {
+            ValueExpr::Const(c) => match best {
+                None => Some(c.clone()),
+                Some(b) => (c.total_cmp(b) == want).then(|| c.clone()),
+            },
+            ValueExpr::Field(p) => {
+                let r = self.resolve(row, p)?;
+                match best {
+                    None => Some(self.materialize_resolved(r)),
+                    Some(b) => {
+                        (self.cmp_resolved(&r, b) == want).then(|| self.materialize_resolved(r))
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- $sort -------------------------------------------------------
+
+    fn sort(&self, rows: Vec<Row>, spec: &[(Path, SortOrder)]) -> Vec<Row> {
+        // Sort keys are resolved on the tree and materialised once per row
+        // (they are typically scalars); the rows themselves stay cursors.
+        let mut keyed: Vec<(Vec<Option<Json>>, Row)> = rows
+            .into_iter()
+            .map(|row| {
+                let keys = spec
+                    .iter()
+                    .map(|(p, _)| self.resolve(&row, p).map(|r| self.materialize_resolved(r)))
+                    .collect();
+                (keys, row)
+            })
+            .collect();
+        // Stable, so equal-key rows keep their input order.
+        keyed.sort_by(|(ka, _), (kb, _)| cmp_sort_keys(spec, ka, kb));
+        keyed.into_iter().map(|(_, row)| row).collect()
+    }
+}
+
+/// Accumulator state (one per `(group, accumulator)` pair).
+enum AccState {
+    Sum(u128),
+    Avg { sum: u128, count: u64 },
+    Min(Option<Json>),
+    Max(Option<Json>),
+    Count(u64),
+    Push(Vec<Json>),
+    First(Option<Json>),
+    Last(Option<Json>),
+}
+
+impl AccState {
+    fn new(acc: &Accumulator) -> AccState {
+        match acc {
+            Accumulator::Sum(_) => AccState::Sum(0),
+            Accumulator::Avg(_) => AccState::Avg { sum: 0, count: 0 },
+            Accumulator::Min(_) => AccState::Min(None),
+            Accumulator::Max(_) => AccState::Max(None),
+            Accumulator::Count => AccState::Count(0),
+            Accumulator::Push(_) => AccState::Push(Vec::new()),
+            Accumulator::First(_) => AccState::First(None),
+            Accumulator::Last(_) => AccState::Last(None),
+        }
+    }
+
+    /// The output value, or `None` for empty-observation accumulators
+    /// whose field is omitted (the fragment has no `null`).
+    fn finish(self) -> Option<Json> {
+        match self {
+            AccState::Sum(total) => Some(Json::Num(saturate(total))),
+            AccState::Avg { count: 0, .. } => None,
+            AccState::Avg { sum, count } => Some(Json::Num(saturate(sum / count as u128))),
+            AccState::Min(v) | AccState::Max(v) | AccState::First(v) | AccState::Last(v) => v,
+            AccState::Count(n) => Some(Json::Num(n)),
+            AccState::Push(items) => Some(Json::Array(items)),
+        }
+    }
+}
+
+/// Clamps a `u128` accumulator total into the fragment's `u64` numbers.
+pub(crate) fn saturate(n: u128) -> u64 {
+    u64::try_from(n).unwrap_or(u64::MAX)
+}
+
+/// Clamps a `$skip`/`$limit` operand into `usize` without wrapping (a
+/// 32-bit target must treat an oversized operand as "everything", not as
+/// its truncated low bits).
+pub(crate) fn clamp_len(n: u64) -> usize {
+    usize::try_from(n).unwrap_or(usize::MAX)
+}
+
+/// The `$sort` comparator over per-row key vectors: first inequality under
+/// [`cmp_opt_json`] decides, honouring each key's direction. Shared by both
+/// executors (pure plumbing over already-resolved keys).
+pub(crate) fn cmp_sort_keys(
+    spec: &[(Path, SortOrder)],
+    ka: &[Option<Json>],
+    kb: &[Option<Json>],
+) -> Ordering {
+    for (i, (_, order)) in spec.iter().enumerate() {
+        let ord = cmp_opt_json(&ka[i], &kb[i]);
+        let ord = match order {
+            SortOrder::Asc => ord,
+            SortOrder::Desc => ord.reverse(),
+        };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// `None` (missing) sorts before every present value; present values
+/// compare under [`Json::total_cmp`].
+pub(crate) fn cmp_opt_json(a: &Option<Json>, b: &Option<Json>) -> Ordering {
+    match (a, b) {
+        (None, None) => Ordering::Equal,
+        (None, Some(_)) => Ordering::Less,
+        (Some(_), None) => Ordering::Greater,
+        (Some(x), Some(y)) => x.total_cmp(y),
+    }
+}
+
+/// Applies the pending exact-match binding (the last one wins; entries
+/// before it addressed the subtree it replaced and are dropped).
+fn substitute(cur: &mut DocRef, active: &mut Vec<(&[String], DocRef)>) {
+    if let Some(i) = active.iter().rposition(|(p, _)| p.is_empty()) {
+        *cur = active[i].1;
+        active.drain(..=i);
+    }
+}
+
+/// Replaces the value at an existing dotted path inside an owned document
+/// (resolution mirrors [`Path::resolve`]; a path that does not resolve is
+/// a no-op). Shared with the value-based reference executor — it is pure
+/// plumbing on already-evaluated values.
+pub(crate) fn set_at(root: &mut Json, path: &[String], value: Json) {
+    if path.is_empty() {
+        *root = value;
+        return;
+    }
+    let mut cur = root;
+    for seg in &path[..path.len() - 1] {
+        let next = match seg.parse::<usize>() {
+            Ok(i) if cur.is_array() => cur.index_mut(i),
+            _ => cur.get_mut(seg),
+        };
+        match next {
+            Some(n) => cur = n,
+            None => return,
+        }
+    }
+    let leaf = &path[path.len() - 1];
+    let slot = match leaf.parse::<usize>() {
+        Ok(i) if cur.is_array() => cur.index_mut(i),
+        _ => cur.get_mut(leaf),
+    };
+    if let Some(s) = slot {
+        *s = value;
+    }
+}

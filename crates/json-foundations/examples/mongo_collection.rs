@@ -17,9 +17,9 @@ fn main() {
     let coll = Collection::parse_str(&text).expect("array collection");
     println!(
         "collection: {} documents ({} tree nodes, {} interned symbols)\n",
-        coll.docs().len(),
+        coll.len(),
         coll.tree().node_count(),
-        coll.tree().interner().len()
+        coll.interner().len()
     );
 
     // The paper's Example 1: find the person named Sue.

@@ -19,6 +19,7 @@
 //! | [`schema`] | `jschema` | JSON Schema: parse, validate, Schema↔JSL, `$ref`, inference |
 //! | [`automata`] | `jautomata` | J-automata: runs, complement, emptiness |
 //! | [`mongo`] | `mongofind` | MongoDB-style `find` filters & projection over JNL |
+//! | [`agg`] | `jagg` | tree-native aggregation pipelines (`$match`/`$unwind`/`$group`/…) over collections |
 //! | [`path`] | `jsonpath` | JSONPath dialect over recursive JNL |
 //!
 //! See `README.md` for a tour and `DESIGN.md`/`EXPERIMENTS.md` for the
@@ -33,6 +34,7 @@ pub use jsl as schema_logic;
 pub use jautomata as automata;
 pub use jschema as schema;
 
+pub use jagg as agg;
 pub use jsonpath as path;
 pub use mongofind as mongo;
 

@@ -73,6 +73,16 @@ impl ObjectRepr {
             .map(|pos| &self.pairs[self.by_key[pos] as usize].1)
     }
 
+    /// Mutable [`ObjectRepr::get`]. Only the *value* is exposed — keys stay
+    /// immutable, so the distinctness invariant and the sorted index cannot
+    /// be broken through this accessor.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Json> {
+        self.by_key
+            .binary_search_by(|&i| self.pairs[i as usize].0.as_str().cmp(key))
+            .ok()
+            .map(|pos| &mut self.pairs[self.by_key[pos] as usize].1)
+    }
+
     /// Number of key–value pairs.
     pub fn len(&self) -> usize {
         self.pairs.len()
@@ -194,6 +204,26 @@ impl Json {
     /// This is the navigation instruction `J[i]` of §2.
     pub fn index(&self, i: usize) -> Option<&Json> {
         self.as_array().and_then(|a| a.get(i))
+    }
+
+    /// Mutable [`Json::get`]: the value under `key` if this is an object
+    /// containing it (keys themselves stay immutable, preserving the
+    /// distinctness invariant). Used for in-place subvalue replacement,
+    /// e.g. `$unwind` re-binding a path of an owned aggregation row.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Json> {
+        match self {
+            Json::Object(o) => o.get_mut(key),
+            _ => None,
+        }
+    }
+
+    /// Mutable [`Json::index`]: the `i`-th element if this is an array of
+    /// length > `i`.
+    pub fn index_mut(&mut self, i: usize) -> Option<&mut Json> {
+        match self {
+            Json::Array(a) => a.get_mut(i),
+            _ => None,
+        }
     }
 
     /// Total number of JSON values in this document (i.e. nodes of its tree),

@@ -36,9 +36,10 @@
 
 use std::cmp::Ordering;
 use std::fmt;
+use std::sync::OnceLock;
 
 use jnl::ast::{Binary, Unary};
-use jsondata::{Json, JsonTree, NodeId, NodeKind};
+use jsondata::{Interner, Json, JsonTree, NodeId, NodeKind, ParseLimits};
 
 /// A comparison operator of the dialect.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,8 +85,22 @@ pub enum Filter {
 pub struct Path(pub Vec<String>);
 
 impl Path {
-    fn parse(s: &str) -> Path {
+    /// Parses a dotted path (`"name.first"`, `"hobbies.0"`).
+    pub fn parse(s: &str) -> Path {
         Path(s.split('.').map(str::to_owned).collect())
+    }
+
+    /// Resolves this path against a [`Json`] value: numeric segments index
+    /// arrays, every segment is a key lookup on objects.
+    pub fn resolve<'a>(&self, doc: &'a Json) -> Option<&'a Json> {
+        resolve(doc, self)
+    }
+
+    /// [`Path::resolve`] on a [`JsonTree`], anchored at `at` — no string is
+    /// ever cloned (an `O(1)` interner probe + `u32` binary search per
+    /// segment).
+    pub fn resolve_node(&self, tree: &JsonTree, at: NodeId) -> Option<NodeId> {
+        resolve_node(tree, at, self)
     }
 
     fn to_binary(&self) -> Binary {
@@ -288,6 +303,33 @@ impl Filter {
         }
     }
 
+    /// Whether [`Filter::to_jnl`] compiles this filter **exactly**, i.e.
+    /// evaluating the compiled formula agrees with [`Filter::matches`] on
+    /// *every* document. The compilation over-approximates order
+    /// comparisons and `$type` (both fall back to path existence), `$size`
+    /// observes array length through index existence (an object with the
+    /// right numeric keys would satisfy it), and numeric path segments
+    /// compile to array positions while [`Filter::matches`] also accepts
+    /// them as object keys — so all four are excluded from the exact
+    /// fragment. Callers (e.g. the `jagg` `$match` fast path) use this to
+    /// decide when one whole-collection JNL evaluation may answer the
+    /// filter for every document at once.
+    pub fn jnl_exact(&self) -> bool {
+        fn path_exact(p: &Path) -> bool {
+            // A numeric segment is Binary::Index in JNL (arrays only) but a
+            // key lookup on objects in `matches` — conservatively inexact.
+            p.0.iter().all(|seg| seg.parse::<u64>().is_err())
+        }
+        match self {
+            Filter::And(fs) | Filter::Or(fs) => fs.iter().all(Filter::jnl_exact),
+            Filter::Not(f) => f.jnl_exact(),
+            Filter::Compare(p, Cmp::Eq | Cmp::Ne, _) => path_exact(p),
+            Filter::Compare(..) => false,
+            Filter::In(p, _, _) | Filter::Exists(p, _) => path_exact(p),
+            Filter::Size(..) | Filter::Type(..) => false,
+        }
+    }
+
     /// Exact filter semantics on one document (order comparisons and
     /// `$type` decided directly; everything else agrees with
     /// [`Filter::to_jnl`] evaluated by the JNL engine — differentially
@@ -319,13 +361,9 @@ impl Filter {
             Filter::Size(p, n) => resolve(doc, p)
                 .and_then(Json::as_array)
                 .is_some_and(|a| a.len() as u64 == *n),
-            Filter::Type(p, ty) => resolve(doc, p).is_some_and(|x| match *ty {
-                "string" => x.is_string(),
-                "number" => x.is_number(),
-                "object" => x.is_object(),
-                "array" => x.is_array(),
-                _ => false,
-            }),
+            Filter::Type(p, ty) => {
+                resolve(doc, p).is_some_and(|x| type_matches_kind(ty, json_kind(x)))
+            }
         }
     }
 
@@ -367,15 +405,9 @@ impl Filter {
             Filter::Exists(p, flag) => resolve_node(tree, doc, p).is_some() == *flag,
             Filter::Size(p, n) => resolve_node(tree, doc, p)
                 .is_some_and(|m| tree.kind(m) == NodeKind::Arr && tree.child_count(m) as u64 == *n),
-            Filter::Type(p, ty) => resolve_node(tree, doc, p).is_some_and(|m| {
-                matches!(
-                    (*ty, tree.kind(m)),
-                    ("string", NodeKind::Str)
-                        | ("number", NodeKind::Int)
-                        | ("object", NodeKind::Obj)
-                        | ("array", NodeKind::Arr)
-                )
-            }),
+            Filter::Type(p, ty) => {
+                resolve_node(tree, doc, p).is_some_and(|m| type_matches_kind(ty, tree.kind(m)))
+            }
         }
     }
 }
@@ -392,19 +424,51 @@ fn resolve<'a>(doc: &'a Json, path: &Path) -> Option<&'a Json> {
     Some(cur)
 }
 
-/// [`resolve`] on a tree: numeric segments index array nodes, every segment
-/// is a key lookup on object nodes (an `O(1)` interner probe + `u32` binary
-/// search — no string is ever cloned).
+/// One segment of [`Path::resolve_node`]: a numeric segment indexes an
+/// array node, every segment is a key lookup on an object node (an `O(1)`
+/// interner probe + `u32` binary search — no string is ever cloned). This
+/// is THE single-step rule of the dialect's dotted paths; binding-aware
+/// resolvers (the `jagg` overlay rows) step through it so their path
+/// semantics cannot drift from the plain tree walk.
+pub fn resolve_node_step(tree: &JsonTree, at: NodeId, seg: &str) -> Option<NodeId> {
+    match (tree.kind(at), seg.parse::<usize>()) {
+        (NodeKind::Arr, Ok(i)) => tree.child_by_index(at, i),
+        (NodeKind::Obj, _) => tree.child_by_key(at, seg),
+        _ => None,
+    }
+}
+
+/// [`resolve`] on a tree: [`resolve_node_step`] per segment.
 fn resolve_node(tree: &JsonTree, doc: NodeId, path: &Path) -> Option<NodeId> {
     let mut cur = doc;
     for seg in &path.0 {
-        cur = match (tree.kind(cur), seg.parse::<usize>()) {
-            (NodeKind::Arr, Ok(i)) => tree.child_by_index(cur, i)?,
-            (NodeKind::Obj, _) => tree.child_by_key(cur, seg)?,
-            _ => return None,
-        };
+        cur = resolve_node_step(tree, cur, seg)?;
     }
     Some(cur)
+}
+
+/// The kind partition a JSON value belongs to (the value-side counterpart
+/// of [`JsonTree::kind`]).
+pub fn json_kind(v: &Json) -> NodeKind {
+    match v {
+        Json::Num(_) => NodeKind::Int,
+        Json::Str(_) => NodeKind::Str,
+        Json::Array(_) => NodeKind::Arr,
+        Json::Object(_) => NodeKind::Obj,
+    }
+}
+
+/// The `$type` vocabulary: whether a node kind satisfies a type name. The
+/// single source of truth for every `$type` test — [`Filter::matches`],
+/// [`Filter::matches_at`] and the `jagg` overlay matcher all consult it.
+pub fn type_matches_kind(ty: &str, kind: NodeKind) -> bool {
+    matches!(
+        (ty, kind),
+        ("string", NodeKind::Str)
+            | ("number", NodeKind::Int)
+            | ("object", NodeKind::Obj)
+            | ("array", NodeKind::Arr)
+    )
 }
 
 /// [`Json::total_cmp`] between a tree node's subtree and an external value,
@@ -412,7 +476,7 @@ fn resolve_node(tree: &JsonTree, doc: NodeId, path: &Path) -> Option<NodeId> {
 /// numbers < strings < arrays < objects; arrays element-wise; objects as
 /// sorted key→value maps (the tree side sorts its keys *by string* here —
 /// symbol order is interning order, not lexicographic).
-fn cmp_node_json(tree: &JsonTree, n: NodeId, v: &Json) -> Ordering {
+pub fn cmp_node_json(tree: &JsonTree, n: NodeId, v: &Json) -> Ordering {
     fn rank_kind(k: NodeKind) -> u8 {
         match k {
             NodeKind::Int => 0,
@@ -499,9 +563,33 @@ impl Projection {
         }
         Json::object(pairs).expect("projection paths produce distinct keys")
     }
+
+    /// [`Projection::apply`] evaluated directly on a tree node: each include
+    /// path resolves on the tree and only the *kept* subtrees are
+    /// materialised (via [`JsonTree::json_at`]) — the full document is never
+    /// synthesised just to be cut down. Agrees with
+    /// `apply(&tree.json_at(doc))` exactly (differentially tested).
+    pub fn apply_tree(&self, tree: &JsonTree, doc: NodeId) -> Json {
+        if self.include.is_empty() {
+            return tree.json_at(doc);
+        }
+        let mut pairs: Vec<(String, Json)> = Vec::new();
+        for p in &self.include {
+            if let Some(n) = resolve_node(tree, doc, p) {
+                insert_path(&mut pairs, &p.0, tree.json_at(n));
+            }
+        }
+        Json::object(pairs).expect("projection paths produce distinct keys")
+    }
 }
 
-fn insert_path(pairs: &mut Vec<(String, Json)>, path: &[String], value: Json) {
+/// Inserts `value` at a dotted `path` into an under-construction object's
+/// pair list, creating nested objects for intermediate segments; first-wins
+/// on a leaf that is already occupied. This is the shared output-assembly
+/// primitive of projections — [`Projection::apply`]/[`Projection::apply_tree`]
+/// here and `$project` in the `jagg` aggregation executors all build their
+/// output documents through it, so assembly semantics cannot drift apart.
+pub fn insert_path(pairs: &mut Vec<(String, Json)>, path: &[String], value: Json) {
     let (head, rest) = path.split_first().expect("nonempty path");
     if rest.is_empty() {
         if !pairs.iter().any(|(k, _)| k == head) {
@@ -524,98 +612,234 @@ fn insert_path(pairs: &mut Vec<(String, Json)>, path: &[String], value: Json) {
     pairs.push((head.clone(), Json::object(inner).expect("distinct")));
 }
 
-/// A queryable collection of documents, backed by a **persistent tree
-/// column**: the whole collection array is kept as one [`JsonTree`] (one
-/// shared symbol table for every document), and each `find` evaluates the
-/// filter on that tree directly — no per-query parsing, tree building, or
-/// value traversal. The owned [`Json`] documents are materialised once at
-/// construction, purely to serve the value-returning public API.
+/// Where a document lives inside a [`Collection`]'s tree column: the
+/// segment tree holding it and its root node within that segment. Segment
+/// `0` is the initial load; every [`Collection::insert`] appends one more.
+/// All segments intern through one shared table, so a [`jsondata::Sym`] is
+/// comparable across the segments of one collection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DocRef {
+    /// Index into [`Collection::segments`].
+    pub seg: u32,
+    /// The document's root node within that segment tree.
+    pub node: NodeId,
+}
+
+/// A queryable collection of documents, backed by a **persistent, segmented
+/// tree column**: the initial load is kept as one [`JsonTree`] (the whole
+/// collection array flattened through the fused parser), and every
+/// [`Collection::insert`] appends a further segment tree built through the
+/// collection's shared [`Interner`] — so one symbol table spans every
+/// document ever loaded, and filters evaluate on the trees directly with no
+/// per-query parsing, tree building, or value traversal.
+///
+/// Owned [`Json`] documents are **not** kept eagerly: the value-returning
+/// APIs synthesize results from the tree ([`JsonTree::json_at`]), and
+/// [`Collection::docs`] materialises a compatibility snapshot lazily on
+/// first use.
+///
+/// A collection loaded from a non-array root has defined **single-document
+/// semantics**: the root value is the collection's one document. `find` and
+/// `aggregate` (the `jagg` crate) share this behavior.
 pub struct Collection {
-    docs: Vec<Json>,
-    tree: JsonTree,
-    /// The root's array children: `doc_nodes[i]` is document `i`'s subtree.
-    doc_nodes: Vec<NodeId>,
+    /// The shared symbol table; every segment's interner is a snapshot of
+    /// this one at its build time.
+    interner: Interner,
+    segments: Vec<JsonTree>,
+    doc_refs: Vec<DocRef>,
+    /// Lazily materialised owned documents (compatibility accessor only);
+    /// reset by [`Collection::insert`].
+    docs_cache: OnceLock<Vec<Json>>,
 }
 
 impl Collection {
-    /// Builds from a JSON array document.
+    /// Builds from a JSON array document (each element one document).
     pub fn from_array(doc: &Json) -> Result<Collection, FilterError> {
-        match doc.as_array() {
-            Some(items) => Ok(Collection::with_tree(items.to_vec(), JsonTree::build(doc))),
-            None => Err(FilterError("collection must be a JSON array".into())),
-        }
-    }
-
-    /// Builds from collection text through the **fused parser**: the array
-    /// is lexed, interned and flattened into the tree column in one pass —
-    /// no intermediate value tree is ever built for querying (the owned
-    /// docs backing the `&Json`-returning API are reconstructed per
-    /// document from the tree, once).
-    pub fn parse_str(src: &str) -> Result<Collection, FilterError> {
-        let tree = jsondata::parse_to_tree(src).map_err(|e| FilterError(e.to_string()))?;
-        if tree.kind(tree.root()) != NodeKind::Arr {
+        if !doc.is_array() {
             return Err(FilterError("collection must be a JSON array".into()));
         }
-        let docs = tree
-            .arr_children(tree.root())
-            .iter()
-            .map(|&n| tree.json_at(n))
-            .collect();
-        Ok(Collection::with_tree(docs, tree))
+        Ok(Collection::from_json(doc))
     }
 
-    fn with_tree(docs: Vec<Json>, tree: JsonTree) -> Collection {
-        let doc_nodes = tree.arr_children(tree.root()).to_vec();
-        debug_assert_eq!(docs.len(), doc_nodes.len());
+    /// Builds from any JSON document: an array root contributes one
+    /// document per element, any other root is a **single-document**
+    /// collection (the shared non-array-root semantics of `find` and
+    /// `aggregate`).
+    pub fn from_json(doc: &Json) -> Collection {
+        let mut interner = Interner::new();
+        let tree = JsonTree::build_into(doc, &mut interner);
+        Collection::from_first_segment(tree, interner)
+    }
+
+    /// Builds from collection text through the **fused parser**: the
+    /// document is lexed, interned and flattened into the tree column in
+    /// one pass — no intermediate value tree is ever built. Non-array roots
+    /// get the [`Collection::from_json`] single-document semantics.
+    pub fn parse_str(src: &str) -> Result<Collection, FilterError> {
+        let mut interner = Interner::new();
+        let tree = jsondata::parse_to_tree_into(src, ParseLimits::default(), &mut interner)
+            .map_err(|e| FilterError(e.to_string()))?;
+        Ok(Collection::from_first_segment(tree, interner))
+    }
+
+    fn from_first_segment(tree: JsonTree, interner: Interner) -> Collection {
+        let doc_refs = match tree.kind(tree.root()) {
+            NodeKind::Arr => tree
+                .arr_children(tree.root())
+                .iter()
+                .map(|&node| DocRef { seg: 0, node })
+                .collect(),
+            _ => vec![DocRef {
+                seg: 0,
+                node: tree.root(),
+            }],
+        };
         Collection {
-            docs,
-            tree,
-            doc_nodes,
+            interner,
+            segments: vec![tree],
+            doc_refs,
+            docs_cache: OnceLock::new(),
         }
     }
 
-    /// The documents.
+    /// Appends **one** document (whatever its JSON type — an array value is
+    /// one array-valued document, not a batch) as a new segment tree built
+    /// through the collection's shared interner, so its symbols are
+    /// comparable with every existing segment. Queries see the new document
+    /// immediately; results agree exactly with a from-scratch rebuild of
+    /// the extended collection (differentially tested).
+    pub fn insert(&mut self, doc: &Json) {
+        let tree = JsonTree::build_into(doc, &mut self.interner);
+        self.push_segment(tree);
+    }
+
+    /// [`Collection::insert`] from document text through the fused parser
+    /// ([`jsondata::parse_to_tree_into`] with the shared interner). On a
+    /// parse error the collection is unchanged (the shared table may retain
+    /// symbols from the document's well-formed prefix, which is harmless).
+    pub fn insert_str(&mut self, src: &str) -> Result<(), FilterError> {
+        let tree = jsondata::parse_to_tree_into(src, ParseLimits::default(), &mut self.interner)
+            .map_err(|e| FilterError(e.to_string()))?;
+        self.push_segment(tree);
+        Ok(())
+    }
+
+    fn push_segment(&mut self, tree: JsonTree) {
+        let seg = self.segments.len() as u32;
+        self.doc_refs.push(DocRef {
+            seg,
+            node: tree.root(),
+        });
+        self.segments.push(tree);
+        self.docs_cache = OnceLock::new();
+    }
+
+    /// The documents, as owned values — a **compatibility accessor**,
+    /// materialised lazily from the tree column on first use and cached
+    /// until the next insert. Hot paths ([`Collection::find`],
+    /// [`Collection::find_project`], aggregation) never touch this cache.
     pub fn docs(&self) -> &[Json] {
-        &self.docs
+        self.docs_cache
+            .get_or_init(|| self.doc_refs.iter().map(|&d| self.json_of(d)).collect())
     }
 
-    /// The collection's tree column (one tree, one interner, all documents).
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.doc_refs.len()
+    }
+
+    /// Whether the collection holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.doc_refs.is_empty()
+    }
+
+    /// The segment trees of the collection's tree column (segment 0 is the
+    /// initial load; one more per insert). All segments share one symbol
+    /// assignment.
+    pub fn segments(&self) -> &[JsonTree] {
+        &self.segments
+    }
+
+    /// Every document's location in the tree column, in document order.
+    pub fn doc_refs(&self) -> &[DocRef] {
+        &self.doc_refs
+    }
+
+    /// The collection's shared symbol table (a superset of every segment's
+    /// snapshot).
+    pub fn interner(&self) -> &Interner {
+        &self.interner
+    }
+
+    /// The initial segment tree (compatibility accessor from the
+    /// single-tree era; use [`Collection::segments`] to see inserts).
     pub fn tree(&self) -> &JsonTree {
-        &self.tree
+        &self.segments[0]
     }
 
-    /// `db.collection.find(filter)`: documents matching the filter,
-    /// evaluated on the tree column via [`Filter::matches_at`].
-    pub fn find(&self, filter: &Filter) -> Vec<&Json> {
-        self.doc_nodes
+    /// Materialises one document from the tree column.
+    pub fn json_of(&self, d: DocRef) -> Json {
+        self.segments[d.seg as usize].json_at(d.node)
+    }
+
+    /// `db.collection.find(filter)`: tree-column locations of the matching
+    /// documents, evaluated via [`Filter::matches_at`] — the allocation-free
+    /// core `find` and the aggregation executor share.
+    pub fn find_refs(&self, filter: &Filter) -> Vec<DocRef> {
+        self.doc_refs
             .iter()
-            .zip(&self.docs)
-            .filter(|&(&n, _)| filter.matches_at(&self.tree, n))
-            .map(|(_, d)| d)
+            .copied()
+            .filter(|d| filter.matches_at(&self.segments[d.seg as usize], d.node))
             .collect()
     }
 
-    /// `find(filter, projection)`.
-    pub fn find_project(&self, filter: &Filter, projection: &Projection) -> Vec<Json> {
-        self.find(filter)
+    /// `db.collection.find(filter)`: the matching documents, synthesized
+    /// from the tree column (no eager document vector is consulted).
+    pub fn find(&self, filter: &Filter) -> Vec<Json> {
+        self.find_refs(filter)
             .into_iter()
-            .map(|d| projection.apply(d))
+            .map(|d| self.json_of(d))
+            .collect()
+    }
+
+    /// `find(filter, projection)`: projected documents, synthesized
+    /// directly from the tree ([`Projection::apply_tree`]) — only the kept
+    /// subtrees are ever materialised.
+    pub fn find_project(&self, filter: &Filter, projection: &Projection) -> Vec<Json> {
+        self.find_refs(filter)
+            .into_iter()
+            .map(|d| projection.apply_tree(&self.segments[d.seg as usize], d.node))
             .collect()
     }
 
     /// Evaluates the filter by compiling to JNL and running the Prop 1
-    /// engine (the differential path used in tests/benches). One evaluation
-    /// over the whole collection tree answers every document at once — JNL
-    /// navigation is downward-only, so a formula's truth at a document node
-    /// equals its truth at the root of that document parsed standalone.
-    pub fn find_via_jnl(&self, filter: &Filter) -> Vec<&Json> {
+    /// engine: tree-column locations of the satisfying documents. One
+    /// evaluation per segment tree answers every document of that segment
+    /// at once — JNL navigation is downward-only, so a formula's truth at
+    /// a document node equals its truth at the root of that document
+    /// parsed standalone. This is the whole-collection fast path the
+    /// `jagg` leading-`$match` rides when the filter is
+    /// [`Filter::jnl_exact`].
+    pub fn find_refs_via_jnl(&self, filter: &Filter) -> Vec<DocRef> {
         let phi = filter.to_jnl();
-        let sat = jnl::eval::evaluate(&self.tree, &phi);
-        self.doc_nodes
+        let sats: Vec<jnl::eval::NodeSet> = self
+            .segments
             .iter()
-            .zip(&self.docs)
-            .filter(|&(&n, _)| sat[n.index()])
-            .map(|(_, d)| d)
+            .map(|t| jnl::eval::evaluate(t, &phi))
+            .collect();
+        self.doc_refs
+            .iter()
+            .copied()
+            .filter(|d| sats[d.seg as usize][d.node.index()])
+            .collect()
+    }
+
+    /// [`Collection::find_refs_via_jnl`], materialised (the differential
+    /// path used in tests/benches against [`Collection::find`]).
+    pub fn find_via_jnl(&self, filter: &Filter) -> Vec<Json> {
+        self.find_refs_via_jnl(filter)
+            .into_iter()
+            .map(|d| self.json_of(d))
             .collect()
     }
 }
@@ -762,7 +986,7 @@ mod tests {
         ];
         for src in filters {
             let f = Filter::parse_str(src).unwrap();
-            let direct: Vec<&Json> = coll.find(&f);
+            let direct: Vec<Json> = coll.find(&f);
             let via_jnl = coll.find_via_jnl(&f);
             assert_eq!(direct, via_jnl, "filter {src}");
             // And the compiled formula is deterministic JNL.
@@ -842,8 +1066,13 @@ mod tests {
                 assert_eq!(f.matches(d), f.matches_tree(&tree), "filter {f:?} on {d}");
             }
             // And collection-level: find (tree column) == value filtering.
-            let via_tree: Vec<&Json> = coll.find(&f);
-            let via_value: Vec<&Json> = coll.docs().iter().filter(|d| f.matches(d)).collect();
+            let via_tree: Vec<Json> = coll.find(&f);
+            let via_value: Vec<Json> = coll
+                .docs()
+                .iter()
+                .filter(|d| f.matches(d))
+                .cloned()
+                .collect();
             assert_eq!(via_tree, via_value, "filter {f:?}");
         }
     }
@@ -888,9 +1117,102 @@ mod tests {
                 "filter {f:?}"
             );
         }
-        // Non-array text is rejected like non-array values.
-        assert!(Collection::parse_str(r#"{"not": "an array"}"#).is_err());
+        // Malformed text is rejected; `from_array` still insists on arrays.
         assert!(Collection::parse_str("[1, 2").is_err());
+        assert!(Collection::from_array(&parse(r#"{"not": "an array"}"#).unwrap()).is_err());
+    }
+
+    #[test]
+    fn non_array_roots_are_single_document_collections() {
+        // The shared single-document semantics of `find` and `aggregate`:
+        // a non-array root IS the collection's one document.
+        let src = r#"{"name": {"first": "Sue"}, "age": 28, "hobbies": ["yoga"]}"#;
+        let coll = Collection::parse_str(src).unwrap();
+        assert_eq!(coll.len(), 1);
+        assert_eq!(coll.docs(), &[parse(src).unwrap()]);
+        let hit = Filter::parse_str(r#"{"name.first": "Sue"}"#).unwrap();
+        let miss = Filter::parse_str(r#"{"age": {"$gt": 40}}"#).unwrap();
+        assert_eq!(coll.find(&hit).len(), 1);
+        assert_eq!(coll.find(&miss).len(), 0);
+        assert_eq!(coll.find_via_jnl(&hit).len(), 1);
+        // The value constructor agrees, including on scalar roots.
+        let scalar = Collection::from_json(&Json::Num(7));
+        assert_eq!(scalar.docs(), &[Json::Num(7)]);
+        assert_eq!(
+            scalar
+                .find(&Filter::parse_str(r#"{"x": 1}"#).unwrap())
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn insert_matches_from_scratch_rebuild() {
+        let mut coll = people();
+        coll.insert(&parse(r#"{"name": {"first": "Wei"}, "age": 45, "hobbies": ["go"]}"#).unwrap());
+        coll.insert_str(r#"{"name": {"first": "Ivy", "last": "Kim"}, "age": 28, "hobbies": []}"#)
+            .unwrap();
+        assert!(coll.insert_str(r#"{"bad" 1}"#).is_err());
+        assert_eq!(coll.len(), 5);
+        assert_eq!(coll.segments().len(), 3);
+
+        // From-scratch rebuild over the materialised documents.
+        let rebuilt = Collection::from_array(&Json::Array(coll.docs().to_vec())).unwrap();
+        assert_eq!(coll.docs(), rebuilt.docs());
+        for f in filter_corpus() {
+            assert_eq!(coll.find(&f), rebuilt.find(&f), "filter {f:?}");
+            assert_eq!(
+                coll.find_via_jnl(&f),
+                rebuilt.find_via_jnl(&f),
+                "filter {f:?}"
+            );
+        }
+        // Symbols are shared across segments: a key interned by the initial
+        // load resolves to the same symbol in an inserted segment's table.
+        let age = coll.interner().lookup("age").unwrap();
+        assert_eq!(coll.segments()[1].sym("age"), Some(age));
+        assert_eq!(coll.segments()[2].sym("age"), Some(age));
+    }
+
+    #[test]
+    fn find_project_synthesizes_from_tree() {
+        // apply_tree == apply on the materialised document, for every doc
+        // and a non-trivial include set (incl. missing paths).
+        let coll = people();
+        let p = Projection::parse_str(r#"{"name.first": 1, "age": 1, "name.last": 1}"#).unwrap();
+        let all = Filter::parse_str(r#"{"age": {"$exists": "true"}}"#).unwrap();
+        let via_tree = coll.find_project(&all, &p);
+        let via_value: Vec<Json> = coll.docs().iter().map(|d| p.apply(d)).collect();
+        assert_eq!(via_tree, via_value);
+        // Empty include keeps whole documents.
+        let keep_all = Projection::default();
+        assert_eq!(coll.find_project(&all, &keep_all), coll.docs());
+    }
+
+    #[test]
+    fn jnl_exact_fragment_is_honest() {
+        // Exact filters: one whole-collection JNL evaluation must agree
+        // with direct matching — already covered by
+        // `jnl_compilation_agrees_on_equality_fragment`; here we pin the
+        // classifier itself on both sides of the boundary.
+        for (src, exact) in [
+            (r#"{"name.first": {"$eq": "Sue"}}"#, true),
+            (r#"{"age": {"$ne": 32}}"#, true),
+            (r#"{"age": {"$in": [28, 45]}}"#, true),
+            (r#"{"name.last": {"$exists": "false"}}"#, true),
+            (r#"{"$or": [{"age": 28}, {"name.first": "Ana"}]}"#, true),
+            (r#"{"age": {"$gt": 28}}"#, false),
+            (r#"{"hobbies": {"$size": 2}}"#, false),
+            (r#"{"hobbies": {"$type": "array"}}"#, false),
+            (r#"{"hobbies.0": "yoga"}"#, false),
+            (r#"{"$or": [{"age": 28}, {"age": {"$lt": 3}}]}"#, false),
+        ] {
+            assert_eq!(
+                Filter::parse_str(src).unwrap().jnl_exact(),
+                exact,
+                "filter {src}"
+            );
+        }
     }
 
     #[test]
