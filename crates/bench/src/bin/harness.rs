@@ -74,6 +74,9 @@ fn main() {
     if want("s5") {
         s5();
     }
+    if want("s6") {
+        s6();
+    }
 }
 
 fn header(id: &str, claim: &str) {
@@ -1187,4 +1190,188 @@ fn s5() {
     );
     std::fs::write("BENCH_aggregate.json", &json).expect("write BENCH_aggregate.json");
     println!("wrote BENCH_aggregate.json");
+}
+
+/// S6 — the parallel-execution experiment: the pool-driven find/aggregate
+/// paths over the 20k-record collection at 1 thread vs the machine's
+/// maximum, plus the fragmented (one segment per insert) vs compacted
+/// segment layouts. Deterministic gates inside the harness:
+///
+/// 1. parallel output must be **byte-identical** to sequential on every
+///    workload (the `jpar` chunk-splicing contract);
+/// 2. parallel wall time at max threads must not exceed sequential — with
+///    a small documented tolerance when the machine exposes only one CPU,
+///    where the "parallel" run degenerates to the identical serial
+///    fallback and the comparison is pure timer noise;
+/// 3. after `Collection::compact()`, the per-segment JNL scan must be at
+///    least as fast as on the fragmented layout it replaces (the
+///    fragmented run pays one whole-tree evaluation per segment), with
+///    identical results.
+fn s6() {
+    header(
+        "S6",
+        "Parallel execution — 1 vs max threads over the pool-driven query paths + compaction",
+    );
+    let max_threads = jpar::Pool::auto().threads();
+    let hw_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    // The wall-clock gate is strict (parallel ≤ sequential) only when real
+    // hardware parallelism backs the pool — there the expected margin is a
+    // multiple, not a rounding error. With one thread the "parallel" run
+    // IS the serial fallback, and with an oversubscribed JPAR_THREADS the
+    // run measures pure dispatch overhead; both compare near-identical
+    // work, so only noise (25%) is tolerated, not required wins.
+    let tolerance = if max_threads > 1 && max_threads <= hw_threads {
+        1.0
+    } else {
+        1.25
+    };
+    println!(
+        "pool: {max_threads} thread(s) over {hw_threads} hardware thread(s), gate tolerance {tolerance}x"
+    );
+    // One timed run. The sequential/parallel comparison interleaves
+    // single samples and keeps each side's best: back-to-back sample
+    // blocks drift with allocator and scheduler state (the later block
+    // measures consistently slower even on identical code paths), and
+    // interleaving cancels that drift while best-of-N rejects load spikes.
+    fn once_ms<T>(f: impl FnOnce() -> T) -> f64 {
+        let t0 = std::time::Instant::now();
+        std::hint::black_box(f());
+        t0.elapsed().as_secs_f64() * 1e3
+    }
+    // Best-of-N for the compaction comparison, which cannot interleave
+    // (compact() is one-way); its margin is large enough that drift does
+    // not threaten the gate.
+    fn best_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+        (0..reps)
+            .map(|_| once_ms(&mut f))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    let text = s5_collection_text();
+    let mut coll = mongofind::Collection::parse_str(&text).expect("workload parses");
+    let find_filter = mongofind::Filter::parse_str(S6_FIND_FILTER).expect("filter parses");
+    println!(
+        "collection: {} documents in {} segment(s), {} symbols",
+        coll.len(),
+        coll.segments().len(),
+        coll.interner().len()
+    );
+    println!(
+        "{}",
+        row(&[
+            "workload".into(),
+            "out".into(),
+            "1-thread ms".into(),
+            "max ms".into(),
+            "speedup".into(),
+        ])
+    );
+
+    let mut entries = Vec::new();
+    let mut measure =
+        |label: &str,
+         coll: &mut mongofind::Collection,
+         run: &dyn Fn(&mongofind::Collection) -> Vec<jsondata::Json>| {
+            coll.set_pool(jpar::Pool::serial());
+            let seq_out = run(coll);
+            coll.set_pool(jpar::Pool::with_threads(max_threads));
+            let par_out = run(coll);
+            // Gate 1: byte-identical output for every thread count.
+            assert_eq!(
+                par_out, seq_out,
+                "S6 gate: parallel output differs from sequential on {label}"
+            );
+            let (mut seq_ms, mut par_ms) = (f64::INFINITY, f64::INFINITY);
+            for _ in 0..9 {
+                coll.set_pool(jpar::Pool::serial());
+                seq_ms = seq_ms.min(once_ms(|| run(coll)));
+                coll.set_pool(jpar::Pool::with_threads(max_threads));
+                par_ms = par_ms.min(once_ms(|| run(coll)));
+            }
+            // Gate 2: parallelism must not cost wall time at max threads.
+            assert!(
+            par_ms <= seq_ms * tolerance,
+            "S6 gate: parallel slower than sequential on {label}: {par_ms:.2} ms vs {seq_ms:.2} ms"
+        );
+            println!(
+                "{}",
+                row(&[
+                    label.into(),
+                    par_out.len().to_string(),
+                    format!("{seq_ms:.2}"),
+                    format!("{par_ms:.2}"),
+                    format!("{:.2}x", seq_ms / par_ms),
+                ])
+            );
+            entries.push(format!(
+            "    {{\"workload\": \"{label}\", \"output_docs\": {}, \"sequential_ms\": {seq_ms:.3}, \"parallel_ms\": {par_ms:.3}, \"speedup\": {:.3}}}",
+            par_out.len(),
+            seq_ms / par_ms,
+        ));
+        };
+
+    measure("find_scan", &mut coll, &|c| c.find(&find_filter));
+    for (label, src) in s6_pipelines() {
+        let pipe = jagg::Pipeline::parse_str(src).expect("workload pipeline parses");
+        measure(label, &mut coll, &move |c| jagg::aggregate(c, &pipe));
+    }
+
+    // --- compacted vs fragmented segment layout -----------------------
+    let n_frag = 1000usize;
+    let jnl_filter = mongofind::Filter::parse_str(S6_JNL_FILTER).expect("filter parses");
+    let agg = jagg::Pipeline::parse_str(s6_pipelines()[1].1).expect("pipeline parses");
+    let jsondata::Json::Array(docs) = jsondata::gen::person_records(n_frag, 7) else {
+        panic!("person_records returns an array");
+    };
+    let mut frag = mongofind::Collection::parse_str("[]").expect("empty parses");
+    for d in &docs {
+        frag.insert_str(&jsondata::serialize::to_string(d))
+            .expect("record parses");
+    }
+    frag.set_pool(jpar::Pool::with_threads(max_threads));
+    let frag_segments = frag.segments().len();
+    let frag_out = frag.find_via_jnl(&jnl_filter);
+    let frag_jnl_ms = best_ms(9, || frag.find_via_jnl(&jnl_filter));
+    let frag_agg_ms = best_ms(9, || jagg::aggregate(&frag, &agg));
+    let frag_agg_out = jagg::aggregate(&frag, &agg);
+
+    frag.compact();
+    let comp_out = frag.find_via_jnl(&jnl_filter);
+    let comp_jnl_ms = best_ms(9, || frag.find_via_jnl(&jnl_filter));
+    let comp_agg_ms = best_ms(9, || jagg::aggregate(&frag, &agg));
+    let comp_agg_out = jagg::aggregate(&frag, &agg);
+    assert_eq!(
+        comp_out, frag_out,
+        "S6 gate: compaction changed find_via_jnl results"
+    );
+    assert_eq!(
+        comp_agg_out, frag_agg_out,
+        "S6 gate: compaction changed aggregate results"
+    );
+    // Gate 3: compaction must not slow the per-segment JNL scan down (the
+    // fragmented layout pays one whole-tree evaluation per segment — here
+    // 1001 of them — so the margin is enormous).
+    assert!(
+        comp_jnl_ms <= frag_jnl_ms,
+        "S6 gate: compacted find_via_jnl slower than fragmented: {comp_jnl_ms:.2} ms vs {frag_jnl_ms:.2} ms"
+    );
+    println!(
+        "compaction ({n_frag} inserts): find_via_jnl {frag_jnl_ms:.2} -> {comp_jnl_ms:.2} ms ({:.1}x), \
+         unwind_group {frag_agg_ms:.2} -> {comp_agg_ms:.2} ms ({:.2}x), segments {frag_segments} -> {}",
+        frag_jnl_ms / comp_jnl_ms,
+        frag_agg_ms / comp_agg_ms,
+        frag.segments().len(),
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"s6_parallel\",\n  \"units\": \"ms (best of 9, sequential/parallel samples interleaved)\",\n  \"threads\": {{\"sequential\": 1, \"parallel\": {max_threads}, \"gate_tolerance\": {tolerance}}},\n  \"gates\": \"asserted: parallel output == sequential output on every workload; parallel_ms <= sequential_ms * tolerance at max threads; compacted find_via_jnl <= fragmented with identical results\",\n  \"collection\": {{\"documents\": {}, \"segments\": {}}},\n  \"workloads\": [\n{}\n  ],\n  \"compaction\": {{\"documents\": {n_frag}, \"segments_fragmented\": {frag_segments}, \"segments_compacted\": {}, \"fragmented_jnl_ms\": {frag_jnl_ms:.3}, \"compacted_jnl_ms\": {comp_jnl_ms:.3}, \"jnl_speedup\": {:.3}, \"fragmented_agg_ms\": {frag_agg_ms:.3}, \"compacted_agg_ms\": {comp_agg_ms:.3}, \"agg_speedup\": {:.3}}}\n}}\n",
+        coll.len(),
+        coll.segments().len(),
+        entries.join(",\n"),
+        frag.segments().len(),
+        frag_jnl_ms / comp_jnl_ms,
+        frag_agg_ms / comp_agg_ms,
+    );
+    std::fs::write("BENCH_parallel.json", &json).expect("write BENCH_parallel.json");
+    println!("wrote BENCH_parallel.json");
 }

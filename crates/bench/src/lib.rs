@@ -254,6 +254,49 @@ pub fn s5_pipelines() -> Vec<(&'static str, &'static str)> {
     ]
 }
 
+/// S6: the parallel-execution benchmark pipelines (label, pipeline JSON).
+/// Both group — the stage whose chunk-merge plan the experiment gates —
+/// and one leads with an exact-fragment `$match` (whole-tree JNL per
+/// segment) while the other fans `$unwind` row expansion out first.
+pub fn s6_pipelines() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "jnl_match_group",
+            r#"[
+                {"$match": {"name.last": {"$in": ["Doe", "Smith", "Lopez", "Chen", "Haddad", "Kim"]}}},
+                {"$group": {"_id": {"f": "$name.first", "l": "$name.last"},
+                            "n": {"$count": {}},
+                            "ages": {"$push": "$age"},
+                            "youngest": {"$min": "$age"}}},
+                {"$sort": {"n": 0, "_id": 1}},
+                {"$limit": 10}
+            ]"#,
+        ),
+        (
+            "unwind_group",
+            r#"[
+                {"$unwind": "$hobbies"},
+                {"$group": {"_id": "$hobbies",
+                            "n": {"$count": {}},
+                            "total_age": {"$sum": "$age"},
+                            "avg_age": {"$avg": "$age"},
+                            "first_id": {"$first": "$id"},
+                            "last_id": {"$last": "$id"}}},
+                {"$sort": {"n": 0, "_id": 1}}
+            ]"#,
+        ),
+    ]
+}
+
+/// S6: the find filter driving the chunk-parallel document scan (outside
+/// the exact JNL fragment, so it runs `matches_at` per document).
+pub const S6_FIND_FILTER: &str =
+    r#"{"name.first": {"$in": ["Sue", "Omar", "Ivy"]}, "age": {"$gte": 30, "$lte": 79}}"#;
+
+/// S6: the exact-fragment filter driving the per-segment JNL fan-out
+/// (one whole-tree Proposition 1 evaluation per segment).
+pub const S6_JNL_FILTER: &str = r#"{"name.last": {"$in": ["Doe", "Kim", "Chen"]}}"#;
+
 /// E9: the even-depth recursive JSL expression of the paper's Example 2.
 pub fn e9_even_depth() -> jsl::RecursiveJsl {
     jsl::RecursiveJsl {

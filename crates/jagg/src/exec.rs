@@ -24,6 +24,23 @@
 //! observation, or the rare merged view of a subtree that contains a
 //! binding).
 //!
+//! ## Parallel execution
+//!
+//! Per-row stages (`$match`, `$project`, `$unwind`, sort-key resolution,
+//! output materialisation, the accumulator folds of `$group`) fan out in
+//! contiguous row-range chunks on the collection's [`jpar::Pool`]; chunk
+//! results splice back in chunk order, so the output is identical for
+//! every thread count and a 1-thread pool (or a row vector below
+//! [`PAR_MIN_ROWS`]) runs the exact sequential code inline. Everything a
+//! worker touches is read-only shared state: the executor's per-segment
+//! [`CanonTable`]s live in `OnceLock` slots and are built **eagerly, in
+//! parallel, before a `$group` fan-out** (never through `&mut self`
+//! laziness), and `$group` itself is a three-phase plan — parallel key
+//! resolution, a sequential unification barrier, parallel accumulation
+//! with an in-chunk-order merge (see [`Engine::group`]). `$sort`'s
+//! comparison sort, `$skip`/`$limit` and group-output assembly stay
+//! sequential on the merged stream.
+//!
 //! ## Fast paths
 //!
 //! * A leading `$match` whose filter is in the exactly-compilable JNL
@@ -32,16 +49,24 @@
 //!   walk; outside the fragment it runs [`Filter::matches_at`] per
 //!   document — no materialisation either way.
 //! * `$group` keys that resolve to tree nodes are hashed by their
-//!   [`CanonTable`] class (built once per segment, lazily): two key nodes
-//!   with equal subtrees share a class, so the common case never
-//!   materialises or hashes a key value at all. Classes from different
-//!   segments — and synthesized keys — unify through one [`Json`]-keyed
-//!   table that each class materialises into at most once.
+//!   [`CanonTable`] class: two key nodes with equal subtrees share a
+//!   class, so the common case never materialises or hashes a key value
+//!   at all. At the unification barrier each distinct `(segment, class)`
+//!   materialises **at most once per collection run** and unifies with
+//!   other segments' classes — and with synthesized keys — through one
+//!   shared [`Json`]-keyed map.
+//! * `$sort` immediately followed by `$limit k` (or `$skip s` + `$limit
+//!   k`) never performs the full sort: a bounded max-heap retains the
+//!   `s + k` best rows under the stable `(sort keys, input position)`
+//!   order (see [`Engine::top_k`]); `jagg::reference` keeps the full-sort
+//!   semantics as the oracle.
 
 use std::cmp::Ordering;
+use std::sync::OnceLock;
 
+use jpar::Pool;
 use jsondata::fxhash::FxHashMap;
-use jsondata::{CanonTable, Json, JsonTree, NodeKind};
+use jsondata::{CanonTable, Json, JsonTree, NodeId, NodeKind};
 use mongofind::{
     cmp_node_json, insert_path, json_kind, resolve_node_step, type_matches_kind, Collection,
     DocRef, Filter, Path,
@@ -51,10 +76,18 @@ use crate::pipeline::{
     Accumulator, GroupSpec, IdExpr, Pipeline, ProjectField, SortOrder, Stage, ValueExpr,
 };
 
+/// Row vectors below this length always execute sequentially inline,
+/// whatever the pool size — fan-out overhead would dominate.
+const PAR_MIN_ROWS: usize = 512;
+
+/// Minimum rows per chunk when a stage does fan out.
+const ROW_CHUNK_MIN: usize = 128;
+
 /// Runs an aggregation pipeline over a collection's tree column, returning
-/// the output documents. Agrees exactly with
-/// [`crate::reference::aggregate`] over [`Collection::docs`] (differentially
-/// tested and CI-gated).
+/// the output documents. Execution fans out on the collection's pool
+/// ([`Collection::pool`]); output is identical for every thread count.
+/// Agrees exactly with [`crate::reference::aggregate`] over
+/// [`Collection::docs`] (differentially tested and CI-gated).
 pub fn aggregate(coll: &Collection, pipeline: &Pipeline) -> Vec<Json> {
     Engine::new(coll).run(&pipeline.stages)
 }
@@ -105,16 +138,21 @@ enum Resolved<'a> {
 
 struct Engine<'c> {
     coll: &'c Collection,
-    /// Lazily built canonical-label tables, one slot per segment (the
-    /// `$group` key fast path).
-    canon: Vec<Option<CanonTable>>,
+    pool: Pool,
+    /// Canonical-label tables, one slot per segment (the `$group` key fast
+    /// path). Thread-safe on-demand construction; `$group` fan-outs build
+    /// every missing slot eagerly (and in parallel) first.
+    canon: Vec<OnceLock<CanonTable>>,
 }
 
 impl<'c> Engine<'c> {
     fn new(coll: &'c Collection) -> Engine<'c> {
         Engine {
             coll,
-            canon: (0..coll.segments().len()).map(|_| None).collect(),
+            pool: *coll.pool(),
+            canon: (0..coll.segments().len())
+                .map(|_| OnceLock::new())
+                .collect(),
         }
     }
 
@@ -126,15 +164,56 @@ impl<'c> Engine<'c> {
         self.tree(d.seg).json_at(d.node)
     }
 
-    fn canon(&mut self, seg: u32) -> &CanonTable {
-        let slot = &mut self.canon[seg as usize];
-        if slot.is_none() {
-            *slot = Some(CanonTable::build(&self.coll.segments()[seg as usize]));
-        }
-        slot.as_ref().expect("just built")
+    fn canon(&self, seg: u32) -> &CanonTable {
+        self.canon[seg as usize]
+            .get_or_init(|| CanonTable::build(&self.coll.segments()[seg as usize]))
     }
 
-    fn run(&mut self, stages: &[Stage]) -> Vec<Json> {
+    /// Builds the missing canonical-label tables of every segment `rows`
+    /// can resolve a key node in, fanning the builds out on the pool — the
+    /// eager pre-fan-out form of [`Engine::canon`], so `$group` workers
+    /// only ever *read* the slots. Row key resolution can only land in a
+    /// tree reachable from the row — its base cursor's segment or a
+    /// binding's — so segments hosting no row (a selective leading
+    /// `$match` over a fragmented collection leaves most of them empty)
+    /// are never built.
+    fn build_canon_for(&self, rows: &[Row]) {
+        let mut needed = vec![false; self.canon.len()];
+        for row in rows {
+            if let Base::Node(d) = &row.base {
+                needed[d.seg as usize] = true;
+            }
+            for (_, v) in &row.binds {
+                needed[v.seg as usize] = true;
+            }
+        }
+        let missing: Vec<usize> = (0..self.canon.len())
+            .filter(|&i| needed[i] && self.canon[i].get().is_none())
+            .collect();
+        if missing.is_empty() {
+            return;
+        }
+        let built = self.pool.map(missing.len(), |k| {
+            CanonTable::build(&self.coll.segments()[missing[k]])
+        });
+        for (i, table) in missing.into_iter().zip(built) {
+            // A racing get_or_init may have won the slot; either table is
+            // byte-identical (class assignment is deterministic per tree).
+            let _ = self.canon[i].set(table);
+        }
+    }
+
+    /// The chunk size row-range fan-outs use: collapses to one inline
+    /// chunk for serial pools and small row vectors.
+    fn row_chunk(&self, n: usize) -> usize {
+        if self.pool.threads() <= 1 || n < PAR_MIN_ROWS {
+            n.max(1)
+        } else {
+            self.pool.chunk_for(n, ROW_CHUNK_MIN)
+        }
+    }
+
+    fn run(&self, stages: &[Stage]) -> Vec<Json> {
         let mut rows: Vec<Row>;
         let rest = match stages.first() {
             // Leading-$match fast path: the filter runs over the tree
@@ -154,16 +233,44 @@ impl<'c> Engine<'c> {
                 stages
             }
         };
-        for stage in rest {
-            rows = self.step(rows, stage);
+        let mut i = 0;
+        while i < rest.len() {
+            // Top-k pushdown: `$sort` whose output is immediately cut to
+            // `skip + limit` rows is answered by a bounded heap instead of
+            // a full sort.
+            if let Stage::Sort(spec) = &rest[i] {
+                let fused = match (rest.get(i + 1), rest.get(i + 2)) {
+                    (Some(Stage::Limit(k)), _) => Some((0usize, clamp_len(*k), 2usize)),
+                    (Some(Stage::Skip(s)), Some(Stage::Limit(k))) => {
+                        Some((clamp_len(*s), clamp_len(*k), 3))
+                    }
+                    _ => None,
+                };
+                if let Some((skip, limit, consumed)) = fused {
+                    rows = self.top_k(rows, spec, skip, limit);
+                    i += consumed;
+                    continue;
+                }
+            }
+            rows = self.step(rows, &rest[i]);
+            i += 1;
         }
-        rows.into_iter().map(|r| self.materialize(r)).collect()
+        let n = rows.len();
+        let chunk = self.row_chunk(n);
+        if chunk >= n {
+            rows.into_iter().map(|r| self.materialize(r)).collect()
+        } else {
+            self.pool.flat_map_chunks(n, chunk, |r| {
+                r.map(|i| self.materialize_ref(&rows[i])).collect()
+            })
+        }
     }
 
     /// The first `$match` of a pipeline, straight off the collection:
     /// one whole-tree JNL evaluation per segment when the filter compiles
     /// exactly (Proposition 1 answers every document of a segment at
-    /// once), [`Filter::matches_at`] per document otherwise.
+    /// once), [`Filter::matches_at`] per document otherwise. Both paths
+    /// are the (already parallel) `Collection` scans.
     fn leading_match(&self, f: &Filter) -> Vec<Row> {
         let refs = if f.jnl_exact() {
             self.coll.find_refs_via_jnl(f)
@@ -173,19 +280,30 @@ impl<'c> Engine<'c> {
         refs.into_iter().map(Row::node).collect()
     }
 
-    fn step(&mut self, mut rows: Vec<Row>, stage: &Stage) -> Vec<Row> {
+    fn step(&self, mut rows: Vec<Row>, stage: &Stage) -> Vec<Row> {
         match stage {
             Stage::Match(f) => {
-                rows.retain(|r| self.row_matches(r, f));
+                let n = rows.len();
+                let chunk = self.row_chunk(n);
+                if chunk >= n {
+                    rows.retain(|r| self.row_matches(r, f));
+                } else {
+                    let keep: Vec<bool> = self.pool.flat_map_chunks(n, chunk, |r| {
+                        r.map(|i| self.row_matches(&rows[i], f)).collect()
+                    });
+                    let mut mask = keep.into_iter();
+                    rows.retain(|_| mask.next().expect("mask covers every row"));
+                }
                 rows
             }
-            Stage::Project(spec) => rows
-                .into_iter()
-                .map(|r| {
-                    let projected = self.project(&r, spec);
-                    Row::owned(projected)
+            Stage::Project(spec) => {
+                let n = rows.len();
+                let chunk = self.row_chunk(n);
+                self.pool.flat_map_chunks(n, chunk, |r| {
+                    r.map(|i| Row::owned(self.project(&rows[i], spec)))
+                        .collect()
                 })
-                .collect(),
+            }
             Stage::Unwind(path) => self.unwind(rows, path),
             Stage::Group(spec) => self.group(rows, spec),
             Stage::Sort(spec) => self.sort(rows, spec),
@@ -269,8 +387,17 @@ impl<'c> Engine<'c> {
     fn materialize(&self, row: Row) -> Json {
         match row.base {
             Base::Owned(j) => j,
+            Base::Node(_) => self.materialize_ref(&row),
+        }
+    }
+
+    /// [`Engine::materialize`] without consuming the row (the parallel
+    /// output path, where rows are materialised through a shared borrow).
+    fn materialize_ref(&self, row: &Row) -> Json {
+        match &row.base {
+            Base::Owned(j) => j.clone(),
             Base::Node(d) => {
-                let mut j = self.json_of(d);
+                let mut j = self.json_of(*d);
                 for (p, v) in &row.binds {
                     set_at(&mut j, &p.0, self.json_of(*v));
                 }
@@ -403,6 +530,27 @@ impl<'c> Engine<'c> {
     // ---- $unwind -----------------------------------------------------
 
     fn unwind(&self, rows: Vec<Row>, path: &Path) -> Vec<Row> {
+        let n = rows.len();
+        let chunk = self.row_chunk(n);
+        if chunk >= n {
+            let mut out = Vec::new();
+            for row in rows {
+                self.unwind_into(row, path, &mut out);
+            }
+            out
+        } else {
+            self.pool.flat_map_chunks(n, chunk, |r| {
+                let mut out = Vec::new();
+                for i in r {
+                    self.unwind_into(rows[i].clone(), path, &mut out);
+                }
+                out
+            })
+        }
+    }
+
+    /// Unwinds one row, appending its output rows in order.
+    fn unwind_into(&self, row: Row, path: &Path, out: &mut Vec<Row>) {
         enum Plan {
             Keep,
             Drop,
@@ -411,101 +559,170 @@ impl<'c> Engine<'c> {
             /// Rebase the materialised row once per element.
             OwnedElems(Vec<Json>),
         }
-        let mut out = Vec::new();
-        for row in rows {
-            let plan = match self.resolve(&row, path) {
-                None => Plan::Drop,
-                Some(Resolved::Node(d)) => {
-                    if self.tree(d.seg).kind(d.node) == NodeKind::Arr {
-                        Plan::BindElems(d)
-                    } else {
-                        // MongoDB treats a non-array value as the
-                        // single-element case: the row passes unchanged.
-                        Plan::Keep
-                    }
+        let plan = match self.resolve(&row, path) {
+            None => Plan::Drop,
+            Some(Resolved::Node(d)) => {
+                if self.tree(d.seg).kind(d.node) == NodeKind::Arr {
+                    Plan::BindElems(d)
+                } else {
+                    // MongoDB treats a non-array value as the
+                    // single-element case: the row passes unchanged.
+                    Plan::Keep
                 }
-                Some(Resolved::Owned(j)) => match j.as_array() {
-                    Some(items) => Plan::OwnedElems(items.to_vec()),
-                    None => Plan::Keep,
-                },
-                Some(Resolved::Merged(j)) => match j {
-                    Json::Array(items) => Plan::OwnedElems(items),
-                    _ => Plan::Keep,
-                },
-            };
-            match plan {
-                Plan::Drop => {}
-                Plan::Keep => out.push(row),
-                Plan::BindElems(arr) => {
-                    let t = self.tree(arr.seg);
-                    for &node in t.arr_children(arr.node) {
-                        let mut unwound = row.clone();
-                        unwound
-                            .binds
-                            .push((path.clone(), DocRef { seg: arr.seg, node }));
-                        out.push(unwound);
-                    }
+            }
+            Some(Resolved::Owned(j)) => match j.as_array() {
+                Some(items) => Plan::OwnedElems(items.to_vec()),
+                None => Plan::Keep,
+            },
+            Some(Resolved::Merged(j)) => match j {
+                Json::Array(items) => Plan::OwnedElems(items),
+                _ => Plan::Keep,
+            },
+        };
+        match plan {
+            Plan::Drop => {}
+            Plan::Keep => out.push(row),
+            Plan::BindElems(arr) => {
+                let t = self.tree(arr.seg);
+                for &node in t.arr_children(arr.node) {
+                    let mut unwound = row.clone();
+                    unwound
+                        .binds
+                        .push((path.clone(), DocRef { seg: arr.seg, node }));
+                    out.push(unwound);
                 }
-                Plan::OwnedElems(items) => {
-                    // The resolve borrow has ended, so the row materialises
-                    // by move — an owned base is reused, not re-cloned.
-                    let base = self.materialize(row);
-                    for elem in items {
-                        let mut doc = base.clone();
-                        set_at(&mut doc, &path.0, elem);
-                        out.push(Row::owned(doc));
-                    }
+            }
+            Plan::OwnedElems(items) => {
+                // The resolve borrow has ended, so the row materialises
+                // by move — an owned base is reused, not re-cloned.
+                let base = self.materialize(row);
+                for elem in items {
+                    let mut doc = base.clone();
+                    set_at(&mut doc, &path.0, elem);
+                    out.push(Row::owned(doc));
                 }
             }
         }
-        out
     }
 
     // ---- $group ------------------------------------------------------
 
-    fn group(&mut self, rows: Vec<Row>, spec: &GroupSpec) -> Vec<Row> {
-        // Group keys: canonical-class fast path for tree-node keys, one
-        // shared Json-keyed table for everything (classes materialise into
-        // it at most once, synthesized keys go straight in). `None` is the
-        // missing-key group.
+    /// `$group`, as a three-phase plan whose serial specialisation (one
+    /// chunk) is the defined semantics:
+    ///
+    /// 1. **Key resolution (parallel).** Each row's `_id` resolves once.
+    ///    Keys that are pure tree nodes stay unmaterialised — `(segment,
+    ///    canonical class)` plus a representative node — everything else
+    ///    (constants, compound documents, synthesized/owned/merged values,
+    ///    the missing-key group) materialises its key value here.
+    /// 2. **Unification barrier (sequential).** Row keys map to global
+    ///    group ids: each distinct `(segment, class)` materialises its
+    ///    value **at most once per collection run** and funnels — together
+    ///    with every synthesized key — through one shared `Json`-keyed
+    ///    map, so equal keys from different segments (or different
+    ///    representations) land in one group.
+    /// 3. **Accumulation (parallel) + in-order merge.** Chunks fold their
+    ///    rows into per-chunk accumulator tables keyed by group id; the
+    ///    barrier merges chunk tables **in chunk order**, which restores
+    ///    exact input order for the order-sensitive accumulators
+    ///    (`$push`/`$first`/`$last`) and plain sums for the rest.
+    fn group(&self, rows: Vec<Row>, spec: &GroupSpec) -> Vec<Row> {
+        /// A resolved-but-not-yet-unified row key.
+        enum KeyH {
+            /// A pure tree-node key: `(segment, class)` plus one node of
+            /// that class to materialise from if the barrier needs to.
+            Class { seg: u32, class: u32, rep: NodeId },
+            /// A materialised key (`None` = the missing-key group).
+            Owned(Option<Json>),
+        }
+
+        let n = rows.len();
+        let chunk = self.row_chunk(n);
+        if chunk < n && matches!(spec.id, IdExpr::Field(_)) {
+            // The fan-out reads canon slots; build the reachable ones up
+            // front.
+            self.build_canon_for(&rows);
+        }
+
+        // Phase 1: per-row key handles, in row order.
+        let keys: Vec<KeyH> = self.pool.flat_map_chunks(n, chunk, |r| {
+            r.map(|i| match &spec.id {
+                IdExpr::Field(p) => match self.resolve(&rows[i], p) {
+                    Some(Resolved::Node(d)) => KeyH::Class {
+                        seg: d.seg,
+                        class: self.canon(d.seg).class_of(d.node),
+                        rep: d.node,
+                    },
+                    resolved => KeyH::Owned(resolved.map(|r| self.materialize_resolved(r))),
+                },
+                id => KeyH::Owned(self.group_key(&rows[i], id)),
+            })
+            .collect()
+        });
+
+        // Phase 2: the unification barrier.
         let mut by_json: FxHashMap<Option<Json>, usize> = FxHashMap::default();
         let mut by_class: FxHashMap<(u32, u32), usize> = FxHashMap::default();
-        let mut groups: Vec<(Option<Json>, Vec<AccState>)> = Vec::new();
-
-        for row in rows {
-            // Field keys resolve exactly once: pure nodes go through the
-            // class table, synthesized/owned/missing resolutions fall back
-            // to the Json table directly.
-            let gi = match &spec.id {
-                IdExpr::Field(p) => match self.resolve(&row, p) {
-                    Some(Resolved::Node(d)) => {
-                        let ck = (d.seg, self.canon(d.seg).class_of(d.node));
-                        match by_class.get(&ck) {
-                            Some(&gi) => gi,
-                            None => {
-                                let key = Some(self.json_of(d));
-                                let gi = Self::group_slot(&mut by_json, &mut groups, key, spec);
-                                by_class.insert(ck, gi);
-                                gi
-                            }
-                        }
-                    }
-                    resolved => {
-                        let key = resolved.map(|r| self.materialize_resolved(r));
-                        Self::group_slot(&mut by_json, &mut groups, key, spec)
+        let mut group_keys: Vec<Option<Json>> = Vec::new();
+        let mut slot = |key: Option<Json>, group_keys: &mut Vec<Option<Json>>| -> usize {
+            if let Some(&gi) = by_json.get(&key) {
+                return gi;
+            }
+            let gi = group_keys.len();
+            by_json.insert(key.clone(), gi);
+            group_keys.push(key);
+            gi
+        };
+        let row_gis: Vec<usize> = keys
+            .into_iter()
+            .map(|k| match k {
+                KeyH::Class { seg, class, rep } => match by_class.get(&(seg, class)) {
+                    Some(&gi) => gi,
+                    None => {
+                        let key = Some(self.tree(seg).json_at(rep));
+                        let gi = slot(key, &mut group_keys);
+                        by_class.insert((seg, class), gi);
+                        gi
                     }
                 },
-                id => {
-                    let key = self.group_key(&row, id);
-                    Self::group_slot(&mut by_json, &mut groups, key, spec)
+                KeyH::Owned(key) => slot(key, &mut group_keys),
+            })
+            .collect();
+        let n_groups = group_keys.len();
+
+        // Phase 3: per-chunk accumulation, merged in chunk order.
+        let partials: Vec<FxHashMap<usize, Vec<AccState>>> = self.pool.map_chunks(n, chunk, |r| {
+            let mut local: FxHashMap<usize, Vec<AccState>> = FxHashMap::default();
+            for i in r {
+                let states = local
+                    .entry(row_gis[i])
+                    .or_insert_with(|| spec.accs.iter().map(|(_, a)| AccState::new(a)).collect());
+                for (state, (_, acc)) in states.iter_mut().zip(&spec.accs) {
+                    self.accumulate_into(state, acc, &rows[i]);
                 }
-            };
-            for (state, (_, acc)) in groups[gi].1.iter_mut().zip(&spec.accs) {
-                self.accumulate_into(state, acc, &row);
+            }
+            local
+        });
+        let mut states: Vec<Option<Vec<AccState>>> = (0..n_groups).map(|_| None).collect();
+        for partial in partials {
+            for (gi, part) in partial {
+                match &mut states[gi] {
+                    None => states[gi] = Some(part),
+                    Some(dst) => {
+                        for (d, s) in dst.iter_mut().zip(part) {
+                            d.absorb(s);
+                        }
+                    }
+                }
             }
         }
 
         // Deterministic output order: missing key first, then total order.
+        let mut groups: Vec<(Option<Json>, Vec<AccState>)> = group_keys
+            .into_iter()
+            .zip(states)
+            .map(|(key, st)| (key, st.expect("every group id came from a row")))
+            .collect();
         groups.sort_by(|a, b| cmp_opt_json(&a.0, &b.0));
         groups
             .into_iter()
@@ -522,22 +739,6 @@ impl<'c> Engine<'c> {
                 Row::owned(Json::object(pairs).expect("parser validated distinct names"))
             })
             .collect()
-    }
-
-    fn group_slot(
-        by_json: &mut FxHashMap<Option<Json>, usize>,
-        groups: &mut Vec<(Option<Json>, Vec<AccState>)>,
-        key: Option<Json>,
-        spec: &GroupSpec,
-    ) -> usize {
-        if let Some(&gi) = by_json.get(&key) {
-            return gi;
-        }
-        let gi = groups.len();
-        let states = spec.accs.iter().map(|(_, a)| AccState::new(a)).collect();
-        groups.push((key.clone(), states));
-        by_json.insert(key, gi);
-        gi
     }
 
     /// The group key of a row (`Field` ids are resolved inline by
@@ -630,22 +831,120 @@ impl<'c> Engine<'c> {
 
     // ---- $sort -------------------------------------------------------
 
+    /// Resolves the sort-key vector of every row (parallel chunks, row
+    /// order preserved) — the per-row half both [`Engine::sort`] and
+    /// [`Engine::top_k`] share.
+    fn sort_keys(&self, rows: &[Row], spec: &[(Path, SortOrder)]) -> Vec<Vec<Option<Json>>> {
+        let n = rows.len();
+        let chunk = self.row_chunk(n);
+        self.pool.flat_map_chunks(n, chunk, |r| {
+            r.map(|i| {
+                spec.iter()
+                    .map(|(p, _)| {
+                        self.resolve(&rows[i], p)
+                            .map(|x| self.materialize_resolved(x))
+                    })
+                    .collect()
+            })
+            .collect()
+        })
+    }
+
     fn sort(&self, rows: Vec<Row>, spec: &[(Path, SortOrder)]) -> Vec<Row> {
         // Sort keys are resolved on the tree and materialised once per row
         // (they are typically scalars); the rows themselves stay cursors.
-        let mut keyed: Vec<(Vec<Option<Json>>, Row)> = rows
-            .into_iter()
-            .map(|row| {
-                let keys = spec
-                    .iter()
-                    .map(|(p, _)| self.resolve(&row, p).map(|r| self.materialize_resolved(r)))
-                    .collect();
-                (keys, row)
-            })
-            .collect();
+        // The comparison sort runs sequentially on the merged stream.
+        let keys = self.sort_keys(&rows, spec);
+        let mut keyed: Vec<(Vec<Option<Json>>, Row)> = keys.into_iter().zip(rows).collect();
         // Stable, so equal-key rows keep their input order.
         keyed.sort_by(|(ka, _), (kb, _)| cmp_sort_keys(spec, ka, kb));
         keyed.into_iter().map(|(_, row)| row).collect()
+    }
+
+    /// The fused `$sort` + pagination: returns `stable_sort(rows)[skip ..
+    /// skip + limit]` while retaining only `skip + limit` rows at a time.
+    ///
+    /// Correctness rests on `(sort keys, input position)` being a *total*
+    /// order: the bounded max-heap keeps the `skip + limit` least rows
+    /// under it, and sorting those ascending is exactly the first
+    /// `skip + limit` rows of the full stable sort (ties resolved by input
+    /// position = stability). `jagg::reference` runs the unfused full
+    /// sort as the oracle; the differential suite pins equality including
+    /// tie cases.
+    fn top_k(
+        &self,
+        rows: Vec<Row>,
+        spec: &[(Path, SortOrder)],
+        skip: usize,
+        limit: usize,
+    ) -> Vec<Row> {
+        let keep = skip.saturating_add(limit);
+        if keep == 0 || rows.is_empty() {
+            return Vec::new();
+        }
+        if keep >= rows.len() {
+            // The heap would hold everything: the full sort is cheaper.
+            let mut out = self.sort(rows, spec);
+            out.drain(..skip.min(out.len()));
+            out.truncate(limit);
+            return out;
+        }
+        let keys = self.sort_keys(&rows, spec);
+        // A max-heap of the `keep` least entries under [`TopEnt`]'s total
+        // `(keys, seq)` order: the root is the worst kept row, displaced
+        // whenever a strictly-earlier-ordering row arrives (`PeekMut`
+        // restores the heap on drop).
+        let mut heap: std::collections::BinaryHeap<TopEnt<'_>> =
+            std::collections::BinaryHeap::with_capacity(keep);
+        for (seq, (keys, row)) in keys.into_iter().zip(rows).enumerate() {
+            let ent = TopEnt {
+                spec,
+                keys,
+                seq,
+                row,
+            };
+            if heap.len() < keep {
+                heap.push(ent);
+            } else if let Some(mut worst) = heap.peek_mut() {
+                if ent < *worst {
+                    *worst = ent;
+                }
+            }
+        }
+        let mut kept = heap.into_sorted_vec();
+        kept.drain(..skip.min(kept.len()));
+        kept.truncate(limit);
+        kept.into_iter().map(|e| e.row).collect()
+    }
+}
+
+/// One candidate row of [`Engine::top_k`]'s bounded heap, ordered by the
+/// stable `(sort keys, input position)` total order — the row itself does
+/// not participate in comparisons.
+struct TopEnt<'s> {
+    spec: &'s [(Path, SortOrder)],
+    keys: Vec<Option<Json>>,
+    seq: usize,
+    row: Row,
+}
+
+impl PartialEq for TopEnt<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for TopEnt<'_> {}
+
+impl PartialOrd for TopEnt<'_> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for TopEnt<'_> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        cmp_sort_keys(self.spec, &self.keys, &other.keys).then(self.seq.cmp(&other.seq))
     }
 }
 
@@ -675,6 +974,37 @@ impl AccState {
         }
     }
 
+    /// Folds `later` — the state accumulated over a *later* contiguous row
+    /// range — into `self`. Merging chunk states in chunk order is exactly
+    /// the sequential fold: sums/counts add, min/max compare (ties keep
+    /// the earlier observation, as the sequential fold does), `$push`
+    /// concatenates, `$first` keeps the earliest observation and `$last`
+    /// the latest.
+    fn absorb(&mut self, later: AccState) {
+        match (self, later) {
+            (AccState::Sum(a), AccState::Sum(b)) => *a += b,
+            (AccState::Avg { sum, count }, AccState::Avg { sum: s2, count: c2 }) => {
+                *sum += s2;
+                *count += c2;
+            }
+            (AccState::Min(a), AccState::Min(b)) => absorb_best(a, b, Ordering::Less),
+            (AccState::Max(a), AccState::Max(b)) => absorb_best(a, b, Ordering::Greater),
+            (AccState::Count(a), AccState::Count(b)) => *a += b,
+            (AccState::Push(a), AccState::Push(b)) => a.extend(b),
+            (AccState::First(a), AccState::First(b)) => {
+                if a.is_none() {
+                    *a = b;
+                }
+            }
+            (AccState::Last(a), AccState::Last(b)) => {
+                if b.is_some() {
+                    *a = b;
+                }
+            }
+            _ => unreachable!("state shape fixed by AccState::new"),
+        }
+    }
+
     /// The output value, or `None` for empty-observation accumulators
     /// whose field is omitted (the fragment has no `null`).
     fn finish(self) -> Option<Json> {
@@ -685,6 +1015,21 @@ impl AccState {
             AccState::Min(v) | AccState::Max(v) | AccState::First(v) | AccState::Last(v) => v,
             AccState::Count(n) => Some(Json::Num(n)),
             AccState::Push(items) => Some(Json::Array(items)),
+        }
+    }
+}
+
+/// The `$min`/`$max` merge rule: take the later best only when it strictly
+/// beats the earlier one (a tie keeps the earlier observation, matching
+/// the sequential fold's strict-comparison displacement).
+fn absorb_best(dst: &mut Option<Json>, later: Option<Json>, want: Ordering) {
+    if let Some(v) = later {
+        let take = match dst.as_ref() {
+            None => true,
+            Some(d) => v.total_cmp(d) == want,
+        };
+        if take {
+            *dst = Some(v);
         }
     }
 }

@@ -39,6 +39,15 @@
 //! `tests/differential.rs` and CI-gated by `harness s5`
 //! (`BENCH_aggregate.json`).
 //!
+//! Execution fans out on the collection's [`jpar::Pool`]: per-row stages
+//! run in chunked parallel over the row vector, `$group` accumulates
+//! per-chunk tables merged in chunk order at a barrier, and adjacent
+//! `$sort`+`$limit` (optionally with `$skip`) fuse into a bounded-heap
+//! top-k — all without changing a byte of output for any thread count
+//! (the [`reference`] oracle keeps the unfused full-sort semantics; the
+//! determinism suite in `tests/parallel.rs` and `harness s6` gate it).
+//! See [`exec`] for the threading model.
+//!
 //! ## Example
 //!
 //! ```

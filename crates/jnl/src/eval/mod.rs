@@ -156,6 +156,21 @@ pub fn evaluate(tree: &JsonTree, phi: &Unary) -> NodeSet {
     }
 }
 
+/// [`evaluate`] over many trees at once, fanned out on `pool` — the
+/// per-segment entry point of a segmented collection (each segment of a
+/// `mongofind` tree column is one independent whole-tree evaluation).
+///
+/// Every per-tree evaluation owns its *entire* mutable state — the
+/// [`EvalContext`] with its canonical-label table and regex edge
+/// matchers/DFA bitsets is built inside the worker, per tree, exactly as
+/// in the sequential path — so workers share only the immutable trees and
+/// formula. Results come back in tree order regardless of thread count,
+/// and a 1-thread pool runs the trees inline in order (byte-identical to
+/// mapping [`evaluate`] yourself).
+pub fn evaluate_batch(trees: &[JsonTree], phi: &Unary, pool: &jpar::Pool) -> Vec<NodeSet> {
+    pool.map(trees.len(), |i| evaluate(&trees[i], phi))
+}
+
 /// Convenience: does the root satisfy `φ`?
 pub fn check_root(tree: &JsonTree, phi: &Unary) -> bool {
     evaluate(tree, phi)[tree.root().index()]

@@ -1,0 +1,268 @@
+//! # jpar — a scoped worker pool for embarrassingly parallel index ranges
+//!
+//! The query layers of this workspace (the `mongofind` find paths, the
+//! `jagg` aggregation executor, per-segment JNL evaluation) are all
+//! *per-document computations over immutable trees*: the collection's
+//! segmented tree column is built once, then every query step maps an
+//! index range `0..n` (documents, rows, or segments) through a pure
+//! function of shared read-only state. This crate is the one
+//! parallelism substrate they share — the build environment has no
+//! crates.io access (so no `rayon`), and `std::thread::scope` is all
+//! that is needed for this shape of work.
+//!
+//! ## Threading model
+//!
+//! * **Shared state is read-only.** A [`Pool`] call borrows its closure
+//!   (and everything the closure captures) immutably across all
+//!   workers; nothing behind `&mut` crosses a thread boundary. Callers
+//!   that used to build caches lazily through `&mut self` (canonical
+//!   subtree tables, regex edge bitsets) must either build them
+//!   **eagerly before the fan-out** or make them **worker-owned**
+//!   (each worker builds its own) — the `jagg` executor does the
+//!   former for `CanonTable`s, the JNL batch evaluator does the latter
+//!   for its whole evaluation context.
+//! * **Work is stolen in chunks.** [`Pool::map_chunks`] splits `0..n`
+//!   into fixed-size chunks; workers claim chunk indices from one
+//!   atomic counter (`fetch_add`), so a slow chunk never stalls the
+//!   others and no per-item synchronisation exists.
+//! * **Results are spliced deterministically.** Each chunk's output is
+//!   returned to its chunk slot, so the assembled `Vec` is in index
+//!   order *regardless of thread count or steal order*. Any
+//!   order-sensitive reduction (accumulator states, group tables) must
+//!   be merged **in chunk order** by the caller — chunk `i` always
+//!   holds the results of items `i*chunk .. (i+1)*chunk`, contiguous
+//!   and in order.
+//! * **`N = 1` is the semantic oracle.** A pool with one thread (or a
+//!   call whose range fits in one chunk) runs the chunks inline on the
+//!   calling thread, in order, spawning nothing — not merely "the same
+//!   results" but the *same sequence of closure applications* as the
+//!   pre-parallel code. The determinism suites compare every parallel
+//!   path against this serial fallback; a parallel run that disagrees
+//!   with `N = 1` is a bug by definition.
+//!
+//! ## Choosing a thread count
+//!
+//! [`Pool::auto`] uses [`std::thread::available_parallelism`], overridden
+//! by the `JPAR_THREADS` environment variable (useful for benchmarking
+//! `1` vs `max` on one machine) or by [`Pool::with_threads`]. Thread
+//! counts are clamped to at least 1.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// The environment variable overriding [`Pool::auto`]'s thread count.
+pub const THREADS_ENV: &str = "JPAR_THREADS";
+
+/// A scoped worker pool: a thread count plus the dispatch strategy.
+///
+/// `Pool` is a plain value (cheap to copy, no OS resources); threads are
+/// spawned per call inside a [`std::thread::scope`] and joined before the
+/// call returns, so borrowed data needs no `'static` lifetime and a
+/// panicking worker propagates to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    fn default() -> Pool {
+        Pool::auto()
+    }
+}
+
+impl Pool {
+    /// A single-threaded pool: every call runs inline on the calling
+    /// thread, in order — the semantic oracle of the parallel paths.
+    pub fn serial() -> Pool {
+        Pool { threads: 1 }
+    }
+
+    /// A pool with an explicit thread count (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> Pool {
+        Pool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The machine's available parallelism, overridden by the
+    /// `JPAR_THREADS` environment variable when set to a positive number.
+    pub fn auto() -> Pool {
+        let from_env = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        let threads = from_env.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        });
+        Pool { threads }
+    }
+
+    /// The number of worker threads this pool dispatches to (including
+    /// the calling thread, which always participates).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// A chunk size for `len` items that yields several chunks per worker
+    /// (so stealing can balance uneven chunks) without dropping below
+    /// `min_chunk` items — ranges smaller than `min_chunk` collapse into
+    /// a single chunk and therefore run inline, which keeps tiny inputs
+    /// off the thread-spawn path entirely.
+    pub fn chunk_for(&self, len: usize, min_chunk: usize) -> usize {
+        if self.threads <= 1 {
+            return len.max(1);
+        }
+        len.div_ceil(self.threads * 4).max(min_chunk).max(1)
+    }
+
+    /// Maps each index of `0..len` through `f`, returning the results in
+    /// index order. Equivalent to `map_chunks(len, 1, |r| f(r.start))` —
+    /// one item per chunk, for coarse-grained items (e.g. one whole-tree
+    /// evaluation per collection segment).
+    pub fn map<T, F>(&self, len: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        self.map_chunks(len, 1, |r| f(r.start))
+    }
+
+    /// Splits `0..len` into chunks of `chunk` items (the last chunk may be
+    /// short), evaluates `f` on each chunk, and returns the chunk results
+    /// **in chunk order**. Workers steal chunk indices from one atomic
+    /// counter; with one thread or one chunk everything runs inline on the
+    /// calling thread in order (the serial fallback).
+    pub fn map_chunks<T, F>(&self, len: usize, chunk: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> T + Sync,
+    {
+        let chunk = chunk.max(1);
+        let n_chunks = len.div_ceil(chunk);
+        let range_of = |i: usize| i * chunk..((i + 1) * chunk).min(len);
+        let workers = self.threads.min(n_chunks);
+        if workers <= 1 {
+            return (0..n_chunks).map(|i| f(range_of(i))).collect();
+        }
+
+        let next = AtomicUsize::new(0);
+        let run_worker = || {
+            let mut claimed: Vec<(usize, T)> = Vec::new();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_chunks {
+                    break;
+                }
+                claimed.push((i, f(range_of(i))));
+            }
+            claimed
+        };
+
+        let mut slots: Vec<Option<T>> = (0..n_chunks).map(|_| None).collect();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (1..workers).map(|_| scope.spawn(run_worker)).collect();
+            for (i, v) in run_worker() {
+                slots[i] = Some(v);
+            }
+            for h in handles {
+                for (i, v) in h.join().expect("jpar worker panicked") {
+                    slots[i] = Some(v);
+                }
+            }
+        });
+        slots
+            .into_iter()
+            .map(|s| s.expect("every chunk index was claimed exactly once"))
+            .collect()
+    }
+
+    /// [`Pool::map_chunks`] with the chunk results concatenated — the
+    /// common "filter/flat-map a row vector" shape. Item order is
+    /// preserved exactly (chunks are contiguous index ranges spliced in
+    /// chunk order).
+    pub fn flat_map_chunks<T, F>(&self, len: usize, chunk: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> Vec<T> + Sync,
+    {
+        self.map_chunks(len, chunk, f)
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_index_order() {
+        for threads in [1, 2, 3, 8] {
+            let pool = Pool::with_threads(threads);
+            let out = pool.map(100, |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn map_chunks_covers_every_index_exactly_once() {
+        for threads in [1, 2, 5] {
+            for (len, chunk) in [(0, 4), (1, 4), (7, 3), (64, 64), (65, 64), (1000, 17)] {
+                let pool = Pool::with_threads(threads);
+                let parts = pool.map_chunks(len, chunk, |r| r.collect::<Vec<_>>());
+                let flat: Vec<usize> = parts.concat();
+                assert_eq!(
+                    flat,
+                    (0..len).collect::<Vec<_>>(),
+                    "len {len} chunk {chunk}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flat_map_matches_sequential_filter() {
+        let data: Vec<u64> = (0..10_000).map(|i| (i * 2654435761) % 1000).collect();
+        let expect: Vec<u64> = data.iter().copied().filter(|&x| x % 7 == 0).collect();
+        for threads in [1, 2, 8] {
+            let pool = Pool::with_threads(threads);
+            let got = pool.flat_map_chunks(data.len(), 128, |r| {
+                data[r].iter().copied().filter(|&x| x % 7 == 0).collect()
+            });
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn chunk_for_collapses_small_inputs() {
+        let pool = Pool::with_threads(8);
+        // Below the minimum chunk everything fits in one chunk → inline.
+        assert!(pool.chunk_for(100, 256) >= 100);
+        // Large ranges split into several chunks per worker.
+        let chunk = pool.chunk_for(100_000, 256);
+        assert!(chunk >= 256);
+        assert!(100_000usize.div_ceil(chunk) >= 8);
+        // Serial pools never split.
+        assert_eq!(Pool::serial().chunk_for(100_000, 256), 100_000);
+    }
+
+    #[test]
+    fn thread_counts_are_clamped() {
+        assert_eq!(Pool::with_threads(0).threads(), 1);
+        assert!(Pool::auto().threads() >= 1);
+        assert_eq!(Pool::serial().threads(), 1);
+    }
+
+    #[test]
+    fn workers_share_read_only_state() {
+        // The closure borrows a large shared slice; sums agree.
+        let data: Vec<u64> = (0..100_000).collect();
+        let pool = Pool::with_threads(4);
+        let partials = pool.map_chunks(data.len(), 1013, |r| data[r].iter().sum::<u64>());
+        let total: u64 = partials.iter().sum();
+        assert_eq!(total, 100_000 * 99_999 / 2);
+    }
+}

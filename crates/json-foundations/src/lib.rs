@@ -21,6 +21,7 @@
 //! | [`mongo`] | `mongofind` | MongoDB-style `find` filters & projection over JNL |
 //! | [`agg`] | `jagg` | tree-native aggregation pipelines (`$match`/`$unwind`/`$group`/…) over collections |
 //! | [`path`] | `jsonpath` | JSONPath dialect over recursive JNL |
+//! | [`par`] | `jpar` | scoped worker pool driving the parallel query paths |
 //!
 //! See `README.md` for a tour and `DESIGN.md`/`EXPERIMENTS.md` for the
 //! mapping from the paper's propositions to code and measurements.
@@ -35,6 +36,7 @@ pub use jautomata as automata;
 pub use jschema as schema;
 
 pub use jagg as agg;
+pub use jpar as par;
 pub use jsonpath as path;
 pub use mongofind as mongo;
 

@@ -228,6 +228,29 @@ impl TreeBuilder {
         self.new_node(NodeKind::Str, sym.index() as u64);
     }
 
+    /// A string value by pre-resolved symbol. The symbol must be valid in
+    /// this builder's interner (i.e. come from a tree whose interner the
+    /// builder's table extends) — the replay path of
+    /// [`JsonTree::concat_subtrees`] uses this to skip re-hashing strings
+    /// that are already interned.
+    fn str_atom_sym(&mut self, sym: Sym) {
+        debug_assert!(sym.index() < self.interner.len(), "foreign symbol");
+        self.new_node(NodeKind::Str, sym.index() as u64);
+    }
+
+    /// [`TreeBuilder::object_key`] by pre-resolved symbol (same validity
+    /// contract as [`TreeBuilder::str_atom_sym`]).
+    fn object_key_sym(&mut self, sym: Sym) -> bool {
+        debug_assert!(sym.index() < self.interner.len(), "foreign symbol");
+        let top = self.open.last().expect("object_key outside an object");
+        debug_assert!(top.is_obj, "object_key inside an array");
+        if !self.seen_keys.insert((top.id, sym)) {
+            return false;
+        }
+        self.pending_key = sym;
+        true
+    }
+
     /// Opens an object value.
     pub(crate) fn begin_object(&mut self) {
         let id = self.new_node(NodeKind::Obj, 0);
@@ -415,6 +438,88 @@ impl JsonTree {
                     stack.push(Ev::EndObj);
                     for (k, v) in o.pairs().iter().rev() {
                         stack.push(Ev::Member(k, v));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Merges subtrees taken from trees that all intern through one shared
+    /// symbol assignment into a **single array-rooted tree**: the result's
+    /// root is an array whose `i`-th element is a copy of `parts[i]`'s
+    /// subtree. This is the segment-compaction primitive of
+    /// `mongofind::Collection::compact` — many single-document insert
+    /// segments replay into one tree so per-segment dispatch overhead
+    /// (one JNL evaluation, one canonical-label table, one parallel task
+    /// *per segment*) collapses to one.
+    ///
+    /// `interner` must be the shared table the part trees were built
+    /// through (each part's own interner is a prefix snapshot of it), so
+    /// every [`Sym`] in a part resolves to the same string in `interner`
+    /// and the replay copies symbols **without re-hashing a single
+    /// string**. The builder consumes the table and hands it back extended
+    /// (unchanged, in fact: replay interns nothing new).
+    ///
+    /// Replay emits each object's members in the stored symbol-sorted
+    /// order, so node ids within the result are pre-order over that
+    /// layout; `json_at` values are exactly the part values (object
+    /// equality is unordered).
+    pub fn concat_subtrees(parts: &[(&JsonTree, NodeId)], interner: &mut Interner) -> JsonTree {
+        let mut b = TreeBuilder::new(std::mem::take(interner));
+        b.begin_array();
+        for &(tree, node) in parts {
+            tree.replay_into(node, &mut b);
+        }
+        b.end_array();
+        let merged = b.finish();
+        *interner = merged.interner.clone();
+        merged
+    }
+
+    /// Replays the subtree at `n` into `b` as a document-order event
+    /// stream, copying pre-resolved symbols (see
+    /// [`JsonTree::concat_subtrees`] for the shared-interner contract).
+    fn replay_into(&self, n: NodeId, b: &mut TreeBuilder) {
+        enum Ev {
+            Val(NodeId),
+            Member(Sym, NodeId),
+            EndObj,
+            EndArr,
+        }
+        let mut stack: Vec<Ev> = vec![Ev::Val(n)];
+        while let Some(ev) = stack.pop() {
+            let v = match ev {
+                Ev::EndObj => {
+                    b.end_object();
+                    continue;
+                }
+                Ev::EndArr => {
+                    b.end_array();
+                    continue;
+                }
+                Ev::Member(k, v) => {
+                    let fresh = b.object_key_sym(k);
+                    debug_assert!(fresh, "tree object keys are pairwise distinct");
+                    v
+                }
+                Ev::Val(v) => v,
+            };
+            match self.kind(v) {
+                NodeKind::Int => b.num(self.payload[v.index()]),
+                NodeKind::Str => b.str_atom_sym(self.str_sym(v).expect("Str payload")),
+                NodeKind::Arr => {
+                    b.begin_array();
+                    stack.push(Ev::EndArr);
+                    for &c in self.arr_children(v).iter().rev() {
+                        stack.push(Ev::Val(c));
+                    }
+                }
+                NodeKind::Obj => {
+                    b.begin_object();
+                    stack.push(Ev::EndObj);
+                    let span = self.span(v);
+                    for i in span.rev() {
+                        stack.push(Ev::Member(self.keys[i], self.children[i]));
                     }
                 }
             }
@@ -1026,6 +1131,63 @@ mod tests {
         assert_eq!(t.kind(a), NodeKind::Arr);
         assert_eq!(t.height_of(e), 0);
         assert_eq!(t.json_at(a), Json::array([]));
+    }
+
+    #[test]
+    fn concat_subtrees_merges_shared_interner_parts() {
+        // Three "segments" built through one shared interner, then merged:
+        // values round-trip, symbols stay shared, nothing new is interned.
+        let mut shared = crate::intern::Interner::new();
+        let docs = [
+            parse(r#"{"name": {"first": "Sue"}, "age": 28}"#).unwrap(),
+            parse(r#"{"name": {"first": "John"}, "tags": ["a", "Sue"]}"#).unwrap(),
+            parse(r#"[1, 2]"#).unwrap(),
+        ];
+        let segs: Vec<JsonTree> = docs
+            .iter()
+            .map(|d| JsonTree::build_into(d, &mut shared))
+            .collect();
+        let before = shared.len();
+        let parts: Vec<(&JsonTree, NodeId)> = segs.iter().map(|t| (t, t.root())).collect();
+        let merged = JsonTree::concat_subtrees(&parts, &mut shared);
+        assert_eq!(shared.len(), before, "replay interns nothing new");
+        assert_eq!(merged.kind(merged.root()), NodeKind::Arr);
+        assert_eq!(merged.child_count(merged.root()), 3);
+        for (i, d) in docs.iter().enumerate() {
+            let c = merged.child_by_index(merged.root(), i).unwrap();
+            assert_eq!(&merged.json_at(c), d);
+        }
+        // Symbols are the shared assignment: a key interned by segment 0
+        // carries the same Sym in the merged tree.
+        assert_eq!(merged.sym("name"), segs[0].sym("name"));
+        // And the merged tree's invariants hold (sorted spans, pre-order).
+        for n in merged.node_ids() {
+            for (_, c) in merged.children(n) {
+                assert!(c > n);
+                assert_eq!(merged.parent(c), Some(n));
+            }
+            let syms = merged.obj_syms(n);
+            assert!(syms.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn concat_subtrees_of_nothing_is_an_empty_array() {
+        let mut shared = crate::intern::Interner::new();
+        let merged = JsonTree::concat_subtrees(&[], &mut shared);
+        assert_eq!(merged.to_json(), Json::array([]));
+    }
+
+    #[test]
+    fn concat_subtrees_can_lift_inner_nodes() {
+        // Parts need not be roots: any node of a shared-interner tree works.
+        let mut shared = crate::intern::Interner::new();
+        let doc = parse(r#"{"a": {"x": 1}, "b": [7, 2]}"#).unwrap();
+        let t = JsonTree::build_into(&doc, &mut shared);
+        let a = t.child_by_key(t.root(), "a").unwrap();
+        let b = t.child_by_key(t.root(), "b").unwrap();
+        let merged = JsonTree::concat_subtrees(&[(&t, b), (&t, a)], &mut shared);
+        assert_eq!(merged.to_json(), parse(r#"[[7, 2], {"x": 1}]"#).unwrap());
     }
 
     #[test]

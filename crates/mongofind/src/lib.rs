@@ -39,7 +39,14 @@ use std::fmt;
 use std::sync::OnceLock;
 
 use jnl::ast::{Binary, Unary};
+use jpar::Pool;
 use jsondata::{Interner, Json, JsonTree, NodeId, NodeKind, ParseLimits};
+
+/// Minimum per-chunk document count for the parallel scan paths: ranges
+/// below this collapse into one chunk and run inline on the calling
+/// thread (see [`Pool::chunk_for`]), so small collections never pay a
+/// thread spawn.
+const DOC_CHUNK_MIN: usize = 256;
 
 /// A comparison operator of the dialect.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -641,12 +648,27 @@ pub struct DocRef {
 /// A collection loaded from a non-array root has defined **single-document
 /// semantics**: the root value is the collection's one document. `find` and
 /// `aggregate` (the `jagg` crate) share this behavior.
+///
+/// ## Parallel execution
+///
+/// Query scans run on the collection's [`jpar::Pool`] (defaulting to
+/// [`Pool::auto`]): documents are dispatched in contiguous index-range
+/// chunks and results spliced back in `(segment, doc)` order, so output is
+/// **identical for every thread count** — a 1-thread pool (set via
+/// [`Collection::set_pool`] or the `JPAR_THREADS` environment variable) is
+/// the byte-identical serial oracle, and collections smaller than a chunk
+/// never leave the calling thread. Per-segment whole-tree JNL evaluations
+/// ([`Collection::find_refs_via_jnl`]) fan out one segment per task with
+/// fully worker-owned evaluation state.
 pub struct Collection {
     /// The shared symbol table; every segment's interner is a snapshot of
     /// this one at its build time.
     interner: Interner,
     segments: Vec<JsonTree>,
     doc_refs: Vec<DocRef>,
+    /// The worker pool driving `find`/`find_project`/JNL scans (and the
+    /// `jagg` executor over this collection).
+    pool: Pool,
     /// Lazily materialised owned documents (compatibility accessor only);
     /// reset by [`Collection::insert`].
     docs_cache: OnceLock<Vec<Json>>,
@@ -698,8 +720,28 @@ impl Collection {
             interner,
             segments: vec![tree],
             doc_refs,
+            pool: Pool::auto(),
             docs_cache: OnceLock::new(),
         }
+    }
+
+    /// Sets the worker pool driving this collection's query scans (and the
+    /// `jagg` aggregation executor). [`Pool::serial`] restores strictly
+    /// single-threaded execution — the semantic oracle the determinism
+    /// suites compare every thread count against.
+    pub fn set_pool(&mut self, pool: Pool) {
+        self.pool = pool;
+    }
+
+    /// [`Collection::set_pool`], chainable at construction time.
+    pub fn with_pool(mut self, pool: Pool) -> Collection {
+        self.pool = pool;
+        self
+    }
+
+    /// The worker pool queries over this collection run on.
+    pub fn pool(&self) -> &Pool {
+        &self.pool
     }
 
     /// Appends **one** document (whatever its JSON type — an array value is
@@ -784,32 +826,53 @@ impl Collection {
 
     /// `db.collection.find(filter)`: tree-column locations of the matching
     /// documents, evaluated via [`Filter::matches_at`] — the allocation-free
-    /// core `find` and the aggregation executor share.
+    /// core `find` and the aggregation executor share. Documents are
+    /// scanned in parallel chunks on the collection's pool; survivors come
+    /// back spliced in `(segment, doc)` order for every thread count.
     pub fn find_refs(&self, filter: &Filter) -> Vec<DocRef> {
-        self.doc_refs
-            .iter()
-            .copied()
-            .filter(|d| filter.matches_at(&self.segments[d.seg as usize], d.node))
-            .collect()
+        self.scan_refs(|d| filter.matches_at(&self.segments[d.seg as usize], d.node))
+    }
+
+    /// The shared chunk-parallel document scan: keeps the refs satisfying
+    /// `keep`, in document order.
+    fn scan_refs(&self, keep: impl Fn(DocRef) -> bool + Sync) -> Vec<DocRef> {
+        let n = self.doc_refs.len();
+        let chunk = self.pool.chunk_for(n, DOC_CHUNK_MIN);
+        self.pool.flat_map_chunks(n, chunk, |r| {
+            self.doc_refs[r]
+                .iter()
+                .copied()
+                .filter(|&d| keep(d))
+                .collect()
+        })
+    }
+
+    /// Materialises each ref through `make`, in parallel chunks, preserving
+    /// order (`find`/`find_project`/`find_via_jnl` output assembly).
+    fn materialize_refs(
+        &self,
+        refs: Vec<DocRef>,
+        make: impl Fn(DocRef) -> Json + Sync,
+    ) -> Vec<Json> {
+        let chunk = self.pool.chunk_for(refs.len(), DOC_CHUNK_MIN);
+        self.pool.flat_map_chunks(refs.len(), chunk, |r| {
+            refs[r].iter().copied().map(&make).collect()
+        })
     }
 
     /// `db.collection.find(filter)`: the matching documents, synthesized
     /// from the tree column (no eager document vector is consulted).
     pub fn find(&self, filter: &Filter) -> Vec<Json> {
-        self.find_refs(filter)
-            .into_iter()
-            .map(|d| self.json_of(d))
-            .collect()
+        self.materialize_refs(self.find_refs(filter), |d| self.json_of(d))
     }
 
     /// `find(filter, projection)`: projected documents, synthesized
     /// directly from the tree ([`Projection::apply_tree`]) — only the kept
     /// subtrees are ever materialised.
     pub fn find_project(&self, filter: &Filter, projection: &Projection) -> Vec<Json> {
-        self.find_refs(filter)
-            .into_iter()
-            .map(|d| projection.apply_tree(&self.segments[d.seg as usize], d.node))
-            .collect()
+        self.materialize_refs(self.find_refs(filter), |d| {
+            projection.apply_tree(&self.segments[d.seg as usize], d.node)
+        })
     }
 
     /// Evaluates the filter by compiling to JNL and running the Prop 1
@@ -819,14 +882,13 @@ impl Collection {
     /// a document node equals its truth at the root of that document
     /// parsed standalone. This is the whole-collection fast path the
     /// `jagg` leading-`$match` rides when the filter is
-    /// [`Filter::jnl_exact`].
+    /// [`Filter::jnl_exact`]. Segments evaluate concurrently on the
+    /// collection's pool ([`jnl::eval::evaluate_batch`]); each worker owns
+    /// its whole evaluation context, and the satisfying refs are read off
+    /// the per-segment node sets in `(segment, doc)` order.
     pub fn find_refs_via_jnl(&self, filter: &Filter) -> Vec<DocRef> {
         let phi = filter.to_jnl();
-        let sats: Vec<jnl::eval::NodeSet> = self
-            .segments
-            .iter()
-            .map(|t| jnl::eval::evaluate(t, &phi))
-            .collect();
+        let sats = jnl::eval::evaluate_batch(&self.segments, &phi, &self.pool);
         self.doc_refs
             .iter()
             .copied()
@@ -837,10 +899,42 @@ impl Collection {
     /// [`Collection::find_refs_via_jnl`], materialised (the differential
     /// path used in tests/benches against [`Collection::find`]).
     pub fn find_via_jnl(&self, filter: &Filter) -> Vec<Json> {
-        self.find_refs_via_jnl(filter)
-            .into_iter()
-            .map(|d| self.json_of(d))
-            .collect()
+        self.materialize_refs(self.find_refs_via_jnl(filter), |d| self.json_of(d))
+    }
+
+    /// Merges the tree column into **one segment**: every document's
+    /// subtree replays — symbols copied as-is through the shared interner,
+    /// no string is ever re-hashed, no [`Json`] is ever materialised —
+    /// into a single array-rooted [`JsonTree`]
+    /// ([`JsonTree::concat_subtrees`]). Document order, query results and
+    /// the symbol assignment are all preserved exactly (property-tested);
+    /// only the layout changes.
+    ///
+    /// Compaction is what keeps insert-heavy collections fast: every
+    /// [`Collection::insert`] adds a single-document segment, and
+    /// per-segment work — one JNL evaluation, one canonical-label table,
+    /// one parallel task *per segment* — eventually drowns the queries.
+    /// After `compact()` the collection is indistinguishable from one
+    /// loaded in a single parse.
+    pub fn compact(&mut self) {
+        if self.segments.len() <= 1 {
+            return;
+        }
+        let mut interner = std::mem::take(&mut self.interner);
+        let parts: Vec<(&JsonTree, NodeId)> = self
+            .doc_refs
+            .iter()
+            .map(|d| (&self.segments[d.seg as usize], d.node))
+            .collect();
+        let merged = JsonTree::concat_subtrees(&parts, &mut interner);
+        self.interner = interner;
+        self.doc_refs = merged
+            .arr_children(merged.root())
+            .iter()
+            .map(|&node| DocRef { seg: 0, node })
+            .collect();
+        self.segments = vec![merged];
+        self.docs_cache = OnceLock::new();
     }
 }
 
