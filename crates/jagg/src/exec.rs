@@ -64,6 +64,7 @@
 use std::cmp::Ordering;
 use std::sync::OnceLock;
 
+use jguard::{QueryCtx, QueryError};
 use jpar::Pool;
 use jsondata::fxhash::FxHashMap;
 use jsondata::{CanonTable, Json, JsonTree, NodeId, NodeKind};
@@ -89,7 +90,43 @@ const ROW_CHUNK_MIN: usize = 128;
 /// Agrees exactly with [`crate::reference::aggregate`] over
 /// [`Collection::docs`] (differentially tested and CI-gated).
 pub fn aggregate(coll: &Collection, pipeline: &Pipeline) -> Vec<Json> {
-    Engine::new(coll).run(&pipeline.stages)
+    match aggregate_with_ctx(coll, pipeline, &QueryCtx::unlimited()) {
+        Ok(out) => out,
+        Err(QueryError::WorkerPanicked { chunk, payload }) => {
+            panic!(
+                "worker panicked on chunk {}..{}: {payload}",
+                chunk.start, chunk.end
+            )
+        }
+        Err(e) => unreachable!("unlimited ctx cannot fail: {e}"),
+    }
+}
+
+/// [`aggregate`] under a [`QueryCtx`]: every stage loop polls the
+/// context (per row, amortised through a [`jguard::Poller`]), `$group`
+/// accumulation and the `$push`/`$sort`/output buffers charge the byte
+/// budget, `$unwind` expansion and the leading `$match` charge the row
+/// budget, and a panicking worker surfaces as
+/// [`QueryError::WorkerPanicked`] with the collection untouched.
+pub fn aggregate_with_ctx(
+    coll: &Collection,
+    pipeline: &Pipeline,
+    ctx: &QueryCtx,
+) -> Result<Vec<Json>, QueryError> {
+    // Worker panics are already contained per chunk inside the pool; this
+    // outer net catches the coordinator-side loops (the `$group`
+    // unification barrier, between-stage glue) so *no* panic crosses the
+    // governed API boundary. `AssertUnwindSafe`: the engine is dropped on
+    // the error path and the collection is only read.
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Engine::with_ctx(coll, ctx.clone()).run(&pipeline.stages)
+    })) {
+        Ok(r) => r,
+        Err(p) => Err(QueryError::WorkerPanicked {
+            chunk: 0..0,
+            payload: jpar::panic_payload(p),
+        }),
+    }
 }
 
 /// The base value of a row.
@@ -139,6 +176,9 @@ enum Resolved<'a> {
 struct Engine<'c> {
     coll: &'c Collection,
     pool: Pool,
+    /// The query's governance context ([`QueryCtx::unlimited`] on the
+    /// legacy path — every poll and charge is then a no-op branch).
+    guard: QueryCtx,
     /// Canonical-label tables, one slot per segment (the `$group` key fast
     /// path). Thread-safe on-demand construction; `$group` fan-outs build
     /// every missing slot eagerly (and in parallel) first.
@@ -146,10 +186,11 @@ struct Engine<'c> {
 }
 
 impl<'c> Engine<'c> {
-    fn new(coll: &'c Collection) -> Engine<'c> {
+    fn with_ctx(coll: &'c Collection, guard: QueryCtx) -> Engine<'c> {
         Engine {
             coll,
             pool: *coll.pool(),
+            guard,
             canon: (0..coll.segments().len())
                 .map(|_| OnceLock::new())
                 .collect(),
@@ -177,7 +218,7 @@ impl<'c> Engine<'c> {
     /// binding's — so segments hosting no row (a selective leading
     /// `$match` over a fragmented collection leaves most of them empty)
     /// are never built.
-    fn build_canon_for(&self, rows: &[Row]) {
+    fn build_canon_for(&self, rows: &[Row]) -> Result<(), QueryError> {
         let mut needed = vec![false; self.canon.len()];
         for row in rows {
             if let Base::Node(d) = &row.base {
@@ -191,16 +232,17 @@ impl<'c> Engine<'c> {
             .filter(|&i| needed[i] && self.canon[i].get().is_none())
             .collect();
         if missing.is_empty() {
-            return;
+            return Ok(());
         }
-        let built = self.pool.map(missing.len(), |k| {
-            CanonTable::build(&self.coll.segments()[missing[k]])
-        });
+        let built = self.pool.try_map(&self.guard, missing.len(), |k| {
+            Ok(CanonTable::build(&self.coll.segments()[missing[k]]))
+        })?;
         for (i, table) in missing.into_iter().zip(built) {
             // A racing get_or_init may have won the slot; either table is
             // byte-identical (class assignment is deterministic per tree).
             let _ = self.canon[i].set(table);
         }
+        Ok(())
     }
 
     /// The chunk size row-range fan-outs use: collapses to one inline
@@ -213,13 +255,13 @@ impl<'c> Engine<'c> {
         }
     }
 
-    fn run(&self, stages: &[Stage]) -> Vec<Json> {
+    fn run(&self, stages: &[Stage]) -> Result<Vec<Json>, QueryError> {
         let mut rows: Vec<Row>;
         let rest = match stages.first() {
             // Leading-$match fast path: the filter runs over the tree
             // column before any row struct is even built.
             Some(Stage::Match(f)) => {
-                rows = self.leading_match(f);
+                rows = self.leading_match(f)?;
                 &stages[1..]
             }
             _ => {
@@ -235,6 +277,7 @@ impl<'c> Engine<'c> {
         };
         let mut i = 0;
         while i < rest.len() {
+            self.guard.check()?;
             // Top-k pushdown: `$sort` whose output is immediately cut to
             // `skip + limit` rows is answered by a bounded heap instead of
             // a full sort.
@@ -247,21 +290,37 @@ impl<'c> Engine<'c> {
                     _ => None,
                 };
                 if let Some((skip, limit, consumed)) = fused {
-                    rows = self.top_k(rows, spec, skip, limit);
+                    rows = self.top_k(rows, spec, skip, limit)?;
                     i += consumed;
                     continue;
                 }
             }
-            rows = self.step(rows, &rest[i]);
+            rows = self.step(rows, &rest[i])?;
             i += 1;
         }
         let n = rows.len();
         let chunk = self.row_chunk(n);
         if chunk >= n {
-            rows.into_iter().map(|r| self.materialize(r)).collect()
+            let mut out = Vec::with_capacity(n);
+            let mut poll = self.guard.poller();
+            for row in rows {
+                poll.tick()?;
+                let v = self.materialize(row);
+                self.guard.charge_json(&v)?;
+                out.push(v);
+            }
+            Ok(out)
         } else {
-            self.pool.flat_map_chunks(n, chunk, |r| {
-                r.map(|i| self.materialize_ref(&rows[i])).collect()
+            self.pool.try_flat_map_chunks(&self.guard, n, chunk, |r| {
+                let mut poll = self.guard.poller();
+                let mut out = Vec::with_capacity(r.len());
+                for i in r {
+                    poll.tick()?;
+                    let v = self.materialize_ref(&rows[i]);
+                    self.guard.charge_json(&v)?;
+                    out.push(v);
+                }
+                Ok(out)
             })
         }
     }
@@ -270,43 +329,65 @@ impl<'c> Engine<'c> {
     /// one whole-tree JNL evaluation per segment when the filter compiles
     /// exactly (Proposition 1 answers every document of a segment at
     /// once), [`Filter::matches_at`] per document otherwise. Both paths
-    /// are the (already parallel) `Collection` scans.
-    fn leading_match(&self, f: &Filter) -> Vec<Row> {
+    /// are the (already parallel, already governed) `Collection` scans.
+    fn leading_match(&self, f: &Filter) -> Result<Vec<Row>, QueryError> {
         let refs = if f.jnl_exact() {
-            self.coll.find_refs_via_jnl(f)
+            self.coll.find_refs_via_jnl_with_ctx(f, &self.guard)?
         } else {
-            self.coll.find_refs(f)
+            self.coll.find_refs_with_ctx(f, &self.guard)?
         };
-        refs.into_iter().map(Row::node).collect()
+        Ok(refs.into_iter().map(Row::node).collect())
     }
 
-    fn step(&self, mut rows: Vec<Row>, stage: &Stage) -> Vec<Row> {
-        match stage {
+    fn step(&self, mut rows: Vec<Row>, stage: &Stage) -> Result<Vec<Row>, QueryError> {
+        Ok(match stage {
             Stage::Match(f) => {
                 let n = rows.len();
                 let chunk = self.row_chunk(n);
                 if chunk >= n {
-                    rows.retain(|r| self.row_matches(r, f));
+                    let mut poll = self.guard.poller();
+                    let mut kept = Vec::new();
+                    for row in rows {
+                        poll.tick()?;
+                        if self.row_matches(&row, f) {
+                            kept.push(row);
+                        }
+                    }
+                    kept
                 } else {
-                    let keep: Vec<bool> = self.pool.flat_map_chunks(n, chunk, |r| {
-                        r.map(|i| self.row_matches(&rows[i], f)).collect()
-                    });
+                    let keep: Vec<bool> =
+                        self.pool.try_flat_map_chunks(&self.guard, n, chunk, |r| {
+                            let mut poll = self.guard.poller();
+                            let mut out = Vec::with_capacity(r.len());
+                            for i in r {
+                                poll.tick()?;
+                                out.push(self.row_matches(&rows[i], f));
+                            }
+                            Ok(out)
+                        })?;
                     let mut mask = keep.into_iter();
                     rows.retain(|_| mask.next().expect("mask covers every row"));
+                    rows
                 }
-                rows
             }
             Stage::Project(spec) => {
                 let n = rows.len();
                 let chunk = self.row_chunk(n);
-                self.pool.flat_map_chunks(n, chunk, |r| {
-                    r.map(|i| Row::owned(self.project(&rows[i], spec)))
-                        .collect()
-                })
+                self.pool.try_flat_map_chunks(&self.guard, n, chunk, |r| {
+                    let mut poll = self.guard.poller();
+                    let mut out = Vec::with_capacity(r.len());
+                    for i in r {
+                        poll.tick()?;
+                        let v = self.project(&rows[i], spec);
+                        self.guard.charge_json(&v)?;
+                        out.push(Row::owned(v));
+                    }
+                    Ok(out)
+                })?
             }
-            Stage::Unwind(path) => self.unwind(rows, path),
-            Stage::Group(spec) => self.group(rows, spec),
-            Stage::Sort(spec) => self.sort(rows, spec),
+            Stage::Unwind(path) => self.unwind(rows, path)?,
+            Stage::Group(spec) => self.group(rows, spec)?,
+            Stage::Sort(spec) => self.sort(rows, spec)?,
             Stage::Skip(n) => {
                 let n = clamp_len(*n).min(rows.len());
                 rows.drain(..n);
@@ -326,7 +407,7 @@ impl<'c> Engine<'c> {
                     vec![Row::owned(doc)]
                 }
             }
-        }
+        })
     }
 
     // ---- path resolution over rows ----------------------------------
@@ -529,22 +610,30 @@ impl<'c> Engine<'c> {
 
     // ---- $unwind -----------------------------------------------------
 
-    fn unwind(&self, rows: Vec<Row>, path: &Path) -> Vec<Row> {
+    fn unwind(&self, rows: Vec<Row>, path: &Path) -> Result<Vec<Row>, QueryError> {
         let n = rows.len();
         let chunk = self.row_chunk(n);
         if chunk >= n {
             let mut out = Vec::new();
+            let mut poll = self.guard.poller();
             for row in rows {
+                poll.tick()?;
+                let before = out.len();
                 self.unwind_into(row, path, &mut out);
+                self.guard.charge_rows((out.len() - before) as u64)?;
             }
-            out
+            Ok(out)
         } else {
-            self.pool.flat_map_chunks(n, chunk, |r| {
+            self.pool.try_flat_map_chunks(&self.guard, n, chunk, |r| {
                 let mut out = Vec::new();
+                let mut poll = self.guard.poller();
                 for i in r {
+                    poll.tick()?;
+                    let before = out.len();
                     self.unwind_into(rows[i].clone(), path, &mut out);
+                    self.guard.charge_rows((out.len() - before) as u64)?;
                 }
-                out
+                Ok(out)
             })
         }
     }
@@ -626,7 +715,7 @@ impl<'c> Engine<'c> {
     ///    barrier merges chunk tables **in chunk order**, which restores
     ///    exact input order for the order-sensitive accumulators
     ///    (`$push`/`$first`/`$last`) and plain sums for the rest.
-    fn group(&self, rows: Vec<Row>, spec: &GroupSpec) -> Vec<Row> {
+    fn group(&self, rows: Vec<Row>, spec: &GroupSpec) -> Result<Vec<Row>, QueryError> {
         /// A resolved-but-not-yet-unified row key.
         enum KeyH {
             /// A pure tree-node key: `(segment, class)` plus one node of
@@ -641,68 +730,85 @@ impl<'c> Engine<'c> {
         if chunk < n && matches!(spec.id, IdExpr::Field(_)) {
             // The fan-out reads canon slots; build the reachable ones up
             // front.
-            self.build_canon_for(&rows);
+            self.build_canon_for(&rows)?;
         }
 
         // Phase 1: per-row key handles, in row order.
-        let keys: Vec<KeyH> = self.pool.flat_map_chunks(n, chunk, |r| {
-            r.map(|i| match &spec.id {
-                IdExpr::Field(p) => match self.resolve(&rows[i], p) {
-                    Some(Resolved::Node(d)) => KeyH::Class {
-                        seg: d.seg,
-                        class: self.canon(d.seg).class_of(d.node),
-                        rep: d.node,
+        let keys: Vec<KeyH> = self.pool.try_flat_map_chunks(&self.guard, n, chunk, |r| {
+            let mut poll = self.guard.poller();
+            let mut out = Vec::with_capacity(r.len());
+            for i in r {
+                poll.tick()?;
+                out.push(match &spec.id {
+                    IdExpr::Field(p) => match self.resolve(&rows[i], p) {
+                        Some(Resolved::Node(d)) => KeyH::Class {
+                            seg: d.seg,
+                            class: self.canon(d.seg).class_of(d.node),
+                            rep: d.node,
+                        },
+                        resolved => KeyH::Owned(resolved.map(|r| self.materialize_resolved(r))),
                     },
-                    resolved => KeyH::Owned(resolved.map(|r| self.materialize_resolved(r))),
-                },
-                id => KeyH::Owned(self.group_key(&rows[i], id)),
-            })
-            .collect()
-        });
+                    id => KeyH::Owned(self.group_key(&rows[i], id)),
+                });
+            }
+            Ok(out)
+        })?;
 
-        // Phase 2: the unification barrier.
+        // Phase 2: the unification barrier. Every *distinct* group key
+        // materialises exactly once, and is charged to the byte budget at
+        // that moment (the per-row handles carry no new allocation).
         let mut by_json: FxHashMap<Option<Json>, usize> = FxHashMap::default();
         let mut by_class: FxHashMap<(u32, u32), usize> = FxHashMap::default();
         let mut group_keys: Vec<Option<Json>> = Vec::new();
-        let mut slot = |key: Option<Json>, group_keys: &mut Vec<Option<Json>>| -> usize {
-            if let Some(&gi) = by_json.get(&key) {
-                return gi;
-            }
-            let gi = group_keys.len();
-            by_json.insert(key.clone(), gi);
-            group_keys.push(key);
-            gi
-        };
-        let row_gis: Vec<usize> = keys
-            .into_iter()
-            .map(|k| match k {
+        let guard = &self.guard;
+        let mut slot =
+            |key: Option<Json>, group_keys: &mut Vec<Option<Json>>| -> Result<usize, QueryError> {
+                if let Some(&gi) = by_json.get(&key) {
+                    return Ok(gi);
+                }
+                if let Some(k) = &key {
+                    guard.charge_json(k)?;
+                }
+                let gi = group_keys.len();
+                by_json.insert(key.clone(), gi);
+                group_keys.push(key);
+                Ok(gi)
+            };
+        let mut row_gis: Vec<usize> = Vec::with_capacity(n);
+        let mut poll = self.guard.poller();
+        for k in keys {
+            poll.tick()?;
+            row_gis.push(match k {
                 KeyH::Class { seg, class, rep } => match by_class.get(&(seg, class)) {
                     Some(&gi) => gi,
                     None => {
                         let key = Some(self.tree(seg).json_at(rep));
-                        let gi = slot(key, &mut group_keys);
+                        let gi = slot(key, &mut group_keys)?;
                         by_class.insert((seg, class), gi);
                         gi
                     }
                 },
-                KeyH::Owned(key) => slot(key, &mut group_keys),
-            })
-            .collect();
+                KeyH::Owned(key) => slot(key, &mut group_keys)?,
+            });
+        }
         let n_groups = group_keys.len();
 
         // Phase 3: per-chunk accumulation, merged in chunk order.
-        let partials: Vec<FxHashMap<usize, Vec<AccState>>> = self.pool.map_chunks(n, chunk, |r| {
-            let mut local: FxHashMap<usize, Vec<AccState>> = FxHashMap::default();
-            for i in r {
-                let states = local
-                    .entry(row_gis[i])
-                    .or_insert_with(|| spec.accs.iter().map(|(_, a)| AccState::new(a)).collect());
-                for (state, (_, acc)) in states.iter_mut().zip(&spec.accs) {
-                    self.accumulate_into(state, acc, &rows[i]);
+        let partials: Vec<FxHashMap<usize, Vec<AccState>>> =
+            self.pool.try_map_chunks(&self.guard, n, chunk, |r| {
+                let mut local: FxHashMap<usize, Vec<AccState>> = FxHashMap::default();
+                let mut poll = self.guard.poller();
+                for i in r {
+                    poll.tick()?;
+                    let states = local.entry(row_gis[i]).or_insert_with(|| {
+                        spec.accs.iter().map(|(_, a)| AccState::new(a)).collect()
+                    });
+                    for (state, (_, acc)) in states.iter_mut().zip(&spec.accs) {
+                        self.accumulate_into(state, acc, &rows[i])?;
+                    }
                 }
-            }
-            local
-        });
+                Ok(local)
+            })?;
         let mut states: Vec<Option<Vec<AccState>>> = (0..n_groups).map(|_| None).collect();
         for partial in partials {
             for (gi, part) in partial {
@@ -724,7 +830,7 @@ impl<'c> Engine<'c> {
             .map(|(key, st)| (key, st.expect("every group id came from a row")))
             .collect();
         groups.sort_by(|a, b| cmp_opt_json(&a.0, &b.0));
-        groups
+        Ok(groups
             .into_iter()
             .map(|(id, states)| {
                 let mut pairs: Vec<(String, Json)> = Vec::new();
@@ -738,7 +844,7 @@ impl<'c> Engine<'c> {
                 }
                 Row::owned(Json::object(pairs).expect("parser validated distinct names"))
             })
-            .collect()
+            .collect())
     }
 
     /// The group key of a row (`Field` ids are resolved inline by
@@ -759,7 +865,12 @@ impl<'c> Engine<'c> {
         }
     }
 
-    fn accumulate_into(&self, state: &mut AccState, acc: &Accumulator, row: &Row) {
+    fn accumulate_into(
+        &self,
+        state: &mut AccState,
+        acc: &Accumulator,
+        row: &Row,
+    ) -> Result<(), QueryError> {
         match (state, acc) {
             (AccState::Sum(total), Accumulator::Sum(e)) => {
                 if let Some(n) = self.eval_num(row, e) {
@@ -784,7 +895,10 @@ impl<'c> Engine<'c> {
             }
             (AccState::Count(n), Accumulator::Count) => *n += 1,
             (AccState::Push(items), Accumulator::Push(e)) => {
+                // `$push` is the one accumulator with unbounded state: every
+                // retained element is charged to the byte budget.
                 if let Some(v) = self.eval_expr(row, e) {
+                    self.guard.charge_json(&v)?;
                     items.push(v);
                 }
             }
@@ -800,6 +914,7 @@ impl<'c> Engine<'c> {
             }
             _ => unreachable!("state shape fixed by AccState::new"),
         }
+        Ok(())
     }
 
     /// Observes a `$min`/`$max` candidate, materialising it **only** when
@@ -834,31 +949,45 @@ impl<'c> Engine<'c> {
     /// Resolves the sort-key vector of every row (parallel chunks, row
     /// order preserved) — the per-row half both [`Engine::sort`] and
     /// [`Engine::top_k`] share.
-    fn sort_keys(&self, rows: &[Row], spec: &[(Path, SortOrder)]) -> Vec<Vec<Option<Json>>> {
+    fn sort_keys(
+        &self,
+        rows: &[Row],
+        spec: &[(Path, SortOrder)],
+    ) -> Result<Vec<Vec<Option<Json>>>, QueryError> {
         let n = rows.len();
         let chunk = self.row_chunk(n);
-        self.pool.flat_map_chunks(n, chunk, |r| {
-            r.map(|i| {
-                spec.iter()
-                    .map(|(p, _)| {
-                        self.resolve(&rows[i], p)
-                            .map(|x| self.materialize_resolved(x))
-                    })
-                    .collect()
-            })
-            .collect()
+        self.pool.try_flat_map_chunks(&self.guard, n, chunk, |r| {
+            let mut poll = self.guard.poller();
+            let mut out = Vec::with_capacity(r.len());
+            for i in r {
+                poll.tick()?;
+                let mut keys: Vec<Option<Json>> = Vec::with_capacity(spec.len());
+                for (p, _) in spec {
+                    let k = self
+                        .resolve(&rows[i], p)
+                        .map(|x| self.materialize_resolved(x));
+                    // The key buffer lives until the sort completes: it is
+                    // part of the query's working set and charged as such.
+                    if let Some(k) = &k {
+                        self.guard.charge_json(k)?;
+                    }
+                    keys.push(k);
+                }
+                out.push(keys);
+            }
+            Ok(out)
         })
     }
 
-    fn sort(&self, rows: Vec<Row>, spec: &[(Path, SortOrder)]) -> Vec<Row> {
+    fn sort(&self, rows: Vec<Row>, spec: &[(Path, SortOrder)]) -> Result<Vec<Row>, QueryError> {
         // Sort keys are resolved on the tree and materialised once per row
         // (they are typically scalars); the rows themselves stay cursors.
         // The comparison sort runs sequentially on the merged stream.
-        let keys = self.sort_keys(&rows, spec);
+        let keys = self.sort_keys(&rows, spec)?;
         let mut keyed: Vec<(Vec<Option<Json>>, Row)> = keys.into_iter().zip(rows).collect();
         // Stable, so equal-key rows keep their input order.
         keyed.sort_by(|(ka, _), (kb, _)| cmp_sort_keys(spec, ka, kb));
-        keyed.into_iter().map(|(_, row)| row).collect()
+        Ok(keyed.into_iter().map(|(_, row)| row).collect())
     }
 
     /// The fused `$sort` + pagination: returns `stable_sort(rows)[skip ..
@@ -877,26 +1006,28 @@ impl<'c> Engine<'c> {
         spec: &[(Path, SortOrder)],
         skip: usize,
         limit: usize,
-    ) -> Vec<Row> {
+    ) -> Result<Vec<Row>, QueryError> {
         let keep = skip.saturating_add(limit);
         if keep == 0 || rows.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         if keep >= rows.len() {
             // The heap would hold everything: the full sort is cheaper.
-            let mut out = self.sort(rows, spec);
+            let mut out = self.sort(rows, spec)?;
             out.drain(..skip.min(out.len()));
             out.truncate(limit);
-            return out;
+            return Ok(out);
         }
-        let keys = self.sort_keys(&rows, spec);
+        let keys = self.sort_keys(&rows, spec)?;
         // A max-heap of the `keep` least entries under [`TopEnt`]'s total
         // `(keys, seq)` order: the root is the worst kept row, displaced
         // whenever a strictly-earlier-ordering row arrives (`PeekMut`
         // restores the heap on drop).
         let mut heap: std::collections::BinaryHeap<TopEnt<'_>> =
             std::collections::BinaryHeap::with_capacity(keep);
+        let mut poll = self.guard.poller();
         for (seq, (keys, row)) in keys.into_iter().zip(rows).enumerate() {
+            poll.tick()?;
             let ent = TopEnt {
                 spec,
                 keys,
@@ -914,7 +1045,7 @@ impl<'c> Engine<'c> {
         let mut kept = heap.into_sorted_vec();
         kept.drain(..skip.min(kept.len()));
         kept.truncate(limit);
-        kept.into_iter().map(|e| e.row).collect()
+        Ok(kept.into_iter().map(|e| e.row).collect())
     }
 }
 

@@ -77,7 +77,7 @@ pub mod exec;
 pub mod pipeline;
 pub mod reference;
 
-pub use exec::aggregate;
+pub use exec::{aggregate, aggregate_with_ctx};
 pub use pipeline::{
     Accumulator, AggError, GroupSpec, IdExpr, Pipeline, ProjectField, SortOrder, Stage, ValueExpr,
 };

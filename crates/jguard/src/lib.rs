@@ -1,0 +1,534 @@
+//! # jguard — per-query resource governance
+//!
+//! A multi-tenant serving layer cannot let one query take the process
+//! down (a panicking worker), starve its neighbours (an adversarial
+//! filter that runs forever), or exhaust memory (an unbounded `$push`
+//! group). This crate is the workspace-wide answer: a cheap, clonable
+//! [`QueryCtx`] carrying a deadline, a cancellation flag, and byte/row
+//! budgets, threaded through every long-running path — `jpar` pool
+//! dispatch, per-node JNL evaluation, `jagg` stage loops, and the
+//! `mongofind` find/aggregate entry points — plus the structured
+//! [`QueryError`] those paths return instead of panicking or spinning.
+//!
+//! ## Error taxonomy
+//!
+//! | Variant | Raised when |
+//! |---|---|
+//! | [`QueryError::Deadline`] | the context's deadline passed during a poll |
+//! | [`QueryError::BudgetExceeded`] | a byte or row charge overdrew its budget |
+//! | [`QueryError::Cancelled`] | [`QueryCtx::cancel`] was called on a clone |
+//! | [`QueryError::WorkerPanicked`] | a pool worker panicked; the panic was contained |
+//! | [`QueryError::ParseLimit`] | ingestion rejected a document via [`jsondata::ParseLimits`] |
+//!
+//! ## Poll granularity and overhead contract
+//!
+//! Deadlines and cancellation are observed *cooperatively*: workers
+//! check the context between chunks, and per-row loops poll through a
+//! [`Poller`], which performs the real check (an `Instant::now()` and
+//! two atomic loads) only once every [`POLL_STRIDE`] ticks. A tick on
+//! an unlimited context is a single branch on an `Option` discriminant.
+//! The contract, enforced by `harness s7`, is that an expired or
+//! cancelled query returns its error within a bounded grace window
+//! (one chunk plus one poll stride of work) and that the uncontended
+//! poll cost on the parallel workloads stays within 2%.
+//!
+//! Budgets are *charged*, not polled: producers call
+//! [`QueryCtx::charge_bytes`] / [`QueryCtx::charge_rows`] as they
+//! materialise output, and the first charge that overdraws returns
+//! [`QueryError::BudgetExceeded`]. Charging on an unlimited context is
+//! free (no traversal is done to size a value unless a byte budget is
+//! actually present — see [`QueryCtx::charge_json`]).
+//!
+//! ## Panic-free guarantees
+//!
+//! `jpar`'s fallible entry points (`try_map`, `try_map_chunks`,
+//! `try_flat_map_chunks`) contain worker panics with `catch_unwind`
+//! and convert them to [`QueryError::WorkerPanicked`], joining the
+//! remaining workers; the pool and any shared immutable state stay
+//! reusable. Every `mongofind`/`jagg` `*_with_ctx` API inherits this:
+//! they return `Err(WorkerPanicked)` rather than unwinding, as long as
+//! the panic originates inside the dispatched closure. The legacy
+//! (ctx-free) APIs re-raise the contained panic on the calling thread
+//! to preserve their documented behaviour.
+//!
+//! ## Fault injection
+//!
+//! [`Fault`] rides the context: the s7 harness plants
+//! `Fault::PanicAtPoll(k)` or `Fault::SleepAtPoll` to prove, from the
+//! outside, that panics are contained and deadlines are enforced at
+//! every poll site. Production contexts leave it at `Fault::None`,
+//! which skips the poll counter entirely.
+
+use std::fmt;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use jsondata::{Json, ParseError};
+
+/// How many [`Poller::tick`]s elapse between two real context checks.
+///
+/// Per-row loops tick once per item; a stride of 1024 keeps the
+/// amortised cost of `Instant::now()` far below the per-item work while
+/// bounding the reaction latency to ~1024 items of compute.
+pub const POLL_STRIDE: u32 = 1024;
+
+/// Which budget a [`QueryError::BudgetExceeded`] overdrew.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resource {
+    /// The approximate-byte budget charged by materialisation paths.
+    Bytes,
+    /// The result-row budget charged by find/unwind/group outputs.
+    Rows,
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Resource::Bytes => write!(f, "byte"),
+            Resource::Rows => write!(f, "row"),
+        }
+    }
+}
+
+/// A structured, per-query failure. See the crate docs for the taxonomy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The context's deadline passed while the query was running.
+    Deadline,
+    /// A byte or row charge overdrew the context's budget.
+    BudgetExceeded {
+        /// Which budget was overdrawn.
+        resource: Resource,
+    },
+    /// [`QueryCtx::cancel`] was observed by a poll.
+    Cancelled,
+    /// A pool worker panicked; the panic was contained at the pool
+    /// boundary instead of unwinding through the caller.
+    WorkerPanicked {
+        /// The item range of the chunk whose closure panicked
+        /// (empty when the panic happened outside any chunk).
+        chunk: Range<usize>,
+        /// The panic payload, when it was a string (the common case);
+        /// a placeholder otherwise.
+        payload: String,
+    },
+    /// Ingestion rejected a document against its [`jsondata::ParseLimits`].
+    ParseLimit(ParseError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Deadline => write!(f, "query deadline exceeded"),
+            QueryError::BudgetExceeded { resource } => {
+                write!(f, "query {resource} budget exceeded")
+            }
+            QueryError::Cancelled => write!(f, "query cancelled"),
+            QueryError::WorkerPanicked { chunk, payload } => write!(
+                f,
+                "worker panicked on chunk {}..{}: {payload}",
+                chunk.start, chunk.end
+            ),
+            QueryError::ParseLimit(e) => write!(f, "document rejected at ingestion: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<ParseError> for QueryError {
+    fn from(e: ParseError) -> QueryError {
+        QueryError::ParseLimit(e)
+    }
+}
+
+/// A fault planted on a context by the s7 harness and the containment
+/// tests. Triggers on the Nth real poll (1-based, counted across all
+/// clones of the context).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Fault {
+    /// No fault — the poll counter is not even incremented.
+    #[default]
+    None,
+    /// Panic inside the Nth poll, wherever it happens to run.
+    PanicAtPoll(u64),
+    /// Sleep `millis` inside the Nth poll — a synthetic slow node.
+    SleepAtPoll {
+        /// Which poll (1-based) stalls.
+        at: u64,
+        /// Stall duration in milliseconds.
+        millis: u64,
+    },
+}
+
+/// The message injected panics carry, so tests can tell them from real bugs.
+pub const INJECTED_PANIC_MSG: &str = "jguard: injected fault panic";
+
+#[derive(Debug)]
+struct Inner {
+    deadline: Option<Instant>,
+    cancelled: AtomicBool,
+    bytes_left: Option<AtomicI64>,
+    rows_left: Option<AtomicI64>,
+    polls: AtomicU64,
+    fault: Fault,
+}
+
+impl Default for Inner {
+    fn default() -> Inner {
+        Inner {
+            deadline: None,
+            cancelled: AtomicBool::new(false),
+            bytes_left: None,
+            rows_left: None,
+            polls: AtomicU64::new(0),
+            fault: Fault::None,
+        }
+    }
+}
+
+/// A cheap, clonable per-query governance handle.
+///
+/// [`QueryCtx::unlimited`] carries no state at all — checks and charges
+/// on it compile down to one branch, which is what the legacy
+/// (ctx-free) APIs delegate with. Any builder method allocates the
+/// shared state; clones of a built context observe the same
+/// cancellation flag, budgets, and poll counter.
+///
+/// Builder methods (`with_*`) must be applied **before** the context is
+/// cloned — they mutate through [`Arc::get_mut`] and panic if clones
+/// already exist.
+#[derive(Debug, Clone, Default)]
+pub struct QueryCtx {
+    inner: Option<Arc<Inner>>,
+}
+
+impl QueryCtx {
+    /// A context with no limits and no shared state. Checks are free;
+    /// [`QueryCtx::cancel`] on it is a no-op.
+    pub fn unlimited() -> QueryCtx {
+        QueryCtx { inner: None }
+    }
+
+    /// A context with allocated shared state but no limits — cancellable
+    /// from another thread via a clone, otherwise unconstrained.
+    pub fn new() -> QueryCtx {
+        QueryCtx {
+            inner: Some(Arc::new(Inner::default())),
+        }
+    }
+
+    fn make_mut(&mut self) -> &mut Inner {
+        let arc = self.inner.get_or_insert_with(|| Arc::new(Inner::default()));
+        Arc::get_mut(arc).expect("QueryCtx builder methods must run before the ctx is cloned")
+    }
+
+    /// Sets the deadline to `now + timeout`.
+    pub fn with_timeout(mut self, timeout: Duration) -> QueryCtx {
+        self.make_mut().deadline = Some(Instant::now() + timeout);
+        self
+    }
+
+    /// Sets an absolute deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> QueryCtx {
+        self.make_mut().deadline = Some(deadline);
+        self
+    }
+
+    /// Caps the approximate bytes the query may materialise.
+    pub fn with_byte_budget(mut self, bytes: u64) -> QueryCtx {
+        self.make_mut().bytes_left = Some(AtomicI64::new(i64::try_from(bytes).unwrap_or(i64::MAX)));
+        self
+    }
+
+    /// Caps the result rows the query may produce.
+    pub fn with_row_budget(mut self, rows: u64) -> QueryCtx {
+        self.make_mut().rows_left = Some(AtomicI64::new(i64::try_from(rows).unwrap_or(i64::MAX)));
+        self
+    }
+
+    /// Plants an injected fault (testing/harness only).
+    pub fn with_fault(mut self, fault: Fault) -> QueryCtx {
+        self.make_mut().fault = fault;
+        self
+    }
+
+    /// Whether this is the zero-state unlimited context.
+    pub fn is_unlimited(&self) -> bool {
+        self.inner.is_none()
+    }
+
+    /// Requests cancellation; every clone observes it at its next poll.
+    /// A no-op on [`QueryCtx::unlimited`] (there is no shared flag).
+    pub fn cancel(&self) {
+        if let Some(inner) = &self.inner {
+            inner.cancelled.store(true, Ordering::Relaxed);
+        }
+    }
+
+    /// Whether a byte budget is present (lets producers skip sizing
+    /// work entirely when it is not).
+    #[inline]
+    pub fn has_byte_budget(&self) -> bool {
+        self.inner
+            .as_deref()
+            .is_some_and(|i| i.bytes_left.is_some())
+    }
+
+    /// The full check: fault hook, cancellation flag, deadline.
+    /// Budgets are charged separately, not polled.
+    pub fn check(&self) -> Result<(), QueryError> {
+        let Some(inner) = self.inner.as_deref() else {
+            return Ok(());
+        };
+        if inner.fault != Fault::None {
+            let n = inner.polls.fetch_add(1, Ordering::Relaxed) + 1;
+            match inner.fault {
+                Fault::PanicAtPoll(at) if n == at => panic!("{INJECTED_PANIC_MSG} (poll {at})"),
+                Fault::SleepAtPoll { at, millis } if n == at => {
+                    std::thread::sleep(Duration::from_millis(millis));
+                }
+                _ => {}
+            }
+        }
+        if inner.cancelled.load(Ordering::Relaxed) {
+            return Err(QueryError::Cancelled);
+        }
+        if let Some(d) = inner.deadline {
+            if Instant::now() >= d {
+                return Err(QueryError::Deadline);
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges `n` approximate bytes against the budget, if one is set.
+    #[inline]
+    pub fn charge_bytes(&self, n: u64) -> Result<(), QueryError> {
+        let Some(inner) = self.inner.as_deref() else {
+            return Ok(());
+        };
+        let Some(left) = &inner.bytes_left else {
+            return Ok(());
+        };
+        let n = i64::try_from(n).unwrap_or(i64::MAX);
+        if left.fetch_sub(n, Ordering::Relaxed) < n {
+            return Err(QueryError::BudgetExceeded {
+                resource: Resource::Bytes,
+            });
+        }
+        Ok(())
+    }
+
+    /// Charges `n` result rows against the budget, if one is set.
+    #[inline]
+    pub fn charge_rows(&self, n: u64) -> Result<(), QueryError> {
+        let Some(inner) = self.inner.as_deref() else {
+            return Ok(());
+        };
+        let Some(left) = &inner.rows_left else {
+            return Ok(());
+        };
+        let n = i64::try_from(n).unwrap_or(i64::MAX);
+        if left.fetch_sub(n, Ordering::Relaxed) < n {
+            return Err(QueryError::BudgetExceeded {
+                resource: Resource::Rows,
+            });
+        }
+        Ok(())
+    }
+
+    /// Charges a materialised value's approximate size — but only
+    /// traverses the value when a byte budget is actually present, so
+    /// unbudgeted queries pay nothing for the call.
+    #[inline]
+    pub fn charge_json(&self, value: &Json) -> Result<(), QueryError> {
+        if !self.has_byte_budget() {
+            return Ok(());
+        }
+        self.charge_bytes(approx_json_bytes(value))
+    }
+
+    /// A per-loop poller bound to this context.
+    pub fn poller(&self) -> Poller<'_> {
+        Poller::new(self)
+    }
+}
+
+/// Amortises [`QueryCtx::check`] for per-item loops: the real check
+/// runs once every [`POLL_STRIDE`] ticks; the other ticks are a counter
+/// decrement. On an unlimited context a tick is a single branch.
+pub struct Poller<'c> {
+    ctx: &'c QueryCtx,
+    left: u32,
+}
+
+impl<'c> Poller<'c> {
+    /// A fresh poller; its first [`Poller::tick`] performs a real check
+    /// so an already-expired context fails before any work happens.
+    pub fn new(ctx: &'c QueryCtx) -> Poller<'c> {
+        Poller { ctx, left: 0 }
+    }
+
+    /// Call once per item. Cheap between strides; see [`POLL_STRIDE`].
+    #[inline]
+    pub fn tick(&mut self) -> Result<(), QueryError> {
+        if self.ctx.inner.is_none() {
+            return Ok(());
+        }
+        if self.left > 0 {
+            self.left -= 1;
+            return Ok(());
+        }
+        self.left = POLL_STRIDE;
+        self.ctx.check()
+    }
+}
+
+/// A cheap structural size estimate used for byte-budget charging:
+/// container/string headers plus payload lengths. It deliberately
+/// over-approximates small values (every node costs at least a
+/// pointer-ish constant) so budgets bound allocation, not undershoot it.
+pub fn approx_json_bytes(value: &Json) -> u64 {
+    match value {
+        Json::Num(_) => 16,
+        Json::Str(s) => 24 + s.len() as u64,
+        Json::Array(items) => 24 + items.iter().map(approx_json_bytes).sum::<u64>(),
+        Json::Object(o) => {
+            let mut total = 24u64;
+            for (k, v) in o.iter() {
+                total += 24 + k.len() as u64 + approx_json_bytes(v);
+            }
+            total
+        }
+    }
+}
+
+/// Runs `f` with the global panic hook silenced, restoring it after.
+/// Used by the fault-injection harness and the containment tests so a
+/// thousand *intentional* panics do not flood stderr. The hook is
+/// process-global: concurrent tests may briefly lose their panic
+/// message, but the unwind (and thus the test failure) still happens.
+pub fn with_quiet_panics<T>(f: impl FnOnce() -> T) -> T {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_is_free_and_infallible() {
+        let ctx = QueryCtx::unlimited();
+        assert!(ctx.is_unlimited());
+        assert_eq!(ctx.check(), Ok(()));
+        assert_eq!(ctx.charge_bytes(u64::MAX), Ok(()));
+        assert_eq!(ctx.charge_rows(u64::MAX), Ok(()));
+        ctx.cancel(); // no-op
+        assert_eq!(ctx.check(), Ok(()));
+    }
+
+    #[test]
+    fn cancellation_is_seen_by_clones() {
+        let ctx = QueryCtx::new();
+        let worker = ctx.clone();
+        assert_eq!(worker.check(), Ok(()));
+        ctx.cancel();
+        assert_eq!(worker.check(), Err(QueryError::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_fails_check() {
+        let ctx = QueryCtx::unlimited().with_timeout(Duration::from_secs(0));
+        assert_eq!(ctx.check(), Err(QueryError::Deadline));
+        let far = QueryCtx::unlimited().with_timeout(Duration::from_secs(3600));
+        assert_eq!(far.check(), Ok(()));
+    }
+
+    #[test]
+    fn byte_budget_overdraws_once() {
+        let ctx = QueryCtx::unlimited().with_byte_budget(100);
+        assert_eq!(ctx.charge_bytes(60), Ok(()));
+        assert_eq!(
+            ctx.charge_bytes(60),
+            Err(QueryError::BudgetExceeded {
+                resource: Resource::Bytes
+            })
+        );
+        // Stays overdrawn.
+        assert!(ctx.charge_bytes(1).is_err());
+    }
+
+    #[test]
+    fn row_budget_counts_rows() {
+        let ctx = QueryCtx::unlimited().with_row_budget(3);
+        assert_eq!(ctx.charge_rows(2), Ok(()));
+        assert_eq!(ctx.charge_rows(1), Ok(()));
+        assert_eq!(
+            ctx.charge_rows(1),
+            Err(QueryError::BudgetExceeded {
+                resource: Resource::Rows
+            })
+        );
+    }
+
+    #[test]
+    fn poller_strides_and_reacts() {
+        let ctx = QueryCtx::new();
+        let mut p = ctx.poller();
+        // First tick checks (ok), the next POLL_STRIDE ticks are free.
+        assert_eq!(p.tick(), Ok(()));
+        ctx.cancel();
+        let mut seen = None;
+        for i in 0..=POLL_STRIDE {
+            if p.tick().is_err() {
+                seen = Some(i);
+                break;
+            }
+        }
+        assert_eq!(seen, Some(POLL_STRIDE), "reacts exactly at the stride");
+    }
+
+    #[test]
+    fn fault_panics_at_requested_poll() {
+        let ctx = QueryCtx::unlimited().with_fault(Fault::PanicAtPoll(3));
+        assert_eq!(ctx.check(), Ok(()));
+        assert_eq!(ctx.check(), Ok(()));
+        let r = with_quiet_panics(|| {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| ctx.check()))
+        });
+        assert!(r.is_err(), "third poll panics");
+        assert_eq!(ctx.check(), Ok(()), "later polls are clean");
+    }
+
+    #[test]
+    fn approx_bytes_grows_with_content() {
+        let small = Json::Num(1);
+        let big = Json::Array((0..100).map(|_| Json::str("hello world")).collect());
+        assert!(approx_json_bytes(&big) > approx_json_bytes(&small));
+        assert!(approx_json_bytes(&big) >= 100 * 11);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        let e = QueryError::WorkerPanicked {
+            chunk: 3..7,
+            payload: "boom".into(),
+        };
+        assert_eq!(e.to_string(), "worker panicked on chunk 3..7: boom");
+        assert_eq!(QueryError::Deadline.to_string(), "query deadline exceeded");
+        assert_eq!(
+            QueryError::BudgetExceeded {
+                resource: Resource::Rows
+            }
+            .to_string(),
+            "query row budget exceeded"
+        );
+    }
+}

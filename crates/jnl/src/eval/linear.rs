@@ -23,6 +23,17 @@ pub fn eval(tree: &JsonTree, phi: &Unary) -> Result<NodeSet, EvalError> {
     eval_unary(&mut ctx, phi)
 }
 
+/// [`eval`] under a governance context: the per-node walk loops poll
+/// `guard` and stop with [`EvalError::Interrupted`] when it fails.
+pub fn eval_with_guard(
+    tree: &JsonTree,
+    phi: &Unary,
+    guard: jguard::QueryCtx,
+) -> Result<NodeSet, EvalError> {
+    let mut ctx = EvalContext::with_guard(tree, guard);
+    eval_unary(&mut ctx, phi)
+}
+
 /// One step of a compiled deterministic path. Key steps carry the tree's
 /// interned symbol — resolved once at compile time, so the walk itself does
 /// pure `u32` binary searches. `Key(None)` records a key the tree never
@@ -67,9 +78,12 @@ fn eval_unary(ctx: &mut EvalContext<'_>, phi: &Unary) -> Result<NodeSet, EvalErr
         }
         Unary::Exists(alpha) => {
             let steps = compile(ctx, alpha)?;
-            (0..n)
-                .map(|i| walk(ctx.tree, &steps, NodeId::from_index(i)).is_some())
-                .collect()
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                ctx.poll_at(i)?;
+                out.push(walk(ctx.tree, &steps, NodeId::from_index(i)).is_some());
+            }
+            out
         }
         Unary::EqDoc(alpha, doc) => {
             let steps = compile(ctx, alpha)?;
@@ -78,25 +92,31 @@ fn eval_unary(ctx: &mut EvalContext<'_>, phi: &Unary) -> Result<NodeSet, EvalErr
                 // The document does not occur in the tree at all.
                 return Ok(vec![false; n]);
             };
-            (0..n)
-                .map(|i| {
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                ctx.poll_at(i)?;
+                out.push(
                     walk(ctx.tree, &steps, NodeId::from_index(i))
-                        .is_some_and(|m| ctx.canon.class_of(m) == target)
-                })
-                .collect()
+                        .is_some_and(|m| ctx.canon.class_of(m) == target),
+                );
+            }
+            out
         }
         Unary::EqPair(alpha, beta) => {
             let sa = compile(ctx, alpha)?;
             let sb = compile(ctx, beta)?;
-            (0..n)
-                .map(|i| {
-                    let from = NodeId::from_index(i);
+            let mut out = Vec::with_capacity(n);
+            for i in 0..n {
+                ctx.poll_at(i)?;
+                let from = NodeId::from_index(i);
+                out.push(
                     match (walk(ctx.tree, &sa, from), walk(ctx.tree, &sb, from)) {
                         (Some(x), Some(y)) => ctx.canon.equal(x, y),
                         _ => false,
-                    }
-                })
-                .collect()
+                    },
+                );
+            }
+            out
         }
     })
 }

@@ -20,18 +20,24 @@ pub mod naive;
 pub mod pathnfa;
 pub mod pdl;
 
+use jguard::{QueryCtx, QueryError};
 use jsondata::{CanonTable, Json, JsonTree, NodeId, Sym};
 use relex::{EdgeStrategy, MatcherId, Regex, SymMatcher, SymMatcherTable};
 
 use crate::ast::Unary;
 
-/// Errors raised when a formula falls outside an engine's fragment.
+/// Errors raised when a formula falls outside an engine's fragment, or
+/// when a governed evaluation is stopped by its [`QueryCtx`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum EvalError {
     /// The linear engine was given a non-deterministic construct.
     NotDeterministic(&'static str),
     /// The PDL engine was given `EQ(α, β)` (use [`cubic`]).
     EqPairUnsupported,
+    /// A deadline/cancellation poll stopped the evaluation (only
+    /// reachable through the `*_ctx` entry points, which unwrap it back
+    /// to the underlying [`QueryError`]).
+    Interrupted(QueryError),
 }
 
 impl std::fmt::Display for EvalError {
@@ -47,6 +53,7 @@ impl std::fmt::Display for EvalError {
                 f,
                 "EQ(α, β) requires the cubic engine (Prop 3 excludes it from the linear case)"
             ),
+            EvalError::Interrupted(q) => write!(f, "evaluation interrupted: {q}"),
         }
     }
 }
@@ -69,6 +76,9 @@ pub struct EvalContext<'t> {
     pub canon: CanonTable,
     /// `regex → edge matcher` (bitset tier with lazy-memo fallback).
     matchers: SymMatcherTable,
+    /// Governance handle for cooperative interruption (unlimited — a
+    /// no-op — unless built through [`EvalContext::with_guard`]).
+    guard: QueryCtx,
 }
 
 impl<'t> EvalContext<'t> {
@@ -85,7 +95,34 @@ impl<'t> EvalContext<'t> {
             tree,
             canon: CanonTable::build(tree),
             matchers: SymMatcherTable::with_strategy(strategy),
+            guard: QueryCtx::unlimited(),
         }
+    }
+
+    /// [`EvalContext::new`] bound to a governance context: the per-node
+    /// evaluation loops poll `guard` (every [`jguard::POLL_STRIDE`]
+    /// nodes) and stop with [`EvalError::Interrupted`] when it fails.
+    pub fn with_guard(tree: &'t JsonTree, guard: QueryCtx) -> EvalContext<'t> {
+        EvalContext {
+            guard,
+            ..EvalContext::new(tree)
+        }
+    }
+
+    /// The amortised per-node guard poll for loops that carry an index:
+    /// the stride test is one mask on the loop counter ([`jguard::POLL_STRIDE`]
+    /// is a power of two), so the between-stride cost stays in registers;
+    /// the real check (time + cancellation + fault hook) runs once per
+    /// stride on a governed context and never on an unlimited one.
+    #[inline]
+    pub(crate) fn poll_at(&self, i: usize) -> Result<(), EvalError> {
+        if i & (jguard::POLL_STRIDE as usize - 1) != 0 {
+            return Ok(());
+        }
+        if self.guard.is_unlimited() {
+            return Ok(());
+        }
+        self.guard.check().map_err(EvalError::Interrupted)
     }
 
     /// The key on the edge into `n`, if `n` is an object child (resolved
@@ -169,6 +206,43 @@ pub fn evaluate(tree: &JsonTree, phi: &Unary) -> NodeSet {
 /// mapping [`evaluate`] yourself).
 pub fn evaluate_batch(trees: &[JsonTree], phi: &Unary, pool: &jpar::Pool) -> Vec<NodeSet> {
     pool.map(trees.len(), |i| evaluate(&trees[i], phi))
+}
+
+/// Governed [`evaluate`]: the linear engine polls `guard` every
+/// [`jguard::POLL_STRIDE`] nodes; the PDL/cubic engines (whose inner
+/// fixpoints are not instrumented) check it before and after the run.
+/// Returns the guard's structured error instead of running to completion.
+pub fn evaluate_ctx(tree: &JsonTree, phi: &Unary, guard: &QueryCtx) -> Result<NodeSet, QueryError> {
+    let frag = phi.fragment();
+    if frag.is_deterministic() {
+        match linear::eval_with_guard(tree, phi, guard.clone()) {
+            Ok(s) => Ok(s),
+            Err(EvalError::Interrupted(q)) => Err(q),
+            Err(e) => unreachable!("fragment checked deterministic: {e}"),
+        }
+    } else {
+        guard.check()?;
+        let s = if !frag.eq_pair {
+            pdl::eval(tree, phi).expect("fragment checked EQ-pair-free")
+        } else {
+            cubic::eval(tree, phi)
+        };
+        guard.check()?;
+        Ok(s)
+    }
+}
+
+/// Governed [`evaluate_batch`]: fans the per-tree evaluations out
+/// through the pool's fallible dispatch, so an expired deadline, a
+/// cancellation, or a panicking evaluation surfaces as a structured
+/// [`QueryError`] with all workers joined and the pool reusable.
+pub fn evaluate_batch_ctx(
+    trees: &[JsonTree],
+    phi: &Unary,
+    pool: &jpar::Pool,
+    guard: &QueryCtx,
+) -> Result<Vec<NodeSet>, QueryError> {
+    pool.try_map(guard, trees.len(), |i| evaluate_ctx(&trees[i], phi, guard))
 }
 
 /// Convenience: does the root satisfy `φ`?

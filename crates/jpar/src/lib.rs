@@ -48,10 +48,44 @@
 //! counts are clamped to at least 1.
 
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+use jguard::{QueryCtx, QueryError};
 
 /// The environment variable overriding [`Pool::auto`]'s thread count.
 pub const THREADS_ENV: &str = "JPAR_THREADS";
+
+/// Renders a caught panic payload for [`QueryError::WorkerPanicked`].
+pub fn panic_payload(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_owned()
+    }
+}
+
+/// Runs one chunk with panic containment: a panic inside `f` (including
+/// an injected fault inside a context poll) becomes a structured
+/// [`QueryError::WorkerPanicked`] carrying the chunk's item range.
+///
+/// `AssertUnwindSafe` is sound here because on the error path every
+/// partial result is dropped and the pool's contract already requires
+/// closure captures to be shared read-only state.
+fn contain<T>(
+    chunk: Range<usize>,
+    f: impl FnOnce() -> Result<T, QueryError>,
+) -> Result<T, QueryError> {
+    match std::panic::catch_unwind(AssertUnwindSafe(f)) {
+        Ok(r) => r,
+        Err(p) => Err(QueryError::WorkerPanicked {
+            chunk,
+            payload: panic_payload(p),
+        }),
+    }
+}
 
 /// A scoped worker pool: a thread count plus the dispatch strategy.
 ///
@@ -134,48 +168,143 @@ impl Pool {
     /// **in chunk order**. Workers steal chunk indices from one atomic
     /// counter; with one thread or one chunk everything runs inline on the
     /// calling thread in order (the serial fallback).
+    ///
+    /// A panicking closure re-raises the (contained) panic on the calling
+    /// thread after all workers have been joined — the process never
+    /// aborts, and the pool stays usable. Callers that need the panic as
+    /// a value use [`Pool::try_map_chunks`].
     pub fn map_chunks<T, F>(&self, len: usize, chunk: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(Range<usize>) -> T + Sync,
+    {
+        match self.try_map_chunks(&QueryCtx::unlimited(), len, chunk, |r| Ok(f(r))) {
+            Ok(out) => out,
+            Err(QueryError::WorkerPanicked { chunk, payload }) => {
+                panic!("jpar worker panicked on chunk {chunk:?}: {payload}")
+            }
+            Err(e) => unreachable!("unlimited ctx cannot fail, got {e}"),
+        }
+    }
+
+    /// Fallible [`Pool::map`]: checks `ctx` between items and contains
+    /// worker panics. See [`Pool::try_map_chunks`].
+    pub fn try_map<T, F>(&self, ctx: &QueryCtx, len: usize, f: F) -> Result<Vec<T>, QueryError>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T, QueryError> + Sync,
+    {
+        self.try_map_chunks(ctx, len, 1, |r| f(r.start))
+    }
+
+    /// The governed core of the pool: like [`Pool::map_chunks`] but
+    ///
+    /// * workers poll `ctx` **before claiming each chunk** — an expired
+    ///   deadline, a cancellation, or an overdrawn budget stops the whole
+    ///   fan-out within one chunk of work and returns the error;
+    /// * every chunk closure runs under `catch_unwind` — a panic becomes
+    ///   [`QueryError::WorkerPanicked`] with the chunk's item range, the
+    ///   remaining workers are joined, and the pool (plus any shared
+    ///   immutable state) stays reusable;
+    /// * when several chunks fail concurrently, the error of the
+    ///   **lowest chunk index** wins, keeping the outcome deterministic
+    ///   for a single planted fault regardless of thread count.
+    pub fn try_map_chunks<T, F>(
+        &self,
+        ctx: &QueryCtx,
+        len: usize,
+        chunk: usize,
+        f: F,
+    ) -> Result<Vec<T>, QueryError>
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> Result<T, QueryError> + Sync,
     {
         let chunk = chunk.max(1);
         let n_chunks = len.div_ceil(chunk);
         let range_of = |i: usize| i * chunk..((i + 1) * chunk).min(len);
         let workers = self.threads.min(n_chunks);
         if workers <= 1 {
-            return (0..n_chunks).map(|i| f(range_of(i))).collect();
+            let mut out = Vec::with_capacity(n_chunks);
+            for i in 0..n_chunks {
+                out.push(contain(range_of(i), || {
+                    ctx.check()?;
+                    f(range_of(i))
+                })?);
+            }
+            return Ok(out);
         }
 
         let next = AtomicUsize::new(0);
-        let run_worker = || {
+        let stop = AtomicBool::new(false);
+        // Each worker returns its claimed (chunk, value) pairs plus the
+        // error (tagged with its chunk index) that stopped it, if any.
+        type WorkerOut<T> = (Vec<(usize, T)>, Option<(usize, QueryError)>);
+        let run_worker = || -> WorkerOut<T> {
             let mut claimed: Vec<(usize, T)> = Vec::new();
-            loop {
+            let mut err = None;
+            while !stop.load(Ordering::Relaxed) {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= n_chunks {
                     break;
                 }
-                claimed.push((i, f(range_of(i))));
-            }
-            claimed
-        };
-
-        let mut slots: Vec<Option<T>> = (0..n_chunks).map(|_| None).collect();
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (1..workers).map(|_| scope.spawn(run_worker)).collect();
-            for (i, v) in run_worker() {
-                slots[i] = Some(v);
-            }
-            for h in handles {
-                for (i, v) in h.join().expect("jpar worker panicked") {
-                    slots[i] = Some(v);
+                match contain(range_of(i), || {
+                    ctx.check()?;
+                    f(range_of(i))
+                }) {
+                    Ok(v) => claimed.push((i, v)),
+                    Err(e) => {
+                        err = Some((i, e));
+                        stop.store(true, Ordering::Relaxed);
+                        break;
+                    }
                 }
             }
+            (claimed, err)
+        };
+
+        let mut outputs: Vec<WorkerOut<T>> = Vec::with_capacity(workers);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (1..workers).map(|_| scope.spawn(run_worker)).collect();
+            outputs.push(run_worker());
+            for h in handles {
+                // `run_worker` contains every panic, so `join` failing
+                // would mean a panic outside any chunk; keep the process
+                // alive anyway and surface it as a rangeless error.
+                outputs.push(h.join().unwrap_or_else(|p| {
+                    (
+                        Vec::new(),
+                        Some((
+                            usize::MAX,
+                            QueryError::WorkerPanicked {
+                                chunk: 0..0,
+                                payload: panic_payload(p),
+                            },
+                        )),
+                    )
+                }));
+            }
         });
-        slots
+
+        let mut first_err: Option<(usize, QueryError)> = None;
+        let mut slots: Vec<Option<T>> = (0..n_chunks).map(|_| None).collect();
+        for (claimed, err) in outputs {
+            for (i, v) in claimed {
+                slots[i] = Some(v);
+            }
+            if let Some((i, e)) = err {
+                if first_err.as_ref().is_none_or(|(j, _)| i < *j) {
+                    first_err = Some((i, e));
+                }
+            }
+        }
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+        Ok(slots
             .into_iter()
             .map(|s| s.expect("every chunk index was claimed exactly once"))
-            .collect()
+            .collect())
     }
 
     /// [`Pool::map_chunks`] with the chunk results concatenated — the
@@ -191,6 +320,26 @@ impl Pool {
             .into_iter()
             .flatten()
             .collect()
+    }
+
+    /// Fallible [`Pool::flat_map_chunks`]: governed, panic-contained,
+    /// chunk results concatenated in chunk order.
+    pub fn try_flat_map_chunks<T, F>(
+        &self,
+        ctx: &QueryCtx,
+        len: usize,
+        chunk: usize,
+        f: F,
+    ) -> Result<Vec<T>, QueryError>
+    where
+        T: Send,
+        F: Fn(Range<usize>) -> Result<Vec<T>, QueryError> + Sync,
+    {
+        Ok(self
+            .try_map_chunks(ctx, len, chunk, f)?
+            .into_iter()
+            .flatten()
+            .collect())
     }
 }
 

@@ -22,6 +22,7 @@
 //! | [`agg`] | `jagg` | tree-native aggregation pipelines (`$match`/`$unwind`/`$group`/…) over collections |
 //! | [`path`] | `jsonpath` | JSONPath dialect over recursive JNL |
 //! | [`par`] | `jpar` | scoped worker pool driving the parallel query paths |
+//! | [`guard`] | `jguard` | per-query governance: deadlines, budgets, cancellation, panic containment |
 //!
 //! See `README.md` for a tour and `DESIGN.md`/`EXPERIMENTS.md` for the
 //! mapping from the paper's propositions to code and measurements.
@@ -36,6 +37,7 @@ pub use jautomata as automata;
 pub use jschema as schema;
 
 pub use jagg as agg;
+pub use jguard as guard;
 pub use jpar as par;
 pub use jsonpath as path;
 pub use mongofind as mongo;

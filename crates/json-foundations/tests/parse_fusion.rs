@@ -172,7 +172,7 @@ fn parse_limits_edges_agree() {
         (r#"{"a": {"b": {"c": {"d": 1}}}}"#, 3),
     ];
     for &(src, max_depth) in cases {
-        let limits = ParseLimits { max_depth };
+        let limits = ParseLimits::depth(max_depth);
         let via_value = parse_with_limits(src, limits);
         let via_tree = parse_to_tree_with_limits(src, limits);
         match (via_value, via_tree) {

@@ -66,6 +66,9 @@ pub enum ParseErrorKind {
     DuplicateKey(String),
     /// Nesting depth exceeded the configured limit.
     TooDeep(usize),
+    /// Input byte length exceeded the configured limit (checked before
+    /// any parsing work).
+    TooLarge(usize),
     /// Input continued after the first complete value.
     TrailingContent,
     /// Invalid UTF-8 (only reachable through the byte-level entry points).
@@ -120,6 +123,7 @@ impl fmt::Display for ParseError {
                 "nesting depth exceeds the limit of {limit} at {}",
                 self.position
             ),
+            TooLarge(limit) => write!(f, "input exceeds the size limit of {limit} bytes"),
             TrailingContent => {
                 write!(f, "unexpected content after the JSON value at {}", self.position)
             }

@@ -210,6 +210,87 @@ pub fn person_records(n: usize, seed: u64) -> Json {
     )
 }
 
+// ---- hostile corpus ----------------------------------------------------
+//
+// Adversarial *texts* (not values — several are deliberately rejected by
+// the parser) for the robustness suites: every pipeline stage must either
+// process these or return a structured error, never panic or abort.
+
+/// `depth` unclosed-then-closed array brackets around a scalar:
+/// `[[[...0...]]]`. Trips depth limits; with limits raised it stresses
+/// every height-sensitive algorithm.
+pub fn hostile_deep_nesting(depth: usize) -> String {
+    let mut s = String::with_capacity(2 * depth + 1);
+    for _ in 0..depth {
+        s.push('[');
+    }
+    s.push('0');
+    for _ in 0..depth {
+        s.push(']');
+    }
+    s
+}
+
+/// An object of `n_keys` members whose keys are each `key_len` bytes —
+/// interner and hash-table stress (a single 1 MB key is
+/// `hostile_huge_keys(1 << 20, 1)`).
+pub fn hostile_huge_keys(key_len: usize, n_keys: usize) -> String {
+    let mut s = String::from("{");
+    for i in 0..n_keys {
+        if i > 0 {
+            s.push(',');
+        }
+        // Distinct keys: a numeric prefix, padded to key_len with 'k'.
+        let prefix = format!("{i}_");
+        s.push('"');
+        s.push_str(&prefix);
+        for _ in prefix.len()..key_len {
+            s.push('k');
+        }
+        s.push_str("\":0");
+    }
+    s.push('}');
+    s
+}
+
+/// An object repeating the same key `n` times — the paper's §2 model
+/// requires pairwise-distinct keys, so this must be *rejected*, and the
+/// duplicate detector must stay near-linear while doing it.
+pub fn hostile_duplicate_keys(n: usize) -> String {
+    let mut s = String::from("{");
+    for i in 0..n {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str(&format!("\"k\":{i}"));
+    }
+    s.push('}');
+    s
+}
+
+/// The seeded hostile corpus used by the adversarial tests and the s7
+/// fault-injection harness: `(label, text)` pairs mixing inputs that
+/// must parse (nasty but legal) with inputs that must be rejected with
+/// a structured error.
+pub fn hostile_corpus(seed: u64) -> Vec<(&'static str, String)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let wide = {
+        // A legal sibling flood: many distinct keys at one level.
+        let n = 2000 + rng.gen_range(0..100) as usize;
+        crate::gen::wide_object(n).to_string()
+    };
+    vec![
+        ("deep_1k", hostile_deep_nesting(1000)),
+        ("deep_100k", hostile_deep_nesting(100_000)),
+        ("huge_key_1mb", hostile_huge_keys(1 << 20, 1)),
+        ("huge_keys_64x16kb", hostile_huge_keys(16 << 10, 64)),
+        ("dup_flood_10k", hostile_duplicate_keys(10_000)),
+        ("wide_sibling_flood", wide),
+        ("unclosed_deep", "[".repeat(5000)),
+        ("trailing_garbage", "{\"a\":1} [".to_owned()),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

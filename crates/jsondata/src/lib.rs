@@ -72,7 +72,7 @@ pub mod tree;
 pub mod value;
 
 pub use canon::CanonTable;
-pub use error::{JsonError, ParseError, Position};
+pub use error::{JsonError, ParseError, ParseErrorKind, Position};
 pub use intern::{Interner, Sym};
 pub use nav::{NavPath, NavStep};
 pub use parse::{

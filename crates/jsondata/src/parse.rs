@@ -52,11 +52,28 @@ use crate::value::Json;
 pub struct ParseLimits {
     /// Maximum object/array nesting depth.
     pub max_depth: usize,
+    /// Maximum input size in bytes, checked before any parsing work —
+    /// the serving edge's cheap first line of defence against oversized
+    /// documents. Unlimited by default.
+    pub max_bytes: usize,
 }
 
 impl Default for ParseLimits {
     fn default() -> Self {
-        ParseLimits { max_depth: 512 }
+        ParseLimits {
+            max_depth: 512,
+            max_bytes: usize::MAX,
+        }
+    }
+}
+
+impl ParseLimits {
+    /// Limits with the given depth cap and no size cap.
+    pub fn depth(max_depth: usize) -> ParseLimits {
+        ParseLimits {
+            max_depth,
+            ..ParseLimits::default()
+        }
     }
 }
 
@@ -282,6 +299,9 @@ fn parse_document<S: Sink>(
     sink: &mut S,
 ) -> Result<(), ParseError> {
     let mut p = Parser::new(input, limits);
+    if input.len() > p.limits.max_bytes {
+        return Err(p.err(ParseErrorKind::TooLarge(p.limits.max_bytes)));
+    }
     let mut frames: Vec<Frame> = Vec::new();
     p.skip_ws();
     'value: loop {
@@ -808,8 +828,23 @@ mod tests {
         assert!(matches!(kind(&deep), TooDeep(512)));
         let ok = "[".repeat(100) + &"]".repeat(100);
         assert!(parse(&ok).is_ok());
-        let custom = parse_with_limits(&ok, ParseLimits { max_depth: 10 });
+        let custom = parse_with_limits(&ok, ParseLimits::depth(10));
         assert!(matches!(custom.unwrap_err().kind, TooDeep(10)));
+    }
+
+    #[test]
+    fn size_limit_enforced_before_parsing() {
+        let limits = ParseLimits {
+            max_bytes: 16,
+            ..ParseLimits::default()
+        };
+        let small = parse_with_limits("[1, 2, 3]", limits);
+        assert!(small.is_ok());
+        let big = parse_with_limits(&format!("[{}]", "1,".repeat(100)), limits);
+        assert!(matches!(big.unwrap_err().kind, TooLarge(16)));
+        // The fused path enforces the same limit with the same error.
+        let fused = parse_to_tree_with_limits(&"9".repeat(100), limits);
+        assert!(matches!(fused.unwrap_err().kind, TooLarge(16)));
     }
 
     #[test]
@@ -864,9 +899,9 @@ mod tests {
     fn fused_depth_limit_matches() {
         let deep = "[".repeat(600) + &"]".repeat(600);
         assert_eq!(parse(&deep).unwrap_err(), parse_to_tree(&deep).unwrap_err());
-        let scalar_at_limit = parse_to_tree_with_limits("7", ParseLimits { max_depth: 0 });
+        let scalar_at_limit = parse_to_tree_with_limits("7", ParseLimits::depth(0));
         assert!(scalar_at_limit.is_ok());
-        let nested = parse_to_tree_with_limits("[7]", ParseLimits { max_depth: 0 });
+        let nested = parse_to_tree_with_limits("[7]", ParseLimits::depth(0));
         assert!(matches!(nested.unwrap_err().kind, TooDeep(0)));
     }
 

@@ -38,9 +38,28 @@ use std::cmp::Ordering;
 use std::fmt;
 use std::sync::OnceLock;
 
+use jguard::{QueryCtx, QueryError};
 use jnl::ast::{Binary, Unary};
 use jpar::Pool;
 use jsondata::{Interner, Json, JsonTree, NodeId, NodeKind, ParseLimits};
+
+/// Unwraps a governed result obtained under [`QueryCtx::unlimited`] —
+/// the delegation path of the legacy (ctx-free) APIs. An unlimited
+/// context never raises deadline/budget/cancel errors, so the only
+/// reachable failure is a contained worker panic, which is re-raised
+/// here to preserve the legacy APIs' panic semantics.
+fn expect_ungoverned<T>(r: Result<T, QueryError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(QueryError::WorkerPanicked { chunk, payload }) => {
+            panic!(
+                "worker panicked on chunk {}..{}: {payload}",
+                chunk.start, chunk.end
+            )
+        }
+        Err(e) => unreachable!("unlimited ctx cannot fail: {e}"),
+    }
+}
 
 /// Minimum per-chunk document count for the parallel scan paths: ranges
 /// below this collapse into one chunk and run inline on the calling
@@ -704,6 +723,16 @@ impl Collection {
         Ok(Collection::from_first_segment(tree, interner))
     }
 
+    /// [`Collection::parse_str`] with explicit [`ParseLimits`] — the
+    /// serving edge's ingestion guard: an oversized or too-deep document
+    /// is rejected with [`QueryError::ParseLimit`] *before* any tree is
+    /// built (the size cap is checked against the raw text length).
+    pub fn parse_str_with_limits(src: &str, limits: ParseLimits) -> Result<Collection, QueryError> {
+        let mut interner = Interner::new();
+        let tree = jsondata::parse_to_tree_into(src, limits, &mut interner)?;
+        Ok(Collection::from_first_segment(tree, interner))
+    }
+
     fn from_first_segment(tree: JsonTree, interner: Interner) -> Collection {
         let doc_refs = match tree.kind(tree.root()) {
             NodeKind::Arr => tree
@@ -762,6 +791,20 @@ impl Collection {
     pub fn insert_str(&mut self, src: &str) -> Result<(), FilterError> {
         let tree = jsondata::parse_to_tree_into(src, ParseLimits::default(), &mut self.interner)
             .map_err(|e| FilterError(e.to_string()))?;
+        self.push_segment(tree);
+        Ok(())
+    }
+
+    /// [`Collection::insert_str`] with explicit [`ParseLimits`]: the
+    /// document is rejected with [`QueryError::ParseLimit`] — before any
+    /// tree build for the size cap, at the offending depth for the depth
+    /// cap — and the collection is left unchanged on failure.
+    pub fn insert_str_with_limits(
+        &mut self,
+        src: &str,
+        limits: ParseLimits,
+    ) -> Result<(), QueryError> {
+        let tree = jsondata::parse_to_tree_into(src, limits, &mut self.interner)?;
         self.push_segment(tree);
         Ok(())
     }
@@ -830,47 +873,103 @@ impl Collection {
     /// scanned in parallel chunks on the collection's pool; survivors come
     /// back spliced in `(segment, doc)` order for every thread count.
     pub fn find_refs(&self, filter: &Filter) -> Vec<DocRef> {
-        self.scan_refs(|d| filter.matches_at(&self.segments[d.seg as usize], d.node))
+        expect_ungoverned(self.find_refs_with_ctx(filter, &QueryCtx::unlimited()))
+    }
+
+    /// [`Collection::find_refs`] under a [`QueryCtx`]: the scan polls the
+    /// context per document, survivors charge the row budget, and worker
+    /// panics come back as [`QueryError::WorkerPanicked`] instead of
+    /// unwinding — the collection stays untouched and queryable.
+    pub fn find_refs_with_ctx(
+        &self,
+        filter: &Filter,
+        ctx: &QueryCtx,
+    ) -> Result<Vec<DocRef>, QueryError> {
+        self.scan_refs(ctx, |d| {
+            filter.matches_at(&self.segments[d.seg as usize], d.node)
+        })
     }
 
     /// The shared chunk-parallel document scan: keeps the refs satisfying
-    /// `keep`, in document order.
-    fn scan_refs(&self, keep: impl Fn(DocRef) -> bool + Sync) -> Vec<DocRef> {
+    /// `keep`, in document order. Polls `ctx` per document and charges
+    /// surviving refs against the row budget.
+    fn scan_refs(
+        &self,
+        ctx: &QueryCtx,
+        keep: impl Fn(DocRef) -> bool + Sync,
+    ) -> Result<Vec<DocRef>, QueryError> {
         let n = self.doc_refs.len();
         let chunk = self.pool.chunk_for(n, DOC_CHUNK_MIN);
-        self.pool.flat_map_chunks(n, chunk, |r| {
-            self.doc_refs[r]
-                .iter()
-                .copied()
-                .filter(|&d| keep(d))
-                .collect()
+        self.pool.try_flat_map_chunks(ctx, n, chunk, |r| {
+            let mut poll = ctx.poller();
+            let mut out = Vec::new();
+            for &d in &self.doc_refs[r] {
+                poll.tick()?;
+                if keep(d) {
+                    out.push(d);
+                }
+            }
+            ctx.charge_rows(out.len() as u64)?;
+            Ok(out)
         })
     }
 
     /// Materialises each ref through `make`, in parallel chunks, preserving
-    /// order (`find`/`find_project`/`find_via_jnl` output assembly).
+    /// order (`find`/`find_project`/`find_via_jnl` output assembly). Polls
+    /// `ctx` per document and charges each materialised value against the
+    /// byte budget (a no-op traversal-free call when no budget is set).
     fn materialize_refs(
         &self,
+        ctx: &QueryCtx,
         refs: Vec<DocRef>,
         make: impl Fn(DocRef) -> Json + Sync,
-    ) -> Vec<Json> {
+    ) -> Result<Vec<Json>, QueryError> {
         let chunk = self.pool.chunk_for(refs.len(), DOC_CHUNK_MIN);
-        self.pool.flat_map_chunks(refs.len(), chunk, |r| {
-            refs[r].iter().copied().map(&make).collect()
+        self.pool.try_flat_map_chunks(ctx, refs.len(), chunk, |r| {
+            let mut poll = ctx.poller();
+            let mut out = Vec::with_capacity(r.len());
+            for &d in &refs[r] {
+                poll.tick()?;
+                let v = make(d);
+                ctx.charge_json(&v)?;
+                out.push(v);
+            }
+            Ok(out)
         })
     }
 
     /// `db.collection.find(filter)`: the matching documents, synthesized
     /// from the tree column (no eager document vector is consulted).
     pub fn find(&self, filter: &Filter) -> Vec<Json> {
-        self.materialize_refs(self.find_refs(filter), |d| self.json_of(d))
+        expect_ungoverned(self.find_with_ctx(filter, &QueryCtx::unlimited()))
+    }
+
+    /// [`Collection::find`] under a [`QueryCtx`]: deadline/cancellation
+    /// polls per scanned document, row budget charged on matches, byte
+    /// budget charged on materialised output.
+    pub fn find_with_ctx(&self, filter: &Filter, ctx: &QueryCtx) -> Result<Vec<Json>, QueryError> {
+        let refs = self.find_refs_with_ctx(filter, ctx)?;
+        self.materialize_refs(ctx, refs, |d| self.json_of(d))
     }
 
     /// `find(filter, projection)`: projected documents, synthesized
     /// directly from the tree ([`Projection::apply_tree`]) — only the kept
     /// subtrees are ever materialised.
     pub fn find_project(&self, filter: &Filter, projection: &Projection) -> Vec<Json> {
-        self.materialize_refs(self.find_refs(filter), |d| {
+        expect_ungoverned(self.find_project_with_ctx(filter, projection, &QueryCtx::unlimited()))
+    }
+
+    /// [`Collection::find_project`] under a [`QueryCtx`] (see
+    /// [`Collection::find_with_ctx`] for the governance semantics; the
+    /// byte budget sees only the *projected* values).
+    pub fn find_project_with_ctx(
+        &self,
+        filter: &Filter,
+        projection: &Projection,
+        ctx: &QueryCtx,
+    ) -> Result<Vec<Json>, QueryError> {
+        let refs = self.find_refs_with_ctx(filter, ctx)?;
+        self.materialize_refs(ctx, refs, |d| {
             projection.apply_tree(&self.segments[d.seg as usize], d.node)
         })
     }
@@ -887,19 +986,44 @@ impl Collection {
     /// its whole evaluation context, and the satisfying refs are read off
     /// the per-segment node sets in `(segment, doc)` order.
     pub fn find_refs_via_jnl(&self, filter: &Filter) -> Vec<DocRef> {
+        expect_ungoverned(self.find_refs_via_jnl_with_ctx(filter, &QueryCtx::unlimited()))
+    }
+
+    /// [`Collection::find_refs_via_jnl`] under a [`QueryCtx`]: the
+    /// per-segment JNL evaluations poll the context every
+    /// [`jguard::POLL_STRIDE`] nodes (inside the Prop 1 walk loops), and
+    /// the surviving refs charge the row budget.
+    pub fn find_refs_via_jnl_with_ctx(
+        &self,
+        filter: &Filter,
+        ctx: &QueryCtx,
+    ) -> Result<Vec<DocRef>, QueryError> {
         let phi = filter.to_jnl();
-        let sats = jnl::eval::evaluate_batch(&self.segments, &phi, &self.pool);
-        self.doc_refs
+        let sats = jnl::eval::evaluate_batch_ctx(&self.segments, &phi, &self.pool, ctx)?;
+        let out: Vec<DocRef> = self
+            .doc_refs
             .iter()
             .copied()
             .filter(|d| sats[d.seg as usize][d.node.index()])
-            .collect()
+            .collect();
+        ctx.charge_rows(out.len() as u64)?;
+        Ok(out)
     }
 
     /// [`Collection::find_refs_via_jnl`], materialised (the differential
     /// path used in tests/benches against [`Collection::find`]).
     pub fn find_via_jnl(&self, filter: &Filter) -> Vec<Json> {
-        self.materialize_refs(self.find_refs_via_jnl(filter), |d| self.json_of(d))
+        expect_ungoverned(self.find_via_jnl_with_ctx(filter, &QueryCtx::unlimited()))
+    }
+
+    /// [`Collection::find_via_jnl`] under a [`QueryCtx`].
+    pub fn find_via_jnl_with_ctx(
+        &self,
+        filter: &Filter,
+        ctx: &QueryCtx,
+    ) -> Result<Vec<Json>, QueryError> {
+        let refs = self.find_refs_via_jnl_with_ctx(filter, ctx)?;
+        self.materialize_refs(ctx, refs, |d| self.json_of(d))
     }
 
     /// Merges the tree column into **one segment**: every document's

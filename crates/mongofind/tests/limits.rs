@@ -1,0 +1,88 @@
+//! Ingestion-limit regression suite: `parse_str_with_limits` /
+//! `insert_str_with_limits` must reject depth- and size-violating
+//! documents with a structured [`jguard::QueryError::ParseLimit`] and
+//! leave the collection byte-identically queryable.
+
+use jguard::QueryError;
+use jsondata::{gen, ParseErrorKind, ParseLimits};
+use mongofind::{Collection, Filter};
+
+fn seeded() -> Collection {
+    Collection::parse_str(r#"[{"a": 1}, {"a": 2}, {"b": 3}]"#).unwrap()
+}
+
+#[test]
+fn depth_violation_is_rejected_with_parse_limit() {
+    let deep = gen::hostile_deep_nesting(64);
+    let Err(err) = Collection::parse_str_with_limits(&deep, ParseLimits::depth(8)) else {
+        panic!("depth violation must be rejected");
+    };
+    match err {
+        QueryError::ParseLimit(e) => assert!(matches!(e.kind, ParseErrorKind::TooDeep(8))),
+        other => panic!("expected ParseLimit, got {other}"),
+    }
+    // The same document is fine once the cap allows it.
+    assert!(Collection::parse_str_with_limits(&deep, ParseLimits::depth(64)).is_ok());
+}
+
+#[test]
+fn size_violation_is_rejected_before_any_tree_is_built() {
+    let big = gen::hostile_huge_keys(1 << 16, 4);
+    let limits = ParseLimits {
+        max_bytes: 1 << 10,
+        ..ParseLimits::default()
+    };
+    let Err(err) = Collection::parse_str_with_limits(&big, limits) else {
+        panic!("size violation must be rejected");
+    };
+    match err {
+        QueryError::ParseLimit(e) => {
+            assert!(matches!(e.kind, ParseErrorKind::TooLarge(limit) if limit == 1 << 10));
+        }
+        other => panic!("expected ParseLimit, got {other}"),
+    }
+}
+
+#[test]
+fn rejected_insert_leaves_the_collection_queryable() {
+    let mut coll = seeded();
+    let filter = Filter::parse_str(r#"{"a": {"$gte": 1}}"#).unwrap();
+    let before = coll.find(&filter);
+
+    let deep = gen::hostile_deep_nesting(64);
+    let big = gen::hostile_huge_keys(1 << 12, 2);
+    let limits = ParseLimits {
+        max_depth: 8,
+        max_bytes: 1 << 10,
+    };
+    assert!(matches!(
+        coll.insert_str_with_limits(&deep, limits),
+        Err(QueryError::ParseLimit(_))
+    ));
+    assert!(matches!(
+        coll.insert_str_with_limits(&big, limits),
+        Err(QueryError::ParseLimit(_))
+    ));
+
+    assert_eq!(coll.len(), 3, "rejected documents must not be inserted");
+    assert_eq!(coll.find(&filter), before, "collection changed by a reject");
+
+    // A legal document still inserts through the same guarded path.
+    coll.insert_str_with_limits(r#"{"a": 9}"#, limits).unwrap();
+    assert_eq!(coll.len(), 4);
+    assert_eq!(coll.find(&filter).len(), before.len() + 1);
+}
+
+#[test]
+fn parse_limit_error_display_names_the_ingestion_edge() {
+    let Err(err) =
+        Collection::parse_str_with_limits(&gen::hostile_deep_nesting(9), ParseLimits::depth(2))
+    else {
+        panic!("depth violation must be rejected");
+    };
+    let msg = err.to_string();
+    assert!(
+        msg.contains("rejected at ingestion"),
+        "unexpected message: {msg}"
+    );
+}
