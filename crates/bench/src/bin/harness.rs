@@ -80,6 +80,9 @@ fn main() {
     if want("s7") {
         s7();
     }
+    if want("s8") {
+        s8();
+    }
 }
 
 fn header(id: &str, claim: &str) {
@@ -1741,4 +1744,204 @@ fn s7() {
     );
     std::fs::write("BENCH_robustness.json", &json).expect("write BENCH_robustness.json");
     println!("wrote BENCH_robustness.json");
+}
+
+/// S8 — the static-analysis experiment. Deterministic gates inside the
+/// harness:
+///
+/// 1. the Sym-keyed deterministic sat solver and the frozen string-keyed
+///    oracle must agree Sat/Unsat/Unknown on every formula of the shared
+///    `jnl::gen` sweeps, and every witness either engine returns must
+///    satisfy its formula through the production evaluator;
+/// 2. the Sym-keyed engine must not be slower than the string-keyed
+///    baseline it replaced (10% timer-noise headroom — both runs are
+///    serial, so no CPU-count carve-out is needed);
+/// 3. `prune(analyze(..))` must be output-identical to the unpruned
+///    pipeline through both executors on every S5 pipeline plus two
+///    salted pipelines that carry provably-dead stages (and the salted
+///    ones must actually be rewritten — a vacuous prune gates nothing);
+/// 4. analyzing **and** pruning a pipeline must cost no more than one
+///    execution of it over the 20k-record collection — the break-even
+///    bound that makes the analyzer free to run unconditionally.
+fn s8() {
+    use jstat::Analyze;
+
+    header(
+        "S8",
+        "Static analysis — Sym vs string sat parity & speed, analyzer overhead, prune equivalence",
+    );
+
+    // --- Part 1: sat engine parity and timing on the shared sweeps ---
+    let verdict = |r: &jnl::SatResult| match r {
+        jnl::SatResult::Sat(_) => "sat",
+        jnl::SatResult::Unsat => "unsat",
+        jnl::SatResult::Unknown(_) => "unknown",
+    };
+    println!(
+        "{}",
+        row(&[
+            "sweep".into(),
+            "sat/unsat/unk".into(),
+            "string ms".into(),
+            "sym ms".into(),
+            "speedup".into(),
+        ])
+    );
+    let mut sweep_entries = Vec::new();
+    for (seed, count, depth) in [(11u64, 400usize, 3usize), (22, 200, 4)] {
+        let phis = jnl::gen::formulas(seed, count, depth);
+        let (mut n_sat, mut n_unsat, mut n_unk) = (0usize, 0usize, 0usize);
+        for phi in &phis {
+            let symed = jnl::sat_deterministic(phi);
+            let strung = jnl::sat::det_str::sat_deterministic_strings(phi);
+            assert_eq!(
+                verdict(&symed),
+                verdict(&strung),
+                "S8 gate: engines disagree on {phi}"
+            );
+            for (engine, r) in [("sym", &symed), ("string", &strung)] {
+                if let jnl::SatResult::Sat(w) = r {
+                    let tree = JsonTree::build(w);
+                    assert!(
+                        jnl::check_root(&tree, phi),
+                        "S8 gate: {engine} witness fails its formula {phi}"
+                    );
+                }
+            }
+            match symed {
+                jnl::SatResult::Sat(_) => n_sat += 1,
+                jnl::SatResult::Unsat => n_unsat += 1,
+                jnl::SatResult::Unknown(_) => n_unk += 1,
+            }
+        }
+        let str_ms = time_ms(7, || {
+            phis.iter()
+                .filter(|p| jnl::sat::det_str::sat_deterministic_strings(p).is_sat())
+                .count()
+        });
+        let sym_ms = time_ms(7, || {
+            phis.iter()
+                .filter(|p| jnl::sat_deterministic(p).is_sat())
+                .count()
+        });
+        assert!(
+            sym_ms <= str_ms * 1.10,
+            "S8 gate: Sym-keyed sat slower than the string-keyed baseline on sweep {seed}: \
+             {sym_ms:.2} ms vs {str_ms:.2} ms"
+        );
+        let label = format!("seed {seed} depth {depth} ({count} formulas)");
+        println!(
+            "{}",
+            row(&[
+                label,
+                format!("{n_sat}/{n_unsat}/{n_unk}"),
+                format!("{str_ms:.2}"),
+                format!("{sym_ms:.2}"),
+                format!("{:.2}x", str_ms / sym_ms),
+            ])
+        );
+        sweep_entries.push(format!(
+            "    {{\"seed\": {seed}, \"depth\": {depth}, \"formulas\": {count}, \"sat\": {n_sat}, \"unsat\": {n_unsat}, \"unknown\": {n_unk}, \"string_ms\": {str_ms:.3}, \"sym_ms\": {sym_ms:.3}, \"speedup\": {:.3}}}",
+            str_ms / sym_ms
+        ));
+    }
+
+    // --- Part 2: analyzer overhead + prune equivalence on pipelines ---
+    let text = s5_collection_text();
+    let coll = mongofind::Collection::parse_str(&text).expect("workload parses");
+    let docs = coll.docs().to_vec();
+    let mut pipes: Vec<(&str, String)> = s5_pipelines()
+        .into_iter()
+        .map(|(l, s)| (l, s.to_owned()))
+        .collect();
+    // Salted pipelines: provably-dead work the analyzer must find.
+    pipes.push((
+        "salted_unsat_prefix",
+        r#"[
+            {"$match": {"$and": [{"age": 1}, {"age": 2}]}},
+            {"$unwind": "$hobbies"},
+            {"$group": {"_id": "$hobbies", "n": {"$count": {}}}}
+        ]"#
+        .to_owned(),
+    ));
+    pipes.push((
+        "salted_shadow_and_sorts",
+        r#"[
+            {"$match": {"name.last": "Doe"}},
+            {"$match": {"name.last": {"$exists": "true"}}},
+            {"$sort": {"age": 1}},
+            {"$sort": {"age": 1, "name.first": 1}},
+            {"$limit": 25}
+        ]"#
+        .to_owned(),
+    ));
+    println!(
+        "{}",
+        row(&[
+            "pipeline".into(),
+            "diags".into(),
+            "analyze ms".into(),
+            "exec ms".into(),
+            "pruned ms".into(),
+        ])
+    );
+    let mut analyzer_entries = Vec::new();
+    for (label, src) in &pipes {
+        let pipe = jagg::Pipeline::parse_str(src).expect("workload pipeline parses");
+        let report = pipe.analyze(None);
+        let pruned = pipe.prune(&report);
+        if label.starts_with("salted_") {
+            assert!(
+                report.has_rewrite(),
+                "S8 gate: the salted pipeline {label} was not rewritten\n{report}"
+            );
+        }
+        // Gate 3: prune equivalence through both executors.
+        assert_eq!(
+            jagg::aggregate(&coll, &pipe),
+            jagg::aggregate(&coll, &pruned),
+            "S8 gate: prune changed tree-executor output on {label}"
+        );
+        assert_eq!(
+            jagg::reference::aggregate(&docs, &pipe),
+            jagg::reference::aggregate(&docs, &pruned),
+            "S8 gate: prune changed reference output on {label}"
+        );
+
+        let analyze_ms = time_ms(7, || {
+            let r = pipe.analyze(None);
+            pipe.prune(&r).stages.len()
+        });
+        let exec_ms = time_ms(7, || jagg::aggregate(&coll, &pipe).len());
+        let pruned_ms = time_ms(7, || jagg::aggregate(&coll, &pruned).len());
+        // Gate 4: the break-even bound.
+        assert!(
+            analyze_ms <= exec_ms,
+            "S8 gate: analyzing {label} costs more than executing it: \
+             {analyze_ms:.3} ms vs {exec_ms:.3} ms"
+        );
+        println!(
+            "{}",
+            row(&[
+                (*label).into(),
+                report.diagnostics.len().to_string(),
+                format!("{analyze_ms:.3}"),
+                format!("{exec_ms:.2}"),
+                format!("{pruned_ms:.2}"),
+            ])
+        );
+        analyzer_entries.push(format!(
+            "    {{\"pipeline\": \"{label}\", \"diagnostics\": {}, \"rewritten\": {}, \"analyze_ms\": {analyze_ms:.4}, \"exec_ms\": {exec_ms:.3}, \"pruned_exec_ms\": {pruned_ms:.3}}}",
+            report.diagnostics.len(),
+            report.has_rewrite(),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"s8_static_analysis\",\n  \"units\": \"ms (median of 7)\",\n  \"gates\": \"asserted: Sym/string sat verdict agreement with evaluator-verified witnesses; sym_ms <= 1.10 * string_ms; prune output-identical through both executors on every pipeline; salted pipelines rewritten; analyze+prune <= one execution\",\n  \"sat_sweeps\": [\n{}\n  ],\n  \"analyzer\": [\n{}\n  ]\n}}\n",
+        sweep_entries.join(",\n"),
+        analyzer_entries.join(",\n")
+    );
+    std::fs::write("BENCH_sat.json", &json).expect("write BENCH_sat.json");
+    println!("wrote BENCH_sat.json");
 }

@@ -5,7 +5,7 @@
 //! A pipeline row is **not** an owned document. It is a cursor into the
 //! collection's persistent tree column plus overlay bindings:
 //!
-//! * [`Base::Node`] — a `(segment, node)` cursor ([`DocRef`]) into the
+//! * `Base::Node` — a `(segment, node)` cursor ([`DocRef`]) into the
 //!   collection's CSR trees. This is every row at pipeline entry, and stays
 //!   the representation through `$match`, `$unwind`, `$sort`, `$skip`,
 //!   `$limit`.
@@ -14,7 +14,7 @@
 //!   subtree with the value at `path` replaced by the bound subtree".
 //!   Bindings are applied in list order (a later binding resolves through —
 //!   and therefore nests inside or shadows — earlier ones).
-//! * [`Base::Owned`] — an owned [`Json`], produced only at a `$group` or
+//! * `Base::Owned` — an owned [`Json`], produced only at a `$group` or
 //!   `$project` boundary, which must synthesize values that exist in no
 //!   tree.
 //!
@@ -31,13 +31,13 @@
 //! contiguous row-range chunks on the collection's [`jpar::Pool`]; chunk
 //! results splice back in chunk order, so the output is identical for
 //! every thread count and a 1-thread pool (or a row vector below
-//! [`PAR_MIN_ROWS`]) runs the exact sequential code inline. Everything a
+//! `PAR_MIN_ROWS`) runs the exact sequential code inline. Everything a
 //! worker touches is read-only shared state: the executor's per-segment
 //! [`CanonTable`]s live in `OnceLock` slots and are built **eagerly, in
 //! parallel, before a `$group` fan-out** (never through `&mut self`
 //! laziness), and `$group` itself is a three-phase plan — parallel key
 //! resolution, a sequential unification barrier, parallel accumulation
-//! with an in-chunk-order merge (see [`Engine::group`]). `$sort`'s
+//! with an in-chunk-order merge (see `Engine::group`). `$sort`'s
 //! comparison sort, `$skip`/`$limit` and group-output assembly stay
 //! sequential on the merged stream.
 //!
@@ -58,7 +58,7 @@
 //! * `$sort` immediately followed by `$limit k` (or `$skip s` + `$limit
 //!   k`) never performs the full sort: a bounded max-heap retains the
 //!   `s + k` best rows under the stable `(sort keys, input position)`
-//!   order (see [`Engine::top_k`]); `jagg::reference` keeps the full-sort
+//!   order (see `Engine::top_k`); `jagg::reference` keeps the full-sort
 //!   semantics as the oracle.
 
 use std::cmp::Ordering;
@@ -139,7 +139,7 @@ enum Base {
 }
 
 /// One pipeline row: a base document plus `$unwind` overlay bindings
-/// (only ever non-empty on [`Base::Node`] rows — owned documents are
+/// (only ever non-empty on `Base::Node` rows — owned documents are
 /// rebound in place).
 #[derive(Clone)]
 struct Row {
@@ -167,7 +167,7 @@ impl Row {
 enum Resolved<'a> {
     /// A pure tree subtree (no binding beneath it).
     Node(DocRef),
-    /// A borrowed owned value (row base is [`Base::Owned`]).
+    /// A borrowed owned value (row base is `Base::Owned`).
     Owned(&'a Json),
     /// A synthesized merged view: the subtree contained overlay bindings.
     Merged(Json),
@@ -848,7 +848,7 @@ impl<'c> Engine<'c> {
     }
 
     /// The group key of a row (`Field` ids are resolved inline by
-    /// [`Engine::group`] so the class fast path shares the resolution).
+    /// `Engine::group` so the class fast path shares the resolution).
     fn group_key(&self, row: &Row, id: &IdExpr) -> Option<Json> {
         match id {
             IdExpr::Const(c) => Some(c.clone()),
@@ -948,7 +948,7 @@ impl<'c> Engine<'c> {
 
     /// Resolves the sort-key vector of every row (parallel chunks, row
     /// order preserved) — the per-row half both [`Engine::sort`] and
-    /// [`Engine::top_k`] share.
+    /// `Engine::top_k` share.
     fn sort_keys(
         &self,
         rows: &[Row],
@@ -1049,7 +1049,7 @@ impl<'c> Engine<'c> {
     }
 }
 
-/// One candidate row of [`Engine::top_k`]'s bounded heap, ordered by the
+/// One candidate row of `Engine::top_k`'s bounded heap, ordered by the
 /// stable `(sort keys, input position)` total order — the row itself does
 /// not participate in comparisons.
 struct TopEnt<'s> {

@@ -34,7 +34,7 @@
 //!
 //! Group output order is defined (missing key first, then
 //! [`jsondata::Json::total_cmp`] on `_id`), so whole-pipeline results are
-//! deterministic and the value-based oracle in [`reference`] must and does
+//! deterministic and the value-based oracle in [`mod@reference`] must and does
 //! agree output-for-output — differentially tested in
 //! `tests/differential.rs` and CI-gated by `harness s5`
 //! (`BENCH_aggregate.json`).
@@ -44,7 +44,7 @@
 //! per-chunk tables merged in chunk order at a barrier, and adjacent
 //! `$sort`+`$limit` (optionally with `$skip`) fuse into a bounded-heap
 //! top-k — all without changing a byte of output for any thread count
-//! (the [`reference`] oracle keeps the unfused full-sort semantics; the
+//! (the [`mod@reference`] oracle keeps the unfused full-sort semantics; the
 //! determinism suite in `tests/parallel.rs` and `harness s6` gate it).
 //! See [`exec`] for the threading model.
 //!

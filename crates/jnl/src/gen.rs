@@ -1,0 +1,125 @@
+//! Seeded generation of deterministic-fragment JNL formulas.
+//!
+//! The satisfiability engines are differentially tested — the Sym-keyed
+//! tableau ([`crate::sat::det`]) against the frozen string-keyed oracle
+//! ([`crate::sat::det_str`]) — on *sweeps* of random formulas, and the
+//! same sweeps drive the `harness s8` timing gates. This module is the
+//! single source of those formulas so the test suite and the benchmark
+//! measure exactly the same distribution.
+//!
+//! Generated formulas stay inside the deterministic fragment (Proposition
+//! 2's decidable class): paths compose keys, small non-negative indices
+//! and embedded tests; connectives are `∧`/`∨`/`¬` over `[α]`, `EQ(α, A)`
+//! and `EQ(α, β)`. The key vocabulary and leaf documents are deliberately
+//! tiny so that random conjunctions collide often — the sweeps exercise
+//! both verdicts instead of drowning in trivially-satisfiable formulas.
+
+use jsondata::Json;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+use crate::ast::{Binary, Unary};
+
+/// The closed key vocabulary of generated formulas.
+const KEYS: [&str; 4] = ["a", "b", "k", "v"];
+
+/// A seeded sweep of `count` deterministic formulas of nesting depth
+/// ≤ `depth`. Deterministic in `(seed, count, depth)`.
+pub fn formulas(seed: u64, count: usize, depth: usize) -> Vec<Unary> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| formula(&mut rng, depth)).collect()
+}
+
+/// One random deterministic formula of nesting depth ≤ `depth`.
+pub fn formula(rng: &mut StdRng, depth: usize) -> Unary {
+    if depth == 0 {
+        return match rng.gen_range(0..6u32) {
+            0..=2 => Unary::exists(path(rng, 0)),
+            3..=4 => Unary::eq_doc(path(rng, 0), leaf_doc(rng)),
+            _ => Unary::eq_pair(path(rng, 0), path(rng, 0)),
+        };
+    }
+    match rng.gen_range(0..8u32) {
+        0 | 1 => Unary::and(subformulas(rng, depth)),
+        2 | 3 => Unary::or(subformulas(rng, depth)),
+        4 => Unary::not(formula(rng, depth - 1)),
+        5 => Unary::exists(path(rng, depth - 1)),
+        6 => Unary::eq_doc(path(rng, depth - 1), leaf_doc(rng)),
+        _ => Unary::eq_pair(path(rng, depth - 1), path(rng, depth - 1)),
+    }
+}
+
+fn subformulas(rng: &mut StdRng, depth: usize) -> Vec<Unary> {
+    let n = rng.gen_range(2..=3usize);
+    (0..n).map(|_| formula(rng, depth - 1)).collect()
+}
+
+/// A deterministic path: 1–3 steps of keys, small indices, and (below the
+/// depth budget) embedded tests.
+fn path(rng: &mut StdRng, depth: usize) -> Binary {
+    let len = rng.gen_range(1..=3usize);
+    let mut parts = Vec::with_capacity(len);
+    for _ in 0..len {
+        let roll = rng.gen_range(0..10u32);
+        if roll < 6 {
+            parts.push(Binary::key(KEYS[rng.gen_range(0..KEYS.len())]));
+        } else if roll < 8 {
+            parts.push(Binary::index(rng.gen_range(0..3i64)));
+        } else if depth > 0 {
+            parts.push(Binary::test(formula(rng, depth - 1)));
+        } else {
+            parts.push(Binary::key(KEYS[rng.gen_range(0..KEYS.len())]));
+        }
+    }
+    Binary::compose(parts)
+}
+
+/// A small embedded document for `EQ(α, A)` leaves.
+fn leaf_doc(rng: &mut StdRng) -> Json {
+    match rng.gen_range(0..5u32) {
+        0 | 1 => Json::Num(rng.gen_range(0..3u64)),
+        2 => Json::Str("s".to_owned()),
+        3 => Json::object(vec![("z".to_owned(), Json::Num(rng.gen_range(0..2u64)))])
+            .expect("distinct keys"),
+        _ => Json::Array(vec![Json::Num(1)]),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_are_deterministic_in_the_seed() {
+        let a = formulas(11, 40, 3);
+        let b = formulas(11, 40, 3);
+        assert_eq!(a, b);
+        assert_ne!(a, formulas(12, 40, 3));
+    }
+
+    #[test]
+    fn sweeps_stay_in_the_deterministic_fragment() {
+        for phi in formulas(7, 200, 3) {
+            assert!(
+                phi.fragment().is_deterministic(),
+                "generated formula left the fragment: {phi}"
+            );
+        }
+    }
+
+    #[test]
+    fn sweeps_exercise_both_verdicts() {
+        let (mut sat, mut unsat) = (0usize, 0usize);
+        for phi in formulas(3, 120, 3) {
+            match crate::sat::det::sat_deterministic(&phi) {
+                crate::sat::SatResult::Sat(_) => sat += 1,
+                crate::sat::SatResult::Unsat => unsat += 1,
+                crate::sat::SatResult::Unknown(_) => {}
+            }
+        }
+        assert!(sat > 10, "only {sat} satisfiable formulas in the sweep");
+        assert!(
+            unsat > 10,
+            "only {unsat} unsatisfiable formulas in the sweep"
+        );
+    }
+}

@@ -44,6 +44,7 @@
 pub mod ast;
 pub mod bitset;
 pub mod eval;
+pub mod gen;
 pub mod parser;
 pub mod reduce;
 pub mod sat;

@@ -19,9 +19,23 @@ pub enum Containment {
     Unknown(String),
 }
 
+impl Containment {
+    /// Whether containment was established.
+    pub fn is_contained(&self) -> bool {
+        matches!(self, Containment::Contained)
+    }
+}
+
 /// Checks `φ ⊑ ψ` (at the root) for deterministic JNL formulas.
-pub fn contained_in(phi: &Unary, psi: &Unary) -> Containment {
-    let witness_query = Unary::and(vec![phi.clone(), Unary::not(psi.clone())]);
+///
+/// Takes the formulas **by value**: the witness query `φ ∧ ¬ψ` is
+/// assembled by moving both ASTs, so a caller that has (or can cheaply
+/// produce) owned formulas pays no deep copy — the analyzer's containment
+/// sweeps pass freshly compiled filters straight in. Borrowing callers
+/// clone at the call site, which is exactly the cost the old `&`-based
+/// signature hid internally.
+pub fn contained_in(phi: Unary, psi: Unary) -> Containment {
+    let witness_query = Unary::and(vec![phi, Unary::not(psi)]);
     match sat_deterministic(&witness_query) {
         SatResult::Unsat => Containment::Contained,
         SatResult::Sat(w) => Containment::NotContained(w),
@@ -29,10 +43,11 @@ pub fn contained_in(phi: &Unary, psi: &Unary) -> Containment {
     }
 }
 
-/// Checks semantic equivalence (mutual containment).
+/// Checks semantic equivalence (mutual containment). Borrows: both
+/// directions need both formulas, so the copies are intrinsic here.
 pub fn equivalent(phi: &Unary, psi: &Unary) -> Containment {
-    match contained_in(phi, psi) {
-        Containment::Contained => contained_in(psi, phi),
+    match contained_in(phi.clone(), psi.clone()) {
+        Containment::Contained => contained_in(psi.clone(), phi.clone()),
         other => other,
     }
 }
@@ -49,9 +64,12 @@ mod tests {
         // [X_a ∘ X_b] ⊑ [X_a]
         let strong = U::exists(B::compose(vec![B::key("a"), B::key("b")]));
         let weak = U::exists(B::key("a"));
-        assert_eq!(contained_in(&strong, &weak), Containment::Contained);
+        assert_eq!(
+            contained_in(strong.clone(), weak.clone()),
+            Containment::Contained
+        );
         // ... but not conversely; the counterexample must separate them.
-        match contained_in(&weak, &strong) {
+        match contained_in(weak.clone(), strong.clone()) {
             Containment::NotContained(w) => {
                 let t = JsonTree::build(&w);
                 assert!(crate::eval::check_root(&t, &weak));
@@ -66,7 +84,7 @@ mod tests {
         // EQ(X_k, 5) ⊑ [X_k]
         let eq = U::eq_doc(B::key("k"), jsondata::Json::Num(5));
         let ex = U::exists(B::key("k"));
-        assert_eq!(contained_in(&eq, &ex), Containment::Contained);
+        assert_eq!(contained_in(eq, ex), Containment::Contained);
     }
 
     #[test]
@@ -84,7 +102,10 @@ mod tests {
     fn disjoint_formulas_are_incomparable() {
         let a = U::eq_doc(B::key("k"), jsondata::Json::Num(1));
         let b = U::eq_doc(B::key("k"), jsondata::Json::Num(2));
-        assert!(matches!(contained_in(&a, &b), Containment::NotContained(_)));
-        assert!(matches!(contained_in(&b, &a), Containment::NotContained(_)));
+        assert!(matches!(
+            contained_in(a.clone(), b.clone()),
+            Containment::NotContained(_)
+        ));
+        assert!(matches!(contained_in(b, a), Containment::NotContained(_)));
     }
 }

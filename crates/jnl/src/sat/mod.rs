@@ -6,6 +6,10 @@
 //!   generate-and-verify pass (every `Sat` answer carries a witness
 //!   document that has been re-checked by the reference evaluator).
 //!
+//! * [`det_str`] — the pre-interning string-keyed tableau, frozen as the
+//!   differential verdict-and-witness oracle for [`det`] (exercised by the
+//!   `sat_parity` property suite and `harness s8`).
+//!
 //! * [`containment`] — containment/equivalence checking by reduction to
 //!   satisfiability (`φ ⊑ ψ` iff `φ ∧ ¬ψ` unsatisfiable), the coNP static
 //!   task Prop 2 enables.
@@ -17,6 +21,7 @@
 
 pub mod containment;
 pub mod det;
+pub mod det_str;
 
 use jsondata::Json;
 

@@ -1,0 +1,108 @@
+//! Differential parity between the Sym-keyed deterministic sat solver
+//! ([`jnl::sat::det`]) and the frozen string-keyed oracle
+//! ([`jnl::sat::det_str`]), on the shared seeded formula sweeps
+//! ([`jnl::gen`]) that also drive `harness s8`.
+//!
+//! Two contracts are pinned:
+//!
+//! 1. **Verdict parity** — on every generated formula the two engines
+//!    agree Sat/Unsat/Unknown. (Witness *documents* may legitimately
+//!    differ: the engines make branch choices over differently-ordered
+//!    key spaces.)
+//! 2. **Closed-loop witness validity** — every witness either engine
+//!    returns actually satisfies its formula through the production
+//!    evaluator (`jnl::eval::check_root`), closing the loop from solver
+//!    to evaluator rather than trusting the solvers' internal
+//!    re-verification.
+
+use jnl::ast::Unary;
+use jnl::check_root;
+use jnl::sat::det::sat_deterministic;
+use jnl::sat::det_str::sat_deterministic_strings;
+use jnl::sat::SatResult;
+use jsondata::JsonTree;
+
+fn verdict(r: &SatResult) -> &'static str {
+    match r {
+        SatResult::Sat(_) => "sat",
+        SatResult::Unsat => "unsat",
+        SatResult::Unknown(_) => "unknown",
+    }
+}
+
+fn assert_witness_valid(phi: &Unary, r: &SatResult, engine: &str) {
+    if let SatResult::Sat(w) = r {
+        let tree = JsonTree::build(w);
+        assert!(
+            check_root(&tree, phi),
+            "{engine} witness fails its own formula\n  formula: {phi}\n  witness: {w}"
+        );
+    }
+}
+
+/// One sweep: both engines on every formula, parity + witness checks,
+/// returning the verdict tally so callers can assert non-vacuity.
+fn sweep(seed: u64, count: usize, depth: usize) -> (usize, usize, usize) {
+    let (mut sat, mut unsat, mut unknown) = (0, 0, 0);
+    for phi in jnl::gen::formulas(seed, count, depth) {
+        let symed = sat_deterministic(&phi);
+        let strung = sat_deterministic_strings(&phi);
+        assert_eq!(
+            verdict(&symed),
+            verdict(&strung),
+            "engines disagree on {phi}\n  sym: {symed:?}\n  str: {strung:?}"
+        );
+        assert_witness_valid(&phi, &symed, "sym-keyed");
+        assert_witness_valid(&phi, &strung, "string-keyed");
+        match symed {
+            SatResult::Sat(_) => sat += 1,
+            SatResult::Unsat => unsat += 1,
+            SatResult::Unknown(_) => unknown += 1,
+        }
+    }
+    (sat, unsat, unknown)
+}
+
+#[test]
+fn engines_agree_on_shallow_sweeps() {
+    let (sat, unsat, _) = sweep(101, 250, 2);
+    assert!(sat > 20, "shallow sweep too easy: only {sat} sat");
+    assert!(unsat > 20, "shallow sweep too easy: only {unsat} unsat");
+}
+
+#[test]
+fn engines_agree_on_deep_sweeps() {
+    let (sat, unsat, _) = sweep(202, 150, 4);
+    assert!(sat > 10, "deep sweep degenerate: only {sat} sat");
+    assert!(unsat > 10, "deep sweep degenerate: only {unsat} unsat");
+}
+
+#[test]
+fn engines_agree_on_handpicked_edges() {
+    // Constructs the random sweeps hit rarely: exact-document equality
+    // interacting with key constraints, forbidden keys, index/key
+    // mixtures, and tests inside paths.
+    let cases = [
+        r#"eqdoc(@"a", {"z": 1}) & [@"a" ; @"z"]"#,
+        r#"eqdoc(@"a", {"z": 1}) & [@"a" ; @"w"]"#,
+        r#"eqdoc(@"a", {}) & [@"a" ; @"z"]"#,
+        r#"eqdoc(@"a", [1, 2]) & [@"a" ; @1]"#,
+        r#"eqdoc(@"a", [1]) & [@"a" ; @1]"#,
+        r#"[@"k" ; <eqdoc(@"a", 1) & eqdoc(@"b", 2)>]"#,
+        r#"eqpair(@"a", @"b") & eqdoc(@"a", {"k": 3})"#,
+        r#"!([@"a"]) & eqdoc(@"a", 1)"#,
+        r#"!([@"a"]) & !([@"b"]) & ([@"a"] | [@"b"])"#,
+    ];
+    for src in cases {
+        let phi = jnl::parse_unary(src).expect("edge case parses");
+        let symed = sat_deterministic(&phi);
+        let strung = sat_deterministic_strings(&phi);
+        assert_eq!(
+            verdict(&symed),
+            verdict(&strung),
+            "engines disagree on {src}"
+        );
+        assert_witness_valid(&phi, &symed, "sym-keyed");
+        assert_witness_valid(&phi, &strung, "string-keyed");
+    }
+}

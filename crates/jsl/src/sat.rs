@@ -22,9 +22,9 @@
 //!   `Sat` is reported, and any verification mismatch downgrades a would-be
 //!   `Unsat` to `Unknown`, keeping both verdicts sound.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
-use jsondata::{Json, JsonTree};
+use jsondata::{Interner, Json, JsonTree, Sym};
 use relex::{Dfa, Regex};
 
 use crate::ast::{Jsl, NodeTest};
@@ -97,6 +97,7 @@ pub fn sat_recursive(delta: &RecursiveJsl, cfg: SatConfig) -> JslSatResult {
         capped: false,
         mismatch: false,
         dfa_cache: HashMap::new(),
+        syms: Interner::new(),
         delta,
     };
     match solver.solve(vec![Lit::pos(delta.base.clone())], height) {
@@ -193,6 +194,11 @@ struct Tableau<'a> {
     capped: bool,
     mismatch: bool,
     dfa_cache: HashMap<Regex, Dfa>,
+    /// Query-owned symbol table for witness generation: every object key a
+    /// realized witness uses is interned once, so key accumulation and
+    /// cross-region dedup compare `Sym`s; strings materialise only when the
+    /// final `Json` object is assembled.
+    syms: Interner,
     delta: &'a RecursiveJsl,
 }
 
@@ -547,10 +553,14 @@ impl<'a> Tableau<'a> {
         for (d, &mask) in assignment.iter().enumerate() {
             groups.entry(mask).or_default().push(d);
         }
-        let mut pairs: Vec<(String, Json)> = Vec::new();
+        let mut pairs: Vec<(Sym, Json)> = Vec::new();
         for (&mask, dias) in &groups {
             let region = self.region_dfa(dfas, sigma, mask);
-            let keys = region.examples(dias.len());
+            let keys: Vec<Sym> = region
+                .examples(dias.len())
+                .iter()
+                .map(|k| self.syms.intern(k))
+                .collect();
             if keys.is_empty() {
                 return None;
             }
@@ -569,11 +579,11 @@ impl<'a> Tableau<'a> {
                 .collect();
             if keys.len() >= dias.len() {
                 // Distinct keys: one child per diamond.
-                for (d, key) in dias.iter().zip(keys.iter()) {
+                for (d, &key) in dias.iter().zip(keys.iter()) {
                     let mut lits = vec![Lit::pos(atoms.dia_key[*d].1.clone())];
                     lits.extend(box_bodies.iter().map(|b| Lit::pos((*b).clone())));
                     let child = self.solve(lits, height - 1)?;
-                    pairs.push((key.clone(), child));
+                    pairs.push((key, child));
                 }
             } else {
                 // Shared key: all diamond bodies conjoined.
@@ -583,7 +593,7 @@ impl<'a> Tableau<'a> {
                     .collect();
                 lits.extend(box_bodies.iter().map(|b| Lit::pos((*b).clone())));
                 let child = self.solve(lits, height - 1)?;
-                pairs.push((keys[0].clone(), child));
+                pairs.push((keys[0], child));
             }
         }
         // MinCh padding: add children from the all-complement region when
@@ -592,7 +602,11 @@ impl<'a> Tableau<'a> {
         if atoms.minch > have {
             let needed = (atoms.minch - have) as usize;
             let free_region = self.region_dfa(dfas, sigma, 0);
-            let candidates = free_region.examples(needed);
+            let candidates: Vec<Sym> = free_region
+                .examples(needed)
+                .iter()
+                .map(|k| self.syms.intern(k))
+                .collect();
             if candidates.len() >= needed {
                 for key in candidates {
                     pairs.push((key, Json::Num(0)));
@@ -611,11 +625,14 @@ impl<'a> Tableau<'a> {
                         break;
                     }
                     let region = self.region_dfa(dfas, sigma, mask);
-                    let existing: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
-                    let ks: Vec<String> = region
+                    // Dedup against already-used keys by symbol: a candidate
+                    // that was never interned cannot collide.
+                    let existing: BTreeSet<Sym> = pairs.iter().map(|(k, _)| *k).collect();
+                    let ks: Vec<Sym> = region
                         .examples(needed + existing.len())
                         .into_iter()
-                        .filter(|k| !existing.contains(&k.as_str()))
+                        .map(|k| self.syms.intern(&k))
+                        .filter(|s| !existing.contains(s))
                         .collect();
                     for key in ks {
                         if padded >= needed {
@@ -637,7 +654,7 @@ impl<'a> Tableau<'a> {
                             return None;
                         }
                         let child = self.solve(box_bodies, height - 1)?;
-                        pairs.push((key.clone(), child));
+                        pairs.push((key, child));
                         padded += 1;
                     }
                 }
@@ -654,6 +671,11 @@ impl<'a> Tableau<'a> {
         // Key collisions across regions are impossible (regions are
         // disjoint), but shared-key groups may collide with padding — the
         // object constructor rejects duplicates, treat as branch failure.
+        // Symbols resolve back to strings only here, at assembly.
+        let pairs: Vec<(String, Json)> = pairs
+            .into_iter()
+            .map(|(k, v)| (self.syms.resolve(k).to_owned(), v))
+            .collect();
         Json::object(pairs).ok()
     }
 

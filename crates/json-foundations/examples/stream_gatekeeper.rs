@@ -46,7 +46,7 @@ fn main() {
     println!("\n== filter containment (deploy-time check) ==");
     let old_filter = jnl::parse_unary(r#"[@"amount"]"#).unwrap();
     let new_filter = jnl::parse_unary(r#"eqdoc(@"currency", "EUR") & [@"amount"]"#).unwrap();
-    match contained_in(&new_filter, &old_filter) {
+    match contained_in(new_filter.clone(), old_filter.clone()) {
         Containment::Contained => {
             println!("new ⊑ old: safe to roll out (accepts a subset)")
         }
@@ -56,7 +56,7 @@ fn main() {
         Containment::Unknown(r) => println!("undecided: {r}"),
     }
     // And the reverse direction is expected to fail, with a counterexample.
-    match contained_in(&old_filter, &new_filter) {
+    match contained_in(old_filter, new_filter) {
         Containment::NotContained(w) => {
             println!("old ⋢ new: counterexample {w}")
         }

@@ -20,6 +20,7 @@
 //! | [`automata`] | `jautomata` | J-automata: runs, complement, emptiness |
 //! | [`mongo`] | `mongofind` | MongoDB-style `find` filters & projection over JNL |
 //! | [`agg`] | `jagg` | tree-native aggregation pipelines (`$match`/`$unwind`/`$group`/…) over collections |
+//! | [`stat`] | `jstat` | static analysis: sat/containment-backed pipeline lints + the pruning rewrite |
 //! | [`path`] | `jsonpath` | JSONPath dialect over recursive JNL |
 //! | [`par`] | `jpar` | scoped worker pool driving the parallel query paths |
 //! | [`guard`] | `jguard` | per-query governance: deadlines, budgets, cancellation, panic containment |
@@ -40,6 +41,7 @@ pub use jagg as agg;
 pub use jguard as guard;
 pub use jpar as par;
 pub use jsonpath as path;
+pub use jstat as stat;
 pub use mongofind as mongo;
 
 /// Commonly used items, importable as `use json_foundations::prelude::*`.

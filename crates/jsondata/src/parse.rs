@@ -30,10 +30,10 @@
 //! The lexer recognises the complete RFC 8259 grammar so that
 //! out-of-fragment constructs (`null`, `true`, `false`, negative or
 //! fractional numbers) are reported with precise, targeted errors instead of
-//! generic syntax noise. The syntax driver ([`parse_document`]) is a single
+//! generic syntax noise. The syntax driver (`parse_document`) is a single
 //! iterative loop over an explicit container stack — document depth never
-//! becomes call-stack depth — parameterised by a [`Sink`] that receives the
-//! document-order event stream: [`JsonSink`] folds events into a [`Json`],
+//! becomes call-stack depth — parameterised by a `Sink` that receives the
+//! document-order event stream: `JsonSink` folds events into a [`Json`],
 //! and [`TreeBuilder`](crate::tree) (the same core [`JsonTree::build`]
 //! replays values through) assembles CSR arrays. Nesting depth is limited by
 //! [`ParseLimits`] (default 512).

@@ -374,7 +374,7 @@ impl JsonTree {
     /// object key and string leaf into the tree's symbol table.
     ///
     /// Construction replays the document in document order through the same
-    /// [`TreeBuilder`] event core the fused parser drives, so
+    /// `TreeBuilder` event core the fused parser drives, so
     /// `JsonTree::build(&parse(s)?)` and `parse_to_tree(s)` produce
     /// [`JsonTree::identical`] trees.
     pub fn build(doc: &Json) -> JsonTree {

@@ -129,7 +129,12 @@ impl Path {
         resolve_node(tree, at, self)
     }
 
-    fn to_binary(&self) -> Binary {
+    /// Compiles the path to its JNL navigation axis: numeric segments
+    /// become array-position steps, everything else a key step. Public for
+    /// the static analyzer (`jstat`), which builds path-existence probes
+    /// (`[α]`) against declared schemas from the same compilation the
+    /// filter fast path uses.
+    pub fn to_binary(&self) -> Binary {
         Binary::compose(
             self.0
                 .iter()
@@ -691,6 +696,11 @@ pub struct Collection {
     /// Lazily materialised owned documents (compatibility accessor only);
     /// reset by [`Collection::insert`].
     docs_cache: OnceLock<Vec<Json>>,
+    /// The collection's declared JSL schema, if any — a **promise** that
+    /// every document conforms (attachment does not validate; pair with the
+    /// gatekeeper validation paths to enforce it). The `jstat` analyzer
+    /// uses it for schema-aware dead-path detection (`J004`).
+    schema: Option<jsl::RecursiveJsl>,
 }
 
 impl Collection {
@@ -751,7 +761,33 @@ impl Collection {
             doc_refs,
             pool: Pool::auto(),
             docs_cache: OnceLock::new(),
+            schema: None,
         }
+    }
+
+    /// Declares the collection's JSL schema. Attachment is a contract, not
+    /// a check: callers validate inserts themselves (cf. the
+    /// `stream_gatekeeper` example) and the static analyzer is entitled to
+    /// treat `schema ∧ query` unsatisfiability as proof that a query path
+    /// is dead on this collection.
+    pub fn set_schema(&mut self, schema: jsl::RecursiveJsl) {
+        self.schema = Some(schema);
+    }
+
+    /// [`Collection::set_schema`], chainable at construction time.
+    pub fn with_schema(mut self, schema: jsl::RecursiveJsl) -> Collection {
+        self.schema = Some(schema);
+        self
+    }
+
+    /// Removes the declared schema.
+    pub fn clear_schema(&mut self) {
+        self.schema = None;
+    }
+
+    /// The declared JSL schema, if any.
+    pub fn schema(&self) -> Option<&jsl::RecursiveJsl> {
+        self.schema.as_ref()
     }
 
     /// Sets the worker pool driving this collection's query scans (and the

@@ -147,7 +147,7 @@ impl RegexMemoTable {
     }
 
     /// The memo for `e`, compiling the regex on first sight (single probe;
-    /// see [`RegexKeyedVec`]).
+    /// see `RegexKeyedVec`).
     pub fn memo(&mut self, e: &Regex) -> &mut KeyMatchMemo {
         let slot = self
             .memos
