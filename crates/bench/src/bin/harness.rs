@@ -83,6 +83,9 @@ fn main() {
     if want("s8") {
         s8();
     }
+    if want("s9") {
+        s9();
+    }
 }
 
 fn header(id: &str, claim: &str) {
@@ -1944,4 +1947,164 @@ fn s8() {
     );
     std::fs::write("BENCH_sat.json", &json).expect("write BENCH_sat.json");
     println!("wrote BENCH_sat.json");
+}
+
+/// S9 — the secondary-index experiment: probe-answered `find`/`$match`
+/// vs the full scan on the 20k person records, plus layout sweeps.
+/// Deterministic gates inside the harness:
+///
+/// 1. index-answered results must be **byte-identical** to the scan
+///    oracle on every workload, on the one-parse layout, the fragmented
+///    (per-insert segment) layout, and after `compact()` (the rebuild
+///    path);
+/// 2. indexed `$eq`/range `find` must not be slower than the scan at
+///    20k documents;
+/// 3. the selective workload (`eq_unique`, one matching document) must
+///    answer at least 2x faster than the scan, at the `find_refs` level
+///    and through the `jagg` leading-`$match`.
+fn s9() {
+    header(
+        "S9",
+        "Secondary indexes — probe-answered find/$match vs full scan",
+    );
+    let text = s5_collection_text();
+    let scan_coll = mongofind::Collection::parse_str(&text).expect("workload parses");
+    let mut coll = mongofind::Collection::parse_str(&text).expect("workload parses");
+    let t0 = std::time::Instant::now();
+    for p in S9_INDEX_PATHS {
+        assert!(coll.create_index(p), "index on {p} declared once");
+    }
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!(
+        "collection: {} documents; indexes on {:?} built in {build_ms:.2} ms",
+        coll.len(),
+        S9_INDEX_PATHS,
+    );
+
+    // Gate 1a: byte-identical to the scan oracle on the fragmented and
+    // post-compact layouts (1k docs: the layout sweep is a correctness
+    // gate, not a timing).
+    {
+        let jsondata::Json::Array(docs) = jsondata::gen::person_records(1000, 7) else {
+            panic!("person_records returns an array");
+        };
+        let mut frag = mongofind::Collection::parse_str("[]").expect("empty parses");
+        for p in S9_INDEX_PATHS {
+            frag.create_index(p);
+        }
+        for d in &docs {
+            frag.insert(d);
+        }
+        for (label, src) in s9_workloads() {
+            let f = mongofind::Filter::parse_str(src).expect("workload filter parses");
+            assert_eq!(
+                frag.find_refs_indexed(&f),
+                frag.find_refs(&f),
+                "S9 gate: indexed != scan on fragmented layout, {label}"
+            );
+        }
+        frag.compact();
+        for (label, src) in s9_workloads() {
+            let f = mongofind::Filter::parse_str(src).expect("workload filter parses");
+            assert_eq!(
+                frag.find_refs_indexed(&f),
+                frag.find_refs(&f),
+                "S9 gate: indexed != scan after compact(), {label}"
+            );
+        }
+        println!("layout gate: fragmented + post-compact sweeps byte-identical");
+    }
+
+    println!(
+        "{}",
+        row(&[
+            "workload".into(),
+            "hits".into(),
+            "scan ms".into(),
+            "indexed ms".into(),
+            "speedup".into(),
+        ])
+    );
+    let mut entries = Vec::new();
+    let mut selective_speedup = 0.0_f64;
+    for (label, src) in s9_workloads() {
+        let f = mongofind::Filter::parse_str(src).expect("workload filter parses");
+        assert!(
+            coll.index_answerable(&f),
+            "S9 workload {label} must engage the planner"
+        );
+        // Gate 1b: byte-identical refs and documents on the 20k layout.
+        let probe_refs = coll.find_refs_indexed(&f);
+        assert_eq!(
+            probe_refs,
+            coll.find_refs(&f),
+            "S9 gate: indexed refs != scan refs on {label}"
+        );
+        assert_eq!(
+            coll.find_indexed(&f),
+            coll.find(&f),
+            "S9 gate: indexed documents != scan documents on {label}"
+        );
+        let hits = probe_refs.len();
+        drop(probe_refs);
+
+        let scan_ms = time_ms(9, || scan_coll.find_refs(&f));
+        let indexed_ms = time_ms(9, || coll.find_refs_indexed(&f));
+        // Gate 2: probing must not cost wall time against the scan.
+        assert!(
+            indexed_ms <= scan_ms,
+            "S9 gate: indexed find slower than scan on {label}: {indexed_ms:.3} ms vs {scan_ms:.3} ms"
+        );
+        let speedup = scan_ms / indexed_ms;
+        if label == "eq_unique" {
+            selective_speedup = speedup;
+        }
+        println!(
+            "{}",
+            row(&[
+                label.into(),
+                hits.to_string(),
+                format!("{scan_ms:.3}"),
+                format!("{indexed_ms:.3}"),
+                format!("{speedup:.1}x"),
+            ])
+        );
+        entries.push(format!(
+            "    {{\"workload\": \"{label}\", \"hits\": {hits}, \"scan_ms\": {scan_ms:.4}, \"indexed_ms\": {indexed_ms:.4}, \"speedup\": {speedup:.2}}}"
+        ));
+    }
+    // Gate 3a: the selective workload must win by at least 2x.
+    assert!(
+        selective_speedup >= 2.0,
+        "S9 gate: selective probe speedup {selective_speedup:.2}x < 2x"
+    );
+
+    // Gate 3b: the same direction through the jagg leading-$match (the
+    // executor routes an index-answerable leading filter to the probe).
+    let pipe =
+        jagg::Pipeline::parse_str(r#"[{"$match": {"id": 12345}}]"#).expect("match pipeline parses");
+    let via_index = jagg::aggregate(&coll, &pipe);
+    let via_scan = jagg::aggregate(&scan_coll, &pipe);
+    assert_eq!(
+        via_index, via_scan,
+        "S9 gate: $match output differs between indexed and unindexed collections"
+    );
+    let match_scan_ms = time_ms(9, || jagg::aggregate(&scan_coll, &pipe));
+    let match_indexed_ms = time_ms(9, || jagg::aggregate(&coll, &pipe));
+    let match_speedup = match_scan_ms / match_indexed_ms;
+    assert!(
+        match_speedup >= 2.0,
+        "S9 gate: selective $match speedup {match_speedup:.2}x < 2x ({match_indexed_ms:.3} ms vs {match_scan_ms:.3} ms)"
+    );
+    println!(
+        "selective $match via jagg: {match_scan_ms:.3} ms scan, {match_indexed_ms:.3} ms indexed ({match_speedup:.1}x)"
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"s9_secondary_indexes\",\n  \"units\": \"ms (median of 9)\",\n  \"collection\": {{\"documents\": {}, \"indexes\": [\"id\", \"name.first\", \"age\"], \"build_ms\": {build_ms:.3}}},\n  \"gates\": \"asserted: indexed results byte-identical to scan on one-parse/fragmented/post-compact layouts; indexed find <= scan on every workload; selective eq >= 2x at find_refs level and through the jagg leading-$match\",\n  \"match_pipeline\": {{\"scan_ms\": {match_scan_ms:.4}, \"indexed_ms\": {match_indexed_ms:.4}, \"speedup\": {match_speedup:.2}}},\n  \"workloads\": [\n{}\n  ]\n}}\n",
+        coll.len(),
+        entries.join(",\n")
+    );
+    std::fs::write("BENCH_index.json", &json).expect("write BENCH_index.json");
+    println!("wrote BENCH_index.json");
 }

@@ -297,6 +297,35 @@ pub const S6_FIND_FILTER: &str =
 /// (one whole-tree Proposition 1 evaluation per segment).
 pub const S6_JNL_FILTER: &str = r#"{"name.last": {"$in": ["Doe", "Kim", "Chen"]}}"#;
 
+/// S9: the paths the secondary-index experiment declares indexes on
+/// (`name.last` is deliberately left unindexed so one workload exercises
+/// the probe+residual split).
+pub const S9_INDEX_PATHS: [&str; 3] = ["id", "name.first", "age"];
+
+/// S9: the index-vs-scan workloads (label, filter JSON) over the 20k
+/// person records. `eq_unique` is the selective-`$match` headline (one
+/// matching document); the rest cover common `$eq`, pure ranges, `$in`,
+/// all-probed compounds, and the probe+residual split.
+pub fn s9_workloads() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("eq_unique", r#"{"id": 12345}"#),
+        ("eq_common", r#"{"name.first": "Sue"}"#),
+        ("range", r#"{"age": {"$gte": 40, "$lt": 50}}"#),
+        (
+            "in_set",
+            r#"{"name.first": {"$in": ["Sue", "Omar", "Ivy"]}}"#,
+        ),
+        (
+            "compound_probed",
+            r#"{"name.first": "Sue", "age": {"$gte": 40, "$lt": 60}}"#,
+        ),
+        (
+            "probe_residual",
+            r#"{"age": {"$gte": 40, "$lt": 60}, "name.last": "Kim"}"#,
+        ),
+    ]
+}
+
 /// E9: the even-depth recursive JSL expression of the paper's Example 2.
 pub fn e9_even_depth() -> jsl::RecursiveJsl {
     jsl::RecursiveJsl {

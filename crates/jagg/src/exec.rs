@@ -325,13 +325,21 @@ impl<'c> Engine<'c> {
         }
     }
 
-    /// The first `$match` of a pipeline, straight off the collection:
-    /// one whole-tree JNL evaluation per segment when the filter compiles
-    /// exactly (Proposition 1 answers every document of a segment at
-    /// once), [`Filter::matches_at`] per document otherwise. Both paths
-    /// are the (already parallel, already governed) `Collection` scans.
+    /// The first `$match` of a pipeline, straight off the collection.
+    /// Route choice, in order: a secondary-index probe when the
+    /// collection's declared indexes answer part of the conjunction
+    /// ([`Collection::index_answerable`] — bitmap intersection plus a
+    /// residual pass on survivors only); one whole-tree JNL evaluation
+    /// per segment when the filter compiles exactly (Proposition 1
+    /// answers every document of a segment at once);
+    /// [`Filter::matches_at`] per document otherwise. All three are
+    /// (already governed) `Collection` paths returning refs in
+    /// `(segment, doc)` order, so the route is unobservable in the
+    /// output.
     fn leading_match(&self, f: &Filter) -> Result<Vec<Row>, QueryError> {
-        let refs = if f.jnl_exact() {
+        let refs = if self.coll.index_answerable(f) {
+            self.coll.find_refs_indexed_with_ctx(f, &self.guard)?
+        } else if f.jnl_exact() {
             self.coll.find_refs_via_jnl_with_ctx(f, &self.guard)?
         } else {
             self.coll.find_refs_with_ctx(f, &self.guard)?

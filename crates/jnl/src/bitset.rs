@@ -50,6 +50,19 @@ impl BitSet {
         changed
     }
 
+    /// `self ∩= other`; returns whether anything changed. The in-place
+    /// intersection the index planners use to AND document-set bitmaps.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        let mut changed = false;
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            let next = *a & b;
+            changed |= next != *a;
+            *a = next;
+        }
+        changed
+    }
+
     /// Whether `self ∩ other` is non-empty.
     pub fn intersects(&self, other: &BitSet) -> bool {
         self.blocks
@@ -119,5 +132,23 @@ mod tests {
         assert!(a.contains(70));
         b.insert(3);
         assert!(a.intersects(&b));
+    }
+
+    #[test]
+    fn intersect_with_keeps_common_members() {
+        let mut a = BitSet::new(130);
+        let mut b = BitSet::new(130);
+        for i in [0, 5, 64, 129] {
+            a.insert(i);
+        }
+        for i in [5, 64, 100] {
+            b.insert(i);
+        }
+        assert!(a.intersect_with(&b));
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![5, 64]);
+        assert!(!a.intersect_with(&b), "idempotent");
+        let empty = BitSet::new(130);
+        assert!(a.intersect_with(&empty));
+        assert!(a.is_empty());
     }
 }

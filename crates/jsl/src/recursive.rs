@@ -183,13 +183,38 @@ impl RecursiveJsl {
     /// with the truth of every definition symbol, definitions resolved in
     /// precedence (topological) order per node. `O(|J| · |Δ|)` modulo
     /// regex matching and `Unique`.
+    ///
+    /// Panics on an ill-formed expression; governed boundaries use
+    /// [`RecursiveJsl::try_evaluate`] instead, which fails closed with a
+    /// structured [`WellFormednessError`].
     pub fn evaluate(&self, tree: &JsonTree) -> NodeSet {
         self.evaluate_with(tree, EvalOptions::default())
     }
 
     /// As [`RecursiveJsl::evaluate`] with explicit options.
     pub fn evaluate_with(&self, tree: &JsonTree, options: EvalOptions) -> NodeSet {
-        self.well_formed().expect("expression must be well-formed");
+        match self.try_evaluate_with(tree, options) {
+            Ok(set) => set,
+            Err(e) => panic!("expression must be well-formed: {e}"),
+        }
+    }
+
+    /// [`RecursiveJsl::evaluate`] that fails closed instead of panicking:
+    /// an ill-formed expression (dangling symbol, precedence cycle —
+    /// e.g. a schema whose `$ref` names an undefined definition) comes
+    /// back as a structured [`WellFormednessError`], never an unwind
+    /// across the governed boundary (docs/robustness.md).
+    pub fn try_evaluate(&self, tree: &JsonTree) -> Result<NodeSet, WellFormednessError> {
+        self.try_evaluate_with(tree, EvalOptions::default())
+    }
+
+    /// As [`RecursiveJsl::try_evaluate`] with explicit options.
+    pub fn try_evaluate_with(
+        &self,
+        tree: &JsonTree,
+        options: EvalOptions,
+    ) -> Result<NodeSet, WellFormednessError> {
+        self.well_formed()?;
         let mut ctx = JslContext::with_options(tree, options);
         let index: HashMap<&str, usize> = self
             .defs
@@ -207,14 +232,20 @@ impl RecursiveJsl {
                 labels[d][n.index()] = eval_at(&mut ctx, n, phi, &index, &labels);
             }
         }
-        (0..nodes)
+        Ok((0..nodes)
             .map(|i| eval_at(&mut ctx, NodeId::from_index(i), &self.base, &index, &labels))
-            .collect()
+            .collect())
     }
 
     /// `J |ù Δ`: the base expression at the root.
     pub fn check_root(&self, tree: &JsonTree) -> bool {
         self.evaluate(tree)[tree.root().index()]
+    }
+
+    /// [`RecursiveJsl::check_root`] that fails closed on an ill-formed
+    /// expression instead of panicking.
+    pub fn try_check_root(&self, tree: &JsonTree) -> Result<bool, WellFormednessError> {
+        Ok(self.try_evaluate(tree)?[tree.root().index()])
     }
 }
 
@@ -408,6 +439,14 @@ mod tests {
             undef.well_formed(),
             Err(WellFormednessError::UndefinedSymbol(_))
         ));
+        // The fail-closed evaluation surfaces the same error as a value —
+        // no panic crosses the caller (the governed-boundary contract).
+        let t = JsonTree::build(&parse("{}").unwrap());
+        assert_eq!(
+            undef.try_check_root(&t),
+            Err(WellFormednessError::UndefinedSymbol("nope".into()))
+        );
+        assert!(undef.try_evaluate(&t).is_err());
         // Acyclic exposed references are fine.
         let chain = RecursiveJsl {
             defs: vec![

@@ -96,22 +96,28 @@ pub fn sat_recursive(delta: &RecursiveJsl, cfg: SatConfig) -> JslSatResult {
         budget: cfg.branch_budget,
         capped: false,
         mismatch: false,
+        ill_formed: None,
         dfa_cache: HashMap::new(),
         syms: Interner::new(),
         delta,
     };
     match solver.solve(vec![Lit::pos(delta.base.clone())], height) {
         Some(witness) => {
-            // Final verification with the production evaluator.
+            // Final verification with the production evaluator (fail-closed:
+            // an ill-formed Δ downgrades to Unknown, never a panic).
             let tree = JsonTree::build(&witness);
-            if delta.check_root(&tree) {
-                JslSatResult::Sat(witness)
-            } else {
-                JslSatResult::Unknown(
+            match delta.try_check_root(&tree) {
+                Ok(true) => JslSatResult::Sat(witness),
+                Ok(false) => JslSatResult::Unknown(
                     "internal: constructed witness failed verification".to_owned(),
-                )
+                ),
+                Err(e) => JslSatResult::Unknown(format!("ill-formed expression: {e}")),
             }
         }
+        None if solver.ill_formed.is_some() => JslSatResult::Unknown(format!(
+            "{} reached during search",
+            solver.ill_formed.expect("checked")
+        )),
         None if solver.capped => JslSatResult::Unknown(format!(
             "no model within height {height} / branch budget (recursive formulas may need deeper models)"
         )),
@@ -193,6 +199,13 @@ struct Tableau<'a> {
     budget: usize,
     capped: bool,
     mismatch: bool,
+    /// First ill-formedness (dangling definition name, cycle) encountered
+    /// during search. The `sat_recursive` entry guards with
+    /// `well_formed()` so this stays `None` there, but any branch that
+    /// does hit one fails closed (the branch is abandoned, the exhausted
+    /// search reports `Unknown`) instead of panicking across the governed
+    /// boundary.
+    ill_formed: Option<String>,
     dfa_cache: HashMap<Regex, Dfa>,
     /// Query-owned symbol table for witness generation: every object key a
     /// realized witness uses is interned once, so key accumulation and
@@ -253,7 +266,14 @@ impl<'a> Tableau<'a> {
                 }
                 (Jsl::Or(ps), false) => work.extend(ps.into_iter().map(Lit::neg)),
                 (Jsl::Var(v), sign) => {
-                    let def = (*self.defs.get(v.as_str()).expect("well-formed")).clone();
+                    // A dangling name fails the branch closed (recorded so
+                    // exhaustion reports Unknown, not an unsound Unsat).
+                    let Some(def) = self.defs.get(v.as_str()) else {
+                        self.ill_formed
+                            .get_or_insert_with(|| format!("undefined definition ${v}"));
+                        return None;
+                    };
+                    let def = (*def).clone();
                     work.push(Lit {
                         phi: def,
                         positive: sign,
@@ -359,7 +379,15 @@ impl<'a> Tableau<'a> {
             defs: self.delta.defs.clone(),
             base: phi,
         };
-        delta.check_root(&tree)
+        match delta.try_check_root(&tree) {
+            Ok(holds) => holds,
+            Err(e) => {
+                // Fail closed: the candidate is rejected and the defect
+                // recorded, instead of unwinding mid-search.
+                self.ill_formed.get_or_insert_with(|| e.to_string());
+                false
+            }
+        }
     }
 
     fn close_string(&mut self, atoms: &NodeAtoms) -> Option<Json> {
@@ -463,11 +491,26 @@ impl<'a> Tableau<'a> {
             self.capped = true;
             return None;
         }
-        // Venn regions over every regex mentioned at this node.
+        // Carve the key space into Venn regions over every distinct regex
+        // mentioned at this node. Each diamond and box resolves to the
+        // *index* of its regex here, once — the only place regex structures
+        // are ever compared. Expansion below answers every region-membership
+        // question with one shift-and-mask over those indices, and every
+        // region DFA is computed at most once per mask (cached in the
+        // [`KeySpace`]); keys stay interned `Sym`s until final assembly.
         let mut regexes: Vec<Regex> = Vec::new();
-        for (e, _) in atoms.dia_key.iter().chain(atoms.box_key.iter()) {
-            if !regexes.contains(e) {
-                regexes.push(e.clone());
+        let mut dia_idx: Vec<usize> = Vec::with_capacity(atoms.dia_key.len());
+        let mut box_idx: Vec<usize> = Vec::with_capacity(atoms.box_key.len());
+        for (list, out) in [
+            (&atoms.dia_key, &mut dia_idx),
+            (&atoms.box_key, &mut box_idx),
+        ] {
+            for (e, _) in list.iter() {
+                let i = regexes.iter().position(|x| x == e).unwrap_or_else(|| {
+                    regexes.push(e.clone());
+                    regexes.len() - 1
+                });
+                out.push(i);
             }
         }
         if regexes.len() > 12 {
@@ -475,23 +518,27 @@ impl<'a> Tableau<'a> {
             return None;
         }
         let dfas: Vec<Dfa> = regexes.iter().map(|e| self.dfa(e)).collect();
-        let sigma = Regex::sigma_star().to_dfa();
+        let mut space = KeySpace {
+            n_regexes: regexes.len(),
+            dfas,
+            sigma: Regex::sigma_star().to_dfa(),
+            dia_idx,
+            box_idx,
+            regions: HashMap::new(),
+        };
 
         // Assign each diamond to a Venn region compatible with its regex,
         // trying (a) pairwise-distinct keys, then (b) merging diamonds that
         // share a region. Regions are enumerated as bitmasks over `regexes`.
         let n_dia = atoms.dia_key.len();
         let mut assignment: Vec<u32> = vec![0; n_dia]; // region mask per diamond
-        self.assign_diamonds(atoms, &regexes, &dfas, &sigma, &mut assignment, 0, height)
+        self.assign_diamonds(atoms, &mut space, &mut assignment, 0, height)
     }
 
-    #[allow(clippy::too_many_arguments)]
     fn assign_diamonds(
         &mut self,
         atoms: &NodeAtoms,
-        regexes: &[Regex],
-        dfas: &[Dfa],
-        sigma: &Dfa,
+        space: &mut KeySpace,
         assignment: &mut Vec<u32>,
         next: usize,
         height: usize,
@@ -501,49 +548,32 @@ impl<'a> Tableau<'a> {
             return None;
         }
         if next == atoms.dia_key.len() {
-            return self.realize_object(atoms, regexes, dfas, sigma, assignment, height);
+            return self.realize_object(atoms, space, assignment, height);
         }
-        let (e_d, _) = &atoms.dia_key[next];
-        let d_idx = regexes.iter().position(|e| e == e_d).expect("collected");
+        let d_idx = space.dia_idx[next];
         // Enumerate region masks containing d_idx.
-        for mask in 0u32..(1 << regexes.len()) {
+        for mask in 0u32..(1 << space.n_regexes) {
             if mask & (1 << d_idx) == 0 {
                 continue;
             }
             // Region emptiness check.
-            if self.region_dfa(dfas, sigma, mask).is_empty() {
+            if space.region(mask).is_empty() {
                 continue;
             }
             self.budget = self.budget.saturating_sub(1);
             assignment[next] = mask;
-            if let Some(doc) =
-                self.assign_diamonds(atoms, regexes, dfas, sigma, assignment, next + 1, height)
-            {
+            if let Some(doc) = self.assign_diamonds(atoms, space, assignment, next + 1, height) {
                 return Some(doc);
             }
         }
         None
     }
 
-    fn region_dfa(&mut self, dfas: &[Dfa], sigma: &Dfa, mask: u32) -> Dfa {
-        let mut acc = sigma.clone();
-        for (i, d) in dfas.iter().enumerate() {
-            if mask & (1 << i) != 0 {
-                acc = acc.intersect(d);
-            } else {
-                acc = acc.intersect(&d.complement());
-            }
-        }
-        acc
-    }
-
     /// Materialises an object for a fixed diamond→region assignment.
     fn realize_object(
         &mut self,
         atoms: &NodeAtoms,
-        regexes: &[Regex],
-        dfas: &[Dfa],
-        sigma: &Dfa,
+        space: &mut KeySpace,
         assignment: &[u32],
         height: usize,
     ) -> Option<Json> {
@@ -554,9 +584,12 @@ impl<'a> Tableau<'a> {
             groups.entry(mask).or_default().push(d);
         }
         let mut pairs: Vec<(Sym, Json)> = Vec::new();
+        // Keys already placed, by symbol — carried incrementally so every
+        // dedup below is a `Sym` set probe, never a string comparison.
+        let mut used: BTreeSet<Sym> = BTreeSet::new();
         for (&mask, dias) in &groups {
-            let region = self.region_dfa(dfas, sigma, mask);
-            let keys: Vec<Sym> = region
+            let keys: Vec<Sym> = space
+                .region(mask)
                 .examples(dias.len())
                 .iter()
                 .map(|k| self.syms.intern(k))
@@ -564,18 +597,14 @@ impl<'a> Tableau<'a> {
             if keys.is_empty() {
                 return None;
             }
-            // Box bodies applying to this region: every box whose regex is
-            // in the mask.
+            // Box bodies applying to this region: every box whose regex
+            // index lands in the mask.
             let box_bodies: Vec<&Jsl> = atoms
                 .box_key
                 .iter()
-                .filter(|(e, _)| {
-                    regexes
-                        .iter()
-                        .position(|x| x == e)
-                        .is_some_and(|i| mask & (1 << i) != 0)
-                })
-                .map(|(_, p)| p)
+                .enumerate()
+                .filter(|(b, _)| space.box_applies(*b, mask))
+                .map(|(_, (_, p))| p)
                 .collect();
             if keys.len() >= dias.len() {
                 // Distinct keys: one child per diamond.
@@ -584,6 +613,7 @@ impl<'a> Tableau<'a> {
                     lits.extend(box_bodies.iter().map(|b| Lit::pos((*b).clone())));
                     let child = self.solve(lits, height - 1)?;
                     pairs.push((key, child));
+                    used.insert(key);
                 }
             } else {
                 // Shared key: all diamond bodies conjoined.
@@ -594,6 +624,7 @@ impl<'a> Tableau<'a> {
                 lits.extend(box_bodies.iter().map(|b| Lit::pos((*b).clone())));
                 let child = self.solve(lits, height - 1)?;
                 pairs.push((keys[0], child));
+                used.insert(keys[0]);
             }
         }
         // MinCh padding: add children from the all-complement region when
@@ -601,8 +632,8 @@ impl<'a> Tableau<'a> {
         let have = pairs.len() as u64;
         if atoms.minch > have {
             let needed = (atoms.minch - have) as usize;
-            let free_region = self.region_dfa(dfas, sigma, 0);
-            let candidates: Vec<Sym> = free_region
+            let candidates: Vec<Sym> = space
+                .region(0)
                 .examples(needed)
                 .iter()
                 .map(|k| self.syms.intern(k))
@@ -611,28 +642,27 @@ impl<'a> Tableau<'a> {
                 for key in candidates {
                     pairs.push((key, Json::Num(0)));
                 }
-            } else if regexes.is_empty() {
+            } else if space.n_regexes == 0 {
                 return None; // Σ* region is infinite; unreachable
             } else {
                 // Pad inside a box-covered region: children must satisfy the
-                // applicable boxes.
+                // applicable boxes. Dedup against already-used keys by
+                // symbol: a candidate that was never interned cannot collide.
                 let mut padded = candidates.len();
                 for key in candidates {
                     pairs.push((key, Json::Num(0)));
+                    used.insert(key);
                 }
-                'outer: for mask in 1u32..(1 << regexes.len()) {
+                'outer: for mask in 1u32..(1 << space.n_regexes) {
                     if padded >= needed {
                         break;
                     }
-                    let region = self.region_dfa(dfas, sigma, mask);
-                    // Dedup against already-used keys by symbol: a candidate
-                    // that was never interned cannot collide.
-                    let existing: BTreeSet<Sym> = pairs.iter().map(|(k, _)| *k).collect();
-                    let ks: Vec<Sym> = region
-                        .examples(needed + existing.len())
+                    let ks: Vec<Sym> = space
+                        .region(mask)
+                        .examples(needed + used.len())
                         .into_iter()
                         .map(|k| self.syms.intern(&k))
-                        .filter(|s| !existing.contains(s))
+                        .filter(|s| !used.contains(s))
                         .collect();
                     for key in ks {
                         if padded >= needed {
@@ -641,13 +671,9 @@ impl<'a> Tableau<'a> {
                         let box_bodies: Vec<Lit> = atoms
                             .box_key
                             .iter()
-                            .filter(|(e, _)| {
-                                regexes
-                                    .iter()
-                                    .position(|x| x == e)
-                                    .is_some_and(|i| mask & (1 << i) != 0)
-                            })
-                            .map(|(_, p)| Lit::pos(p.clone()))
+                            .enumerate()
+                            .filter(|(b, _)| space.box_applies(*b, mask))
+                            .map(|(_, (_, p))| Lit::pos(p.clone()))
                             .collect();
                         if height == 0 {
                             self.capped = true;
@@ -655,6 +681,7 @@ impl<'a> Tableau<'a> {
                         }
                         let child = self.solve(box_bodies, height - 1)?;
                         pairs.push((key, child));
+                        used.insert(key);
                         padded += 1;
                     }
                 }
@@ -782,6 +809,53 @@ impl<'a> Tableau<'a> {
             return Some(Json::Array(items));
         }
         None
+    }
+}
+
+/// The carved key space of one object node: the Venn-region machinery
+/// shared by diamond assignment and object realization. Every diamond and
+/// box is pre-resolved to the index of its regex in the distinct-regex
+/// list, so expansion decides region membership with one shift-and-mask
+/// over small integers — regex structures (and the key strings inside
+/// them) are compared exactly once, at construction — and each region's
+/// DFA is built at most once per mask. Witness keys themselves live as
+/// tableau-interner `Sym`s until final object assembly.
+struct KeySpace {
+    /// Number of distinct regexes (the mask width).
+    n_regexes: usize,
+    /// DFA per distinct regex, aligned with the mask bits.
+    dfas: Vec<Dfa>,
+    /// Σ* — the universe the regions partition.
+    sigma: Dfa,
+    /// Regex index per diamond (aligned with `NodeAtoms::dia_key`).
+    dia_idx: Vec<usize>,
+    /// Regex index per box (aligned with `NodeAtoms::box_key`).
+    box_idx: Vec<usize>,
+    /// Region DFA per mask, computed on first use.
+    regions: HashMap<u32, Dfa>,
+}
+
+impl KeySpace {
+    /// The DFA of the Venn region selected by `mask`: keys inside every
+    /// masked regex's language and outside every unmasked one's.
+    fn region(&mut self, mask: u32) -> &Dfa {
+        if !self.regions.contains_key(&mask) {
+            let mut acc = self.sigma.clone();
+            for (i, d) in self.dfas.iter().enumerate() {
+                if mask & (1 << i) != 0 {
+                    acc = acc.intersect(d);
+                } else {
+                    acc = acc.intersect(&d.complement());
+                }
+            }
+            self.regions.insert(mask, acc);
+        }
+        self.regions.get(&mask).expect("just inserted")
+    }
+
+    /// Whether box `b` applies to region `mask` (its regex bit is set).
+    fn box_applies(&self, b: usize, mask: u32) -> bool {
+        mask & (1 << self.box_idx[b]) != 0
     }
 }
 

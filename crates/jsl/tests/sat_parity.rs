@@ -1,0 +1,141 @@
+//! Cross-logic sat parity: the JSL modal tableau ([`jsl::sat`]) against
+//! the JNL deterministic solver ([`jnl::sat::det`]), bridged by the
+//! paper's Theorem 2 translation ([`jsl::translate::jnl_to_jsl_cps`],
+//! which preserves satisfiability node-for-node).
+//!
+//! This is the `crates/jnl/tests/sat_parity.rs`-style coverage the
+//! tableau's *region* machinery rides on: deciding a translated key
+//! formula forces `close_object` to partition the key space into regions
+//! (intersections of key-regex DFAs and their complements) and to pad
+//! `MinCh` obligations with fresh keys — exactly the endpoint
+//! comparisons that were re-keyed onto the tableau-owned interner's
+//! `Sym`s. Three contracts:
+//!
+//! 1. **Verdict parity** — whenever both engines decide (no Unknown),
+//!    they agree Sat/Unsat.
+//! 2. **Closed-loop witnesses, both directions** — a tableau witness
+//!    must satisfy the *original JNL* formula through `jnl::check_root`,
+//!    and a JNL witness must satisfy the *translated JSL* expression
+//!    through `jsl::check_root` — closing the loop across the
+//!    translation rather than trusting either solver's internal
+//!    re-verification.
+//! 3. **Non-vacuity** — each sweep must actually decide enough formulas
+//!    in each direction for the parity to mean something.
+
+use jnl::sat::det::sat_deterministic;
+use jnl::sat::SatResult;
+use jsl::{sat_jsl, JslSatResult};
+use jsondata::JsonTree;
+
+/// One sweep: translate every generated JNL formula, decide with both
+/// engines, check parity + witnesses, and tally both-decided verdicts.
+fn sweep(seed: u64, count: usize, depth: usize) -> (usize, usize) {
+    let (mut both_sat, mut both_unsat) = (0, 0);
+    for phi in jnl::gen::formulas(seed, count, depth) {
+        let Ok(psi) = jsl::jnl_to_jsl_cps(&phi) else {
+            // `eqpair` (path-path equality) has no JSL counterpart —
+            // formulas using it fall outside the Theorem 2 fragment and
+            // are skipped; the non-vacuity floors below keep the skip
+            // rate honest.
+            continue;
+        };
+        let jnl_r = sat_deterministic(&phi);
+        let jsl_r = sat_jsl(&psi);
+        // Cross-verified witnesses, independent of the other verdict.
+        if let SatResult::Sat(w) = &jnl_r {
+            let tree = JsonTree::build(w);
+            assert!(
+                jsl::check_root(&tree, &psi),
+                "JNL witness fails the translated JSL\n  jnl: {phi}\n  witness: {w}"
+            );
+        }
+        if let JslSatResult::Sat(w) = &jsl_r {
+            let tree = JsonTree::build(w);
+            assert!(
+                jnl::check_root(&tree, &phi),
+                "tableau witness fails the original JNL\n  jnl: {phi}\n  witness: {w}"
+            );
+        }
+        match (&jnl_r, &jsl_r) {
+            (SatResult::Sat(_), JslSatResult::Unsat) => {
+                panic!("jnl says Sat, tableau says Unsat on {phi}")
+            }
+            (SatResult::Unsat, JslSatResult::Sat(w)) => {
+                panic!("jnl says Unsat, tableau found witness {w} for {phi}")
+            }
+            (SatResult::Sat(_), JslSatResult::Sat(_)) => both_sat += 1,
+            (SatResult::Unsat, JslSatResult::Unsat) => both_unsat += 1,
+            // An Unknown on either side is a legitimate budget/heuristic
+            // gap, not a parity violation.
+            _ => {}
+        }
+    }
+    (both_sat, both_unsat)
+}
+
+#[test]
+fn tableau_agrees_with_jnl_on_shallow_sweeps() {
+    let (sat, unsat) = sweep(101, 250, 2);
+    assert!(sat > 20, "shallow sweep vacuous: only {sat} both-sat");
+    assert!(unsat > 20, "shallow sweep vacuous: only {unsat} both-unsat");
+}
+
+#[test]
+fn tableau_agrees_with_jnl_on_deep_sweeps() {
+    // Depth 3 with a larger draw: deeper draws are dominated by `eqpair`
+    // (untranslatable, skipped), starving the unsat tally.
+    let (sat, unsat) = sweep(202, 300, 3);
+    assert!(sat > 50, "deep sweep vacuous: only {sat} both-sat");
+    assert!(unsat > 10, "deep sweep vacuous: only {unsat} both-unsat");
+}
+
+#[test]
+fn tableau_agrees_on_key_heavy_edges() {
+    // Handpicked formulas whose decision lives in the region machinery:
+    // multiple distinct keys under one object, demanded-vs-forbidden key
+    // overlaps, keys that share prefixes (adjacent range endpoints), and
+    // unicode keys — each forces region-DFA construction and fresh-key
+    // padding during `close_object`.
+    let cases = [
+        r#"[@"a"] & [@"b"] & [@"c"]"#,
+        r#"[@"a"] & !([@"b"]) & [@"c"]"#,
+        r#"[@"a"] & !([@"a"])"#,
+        r#"[@"ab"] & [@"ab2"] & !([@"ab1"])"#,
+        r#"[@"k" ; <[@"k"] & !([@"q"])>]"#,
+        r#"eqdoc(@"a", {"z": 1}) & [@"b"]"#,
+        r#"[@"züri"] & !([@"zür"])"#,
+        r#"[@"北"] & [@"京"] & !([@"北京"])"#,
+        r#"!([@"a"]) & !([@"b"]) & ([@"a"] | [@"b"])"#,
+    ];
+    let (mut decided, mut n) = (0, 0);
+    for src in cases {
+        let phi = jnl::parse_unary(src).expect("edge case parses");
+        let psi = jsl::jnl_to_jsl_cps(&phi).expect("edge case translates");
+        let jnl_r = sat_deterministic(&phi);
+        let jsl_r = sat_jsl(&psi);
+        match (&jnl_r, &jsl_r) {
+            (SatResult::Sat(_), JslSatResult::Unsat) => {
+                panic!("jnl Sat vs tableau Unsat on {src}")
+            }
+            (SatResult::Unsat, JslSatResult::Sat(_)) => {
+                panic!("jnl Unsat vs tableau Sat on {src}")
+            }
+            (SatResult::Sat(_) | SatResult::Unsat, JslSatResult::Sat(_) | JslSatResult::Unsat) => {
+                decided += 1
+            }
+            _ => {}
+        }
+        if let JslSatResult::Sat(w) = &jsl_r {
+            let tree = JsonTree::build(w);
+            assert!(
+                jnl::check_root(&tree, &phi),
+                "tableau witness fails {src}: {w}"
+            );
+        }
+        n += 1;
+    }
+    assert!(
+        decided >= n - 2,
+        "edge corpus mostly Unknown: {decided}/{n} decided"
+    );
+}

@@ -34,7 +34,7 @@ fn main() {
         ]"#,
     )
     .expect("collection parses");
-    coll.set_schema(schema);
+    coll.set_schema(schema).expect("schema is well-formed");
 
     let pipe = Pipeline::parse_str(
         r#"[

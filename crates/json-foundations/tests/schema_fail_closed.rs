@@ -1,0 +1,90 @@
+//! Fail-closed handling of ill-formed schemas, end to end.
+//!
+//! A JSON Schema document whose `$ref` points at a definition that does
+//! not exist parses fine (`jschema::Schema::parse_str`) and bridges to a
+//! [`RecursiveJsl`] with a dangling [`Jsl::Var`] — an expression that is
+//! not well-formed. The robustness contract (docs/robustness.md) says no
+//! such input may panic across a governed boundary: every consumer must
+//! return a structured verdict instead. Pinned here for each consumer:
+//!
+//! * [`Collection::set_schema`] — rejects with
+//!   [`WellFormednessError::UndefinedSymbol`] (the regression: it used
+//!   to attach silently and the *next* evaluation panicked);
+//! * [`jstat::analyze_schema`] — reports an advisory, no panic;
+//! * [`jsl::sat_recursive`] — `Unknown`, never a panic, even when the
+//!   dangling name is only reachable through the tableau's `Var` arm;
+//! * [`RecursiveJsl::try_check_root`] / `try_evaluate` — structured
+//!   `Err` for direct evaluation.
+
+use json_foundations::mongo::Collection;
+use json_foundations::schema::{schema_to_jsl, Schema};
+use json_foundations::schema_logic::{
+    sat_recursive, JslSatResult, RecursiveJsl, SatConfig, WellFormednessError,
+};
+use json_foundations::stat::analyze_schema;
+use jsondata::JsonTree;
+
+/// The dangling-`$ref` schema: `wanted` references `#/definitions/ghost`
+/// but only `real` is defined.
+fn dangling_schema() -> RecursiveJsl {
+    let schema = Schema::parse_str(
+        r##"{
+            "definitions": {
+                "real": {"type": "number"}
+            },
+            "properties": {
+                "payload": {"$ref": "#/definitions/ghost"}
+            },
+            "required": ["payload"]
+        }"##,
+    )
+    .expect("the document itself is valid schema syntax");
+    schema_to_jsl(&schema).expect("bridges to JSL with a dangling Var")
+}
+
+#[test]
+fn set_schema_rejects_dangling_ref_with_structured_error() {
+    let mut coll = Collection::parse_str(r#"[{"payload": 1}]"#).unwrap();
+    match coll.set_schema(dangling_schema()) {
+        Err(WellFormednessError::UndefinedSymbol(name)) => assert_eq!(name, "ghost"),
+        other => panic!("expected UndefinedSymbol(\"ghost\"), got {other:?}"),
+    }
+    // The rejection is fail-closed: nothing was attached.
+    assert!(coll.schema().is_none());
+    // The collection stays fully queryable.
+    assert_eq!(coll.len(), 1);
+}
+
+#[test]
+fn analyze_schema_reports_ill_formed_instead_of_panicking() {
+    let report = analyze_schema(&dangling_schema());
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.message.contains("ill-formed")),
+        "expected an ill-formed advisory, got {:?}",
+        report.diagnostics
+    );
+}
+
+#[test]
+fn sat_recursive_returns_unknown_on_dangling_ref() {
+    match sat_recursive(&dangling_schema(), SatConfig::default()) {
+        JslSatResult::Unknown(why) => {
+            assert!(why.contains("ill-formed"), "uninformative reason: {why}")
+        }
+        other => panic!("expected Unknown, got {other:?}"),
+    }
+}
+
+#[test]
+fn try_evaluation_surfaces_the_undefined_name() {
+    let delta = dangling_schema();
+    let tree = JsonTree::build(&jsondata::parse(r#"{"payload": 1}"#).unwrap());
+    match delta.try_check_root(&tree) {
+        Err(WellFormednessError::UndefinedSymbol(name)) => assert_eq!(name, "ghost"),
+        other => panic!("expected UndefinedSymbol(\"ghost\"), got {other:?}"),
+    }
+    assert!(delta.try_evaluate(&tree).is_err());
+}

@@ -43,6 +43,10 @@ use jnl::ast::{Binary, Unary};
 use jpar::Pool;
 use jsondata::{Interner, Json, JsonTree, NodeId, NodeKind, ParseLimits};
 
+mod index;
+
+pub use index::IndexSet;
+
 /// Unwraps a governed result obtained under [`QueryCtx::unlimited`] —
 /// the delegation path of the legacy (ctx-free) APIs. An unlimited
 /// context never raises deadline/budget/cancel errors, so the only
@@ -555,6 +559,62 @@ pub fn cmp_node_json(tree: &JsonTree, n: NodeId, v: &Json) -> Ordering {
     }
 }
 
+/// [`Json::total_cmp`] between two subtrees of **one** tree, without
+/// materialising either. Implements the same total order as
+/// [`cmp_node_json`] — numbers < strings < arrays < objects, arrays
+/// element-wise then by length, objects as *string*-sorted key→value maps
+/// (symbol order is interning order, not lexicographic, so keys resolve
+/// before comparison). This is the comparator the sorted index column is
+/// built with; its agreement with `Json::total_cmp` is pinned by the
+/// order-property suite.
+pub fn cmp_nodes(tree: &JsonTree, a: NodeId, b: NodeId) -> Ordering {
+    fn rank(k: NodeKind) -> u8 {
+        match k {
+            NodeKind::Int => 0,
+            NodeKind::Str => 1,
+            NodeKind::Arr => 2,
+            NodeKind::Obj => 3,
+        }
+    }
+    match (tree.kind(a), tree.kind(b)) {
+        (NodeKind::Int, NodeKind::Int) => tree
+            .num_value(a)
+            .expect("Int payload")
+            .cmp(&tree.num_value(b).expect("Int payload")),
+        (NodeKind::Str, NodeKind::Str) => tree
+            .str_value(a)
+            .expect("Str payload")
+            .cmp(tree.str_value(b).expect("Str payload")),
+        (NodeKind::Arr, NodeKind::Arr) => {
+            for (&ca, &cb) in tree.arr_children(a).iter().zip(tree.arr_children(b)) {
+                let ord = cmp_nodes(tree, ca, cb);
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            tree.child_count(a).cmp(&tree.child_count(b))
+        }
+        (NodeKind::Obj, NodeKind::Obj) => {
+            let mut ea: Vec<(&str, NodeId)> = tree.obj_children(a).collect();
+            let mut eb: Vec<(&str, NodeId)> = tree.obj_children(b).collect();
+            ea.sort_unstable_by(|x, y| x.0.cmp(y.0));
+            eb.sort_unstable_by(|x, y| x.0.cmp(y.0));
+            for ((ka, ca), (kb, cb)) in ea.iter().zip(eb.iter()) {
+                let ord = ka.cmp(kb);
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+                let ord = cmp_nodes(tree, *ca, *cb);
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            ea.len().cmp(&eb.len())
+        }
+        (ka, kb) => rank(ka).cmp(&rank(kb)),
+    }
+}
+
 /// A projection: the second argument of `find` (§6 future work, basic
 /// include/exclude form).
 #[derive(Debug, Clone, Default)]
@@ -697,10 +757,16 @@ pub struct Collection {
     /// reset by [`Collection::insert`].
     docs_cache: OnceLock<Vec<Json>>,
     /// The collection's declared JSL schema, if any — a **promise** that
-    /// every document conforms (attachment does not validate; pair with the
-    /// gatekeeper validation paths to enforce it). The `jstat` analyzer
-    /// uses it for schema-aware dead-path detection (`J004`).
+    /// every document conforms (attachment does not validate documents;
+    /// pair with the gatekeeper validation paths to enforce it). The
+    /// `jstat` analyzer uses it for schema-aware dead-path detection
+    /// (`J004`). The *expression itself* is validated at attachment:
+    /// ill-formed schemas (dangling `$ref`, precedence cycle) are rejected.
     schema: Option<jsl::RecursiveJsl>,
+    /// Secondary indexes declared via [`Collection::create_index`]:
+    /// per-path hash + sorted-column structures, maintained incrementally
+    /// per insert-segment and rebuilt on [`Collection::compact`].
+    indexes: IndexSet,
 }
 
 impl Collection {
@@ -762,22 +828,37 @@ impl Collection {
             pool: Pool::auto(),
             docs_cache: OnceLock::new(),
             schema: None,
+            indexes: IndexSet::default(),
         }
     }
 
     /// Declares the collection's JSL schema. Attachment is a contract, not
-    /// a check: callers validate inserts themselves (cf. the
+    /// a document check: callers validate inserts themselves (cf. the
     /// `stream_gatekeeper` example) and the static analyzer is entitled to
     /// treat `schema ∧ query` unsatisfiability as proof that a query path
     /// is dead on this collection.
-    pub fn set_schema(&mut self, schema: jsl::RecursiveJsl) {
+    ///
+    /// The schema *expression* is checked, fail-closed: an ill-formed one
+    /// (a dangling `$ref`-style [`jsl::ast::Jsl::Var`], a precedence
+    /// cycle) is rejected with a structured [`jsl::WellFormednessError`]
+    /// here, so no later evaluation can panic across the governed
+    /// boundary (docs/robustness.md).
+    pub fn set_schema(
+        &mut self,
+        schema: jsl::RecursiveJsl,
+    ) -> Result<(), jsl::WellFormednessError> {
+        schema.well_formed()?;
         self.schema = Some(schema);
+        Ok(())
     }
 
     /// [`Collection::set_schema`], chainable at construction time.
-    pub fn with_schema(mut self, schema: jsl::RecursiveJsl) -> Collection {
-        self.schema = Some(schema);
-        self
+    pub fn with_schema(
+        mut self,
+        schema: jsl::RecursiveJsl,
+    ) -> Result<Collection, jsl::WellFormednessError> {
+        self.set_schema(schema)?;
+        Ok(self)
     }
 
     /// Removes the declared schema.
@@ -853,6 +934,10 @@ impl Collection {
         });
         self.segments.push(tree);
         self.docs_cache = OnceLock::new();
+        // Incremental index maintenance: the new segment holds exactly one
+        // document, appended at the end of the ordinal space.
+        self.indexes
+            .add_segment(&self.segments, self.doc_refs.len() - 1, &self.doc_refs);
     }
 
     /// The documents, as owned values — a **compatibility accessor**,
@@ -1095,6 +1180,10 @@ impl Collection {
             .collect();
         self.segments = vec![merged];
         self.docs_cache = OnceLock::new();
+        // Node ids and canonical classes all changed: indexes are rebuilt
+        // from the merged segment (correctness pinned by the post-compact
+        // differential sweeps).
+        self.indexes.rebuild(&self.segments, &self.doc_refs);
     }
 }
 
