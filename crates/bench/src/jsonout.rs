@@ -1,0 +1,163 @@
+//! The shared writer for the harness's machine-readable `BENCH_*.json`
+//! artifacts.
+//!
+//! Every `s*` experiment ends by dumping a small JSON report; the early
+//! modes each hand-rolled theirs out of one giant `format!` string, which
+//! made the escaping rules implicit and the nesting unreadable. [`Val`] is
+//! the tree those reports actually need — numbers (pre-formatted, so
+//! float precision stays a call-site decision), strings, booleans,
+//! arrays, objects, and pre-rendered raw JSON for embedding plans that
+//! already serialize themselves (e.g. `EXPLAIN` output) — and
+//! [`write()`] pretty-prints it with the 2-space indentation the existing
+//! artifacts use.
+//!
+//! The writer is deliberately *not* built on `jsondata::Json`: the
+//! measurement reports carry fractional milliseconds and booleans, both
+//! of which sit outside the paper's §2 value space (ℕ only) that
+//! `jsondata` enforces.
+
+/// One JSON value of a benchmark report.
+pub enum Val {
+    /// A pre-formatted number literal (int or float), emitted verbatim.
+    Num(String),
+    /// A string, escaped on output.
+    Str(String),
+    /// A JSON boolean.
+    Bool(bool),
+    /// Pre-rendered JSON embedded verbatim (e.g. an `EXPLAIN` plan's
+    /// machine rendering). The caller guarantees it is valid JSON.
+    Raw(String),
+    /// An array, one element per line.
+    Arr(Vec<Val>),
+    /// An object, one key per line, keys emitted in insertion order.
+    Obj(Vec<(String, Val)>),
+}
+
+impl Val {
+    /// An integer number.
+    pub fn int(n: impl Into<u128>) -> Val {
+        Val::Num(n.into().to_string())
+    }
+
+    /// A float with fixed `prec` digits after the point (the precision
+    /// conventions of the hand-rolled reports: 2–4 depending on scale).
+    pub fn float(x: f64, prec: usize) -> Val {
+        Val::Num(format!("{x:.prec$}"))
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Val {
+        Val::Str(s.into())
+    }
+
+    /// An object from `(key, value)` pairs.
+    pub fn obj(pairs: Vec<(&str, Val)>) -> Val {
+        Val::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+    }
+
+    /// Renders the value as pretty-printed JSON at `indent` levels.
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Val::Num(n) | Val::Raw(n) => out.push_str(n),
+            Val::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Val::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Val::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Val::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(if i == 0 { "\n" } else { ",\n" });
+                    out.push_str(&"  ".repeat(indent + 1));
+                    out.push('"');
+                    out.push_str(k);
+                    out.push_str("\": ");
+                    v.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+
+    /// Renders the value as a complete pretty-printed document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+}
+
+/// Writes `root` to `path` and prints the `wrote {path}` confirmation
+/// line every harness mode ends with.
+pub fn write(path: &str, root: &Val) {
+    std::fs::write(path, root.render()).unwrap_or_else(|e| panic!("write {path}: {e}"));
+    println!("wrote {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nested_report_shape() {
+        let root = Val::obj(vec![
+            ("experiment", Val::str("demo")),
+            ("ok", Val::Bool(true)),
+            ("ms", Val::float(1.23456, 3)),
+            (
+                "rows",
+                Val::Arr(vec![
+                    Val::obj(vec![("n", Val::int(7u64))]),
+                    Val::Raw("{\"inline\":1}".into()),
+                ]),
+            ),
+            ("empty", Val::Arr(Vec::new())),
+        ]);
+        let text = root.render();
+        assert!(text.contains("\"experiment\": \"demo\""), "{text}");
+        assert!(text.contains("\"ms\": 1.235"), "{text}");
+        assert!(text.contains("\"n\": 7"), "{text}");
+        assert!(text.contains("{\"inline\":1}"), "{text}");
+        assert!(text.contains("\"empty\": []"), "{text}");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let v = Val::str("a\"b\\c\nd");
+        assert_eq!(v.render(), "\"a\\\"b\\\\c\\nd\"\n");
+    }
+}

@@ -4,6 +4,7 @@
 //! parameter sweeps both entry points use.
 
 pub mod baseline;
+pub mod jsonout;
 pub mod memtrack;
 
 use std::time::Instant;
@@ -324,6 +325,27 @@ pub fn s9_workloads() -> Vec<(&'static str, &'static str)> {
             r#"{"age": {"$gte": 40, "$lt": 60}, "name.last": "Kim"}"#,
         ),
     ]
+}
+
+/// S10: the supplemental route workloads (label, filter JSON, expected
+/// route name) that extend [`s9_workloads`] — all of which probe the
+/// declared indexes — so the explain/execute agreement gate exercises
+/// every branch of `Collection::route_of`. `name.last` is unindexed:
+/// the exact-fragment equality takes the whole-segment JNL route and the
+/// order comparison (outside the exact fragment) falls through to the
+/// chunk-parallel scan.
+pub fn s10_route_workloads() -> Vec<(&'static str, &'static str, &'static str)> {
+    let mut all: Vec<(&'static str, &'static str, &'static str)> = s9_workloads()
+        .into_iter()
+        .map(|(label, src)| (label, src, "index"))
+        .collect();
+    all.push(("jnl_eq_unindexed", r#"{"name.last": "Kim"}"#, "jnl"));
+    all.push((
+        "scan_order_unindexed",
+        r#"{"name.last": {"$gt": "K"}}"#,
+        "scan",
+    ));
+    all
 }
 
 /// E9: the even-depth recursive JSL expression of the paper's Example 2.

@@ -63,16 +63,19 @@
 
 use std::cmp::Ordering;
 use std::sync::OnceLock;
+use std::time::Instant;
 
 use jguard::{QueryCtx, QueryError};
 use jpar::Pool;
 use jsondata::fxhash::FxHashMap;
 use jsondata::{CanonTable, Json, JsonTree, NodeId, NodeKind};
+use jtrace::{Counter, SpanKind};
 use mongofind::{
     cmp_node_json, insert_path, json_kind, resolve_node_step, type_matches_kind, Collection,
     DocRef, Filter, Path,
 };
 
+use crate::explain::StageActual;
 use crate::pipeline::{
     Accumulator, GroupSpec, IdExpr, Pipeline, ProjectField, SortOrder, Stage, ValueExpr,
 };
@@ -120,6 +123,28 @@ pub fn aggregate_with_ctx(
     // the error path and the collection is only read.
     match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         Engine::with_ctx(coll, ctx.clone()).run(&pipeline.stages)
+    })) {
+        Ok(r) => r,
+        Err(p) => Err(QueryError::WorkerPanicked {
+            chunk: 0..0,
+            payload: jpar::panic_payload(p),
+        }),
+    }
+}
+
+/// [`aggregate_with_ctx`] with a per-stage trace: `trace` receives one
+/// [`StageActual`] per pipeline stage (fused `$sort`/`$skip`/`$limit`
+/// blocks are expanded back into their constituent stages, interior
+/// cardinalities derived arithmetically). The `EXPLAIN ANALYZE` entry
+/// point of [`crate::explain`].
+pub(crate) fn aggregate_traced_with_ctx(
+    coll: &Collection,
+    pipeline: &Pipeline,
+    ctx: &QueryCtx,
+    trace: &mut Vec<StageActual>,
+) -> Result<Vec<Json>, QueryError> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Engine::with_ctx(coll, ctx.clone()).run_traced(&pipeline.stages, Some(trace))
     })) {
         Ok(r) => r,
         Err(p) => Err(QueryError::WorkerPanicked {
@@ -206,8 +231,10 @@ impl<'c> Engine<'c> {
     }
 
     fn canon(&self, seg: u32) -> &CanonTable {
-        self.canon[seg as usize]
-            .get_or_init(|| CanonTable::build(&self.coll.segments()[seg as usize]))
+        self.canon[seg as usize].get_or_init(|| {
+            self.guard.record(Counter::CanonBuilds, 1);
+            CanonTable::build(&self.coll.segments()[seg as usize])
+        })
     }
 
     /// Builds the missing canonical-label tables of every segment `rows`
@@ -235,6 +262,7 @@ impl<'c> Engine<'c> {
             return Ok(());
         }
         let built = self.pool.try_map(&self.guard, missing.len(), |k| {
+            self.guard.record(Counter::CanonBuilds, 1);
             Ok(CanonTable::build(&self.coll.segments()[missing[k]]))
         })?;
         for (i, table) in missing.into_iter().zip(built) {
@@ -256,12 +284,38 @@ impl<'c> Engine<'c> {
     }
 
     fn run(&self, stages: &[Stage]) -> Result<Vec<Json>, QueryError> {
+        self.run_traced(stages, None)
+    }
+
+    /// [`Engine::run`] with an optional per-stage trace. Tracing adds one
+    /// `Instant` read per stage and nothing else — the untraced path takes
+    /// the exact same stage sequence (the trace is the only difference,
+    /// so `EXPLAIN ANALYZE` measures the executor it describes). Fused
+    /// `$sort`/`$skip`/`$limit` blocks report their interior
+    /// cardinalities arithmetically: `$sort` preserves the row count and
+    /// the pagination arithmetic is exact, so the trace matches the
+    /// unfused reference executor stage for stage.
+    fn run_traced(
+        &self,
+        stages: &[Stage],
+        mut trace: Option<&mut Vec<StageActual>>,
+    ) -> Result<Vec<Json>, QueryError> {
         let mut rows: Vec<Row>;
         let rest = match stages.first() {
             // Leading-$match fast path: the filter runs over the tree
             // column before any row struct is even built.
             Some(Stage::Match(f)) => {
+                let t0 = trace.is_some().then(Instant::now);
+                self.guard.span_open(SpanKind::Stage, 0);
                 rows = self.leading_match(f)?;
+                self.guard.span_close(SpanKind::Stage, 0);
+                if let Some(tr) = trace.as_deref_mut() {
+                    tr.push(StageActual {
+                        label: "$match",
+                        rows_out: rows.len(),
+                        wall_us: elapsed_us(t0),
+                    });
+                }
                 &stages[1..]
             }
             _ => {
@@ -275,9 +329,11 @@ impl<'c> Engine<'c> {
                 stages
             }
         };
+        let done = stages.len() - rest.len();
         let mut i = 0;
         while i < rest.len() {
             self.guard.check()?;
+            let stage_no = (done + i) as u32;
             // Top-k pushdown: `$sort` whose output is immediately cut to
             // `skip + limit` rows is answered by a bounded heap instead of
             // a full sort.
@@ -290,12 +346,47 @@ impl<'c> Engine<'c> {
                     _ => None,
                 };
                 if let Some((skip, limit, consumed)) = fused {
+                    let n_in = rows.len();
+                    let t0 = trace.is_some().then(Instant::now);
+                    self.guard.span_open(SpanKind::Stage, stage_no);
                     rows = self.top_k(rows, spec, skip, limit)?;
+                    self.guard.span_close(SpanKind::Stage, stage_no);
+                    if let Some(tr) = trace.as_deref_mut() {
+                        // The fused block's wall time lands on the `$sort`
+                        // entry; the pagination arithmetic is free.
+                        tr.push(StageActual {
+                            label: "$sort",
+                            rows_out: n_in,
+                            wall_us: elapsed_us(t0),
+                        });
+                        if consumed == 3 {
+                            tr.push(StageActual {
+                                label: "$skip",
+                                rows_out: n_in.saturating_sub(skip),
+                                wall_us: 0,
+                            });
+                        }
+                        tr.push(StageActual {
+                            label: "$limit",
+                            rows_out: rows.len(),
+                            wall_us: 0,
+                        });
+                    }
                     i += consumed;
                     continue;
                 }
             }
+            let t0 = trace.is_some().then(Instant::now);
+            self.guard.span_open(SpanKind::Stage, stage_no);
             rows = self.step(rows, &rest[i])?;
+            self.guard.span_close(SpanKind::Stage, stage_no);
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.push(StageActual {
+                    label: stage_label(&rest[i]),
+                    rows_out: rows.len(),
+                    wall_us: elapsed_us(t0),
+                });
+            }
             i += 1;
         }
         let n = rows.len();
@@ -337,13 +428,10 @@ impl<'c> Engine<'c> {
     /// `(segment, doc)` order, so the route is unobservable in the
     /// output.
     fn leading_match(&self, f: &Filter) -> Result<Vec<Row>, QueryError> {
-        let refs = if self.coll.index_answerable(f) {
-            self.coll.find_refs_indexed_with_ctx(f, &self.guard)?
-        } else if f.jnl_exact() {
-            self.coll.find_refs_via_jnl_with_ctx(f, &self.guard)?
-        } else {
-            self.coll.find_refs_with_ctx(f, &self.guard)?
-        };
+        // One routing function serves execution and `EXPLAIN`
+        // ([`Collection::route_of`]), so a plan's claimed route is, by
+        // construction, the route this fast path takes.
+        let refs = self.coll.find_refs_routed_with_ctx(f, &self.guard)?;
         Ok(refs.into_iter().map(Row::node).collect())
     }
 
@@ -1170,6 +1258,25 @@ fn absorb_best(dst: &mut Option<Json>, later: Option<Json>, want: Ordering) {
         if take {
             *dst = Some(v);
         }
+    }
+}
+
+/// Microseconds since a trace-gated start instant (`0` when untraced).
+fn elapsed_us(t0: Option<Instant>) -> u64 {
+    t0.map_or(0, |t| t.elapsed().as_micros() as u64)
+}
+
+/// The stage's operator name, for traces and plans.
+pub(crate) fn stage_label(stage: &Stage) -> &'static str {
+    match stage {
+        Stage::Match(_) => "$match",
+        Stage::Project(_) => "$project",
+        Stage::Unwind(_) => "$unwind",
+        Stage::Group(_) => "$group",
+        Stage::Sort(_) => "$sort",
+        Stage::Skip(_) => "$skip",
+        Stage::Limit(_) => "$limit",
+        Stage::Count(_) => "$count",
     }
 }
 

@@ -74,10 +74,14 @@
 //! ```
 
 pub mod exec;
+pub mod explain;
 pub mod pipeline;
 pub mod reference;
 
 pub use exec::{aggregate, aggregate_with_ctx};
+pub use explain::{
+    explain, explain_analyze, PipelineAnalyze, PipelineExplain, StageActual, StageExplain,
+};
 pub use pipeline::{
     Accumulator, AggError, GroupSpec, IdExpr, Pipeline, ProjectField, SortOrder, Stage, ValueExpr,
 };

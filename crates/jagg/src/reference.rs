@@ -27,6 +27,22 @@ pub fn aggregate(docs: &[Json], pipeline: &Pipeline) -> Vec<Json> {
     rows
 }
 
+/// The cardinality of the row stream *leaving* each stage — `out[i]` is
+/// the number of rows after `pipeline.stages[i]`. This is the oracle the
+/// `EXPLAIN ANALYZE` agreement gate compares the tree executor's
+/// per-stage trace against: the traced executor must report the same
+/// counts even through its top-k fusion (whose interior `$sort`/`$skip`
+/// cardinalities it derives arithmetically).
+pub fn stage_cardinalities(docs: &[Json], pipeline: &Pipeline) -> Vec<usize> {
+    let mut rows: Vec<Json> = docs.to_vec();
+    let mut out = Vec::with_capacity(pipeline.stages.len());
+    for stage in &pipeline.stages {
+        rows = step(rows, stage);
+        out.push(rows.len());
+    }
+    out
+}
+
 fn eval_expr(doc: &Json, e: &ValueExpr) -> Option<Json> {
     match e {
         ValueExpr::Const(c) => Some(c.clone()),

@@ -51,6 +51,16 @@
 //! (ctx-free) APIs re-raise the contained panic on the calling thread
 //! to preserve their documented behaviour.
 //!
+//! ## Observability
+//!
+//! A [`jtrace::QueryMetrics`] sink can ride the context
+//! ([`QueryCtx::with_metrics`]): the governance primitives record into it
+//! (polls, bytes charged, rows emitted) and every `*_with_ctx` query path
+//! in the workspace records its own counters and spans through
+//! [`QueryCtx::record`] / [`QueryCtx::span_open`]. Without a sink each
+//! record site costs a single branch, the same null-cost contract as the
+//! unlimited context (gated by `harness s10`). See `docs/observability.md`.
+//!
 //! ## Fault injection
 //!
 //! [`Fault`] rides the context: the s7 harness plants
@@ -66,6 +76,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use jsondata::{Json, ParseError};
+use jtrace::{Counter, QueryMetrics, SpanKind};
 
 /// How many [`Poller::tick`]s elapse between two real context checks.
 ///
@@ -174,6 +185,7 @@ struct Inner {
     rows_left: Option<AtomicI64>,
     polls: AtomicU64,
     fault: Fault,
+    metrics: Option<Arc<QueryMetrics>>,
 }
 
 impl Default for Inner {
@@ -185,6 +197,7 @@ impl Default for Inner {
             rows_left: None,
             polls: AtomicU64::new(0),
             fault: Fault::None,
+            metrics: None,
         }
     }
 }
@@ -255,6 +268,60 @@ impl QueryCtx {
         self
     }
 
+    /// Attaches a [`jtrace::QueryMetrics`] sink: every `*_with_ctx` path
+    /// the context flows through records its counters (and spans, if the
+    /// sink carries a ring) into it. Like the budgets, the sink is shared
+    /// by all clones; without one, every record site costs one branch.
+    pub fn with_metrics(mut self, sink: Arc<QueryMetrics>) -> QueryCtx {
+        self.make_mut().metrics = Some(sink);
+        self
+    }
+
+    /// The attached metrics sink, if any.
+    pub fn metrics(&self) -> Option<&Arc<QueryMetrics>> {
+        self.inner.as_deref().and_then(|i| i.metrics.as_ref())
+    }
+
+    /// Adds `n` to `counter` on the attached sink (no-op without one).
+    #[inline]
+    pub fn record(&self, counter: Counter, n: u64) {
+        if let Some(inner) = self.inner.as_deref() {
+            if let Some(m) = &inner.metrics {
+                m.add(counter, n);
+            }
+        }
+    }
+
+    /// Appends a contained-panic audit event to the attached sink
+    /// (no-op without one). `chunk` is `usize::MAX` when the panic was
+    /// contained outside any identifiable chunk.
+    pub fn record_panic(&self, chunk: usize, payload: &str) {
+        if let Some(m) = self.metrics() {
+            m.record_panic(chunk, payload);
+        }
+    }
+
+    /// Records a span-open event on the attached sink's ring (no-op
+    /// without a sink or without a ring).
+    #[inline]
+    pub fn span_open(&self, kind: SpanKind, arg: u32) {
+        if let Some(inner) = self.inner.as_deref() {
+            if let Some(m) = &inner.metrics {
+                m.span_open(kind, arg);
+            }
+        }
+    }
+
+    /// Records a span-close event (see [`QueryCtx::span_open`]).
+    #[inline]
+    pub fn span_close(&self, kind: SpanKind, arg: u32) {
+        if let Some(inner) = self.inner.as_deref() {
+            if let Some(m) = &inner.metrics {
+                m.span_close(kind, arg);
+            }
+        }
+    }
+
     /// Whether this is the zero-state unlimited context.
     pub fn is_unlimited(&self) -> bool {
         self.inner.is_none()
@@ -283,6 +350,9 @@ impl QueryCtx {
         let Some(inner) = self.inner.as_deref() else {
             return Ok(());
         };
+        if let Some(m) = &inner.metrics {
+            m.add(Counter::Polls, 1);
+        }
         if inner.fault != Fault::None {
             let n = inner.polls.fetch_add(1, Ordering::Relaxed) + 1;
             match inner.fault {
@@ -310,6 +380,9 @@ impl QueryCtx {
         let Some(inner) = self.inner.as_deref() else {
             return Ok(());
         };
+        if let Some(m) = &inner.metrics {
+            m.add(Counter::BytesCharged, n);
+        }
         let Some(left) = &inner.bytes_left else {
             return Ok(());
         };
@@ -328,6 +401,9 @@ impl QueryCtx {
         let Some(inner) = self.inner.as_deref() else {
             return Ok(());
         };
+        if let Some(m) = &inner.metrics {
+            m.add(Counter::RowsEmitted, n);
+        }
         let Some(left) = &inner.rows_left else {
             return Ok(());
         };
@@ -505,6 +581,33 @@ mod tests {
         });
         assert!(r.is_err(), "third poll panics");
         assert_eq!(ctx.check(), Ok(()), "later polls are clean");
+    }
+
+    #[test]
+    fn metrics_sink_records_polls_and_charges() {
+        let sink = Arc::new(QueryMetrics::new());
+        let ctx = QueryCtx::new().with_metrics(Arc::clone(&sink));
+        assert_eq!(ctx.check(), Ok(()));
+        // Charges record even when no budget is configured.
+        assert_eq!(ctx.charge_rows(5), Ok(()));
+        assert_eq!(ctx.charge_bytes(100), Ok(()));
+        ctx.record(Counter::DocsScanned, 3);
+        ctx.record_panic(7, "boom");
+        assert_eq!(sink.get(Counter::Polls), 1);
+        assert_eq!(sink.get(Counter::RowsEmitted), 5);
+        assert_eq!(sink.get(Counter::BytesCharged), 100);
+        assert_eq!(sink.get(Counter::DocsScanned), 3);
+        assert_eq!(sink.get(Counter::WorkerPanics), 1);
+        assert_eq!(sink.panic_events()[0].chunk, 7);
+        assert!(ctx.metrics().is_some());
+
+        // Spanless and sinkless paths are no-ops, not errors.
+        ctx.span_open(SpanKind::Plan, 0);
+        let bare = QueryCtx::unlimited();
+        bare.record(Counter::DocsScanned, 1);
+        bare.record_panic(0, "ignored");
+        bare.span_close(SpanKind::Plan, 0);
+        assert!(bare.metrics().is_none());
     }
 
     #[test]

@@ -22,6 +22,7 @@ pub mod pdl;
 
 use jguard::{QueryCtx, QueryError};
 use jsondata::{CanonTable, Json, JsonTree, NodeId, Sym};
+use jtrace::Counter;
 use relex::{EdgeStrategy, MatcherId, Regex, SymMatcher, SymMatcherTable};
 
 use crate::ast::Unary;
@@ -103,6 +104,9 @@ impl<'t> EvalContext<'t> {
     /// evaluation loops poll `guard` (every [`jguard::POLL_STRIDE`]
     /// nodes) and stop with [`EvalError::Interrupted`] when it fails.
     pub fn with_guard(tree: &'t JsonTree, guard: QueryCtx) -> EvalContext<'t> {
+        // The canon table was just built by `new` — make the work visible
+        // to a metrics sink riding on the guard.
+        guard.record(Counter::CanonBuilds, 1);
         EvalContext {
             guard,
             ..EvalContext::new(tree)
@@ -149,18 +153,25 @@ impl<'t> EvalContext<'t> {
     /// so the table probe (which hashes the regex AST) runs once, not per
     /// edge.
     pub fn matcher_for(&mut self, e: &Regex) -> &mut SymMatcher {
-        let tree = self.tree;
-        self.matchers
-            .matcher(e, || tree.interner().iter().map(|(_, s)| s))
+        let id = self.matcher_id(e);
+        self.matchers.get_mut(id)
     }
 
     /// Pre-resolves `e` to a stable matcher id (compiling on first sight),
     /// so hot loops can fetch the matcher by vector index via
-    /// [`EvalContext::matcher`] with no AST hashing per edge.
+    /// [`EvalContext::matcher`] with no AST hashing per edge. First-sight
+    /// compilations are recorded against the guard's metrics sink
+    /// (one [`Counter::DfaBitsetBuilds`] per distinct regex per context).
     pub fn matcher_id(&mut self, e: &Regex) -> MatcherId {
         let tree = self.tree;
-        self.matchers
-            .id(e, || tree.interner().iter().map(|(_, s)| s))
+        let before = self.matchers.len();
+        let id = self
+            .matchers
+            .id(e, || tree.interner().iter().map(|(_, s)| s));
+        if self.matchers.len() > before {
+            self.guard.record(Counter::DfaBitsetBuilds, 1);
+        }
+        id
     }
 
     /// The matcher behind a pre-resolved id.

@@ -52,6 +52,7 @@ use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use jguard::{QueryCtx, QueryError};
+use jtrace::{Counter, SpanKind};
 
 /// The environment variable overriding [`Pool::auto`]'s thread count.
 pub const THREADS_ENV: &str = "JPAR_THREADS";
@@ -223,14 +224,28 @@ impl Pool {
         let chunk = chunk.max(1);
         let n_chunks = len.div_ceil(chunk);
         let range_of = |i: usize| i * chunk..((i + 1) * chunk).min(len);
+        // Runs chunk `i` with containment, recording the chunk span and —
+        // on a contained panic — the audit event into the ctx's metrics
+        // sink (both no-ops without a sink).
+        let run_chunk = |i: usize| -> Result<T, QueryError> {
+            ctx.record(Counter::ChunksDispatched, 1);
+            ctx.span_open(SpanKind::Chunk, i as u32);
+            let r = contain(range_of(i), || {
+                ctx.check()?;
+                f(range_of(i))
+            });
+            ctx.span_close(SpanKind::Chunk, i as u32);
+            if let Err(QueryError::WorkerPanicked { payload, .. }) = &r {
+                ctx.record_panic(i, payload);
+            }
+            r
+        };
+
         let workers = self.threads.min(n_chunks);
         if workers <= 1 {
             let mut out = Vec::with_capacity(n_chunks);
             for i in 0..n_chunks {
-                out.push(contain(range_of(i), || {
-                    ctx.check()?;
-                    f(range_of(i))
-                })?);
+                out.push(run_chunk(i)?);
             }
             return Ok(out);
         }
@@ -240,7 +255,7 @@ impl Pool {
         // Each worker returns its claimed (chunk, value) pairs plus the
         // error (tagged with its chunk index) that stopped it, if any.
         type WorkerOut<T> = (Vec<(usize, T)>, Option<(usize, QueryError)>);
-        let run_worker = || -> WorkerOut<T> {
+        let run_worker = |stolen: bool| -> WorkerOut<T> {
             let mut claimed: Vec<(usize, T)> = Vec::new();
             let mut err = None;
             while !stop.load(Ordering::Relaxed) {
@@ -248,10 +263,11 @@ impl Pool {
                 if i >= n_chunks {
                     break;
                 }
-                match contain(range_of(i), || {
-                    ctx.check()?;
-                    f(range_of(i))
-                }) {
+                if stolen {
+                    // Claimed by a spawned worker rather than the caller.
+                    ctx.record(Counter::ChunksStolen, 1);
+                }
+                match run_chunk(i) {
                     Ok(v) => claimed.push((i, v)),
                     Err(e) => {
                         err = Some((i, e));
@@ -265,20 +281,24 @@ impl Pool {
 
         let mut outputs: Vec<WorkerOut<T>> = Vec::with_capacity(workers);
         std::thread::scope(|scope| {
-            let handles: Vec<_> = (1..workers).map(|_| scope.spawn(run_worker)).collect();
-            outputs.push(run_worker());
+            let handles: Vec<_> = (1..workers)
+                .map(|_| scope.spawn(|| run_worker(true)))
+                .collect();
+            outputs.push(run_worker(false));
             for h in handles {
                 // `run_worker` contains every panic, so `join` failing
                 // would mean a panic outside any chunk; keep the process
                 // alive anyway and surface it as a rangeless error.
                 outputs.push(h.join().unwrap_or_else(|p| {
+                    let payload = panic_payload(p);
+                    ctx.record_panic(usize::MAX, &payload);
                     (
                         Vec::new(),
                         Some((
                             usize::MAX,
                             QueryError::WorkerPanicked {
                                 chunk: 0..0,
-                                payload: panic_payload(p),
+                                payload,
                             },
                         )),
                     )
@@ -403,6 +423,54 @@ mod tests {
         assert_eq!(Pool::with_threads(0).threads(), 1);
         assert!(Pool::auto().threads() >= 1);
         assert_eq!(Pool::serial().threads(), 1);
+    }
+
+    #[test]
+    fn metrics_record_dispatch_and_contained_panics() {
+        use std::sync::Arc;
+
+        // Dispatch accounting: every chunk is dispatched exactly once;
+        // serial execution steals nothing.
+        let sink = Arc::new(jtrace::QueryMetrics::new());
+        let ctx = QueryCtx::new().with_metrics(Arc::clone(&sink));
+        let pool = Pool::with_threads(4);
+        let out = pool
+            .try_map_chunks(&ctx, 100, 10, |r| Ok(r.len()))
+            .expect("no faults");
+        assert_eq!(out.iter().sum::<usize>(), 100);
+        let snap = sink.snapshot();
+        assert_eq!(snap[Counter::ChunksDispatched], 10);
+        assert!(snap[Counter::ChunksStolen] <= snap[Counter::ChunksDispatched]);
+
+        let serial_sink = Arc::new(jtrace::QueryMetrics::new());
+        let serial_ctx = QueryCtx::new().with_metrics(Arc::clone(&serial_sink));
+        Pool::serial()
+            .try_map_chunks(&serial_ctx, 100, 10, |r| Ok(r.len()))
+            .expect("no faults");
+        assert_eq!(serial_sink.get(Counter::ChunksDispatched), 10);
+        assert_eq!(serial_sink.get(Counter::ChunksStolen), 0);
+
+        // A contained panic lands in the audit log with its chunk index.
+        for threads in [1, 4] {
+            let sink = Arc::new(jtrace::QueryMetrics::new());
+            let ctx = QueryCtx::new().with_metrics(Arc::clone(&sink));
+            let pool = Pool::with_threads(threads);
+            let err = jguard::with_quiet_panics(|| {
+                pool.try_map_chunks(&ctx, 100, 10, |r| {
+                    if r.start == 30 {
+                        panic!("chunk bomb");
+                    }
+                    Ok(r.len())
+                })
+            })
+            .expect_err("chunk 3 panics");
+            assert!(matches!(err, QueryError::WorkerPanicked { .. }));
+            assert_eq!(sink.get(Counter::WorkerPanics), 1);
+            let events = sink.panic_events();
+            assert_eq!(events.len(), 1);
+            assert_eq!(events[0].chunk, 3);
+            assert!(events[0].payload.contains("chunk bomb"));
+        }
     }
 
     #[test]

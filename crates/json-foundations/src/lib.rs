@@ -24,6 +24,7 @@
 //! | [`path`] | `jsonpath` | JSONPath dialect over recursive JNL |
 //! | [`par`] | `jpar` | scoped worker pool driving the parallel query paths |
 //! | [`guard`] | `jguard` | per-query governance: deadlines, budgets, cancellation, panic containment |
+//! | [`trace`] | `jtrace` | observability: per-query metrics sink, counter snapshots, flight-recorder span log |
 //!
 //! See `README.md` for a tour and `DESIGN.md`/`EXPERIMENTS.md` for the
 //! mapping from the paper's propositions to code and measurements.
@@ -42,6 +43,7 @@ pub use jguard as guard;
 pub use jpar as par;
 pub use jsonpath as path;
 pub use jstat as stat;
+pub use jtrace as trace;
 pub use mongofind as mongo;
 
 /// Commonly used items, importable as `use json_foundations::prelude::*`.

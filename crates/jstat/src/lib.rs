@@ -213,6 +213,18 @@ impl fmt::Display for Report {
     }
 }
 
+/// Attaches a report's findings to an `EXPLAIN` plan as notes — the
+/// analyzer sits *above* the execution crate in the dependency order, so
+/// the annotation flows this way (the plan cannot pull it in). Each
+/// diagnostic renders as its [`Diagnostic`] `Display` line prefixed with
+/// `jstat:`, so a plan reader sees the licensed prunes next to the stages
+/// they anchor to.
+pub fn annotate_explain(plan: &mut jagg::PipelineExplain, report: &Report) {
+    for d in &report.diagnostics {
+        plan.add_note(format!("jstat: {d}"));
+    }
+}
+
 // ---------------------------------------------------------------------
 // The analyzer
 // ---------------------------------------------------------------------
@@ -669,6 +681,19 @@ mod tests {
             jagg::reference::aggregate(&rows, &pruned),
             "prune changed the output"
         );
+    }
+
+    #[test]
+    fn annotate_explain_attaches_findings_as_notes() {
+        let p = pipe(r#"[{"$match": {"$and": [{"k": 1}, {"k": 2}]}}, {"$sort": {"k": 1}}]"#);
+        let coll = mongofind::Collection::from_array(&parse(r#"[{"k": 1}]"#).unwrap()).unwrap();
+        let mut plan = jagg::explain(&coll, &p);
+        let report = p.analyze(None);
+        assert!(!report.is_clean());
+        annotate_explain(&mut plan, &report);
+        assert_eq!(plan.notes.len(), report.diagnostics.len());
+        let text = plan.render_text();
+        assert!(text.contains("note: jstat: J001"), "{text}");
     }
 
     #[test]

@@ -1,0 +1,415 @@
+//! `EXPLAIN` / `EXPLAIN ANALYZE` for the `find` dialect.
+//!
+//! [`Collection::explain`] describes — without executing anything — the
+//! route the governed executor would take for a filter, mirroring the
+//! routing order of [`Collection::find_refs_routed_with_ctx`] (which is
+//! also the order the `jagg` leading-`$match` fast path uses):
+//!
+//! 1. **index** — [`Collection::index_answerable`]: at least one conjunct
+//!    probes a declared secondary index; the plan lists every probe and
+//!    the residual predicate evaluated on bitmap survivors.
+//! 2. **jnl** — [`Filter::jnl_exact`]: the filter compiles exactly into
+//!    the deterministic JNL fragment and one evaluation per segment
+//!    answers every document of that segment at once.
+//! 3. **scan** — the chunk-parallel document scan.
+//!
+//! [`Collection::explain_analyze`] executes the *same* routed path under
+//! a fresh [`QueryMetrics`] sink and annotates the plan with what
+//! actually happened: row count, wall time, and the full counter
+//! snapshot. Because the plan and the execution share one routing
+//! function, the claimed route and the recorded counters cannot drift —
+//! the `s10` bench gate asserts exactly this agreement (an index route
+//! records probes and zero scanned documents; a scan route records
+//! scanned documents and zero probes; a JNL route records visited
+//! segments and neither of the others).
+//!
+//! Both plans render two ways: [`FindExplain::to_json`] (machine-stable,
+//! natural-number wall time in microseconds — the value space is ℕ) and
+//! [`FindExplain::render_text`] (one node per line, pinned by snapshot
+//! tests in the bench crate).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use jguard::{QueryCtx, QueryError};
+use jsondata::Json;
+use jtrace::{QueryMetrics, Snapshot, SpanKind, ALL_COUNTERS};
+
+use crate::index::Probe;
+use crate::{expect_ungoverned, Collection, DocRef, Filter};
+
+/// The execution route chosen for a filter, in fallback order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Index probes + residual on survivors.
+    Index,
+    /// Whole-segment JNL evaluation (the Prop 1 engine).
+    Jnl,
+    /// Chunk-parallel document scan.
+    Scan,
+}
+
+impl Route {
+    /// Stable lowercase name (`"index"` / `"jnl"` / `"scan"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Route::Index => "index",
+            Route::Jnl => "jnl",
+            Route::Scan => "scan",
+        }
+    }
+}
+
+/// One planned index probe, rendered for humans and JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeDesc {
+    /// The declared index path the probe runs against.
+    pub path: String,
+    /// Probe kind: `"eq"`, `"in"`, or `"range"`.
+    pub kind: &'static str,
+    /// The conjunct, rendered (`age >= 30`).
+    pub condition: String,
+}
+
+/// The `EXPLAIN` plan of one `find`: the route the governed executor
+/// would take and, for the index route, the probe/residual split.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FindExplain {
+    /// The filter, rendered ([`Filter`]'s `Display`).
+    pub filter: String,
+    /// Chosen route (mirrors the executor's routing order exactly).
+    pub route: Route,
+    /// Documents in the collection at plan time.
+    pub docs: usize,
+    /// Segments of the tree column at plan time.
+    pub segments: usize,
+    /// Declared index paths, in declaration order.
+    pub indexed_paths: Vec<String>,
+    /// Index probes, in execution order (empty off the index route).
+    pub probes: Vec<ProbeDesc>,
+    /// Residual conjunction evaluated on bitmap survivors, rendered;
+    /// `None` when the probes are exact (or off the index route).
+    pub residual: Option<String>,
+}
+
+impl FindExplain {
+    /// Machine-stable JSON rendering of the plan.
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = vec![
+            ("query".into(), Json::str("find")),
+            ("filter".into(), Json::str(&self.filter)),
+            ("route".into(), Json::str(self.route.name())),
+            ("docs".into(), Json::Num(self.docs as u64)),
+            ("segments".into(), Json::Num(self.segments as u64)),
+            (
+                "indexes".into(),
+                Json::array(self.indexed_paths.iter().map(Json::str)),
+            ),
+            (
+                "probes".into(),
+                Json::array(self.probes.iter().map(|p| {
+                    Json::object(vec![
+                        ("path".into(), Json::str(&p.path)),
+                        ("kind".into(), Json::str(p.kind)),
+                        ("condition".into(), Json::str(&p.condition)),
+                    ])
+                    .expect("distinct literal keys")
+                })),
+            ),
+        ];
+        if let Some(residual) = &self.residual {
+            pairs.push(("residual".into(), Json::str(residual)));
+        }
+        Json::object(pairs).expect("distinct literal keys")
+    }
+
+    /// Human-readable rendering, one plan node per line (pinned by the
+    /// explain snapshot tests).
+    pub fn render_text(&self) -> String {
+        let mut out = format!("find {}\n", self.filter);
+        out.push_str(&format!(
+            "  route: {}  [docs={}, segments={}]\n",
+            self.route.name(),
+            self.docs,
+            self.segments
+        ));
+        if !self.indexed_paths.is_empty() {
+            out.push_str(&format!("  indexes: [{}]\n", self.indexed_paths.join(", ")));
+        }
+        for (i, p) in self.probes.iter().enumerate() {
+            out.push_str(&format!("  probe[{i}] {}: {}\n", p.kind, p.condition));
+        }
+        if let Some(residual) = &self.residual {
+            out.push_str(&format!("  residual: {residual}\n"));
+        }
+        out
+    }
+}
+
+/// The `EXPLAIN ANALYZE` result: the plan plus what execution recorded.
+#[derive(Debug, Clone)]
+pub struct FindAnalyze {
+    /// The plan, as [`Collection::explain`] would have produced it.
+    pub plan: FindExplain,
+    /// Matching documents the routed execution returned.
+    pub rows: usize,
+    /// Wall time of the routed execution, in microseconds.
+    pub wall_us: u64,
+    /// Counter snapshot of the execution's private metrics sink.
+    pub counters: Snapshot,
+}
+
+impl FindAnalyze {
+    /// Machine-stable JSON rendering: the plan annotated with actuals.
+    /// Counters appear under `"counters"` with every counter present
+    /// (zeros included) so the schema is layout-independent.
+    pub fn to_json(&self) -> Json {
+        let Json::Object(plan) = self.plan.to_json() else {
+            unreachable!("plans render to objects")
+        };
+        let mut pairs: Vec<(String, Json)> = plan
+            .pairs()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        pairs.push(("rows".into(), Json::Num(self.rows as u64)));
+        pairs.push(("wall_us".into(), Json::Num(self.wall_us)));
+        let counters: Vec<(String, Json)> = ALL_COUNTERS
+            .iter()
+            .map(|&c| (c.name().to_owned(), Json::Num(self.counters.get(c))))
+            .collect();
+        pairs.push((
+            "counters".into(),
+            Json::object(counters).expect("counter names are distinct"),
+        ));
+        Json::object(pairs).expect("annotation keys disjoint from plan keys")
+    }
+
+    /// Human-readable rendering: the plan text plus `actual:` and
+    /// `counters:` lines (nonzero counters only).
+    pub fn render_text(&self) -> String {
+        let mut out = self.plan.render_text();
+        out.push_str(&format!(
+            "  actual: rows={}, wall_us={}\n",
+            self.rows, self.wall_us
+        ));
+        let nz = self.counters.nonzero();
+        if !nz.is_empty() {
+            let parts: Vec<String> = nz.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            out.push_str(&format!("  counters: {}\n", parts.join(", ")));
+        }
+        out
+    }
+}
+
+fn describe_probe(path: &str, probe: &Probe<'_>) -> ProbeDesc {
+    let (kind, condition) = match probe {
+        Probe::Eq(v) => ("eq", format!("{path} = {v}")),
+        Probe::In(items) => {
+            let vals: Vec<String> = items.iter().map(|v| v.to_string()).collect();
+            ("in", format!("{path} in [{}]", vals.join(", ")))
+        }
+        Probe::Range(cmp, v) => ("range", format!("{path} {cmp} {v}")),
+    };
+    ProbeDesc {
+        path: path.to_owned(),
+        kind,
+        condition,
+    }
+}
+
+impl Collection {
+    /// The route [`Collection::find_refs_routed_with_ctx`] (and the
+    /// `jagg` leading-`$match` fast path) takes for `filter` — the single
+    /// routing function `EXPLAIN` and execution share.
+    pub fn route_of(&self, filter: &Filter) -> Route {
+        if self.index_answerable(filter) {
+            Route::Index
+        } else if filter.jnl_exact() {
+            Route::Jnl
+        } else {
+            Route::Scan
+        }
+    }
+
+    /// `EXPLAIN`: the plan for `filter`, without executing anything.
+    pub fn explain(&self, filter: &Filter) -> FindExplain {
+        let route = self.route_of(filter);
+        let mut probes = Vec::new();
+        let mut residual = None;
+        if route == Route::Index {
+            let plan = self
+                .indexes
+                .plan(filter)
+                .expect("index route implies a plan");
+            probes = plan
+                .probes
+                .iter()
+                .map(|(pi, probe)| describe_probe(self.indexes.path_name(*pi), probe))
+                .collect();
+            if !plan.residual.is_empty() {
+                let parts: Vec<String> = plan.residual.iter().map(|f| f.to_string()).collect();
+                residual = Some(parts.join(" && "));
+            }
+        }
+        FindExplain {
+            filter: filter.to_string(),
+            route,
+            docs: self.len(),
+            segments: self.segments.len(),
+            indexed_paths: self.indexes.declared().map(str::to_owned).collect(),
+            probes,
+            residual,
+        }
+    }
+
+    /// [`Collection::find_refs`] through the same routing `EXPLAIN`
+    /// describes: index probe when answerable, whole-segment JNL when the
+    /// filter sits in the exact fragment, scan otherwise.
+    pub fn find_refs_routed(&self, filter: &Filter) -> Vec<DocRef> {
+        expect_ungoverned(self.find_refs_routed_with_ctx(filter, &QueryCtx::unlimited()))
+    }
+
+    /// [`Collection::find_refs_routed`] under a [`QueryCtx`]. The route
+    /// decision runs inside a `plan` span when the context carries a
+    /// span-recording sink.
+    pub fn find_refs_routed_with_ctx(
+        &self,
+        filter: &Filter,
+        ctx: &QueryCtx,
+    ) -> Result<Vec<DocRef>, QueryError> {
+        ctx.span_open(SpanKind::Plan, 0);
+        let route = self.route_of(filter);
+        ctx.span_close(SpanKind::Plan, 0);
+        match route {
+            Route::Index => self.find_refs_indexed_with_ctx(filter, ctx),
+            Route::Jnl => self.find_refs_via_jnl_with_ctx(filter, ctx),
+            Route::Scan => self.find_refs_with_ctx(filter, ctx),
+        }
+    }
+
+    /// `EXPLAIN ANALYZE`: plans, then executes the routed path under a
+    /// fresh private [`QueryMetrics`] sink, and returns the plan
+    /// annotated with actual rows, wall time, and counters.
+    pub fn explain_analyze(&self, filter: &Filter) -> Result<FindAnalyze, QueryError> {
+        let plan = self.explain(filter);
+        let sink = Arc::new(QueryMetrics::new());
+        let ctx = QueryCtx::new().with_metrics(Arc::clone(&sink));
+        let start = Instant::now();
+        let refs = self.find_refs_routed_with_ctx(filter, &ctx)?;
+        let wall_us = start.elapsed().as_micros() as u64;
+        Ok(FindAnalyze {
+            plan,
+            rows: refs.len(),
+            wall_us,
+            counters: sink.snapshot(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jsondata::parse;
+    use jtrace::Counter;
+
+    fn people() -> Collection {
+        Collection::from_array(
+            &parse(
+                r#"[
+                {"name": {"first": "Sue", "last": "Kim"}, "age": 28, "hobbies": ["yoga", "chess"]},
+                {"name": {"first": "John", "last": "Doe"}, "age": 32, "hobbies": ["golf"]},
+                {"name": {"first": "Ada", "last": "Kim"}, "age": 41, "hobbies": []}
+            ]"#,
+            )
+            .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn explain_routes_match_execution_counters() {
+        let mut coll = people();
+        coll.create_index("age");
+
+        // Index route: probes recorded, no docs scanned, no segments.
+        let f = Filter::parse_str(r#"{"age": {"$gte": 30}}"#).unwrap();
+        let ex = coll.explain(&f);
+        assert_eq!(ex.route, Route::Index);
+        assert_eq!(ex.probes.len(), 1);
+        assert_eq!(ex.probes[0].kind, "range");
+        let an = coll.explain_analyze(&f).unwrap();
+        assert_eq!(an.rows, 2);
+        assert!(an.counters.get(Counter::IndexProbes) > 0);
+        assert_eq!(an.counters.get(Counter::DocsScanned), 0);
+        assert_eq!(an.counters.get(Counter::SegmentsVisited), 0);
+
+        // JNL route: unindexed exact-fragment filter.
+        let f = Filter::parse_str(r#"{"name.last": "Kim"}"#).unwrap();
+        let ex = coll.explain(&f);
+        assert_eq!(ex.route, Route::Jnl);
+        let an = coll.explain_analyze(&f).unwrap();
+        assert_eq!(an.rows, 2);
+        assert!(an.counters.get(Counter::SegmentsVisited) > 0);
+        assert_eq!(an.counters.get(Counter::IndexProbes), 0);
+        assert_eq!(an.counters.get(Counter::DocsScanned), 0);
+
+        // Scan route: order comparison on an unindexed path.
+        let f = Filter::parse_str(r#"{"name.last": {"$gt": "K"}}"#).unwrap();
+        let ex = coll.explain(&f);
+        assert_eq!(ex.route, Route::Scan);
+        let an = coll.explain_analyze(&f).unwrap();
+        assert_eq!(an.counters.get(Counter::DocsScanned), coll.len() as u64);
+        assert_eq!(an.counters.get(Counter::IndexProbes), 0);
+        assert_eq!(an.counters.get(Counter::SegmentsVisited), 0);
+    }
+
+    #[test]
+    fn routed_results_agree_with_scan_oracle() {
+        let mut coll = people();
+        coll.create_index("age");
+        for src in [
+            r#"{"age": {"$gte": 30}}"#,
+            r#"{"name.last": "Kim"}"#,
+            r#"{"name.last": {"$gt": "K"}}"#,
+            r#"{"age": {"$gte": 30}, "name.last": "Kim"}"#,
+        ] {
+            let f = Filter::parse_str(src).unwrap();
+            assert_eq!(coll.find_refs_routed(&f), coll.find_refs(&f), "{src}");
+        }
+    }
+
+    #[test]
+    fn explain_renders_probes_and_residual() {
+        let mut coll = people();
+        coll.create_index("age");
+        let f = Filter::parse_str(
+            r#"{"age": {"$gte": 30}, "name.last": "Kim", "hobbies": {"$size": 0}}"#,
+        )
+        .unwrap();
+        let ex = coll.explain(&f);
+        assert_eq!(ex.route, Route::Index);
+        let text = ex.render_text();
+        assert!(text.contains("route: index"), "{text}");
+        assert!(text.contains("age >= 30"), "{text}");
+        assert!(text.contains("residual:"), "{text}");
+        assert!(text.contains("size(hobbies) = 0"), "{text}");
+        let json = ex.to_json().to_string();
+        assert!(json.contains("\"route\":\"index\""), "{json}");
+        assert!(json.contains("\"kind\":\"range\""), "{json}");
+    }
+
+    #[test]
+    fn analyze_json_carries_every_counter() {
+        let coll = people();
+        let f = Filter::parse_str(r#"{"age": {"$gte": 30}}"#).unwrap();
+        let an = coll.explain_analyze(&f).unwrap();
+        let json = an.to_json();
+        let counters = json
+            .as_object()
+            .and_then(|o| o.get("counters"))
+            .and_then(Json::as_object)
+            .expect("counters object");
+        assert_eq!(counters.len(), ALL_COUNTERS.len());
+    }
+}

@@ -43,6 +43,7 @@ use jguard::{QueryCtx, QueryError};
 use jnl::bitset::BitSet;
 use jsondata::canon::CanonTable;
 use jsondata::{Json, JsonTree, NodeId};
+use jtrace::{Counter, SpanKind};
 
 use crate::{cmp_node_json, cmp_nodes, expect_ungoverned, Cmp, Collection, DocRef, Filter, Path};
 
@@ -80,7 +81,7 @@ struct SegPosting {
 }
 
 /// One index-answerable conjunct, referencing the filter it came from.
-enum Probe<'f> {
+pub(crate) enum Probe<'f> {
     /// `$eq` constant.
     Eq(&'f Json),
     /// Positive `$in` list (union of `Eq` probes).
@@ -91,12 +92,14 @@ enum Probe<'f> {
 
 /// The planning split of a conjunctive filter: probes against declared
 /// indexes plus the residual conjuncts evaluated on surviving docs only.
-struct IndexPlan<'f> {
+/// `pub(crate)` so the explain module can describe the exact split the
+/// executor would run.
+pub(crate) struct IndexPlan<'f> {
     /// `(position in IndexSet::paths, probe)` pairs.
-    probes: Vec<(usize, Probe<'f>)>,
+    pub(crate) probes: Vec<(usize, Probe<'f>)>,
     /// Conjuncts the indexes cannot answer; empty means the probes are
     /// exact.
-    residual: Vec<&'f Filter>,
+    pub(crate) residual: Vec<&'f Filter>,
 }
 
 /// Builds the postings of one `(path, segment)` pair from the segment's
@@ -145,6 +148,12 @@ impl IndexSet {
     /// Position of the index on `path`, if declared.
     fn position(&self, path: &Path) -> Option<usize> {
         self.paths.iter().position(|p| p.path == *path)
+    }
+
+    /// The declared path name of the index at position `i` (the plan's
+    /// probe positions resolve through this for `EXPLAIN` rendering).
+    pub(crate) fn path_name(&self, i: usize) -> &str {
+        &self.paths[i].name
     }
 
     /// Ensures one [`CanonTable`] per segment (no-op when already built).
@@ -231,7 +240,7 @@ impl IndexSet {
     /// when nothing is index-answerable (callers fall back to the scan).
     /// Top-level `And`s are flattened through nesting; any other
     /// top-level shape is treated as a one-conjunct conjunction.
-    fn plan<'f>(&self, filter: &'f Filter) -> Option<IndexPlan<'f>> {
+    pub(crate) fn plan<'f>(&self, filter: &'f Filter) -> Option<IndexPlan<'f>> {
         let mut probes = Vec::new();
         let mut residual = Vec::new();
         let mut stack: Vec<&'f Filter> = vec![filter];
@@ -301,13 +310,19 @@ impl IndexSet {
         let n = doc_refs.len();
         let bitmap_bytes = (n.div_ceil(64) * 8) as u64;
         let mut acc: Option<BitSet> = None;
-        for (pi, probe) in &plan.probes {
+        for (ordinal, (pi, probe)) in plan.probes.iter().enumerate() {
             ctx.charge_bytes(bitmap_bytes)?;
+            // One probe answers the conjunct across *all* segments, so the
+            // count is layout-invariant (same total before/after compact).
+            ctx.record(Counter::IndexProbes, 1);
+            ctx.span_open(SpanKind::Probe, ordinal as u32);
             let mut bm = BitSet::new(n);
             self.probe_into(*pi, probe, segments, &mut bm);
+            ctx.span_close(SpanKind::Probe, ordinal as u32);
             match &mut acc {
                 None => acc = Some(bm),
                 Some(a) => {
+                    ctx.record(Counter::BitmapIntersections, 1);
                     a.intersect_with(&bm);
                 }
             }
@@ -318,14 +333,19 @@ impl IndexSet {
         let acc = acc.expect("plan holds at least one probe");
         let mut poll = ctx.poller();
         let mut out = Vec::new();
+        let mut residual_evals = 0u64;
         for i in acc.iter() {
             poll.tick()?;
             let d = doc_refs[i];
             let tree = &segments[d.seg as usize];
+            if !plan.residual.is_empty() {
+                residual_evals += 1;
+            }
             if plan.residual.iter().all(|f| f.matches_at(tree, d.node)) {
                 out.push(d);
             }
         }
+        ctx.record(Counter::ResidualEvals, residual_evals);
         ctx.charge_rows(out.len() as u64)?;
         Ok(out)
     }

@@ -42,9 +42,12 @@ use jguard::{QueryCtx, QueryError};
 use jnl::ast::{Binary, Unary};
 use jpar::Pool;
 use jsondata::{Interner, Json, JsonTree, NodeId, NodeKind, ParseLimits};
+use jtrace::Counter;
 
+mod explain;
 mod index;
 
+pub use explain::{FindAnalyze, FindExplain, ProbeDesc, Route};
 pub use index::IndexSet;
 
 /// Unwraps a governed result obtained under [`QueryCtx::unlimited`] —
@@ -154,6 +157,62 @@ impl Path {
 impl fmt::Display for Path {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.0.join("."))
+    }
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Cmp::Eq => "=",
+            Cmp::Ne => "!=",
+            Cmp::Gt => ">",
+            Cmp::Gte => ">=",
+            Cmp::Lt => "<",
+            Cmp::Lte => "<=",
+        })
+    }
+}
+
+/// Compact single-line rendering used by `EXPLAIN` plans: `path op value`
+/// conditions joined with `&&`/`||`, values in JSON text. The rendering is
+/// deterministic (it follows the parsed structure) and is pinned by the
+/// explain snapshot tests.
+impl fmt::Display for Filter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn join(f: &mut fmt::Formatter<'_>, fs: &[Filter], sep: &str) -> fmt::Result {
+            f.write_str("(")?;
+            for (i, sub) in fs.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(sep)?;
+                }
+                write!(f, "{sub}")?;
+            }
+            f.write_str(")")
+        }
+        match self {
+            Filter::And(fs) if fs.is_empty() => f.write_str("true"),
+            Filter::And(fs) if fs.len() == 1 => write!(f, "{}", fs[0]),
+            Filter::And(fs) => join(f, fs, " && "),
+            Filter::Or(fs) if fs.is_empty() => f.write_str("false"),
+            Filter::Or(fs) => join(f, fs, " || "),
+            Filter::Not(sub) => write!(f, "!({sub})"),
+            Filter::Compare(p, cmp, v) => write!(f, "{p} {cmp} {v}"),
+            Filter::In(p, items, positive) => {
+                write!(f, "{p} {} [", if *positive { "in" } else { "nin" })?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                f.write_str("]")
+            }
+            Filter::Exists(p, flag) => {
+                write!(f, "{}exists({p})", if *flag { "" } else { "!" })
+            }
+            Filter::Size(p, n) => write!(f, "size({p}) = {n}"),
+            Filter::Type(p, ty) => write!(f, "type({p}) = \"{ty}\""),
+        }
     }
 }
 
@@ -1024,6 +1083,7 @@ impl Collection {
         self.pool.try_flat_map_chunks(ctx, n, chunk, |r| {
             let mut poll = ctx.poller();
             let mut out = Vec::new();
+            ctx.record(Counter::DocsScanned, r.len() as u64);
             for &d in &self.doc_refs[r] {
                 poll.tick()?;
                 if keep(d) {
@@ -1120,6 +1180,7 @@ impl Collection {
         ctx: &QueryCtx,
     ) -> Result<Vec<DocRef>, QueryError> {
         let phi = filter.to_jnl();
+        ctx.record(Counter::SegmentsVisited, self.segments.len() as u64);
         let sats = jnl::eval::evaluate_batch_ctx(&self.segments, &phi, &self.pool, ctx)?;
         let out: Vec<DocRef> = self
             .doc_refs
