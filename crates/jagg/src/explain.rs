@@ -140,6 +140,11 @@ pub struct PipelineAnalyze {
     pub wall_us: u64,
     /// Counter snapshot of the execution's private metrics sink.
     pub counters: Snapshot,
+    /// Span events the execution recorded into its ring.
+    pub spans_recorded: u64,
+    /// Span events lost to ring wrap-around — the honesty counter: a
+    /// nonzero value means the trace is a suffix, not the whole story.
+    pub spans_dropped: u64,
 }
 
 impl PipelineAnalyze {
@@ -174,11 +179,19 @@ impl PipelineAnalyze {
             "counters".into(),
             Json::object(counters).expect("counter names are distinct"),
         ));
+        pairs.push((
+            "spans".into(),
+            Json::object(vec![
+                ("recorded".into(), Json::Num(self.spans_recorded)),
+                ("dropped".into(), Json::Num(self.spans_dropped)),
+            ])
+            .expect("distinct literal keys"),
+        ));
         Json::object(pairs).expect("annotation keys disjoint from plan keys")
     }
 
-    /// Human-readable rendering: the plan text plus per-stage actuals and
-    /// nonzero counters.
+    /// Human-readable rendering: the plan text plus per-stage actuals,
+    /// nonzero counters, and the span recorded/dropped tallies.
     pub fn render_text(&self) -> String {
         let mut out = self.plan.render_text();
         for (i, s) in self.stages.iter().enumerate() {
@@ -196,6 +209,10 @@ impl PipelineAnalyze {
             let parts: Vec<String> = nz.iter().map(|(k, v)| format!("{k}={v}")).collect();
             out.push_str(&format!("  counters: {}\n", parts.join(", ")));
         }
+        out.push_str(&format!(
+            "  spans: recorded={}, dropped={}\n",
+            self.spans_recorded, self.spans_dropped
+        ));
         out
     }
 }
@@ -339,25 +356,29 @@ pub fn explain(coll: &Collection, pipeline: &Pipeline) -> PipelineExplain {
 }
 
 /// `EXPLAIN ANALYZE`: plans, then executes the pipeline under a fresh
-/// private [`QueryMetrics`] sink with per-stage tracing, and returns the
-/// plan annotated with actual cardinalities, wall times, and counters.
+/// private span-recording [`QueryMetrics`] sink with per-stage tracing,
+/// and returns the plan annotated with actual cardinalities, wall
+/// times, counters, and the span ring's recorded/dropped tallies.
 pub fn explain_analyze(
     coll: &Collection,
     pipeline: &Pipeline,
 ) -> Result<PipelineAnalyze, QueryError> {
     let plan = explain(coll, pipeline);
-    let sink = Arc::new(QueryMetrics::new());
+    let sink = Arc::new(QueryMetrics::with_spans(mongofind::ANALYZE_SPAN_CAPACITY));
     let ctx = QueryCtx::new().with_metrics(Arc::clone(&sink));
     let mut stages = Vec::new();
     let start = Instant::now();
     let out = aggregate_traced_with_ctx(coll, pipeline, &ctx, &mut stages)?;
     let wall_us = start.elapsed().as_micros() as u64;
+    let spans = sink.spans().expect("sink was built with a span ring");
     Ok(PipelineAnalyze {
         plan,
         stages,
         rows: out.len(),
         wall_us,
         counters: sink.snapshot(),
+        spans_recorded: spans.recorded(),
+        spans_dropped: spans.dropped(),
     })
 }
 
@@ -434,5 +455,28 @@ mod tests {
         assert!(obj.get("counters").is_some());
         let text = an.render_text();
         assert!(text.contains("actual[0] $match"), "{text}");
+    }
+
+    #[test]
+    fn analyze_reports_span_honesty() {
+        let c = coll();
+        let p =
+            Pipeline::parse_str(r#"[{"$match": {"age": {"$gte": 30}}}, {"$limit": 2}]"#).unwrap();
+        let an = explain_analyze(&c, &p).unwrap();
+        // Per-stage tracing opens a span per stage; one small pipeline
+        // never overflows the analyze ring.
+        assert!(an.spans_recorded > 0);
+        assert_eq!(an.spans_dropped, 0);
+        let text = an.render_text();
+        assert!(text.contains("spans: recorded="), "{text}");
+        let spans = an
+            .to_json()
+            .as_object()
+            .and_then(|o| o.get("spans"))
+            .and_then(Json::as_object)
+            .cloned()
+            .expect("spans object");
+        assert_eq!(spans.get("recorded"), Some(&Json::Num(an.spans_recorded)));
+        assert_eq!(spans.get("dropped"), Some(&Json::Num(0)));
     }
 }

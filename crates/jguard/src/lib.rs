@@ -19,6 +19,17 @@
 //! | [`QueryError::Cancelled`] | [`QueryCtx::cancel`] was called on a clone |
 //! | [`QueryError::WorkerPanicked`] | a pool worker panicked; the panic was contained |
 //! | [`QueryError::ParseLimit`] | ingestion rejected a document via [`jsondata::ParseLimits`] |
+//! | [`QueryError::Overloaded`] | an admission queue shed the request before it ran |
+//! | [`QueryError::BadQuery`] | the request text failed to parse as a filter/pipeline |
+//!
+//! [`QueryError::is_retryable`] classifies every variant for callers
+//! that want to retry: only [`QueryError::Overloaded`] is transient (the
+//! request never ran and nothing was consumed); everything else is
+//! either deterministic (`BadQuery`, `ParseLimit`, `BudgetExceeded`), an
+//! explicit decision (`Cancelled`, `Deadline`), or evidence of a bug
+//! (`WorkerPanicked`). [`retry_with_backoff`] is the matching bounded
+//! retry loop with jittered exponential backoff used by the `jserve`
+//! admission path.
 //!
 //! ## Poll granularity and overhead contract
 //!
@@ -127,6 +138,13 @@ pub enum QueryError {
     },
     /// Ingestion rejected a document against its [`jsondata::ParseLimits`].
     ParseLimit(ParseError),
+    /// An admission queue shed the request before it ran (the queue was
+    /// full or the request timed out waiting for a slot). Nothing was
+    /// executed; the request is safe to retry.
+    Overloaded,
+    /// The request text itself was malformed (filter/pipeline/projection
+    /// failed to parse). Deterministic: retrying cannot help.
+    BadQuery(String),
 }
 
 impl fmt::Display for QueryError {
@@ -143,6 +161,33 @@ impl fmt::Display for QueryError {
                 chunk.start, chunk.end
             ),
             QueryError::ParseLimit(e) => write!(f, "document rejected at ingestion: {e}"),
+            QueryError::Overloaded => write!(f, "server overloaded, request shed"),
+            QueryError::BadQuery(msg) => write!(f, "bad query: {msg}"),
+        }
+    }
+}
+
+impl QueryError {
+    /// Whether a retry of the same request can plausibly succeed.
+    ///
+    /// Only [`QueryError::Overloaded`] qualifies: the request was shed
+    /// *before* any work ran, so a retry after backoff races a different
+    /// load level. Every other variant is deterministic for the same
+    /// request ([`QueryError::BadQuery`], [`QueryError::ParseLimit`],
+    /// [`QueryError::BudgetExceeded`]), reflects an explicit decision
+    /// that a retry must not override ([`QueryError::Cancelled`],
+    /// [`QueryError::Deadline`] — the tenant's time is already spent),
+    /// or is evidence of a bug where blind retry would just panic a
+    /// second worker ([`QueryError::WorkerPanicked`]).
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            QueryError::Overloaded => true,
+            QueryError::Deadline
+            | QueryError::BudgetExceeded { .. }
+            | QueryError::Cancelled
+            | QueryError::WorkerPanicked { .. }
+            | QueryError::ParseLimit(_)
+            | QueryError::BadQuery(_) => false,
         }
     }
 }
@@ -482,6 +527,81 @@ pub fn approx_json_bytes(value: &Json) -> u64 {
     }
 }
 
+/// Bounds for [`retry_with_backoff`]: how many attempts to make and how
+/// the sleep between them grows.
+///
+/// The delay before retry `i` (1-based) is drawn uniformly from
+/// `0..=min(cap, base << (i-1))` — "full jitter", which decorrelates
+/// clients that were all shed by the same overload spike. `base = 0`
+/// disables sleeping entirely (useful in tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so `1` means "no retries").
+    pub attempts: u32,
+    /// Backoff base; doubles per retry before jitter.
+    pub base: Duration,
+    /// Upper bound on any single pre-jitter backoff step.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Runs `f` until it succeeds, fails with a non-retryable error, or
+/// exhausts `policy.attempts`. Sleeps a jittered, exponentially growing
+/// delay between attempts (see [`RetryPolicy`]).
+///
+/// Only errors with [`QueryError::is_retryable`]` == true` are retried —
+/// in practice [`QueryError::Overloaded`] from an admission queue. The
+/// last error is returned verbatim when attempts run out.
+pub fn retry_with_backoff<T>(
+    policy: RetryPolicy,
+    mut f: impl FnMut() -> Result<T, QueryError>,
+) -> Result<T, QueryError> {
+    // Cheap decorrelation seed: a process-wide counter mixed with the
+    // monotonic clock, fed through splitmix64. Not cryptographic; it
+    // only has to spread concurrent retriers across the backoff window.
+    static SALT: AtomicU64 = AtomicU64::new(0x9e37_79b9_7f4a_7c15);
+    let clock = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64)
+        .unwrap_or(0);
+    let mut rng = SALT
+        .fetch_add(0x9e37_79b9_7f4a_7c15, Ordering::Relaxed)
+        .wrapping_add(clock);
+    let mut next_u64 = move || {
+        rng = rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    let attempts = policy.attempts.max(1);
+    let mut backoff = policy.base;
+    for attempt in 1..=attempts {
+        match f() {
+            Ok(v) => return Ok(v),
+            Err(e) if attempt < attempts && e.is_retryable() => {
+                let step = backoff.min(policy.cap);
+                if !step.is_zero() {
+                    let nanos = step.as_nanos().min(u128::from(u64::MAX)) as u64;
+                    std::thread::sleep(Duration::from_nanos(next_u64() % (nanos + 1)));
+                }
+                backoff = backoff.saturating_mul(2);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!("loop returns on the final attempt")
+}
+
 /// Runs `f` with the global panic hook silenced, restoring it after.
 /// Used by the fault-injection harness and the containment tests so a
 /// thousand *intentional* panics do not flood stderr. The hook is
@@ -619,6 +739,89 @@ mod tests {
     }
 
     #[test]
+    fn retryability_is_classified_per_variant() {
+        assert!(QueryError::Overloaded.is_retryable());
+        assert!(!QueryError::Deadline.is_retryable());
+        assert!(!QueryError::Cancelled.is_retryable());
+        assert!(!QueryError::BudgetExceeded {
+            resource: Resource::Bytes
+        }
+        .is_retryable());
+        assert!(!QueryError::BudgetExceeded {
+            resource: Resource::Rows
+        }
+        .is_retryable());
+        assert!(!QueryError::WorkerPanicked {
+            chunk: 0..4,
+            payload: "boom".into(),
+        }
+        .is_retryable());
+        let parse_err = jsondata::parse_with_limits("[0", jsondata::ParseLimits::default())
+            .expect_err("truncated doc must fail");
+        assert!(!QueryError::ParseLimit(parse_err).is_retryable());
+        assert!(!QueryError::BadQuery("no such stage".into()).is_retryable());
+    }
+
+    #[test]
+    fn retry_retries_only_retryable_errors() {
+        let quick = RetryPolicy {
+            attempts: 5,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+        };
+        // Succeeds on the third attempt.
+        let mut calls = 0;
+        let out = retry_with_backoff(quick, || {
+            calls += 1;
+            if calls < 3 {
+                Err(QueryError::Overloaded)
+            } else {
+                Ok(calls)
+            }
+        });
+        assert_eq!(out, Ok(3));
+
+        // Exhausts attempts and surfaces the last error.
+        let mut calls = 0;
+        let out: Result<(), _> = retry_with_backoff(quick, || {
+            calls += 1;
+            Err(QueryError::Overloaded)
+        });
+        assert_eq!(out, Err(QueryError::Overloaded));
+        assert_eq!(calls, 5);
+
+        // Non-retryable errors are returned immediately.
+        let mut calls = 0;
+        let out: Result<(), _> = retry_with_backoff(quick, || {
+            calls += 1;
+            Err(QueryError::Deadline)
+        });
+        assert_eq!(out, Err(QueryError::Deadline));
+        assert_eq!(calls, 1);
+
+        // attempts == 0 is clamped to a single attempt, not a panic.
+        let zero = RetryPolicy {
+            attempts: 0,
+            ..quick
+        };
+        assert_eq!(retry_with_backoff(zero, || Ok(7)), Ok(7));
+    }
+
+    #[test]
+    fn retry_backoff_sleeps_are_bounded_by_cap() {
+        let policy = RetryPolicy {
+            attempts: 4,
+            base: Duration::from_micros(200),
+            cap: Duration::from_micros(400),
+        };
+        let t0 = Instant::now();
+        let out: Result<(), _> = retry_with_backoff(policy, || Err(QueryError::Overloaded));
+        assert_eq!(out, Err(QueryError::Overloaded));
+        // 3 sleeps, each at most cap (plus scheduler slop): far below 1s.
+        assert!(t0.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
     fn display_is_stable() {
         let e = QueryError::WorkerPanicked {
             chunk: 3..7,
@@ -633,5 +836,10 @@ mod tests {
             .to_string(),
             "query row budget exceeded"
         );
+        assert_eq!(
+            QueryError::Overloaded.to_string(),
+            "server overloaded, request shed"
+        );
+        assert_eq!(QueryError::BadQuery("x".into()).to_string(), "bad query: x");
     }
 }

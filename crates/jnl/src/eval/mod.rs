@@ -215,8 +215,15 @@ pub fn evaluate(tree: &JsonTree, phi: &Unary) -> NodeSet {
 /// formula. Results come back in tree order regardless of thread count,
 /// and a 1-thread pool runs the trees inline in order (byte-identical to
 /// mapping [`evaluate`] yourself).
-pub fn evaluate_batch(trees: &[JsonTree], phi: &Unary, pool: &jpar::Pool) -> Vec<NodeSet> {
-    pool.map(trees.len(), |i| evaluate(&trees[i], phi))
+///
+/// Generic over how the caller stores its trees: a plain `&[JsonTree]`
+/// works, and so does the `&[Arc<JsonTree>]` a snapshot-sharing
+/// collection holds (anything `Borrow<JsonTree> + Sync`).
+pub fn evaluate_batch<T>(trees: &[T], phi: &Unary, pool: &jpar::Pool) -> Vec<NodeSet>
+where
+    T: std::borrow::Borrow<JsonTree> + Sync,
+{
+    pool.map(trees.len(), |i| evaluate(trees[i].borrow(), phi))
 }
 
 /// Governed [`evaluate`]: the linear engine polls `guard` every
@@ -247,13 +254,20 @@ pub fn evaluate_ctx(tree: &JsonTree, phi: &Unary, guard: &QueryCtx) -> Result<No
 /// through the pool's fallible dispatch, so an expired deadline, a
 /// cancellation, or a panicking evaluation surfaces as a structured
 /// [`QueryError`] with all workers joined and the pool reusable.
-pub fn evaluate_batch_ctx(
-    trees: &[JsonTree],
+/// Like [`evaluate_batch`], it accepts any `Borrow<JsonTree>` tree
+/// storage (`&[JsonTree]` or `&[Arc<JsonTree>]` alike).
+pub fn evaluate_batch_ctx<T>(
+    trees: &[T],
     phi: &Unary,
     pool: &jpar::Pool,
     guard: &QueryCtx,
-) -> Result<Vec<NodeSet>, QueryError> {
-    pool.try_map(guard, trees.len(), |i| evaluate_ctx(&trees[i], phi, guard))
+) -> Result<Vec<NodeSet>, QueryError>
+where
+    T: std::borrow::Borrow<JsonTree> + Sync,
+{
+    pool.try_map(guard, trees.len(), |i| {
+        evaluate_ctx(trees[i].borrow(), phi, guard)
+    })
 }
 
 /// Convenience: does the root satisfy `φ`?

@@ -1,0 +1,147 @@
+//! Satellite (d): the `jsondata::gen::hostile_corpus` driven through
+//! serving-layer ingestion while concurrent readers run. Rejected
+//! documents must leave the snapshot, the indexes, and reader-visible
+//! results exactly unchanged; accepted ones must become visible
+//! atomically (epoch bump, never a torn view).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use jguard::QueryError;
+use jserve::{AdmissionConfig, Request, Response, Server, TenantSpec};
+use jsondata::{gen, parse, parse_with_limits, ParseLimits};
+use mongofind::{Collection, Filter};
+
+fn seed() -> Collection {
+    let mut coll = Collection::from_array(
+        &parse(
+            r#"[
+            {"id": 1, "name": {"first": "Sue", "last": "Kim"}, "age": 28},
+            {"id": 2, "name": {"first": "John", "last": "Doe"}, "age": 32},
+            {"id": 3, "name": {"first": "Ada", "last": "Kim"}, "age": 41}
+        ]"#,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    assert!(coll.create_index("age"));
+    coll
+}
+
+#[test]
+fn hostile_ingestion_under_concurrent_readers() {
+    let server = Arc::new(Server::new(
+        seed(),
+        AdmissionConfig {
+            max_inflight: 8,
+            queue_cap: 64,
+            ..AdmissionConfig::default()
+        },
+    ));
+    assert!(server.register_tenant(TenantSpec::new("ingest")));
+    assert!(server.register_tenant(TenantSpec::new("reader")));
+
+    // An indexed probe — exercises the index path so a rejected insert
+    // corrupting index state (not just segments) would be caught.
+    let indexed = Request::Find {
+        filter: r#"{"age": {"$gte": 30}}"#.into(),
+    };
+    let probe = |server: &Server| -> Vec<jsondata::Json> {
+        match server.serve("reader", &indexed).unwrap() {
+            Response::Docs { docs, .. } => docs,
+            other => panic!("find returns docs, got {other:?}"),
+        }
+    };
+    let baseline = probe(&server);
+    assert_eq!(baseline.len(), 2);
+
+    // Concurrent readers: loop the indexed find until ingestion stops,
+    // asserting every response is Ok and epochs never go backwards.
+    let stop = Arc::new(AtomicBool::new(false));
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let server = Arc::clone(&server);
+            let stop = Arc::clone(&stop);
+            let indexed = indexed.clone();
+            std::thread::spawn(move || {
+                let mut last_epoch = 0u64;
+                let mut served = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    match server.serve("reader", &indexed) {
+                        Ok(Response::Docs { epoch, docs }) => {
+                            assert!(epoch >= last_epoch, "snapshot epoch went backwards");
+                            last_epoch = epoch;
+                            // Hostile docs carry no "age"; the indexed
+                            // result set is invariant under the storm.
+                            assert_eq!(docs.len(), 2);
+                            served += 1;
+                        }
+                        Ok(other) => panic!("find returned {other:?}"),
+                        // Admission shed under burst load is legal;
+                        // anything else is not.
+                        Err(QueryError::Overloaded) => {}
+                        Err(e) => panic!("reader hit a non-admission error: {e}"),
+                    }
+                }
+                served
+            })
+        })
+        .collect();
+
+    // Drive the whole hostile corpus through ingestion, twice (the
+    // second pass runs against the post-accept, multi-segment layout).
+    let limits = ParseLimits::default();
+    for round in 0..2 {
+        for (label, text) in gen::hostile_corpus(7 + round) {
+            let before = server.store().snapshot();
+            let before_probe = probe(&server);
+            let should_parse = parse_with_limits(&text, limits).is_ok();
+            let outcome = server.serve("ingest", &Request::Insert { doc: text.clone() });
+            let after = server.store().snapshot();
+            match outcome {
+                Ok(Response::Inserted { epoch }) => {
+                    assert!(should_parse, "{label}: illegal text was accepted");
+                    assert_eq!(epoch, before.epoch() + 1, "{label}");
+                    assert_eq!(after.collection().len(), before.collection().len() + 1);
+                }
+                Ok(other) => panic!("{label}: insert returned {other:?}"),
+                Err(QueryError::ParseLimit(_)) => {
+                    assert!(!should_parse, "{label}: legal text was rejected");
+                    // Fail-closed: nothing moved.
+                    assert_eq!(after.epoch(), before.epoch(), "{label}");
+                    assert_eq!(after.collection().len(), before.collection().len());
+                    assert_eq!(
+                        server.store().log_len() as u64,
+                        after.epoch(),
+                        "{label}: log and epoch agree"
+                    );
+                }
+                Err(e) => panic!("{label}: unexpected error {e}"),
+            }
+            // Reader-visible results across the attempt: the indexed
+            // probe is invariant (hostile docs never match it).
+            assert_eq!(probe(&server), before_probe, "{label}");
+            assert_eq!(before_probe, baseline, "{label}");
+        }
+        // Compact mid-storm: layout changes, content must not.
+        server.store().compact();
+        assert_eq!(probe(&server), baseline, "post-compact round {round}");
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let mut total_served = 0;
+    for r in readers {
+        total_served += r.join().expect("reader thread never panics");
+    }
+    assert!(total_served > 0, "readers made progress during the storm");
+
+    // Final cross-check: the snapshot equals a serial replay of the log.
+    let snap = server.store().snapshot();
+    let mut replay = seed();
+    for entry in server.store().log_prefix(snap.epoch() as usize) {
+        replay.insert_str(&entry).expect("log entries replay");
+    }
+    assert_eq!(replay.len(), snap.collection().len());
+    let f = Filter::parse_str(r#"{"age": {"$gte": 30}}"#).unwrap();
+    assert_eq!(replay.find(&f), snap.collection().find(&f));
+}

@@ -21,6 +21,7 @@
 //! | [`mongo`] | `mongofind` | MongoDB-style `find` filters & projection over JNL |
 //! | [`agg`] | `jagg` | tree-native aggregation pipelines (`$match`/`$unwind`/`$group`/…) over collections |
 //! | [`stat`] | `jstat` | static analysis: sat/containment-backed pipeline lints + the pruning rewrite |
+//! | [`serve`] | `jserve` | concurrent multi-tenant serving: snapshot isolation, admission control, governed verbs |
 //! | [`path`] | `jsonpath` | JSONPath dialect over recursive JNL |
 //! | [`par`] | `jpar` | scoped worker pool driving the parallel query paths |
 //! | [`guard`] | `jguard` | per-query governance: deadlines, budgets, cancellation, panic containment |
@@ -41,6 +42,7 @@ pub use jschema as schema;
 pub use jagg as agg;
 pub use jguard as guard;
 pub use jpar as par;
+pub use jserve as serve;
 pub use jsonpath as path;
 pub use jstat as stat;
 pub use jtrace as trace;

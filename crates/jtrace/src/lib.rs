@@ -508,6 +508,12 @@ impl SpanLog {
     /// Renders the surviving events as Chrome-trace JSON
     /// (`chrome://tracing` / Perfetto `traceEvents` format, `B`/`E`
     /// duration events, microsecond timestamps).
+    ///
+    /// The top-level `"spanStats"` key carries the ring's honesty
+    /// counters — `recorded` (every event ever seen) and `dropped`
+    /// (events lost to wrap-around) — so a truncated trace is
+    /// distinguishable from a complete one. Trace viewers ignore unknown
+    /// top-level keys next to `traceEvents`.
     pub fn to_chrome_trace(&self) -> String {
         let mut out = String::from("{\"traceEvents\":[");
         for (i, e) in self.events().iter().enumerate() {
@@ -529,7 +535,11 @@ impl SpanLog {
                 e.tid,
             ));
         }
-        out.push_str("]}");
+        out.push_str(&format!(
+            "],\"spanStats\":{{\"recorded\":{},\"dropped\":{}}}}}",
+            self.recorded(),
+            self.dropped()
+        ));
         out
     }
 }
@@ -609,6 +619,18 @@ mod tests {
         assert!(trace.contains("\"name\":\"stage 2\""));
         assert!(trace.contains("\"ph\":\"B\""));
         assert!(trace.contains("\"ph\":\"E\""));
+        assert!(trace.ends_with("\"spanStats\":{\"recorded\":4,\"dropped\":0}}"));
+    }
+
+    #[test]
+    fn chrome_trace_metadata_reports_drops_honestly() {
+        let m = QueryMetrics::with_spans(16);
+        let spans = m.spans().expect("ring requested");
+        for i in 0..40u32 {
+            spans.record(SpanKind::Chunk, SpanPhase::Open, i);
+        }
+        let trace = spans.to_chrome_trace();
+        assert!(trace.contains("\"spanStats\":{\"recorded\":40,\"dropped\":24}"));
     }
 
     #[test]

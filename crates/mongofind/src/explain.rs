@@ -146,6 +146,12 @@ impl FindExplain {
     }
 }
 
+/// Span-ring capacity for `EXPLAIN ANALYZE` sinks. A find touches a
+/// handful of spans per segment; 4096 slots hold any realistic single
+/// query, and the `spans_dropped` honesty counter reports overflow when
+/// one doesn't fit.
+pub const ANALYZE_SPAN_CAPACITY: usize = 4096;
+
 /// The `EXPLAIN ANALYZE` result: the plan plus what execution recorded.
 #[derive(Debug, Clone)]
 pub struct FindAnalyze {
@@ -157,6 +163,11 @@ pub struct FindAnalyze {
     pub wall_us: u64,
     /// Counter snapshot of the execution's private metrics sink.
     pub counters: Snapshot,
+    /// Span events the execution recorded into its ring.
+    pub spans_recorded: u64,
+    /// Span events lost to ring wrap-around — the honesty counter: a
+    /// nonzero value means the trace is a suffix, not the whole story.
+    pub spans_dropped: u64,
 }
 
 impl FindAnalyze {
@@ -182,11 +193,19 @@ impl FindAnalyze {
             "counters".into(),
             Json::object(counters).expect("counter names are distinct"),
         ));
+        pairs.push((
+            "spans".into(),
+            Json::object(vec![
+                ("recorded".into(), Json::Num(self.spans_recorded)),
+                ("dropped".into(), Json::Num(self.spans_dropped)),
+            ])
+            .expect("distinct literal keys"),
+        ));
         Json::object(pairs).expect("annotation keys disjoint from plan keys")
     }
 
-    /// Human-readable rendering: the plan text plus `actual:` and
-    /// `counters:` lines (nonzero counters only).
+    /// Human-readable rendering: the plan text plus `actual:`,
+    /// `counters:` (nonzero counters only), and `spans:` lines.
     pub fn render_text(&self) -> String {
         let mut out = self.plan.render_text();
         out.push_str(&format!(
@@ -198,6 +217,10 @@ impl FindAnalyze {
             let parts: Vec<String> = nz.iter().map(|(k, v)| format!("{k}={v}")).collect();
             out.push_str(&format!("  counters: {}\n", parts.join(", ")));
         }
+        out.push_str(&format!(
+            "  spans: recorded={}, dropped={}\n",
+            self.spans_recorded, self.spans_dropped
+        ));
         out
     }
 }
@@ -289,20 +312,24 @@ impl Collection {
     }
 
     /// `EXPLAIN ANALYZE`: plans, then executes the routed path under a
-    /// fresh private [`QueryMetrics`] sink, and returns the plan
-    /// annotated with actual rows, wall time, and counters.
+    /// fresh private span-recording [`QueryMetrics`] sink, and returns
+    /// the plan annotated with actual rows, wall time, counters, and the
+    /// span ring's recorded/dropped tallies.
     pub fn explain_analyze(&self, filter: &Filter) -> Result<FindAnalyze, QueryError> {
         let plan = self.explain(filter);
-        let sink = Arc::new(QueryMetrics::new());
+        let sink = Arc::new(QueryMetrics::with_spans(ANALYZE_SPAN_CAPACITY));
         let ctx = QueryCtx::new().with_metrics(Arc::clone(&sink));
         let start = Instant::now();
         let refs = self.find_refs_routed_with_ctx(filter, &ctx)?;
         let wall_us = start.elapsed().as_micros() as u64;
+        let spans = sink.spans().expect("sink was built with a span ring");
         Ok(FindAnalyze {
             plan,
             rows: refs.len(),
             wall_us,
             counters: sink.snapshot(),
+            spans_recorded: spans.recorded(),
+            spans_dropped: spans.dropped(),
         })
     }
 }
@@ -411,5 +438,29 @@ mod tests {
             .and_then(Json::as_object)
             .expect("counters object");
         assert_eq!(counters.len(), ALL_COUNTERS.len());
+    }
+
+    #[test]
+    fn analyze_reports_span_honesty() {
+        let coll = people();
+        let f = Filter::parse_str(r#"{"age": {"$gte": 30}}"#).unwrap();
+        let an = coll.explain_analyze(&f).unwrap();
+        // The routed path always opens at least the plan span, and a
+        // single small query never overflows the analyze ring.
+        assert!(an.spans_recorded > 0);
+        assert_eq!(an.spans_dropped, 0);
+        let text = an.render_text();
+        assert!(
+            text.contains(&format!("spans: recorded={}, dropped=0", an.spans_recorded)),
+            "{text}"
+        );
+        let json = an.to_json();
+        let spans = json
+            .as_object()
+            .and_then(|o| o.get("spans"))
+            .and_then(Json::as_object)
+            .expect("spans object");
+        assert_eq!(spans.get("recorded"), Some(&Json::Num(an.spans_recorded)));
+        assert_eq!(spans.get("dropped"), Some(&Json::Num(0)));
     }
 }

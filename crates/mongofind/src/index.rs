@@ -38,6 +38,7 @@
 
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use jguard::{QueryCtx, QueryError};
 use jnl::bitset::BitSet;
@@ -51,23 +52,30 @@ use crate::{cmp_node_json, cmp_nodes, expect_ungoverned, Cmp, Collection, DocRef
 /// canonical-label tables they share. Empty (the default) until
 /// [`Collection::create_index`] declares a path; an empty set costs
 /// nothing on insert.
-#[derive(Default)]
+///
+/// Per-segment postings and canon tables are immutable once built (a
+/// segment's contents never change; maintenance only *appends* new
+/// per-segment entries), so they sit behind [`Arc`]s and cloning an
+/// `IndexSet` — which `Collection::clone` does for every snapshot — is
+/// a vector of reference bumps, never a posting rebuild.
+#[derive(Default, Clone)]
 pub struct IndexSet {
     /// One index per declared path, in declaration order.
     paths: Vec<PathIndex>,
     /// One [`CanonTable`] per segment, shared by every path index (built
     /// lazily on the first `create_index`, parallel to
     /// `Collection::segments` from then on).
-    canons: Vec<CanonTable>,
+    canons: Vec<Arc<CanonTable>>,
 }
 
 /// One declared index: the dotted path and its per-segment postings.
+#[derive(Clone)]
 struct PathIndex {
     /// The declared path, as written (`"name.first"`).
     name: String,
     path: Path,
     /// Parallel to `Collection::segments`.
-    segs: Vec<SegPosting>,
+    segs: Vec<Arc<SegPosting>>,
 }
 
 /// The postings of one `(path, segment)` pair.
@@ -157,10 +165,10 @@ impl IndexSet {
     }
 
     /// Ensures one [`CanonTable`] per segment (no-op when already built).
-    fn ensure_canons(&mut self, segments: &[JsonTree]) {
+    fn ensure_canons(&mut self, segments: &[Arc<JsonTree>]) {
         while self.canons.len() < segments.len() {
             self.canons
-                .push(CanonTable::build(&segments[self.canons.len()]));
+                .push(Arc::new(CanonTable::build(&segments[self.canons.len()])));
         }
     }
 
@@ -169,7 +177,7 @@ impl IndexSet {
     pub(crate) fn create(
         &mut self,
         path_str: &str,
-        segments: &[JsonTree],
+        segments: &[Arc<JsonTree>],
         doc_refs: &[DocRef],
     ) -> bool {
         if self.paths.iter().any(|p| p.name == path_str) {
@@ -179,7 +187,14 @@ impl IndexSet {
         let path = Path::parse(path_str);
         let per_seg = group_by_segment(segments.len(), doc_refs);
         let segs = (0..segments.len())
-            .map(|s| build_posting(&path, &segments[s], &self.canons[s], &per_seg[s]))
+            .map(|s| {
+                Arc::new(build_posting(
+                    &path,
+                    &segments[s],
+                    &self.canons[s],
+                    &per_seg[s],
+                ))
+            })
             .collect();
         self.paths.push(PathIndex {
             name: path_str.to_owned(),
@@ -195,7 +210,7 @@ impl IndexSet {
     /// untouched. No-op while no index is declared.
     pub(crate) fn add_segment(
         &mut self,
-        segments: &[JsonTree],
+        segments: &[Arc<JsonTree>],
         new_ordinal: usize,
         doc_refs: &[DocRef],
     ) {
@@ -209,19 +224,19 @@ impl IndexSet {
             "segments append one at a time"
         );
         let tree = &segments[d.seg as usize];
-        self.canons.push(CanonTable::build(tree));
+        self.canons.push(Arc::new(CanonTable::build(tree)));
         let canon = self.canons.last().expect("just pushed");
         let docs = [(new_ordinal as u32, d.node)];
         for pi in &mut self.paths {
             let posting = build_posting(&pi.path, tree, canon, &docs);
-            pi.segs.push(posting);
+            pi.segs.push(Arc::new(posting));
         }
     }
 
     /// Full rebuild for [`Collection::compact`]: node ids and canon
     /// classes are all invalidated by the segment merge, so every table
     /// and posting is reconstructed from the new column.
-    pub(crate) fn rebuild(&mut self, segments: &[JsonTree], doc_refs: &[DocRef]) {
+    pub(crate) fn rebuild(&mut self, segments: &[Arc<JsonTree>], doc_refs: &[DocRef]) {
         if self.paths.is_empty() {
             return;
         }
@@ -231,7 +246,14 @@ impl IndexSet {
         let canons = &self.canons;
         for pi in &mut self.paths {
             pi.segs = (0..segments.len())
-                .map(|s| build_posting(&pi.path, &segments[s], &canons[s], &per_seg[s]))
+                .map(|s| {
+                    Arc::new(build_posting(
+                        &pi.path,
+                        &segments[s],
+                        &canons[s],
+                        &per_seg[s],
+                    ))
+                })
                 .collect();
         }
     }
@@ -279,7 +301,13 @@ impl IndexSet {
 
     /// Runs one probe of the index at `pi`, inserting every matching
     /// document ordinal into `out`.
-    fn probe_into(&self, pi: usize, probe: &Probe<'_>, segments: &[JsonTree], out: &mut BitSet) {
+    fn probe_into(
+        &self,
+        pi: usize,
+        probe: &Probe<'_>,
+        segments: &[Arc<JsonTree>],
+        out: &mut BitSet,
+    ) {
         let index = &self.paths[pi];
         for (seg, posting) in index.segs.iter().enumerate() {
             let tree = &segments[seg];
@@ -303,7 +331,7 @@ impl IndexSet {
     fn execute(
         &self,
         plan: &IndexPlan<'_>,
-        segments: &[JsonTree],
+        segments: &[Arc<JsonTree>],
         doc_refs: &[DocRef],
         ctx: &QueryCtx,
     ) -> Result<Vec<DocRef>, QueryError> {

@@ -36,7 +36,7 @@
 
 use std::cmp::Ordering;
 use std::fmt;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 use jguard::{QueryCtx, QueryError};
 use jnl::ast::{Binary, Unary};
@@ -47,7 +47,7 @@ use jtrace::Counter;
 mod explain;
 mod index;
 
-pub use explain::{FindAnalyze, FindExplain, ProbeDesc, Route};
+pub use explain::{FindAnalyze, FindExplain, ProbeDesc, Route, ANALYZE_SPAN_CAPACITY};
 pub use index::IndexSet;
 
 /// Unwraps a governed result obtained under [`QueryCtx::unlimited`] —
@@ -803,11 +803,22 @@ pub struct DocRef {
 /// never leave the calling thread. Per-segment whole-tree JNL evaluations
 /// ([`Collection::find_refs_via_jnl`]) fan out one segment per task with
 /// fully worker-owned evaluation state.
+///
+/// ## Snapshots
+///
+/// Segment trees are held behind [`Arc`]s and never mutated after they
+/// are built, so **cloning a collection is cheap** (reference bumps for
+/// the trees and index postings, a copy of the doc-ref vector and the
+/// symbol table — no tree is ever re-built): a clone is an immutable
+/// snapshot sharing all bulk storage with its origin. `jserve` builds
+/// its copy-on-write snapshot isolation on exactly this property, with
+/// [`Collection::adopt_segment`] as the replay primitive that carries a
+/// segment built against a newer interner back onto an older clone.
 pub struct Collection {
     /// The shared symbol table; every segment's interner is a snapshot of
     /// this one at its build time.
     interner: Interner,
-    segments: Vec<JsonTree>,
+    segments: Vec<Arc<JsonTree>>,
     doc_refs: Vec<DocRef>,
     /// The worker pool driving `find`/`find_project`/JNL scans (and the
     /// `jagg` executor over this collection).
@@ -882,7 +893,7 @@ impl Collection {
         };
         Collection {
             interner,
-            segments: vec![tree],
+            segments: vec![Arc::new(tree)],
             doc_refs,
             pool: Pool::auto(),
             docs_cache: OnceLock::new(),
@@ -986,6 +997,10 @@ impl Collection {
     }
 
     fn push_segment(&mut self, tree: JsonTree) {
+        self.push_segment_arc(Arc::new(tree));
+    }
+
+    fn push_segment_arc(&mut self, tree: Arc<JsonTree>) {
         let seg = self.segments.len() as u32;
         self.doc_refs.push(DocRef {
             seg,
@@ -997,6 +1012,31 @@ impl Collection {
         // document, appended at the end of the ordinal space.
         self.indexes
             .add_segment(&self.segments, self.doc_refs.len() - 1, &self.doc_refs);
+    }
+
+    /// Appends an **already-built** segment tree shared with another
+    /// collection — the replay primitive of snapshot-isolated serving:
+    /// a compacted clone catches up with segments its origin appended
+    /// while the compaction ran, without re-parsing or copying them.
+    ///
+    /// The segment must come from the same interner lineage: its
+    /// interner snapshot has this collection's symbol table as a prefix
+    /// (or is a prefix of it). Interners grow append-only and interning
+    /// is monotone, so catching up means replaying the missing suffix of
+    /// the segment's table — symbol indices are preserved exactly, which
+    /// `debug_assert`s verify per adopted symbol. Adopting a segment
+    /// from an unrelated interner is a logic error and will scramble
+    /// query results (it cannot, however, cause memory unsafety).
+    pub fn adopt_segment(&mut self, tree: &Arc<JsonTree>) {
+        let seg_interner = tree.interner();
+        for (sym, s) in seg_interner.iter_from(self.interner.len()) {
+            let assigned = self.interner.intern(s);
+            debug_assert_eq!(
+                assigned, sym,
+                "adopted segment is not from this collection's interner lineage"
+            );
+        }
+        self.push_segment_arc(Arc::clone(tree));
     }
 
     /// The documents, as owned values — a **compatibility accessor**,
@@ -1020,8 +1060,10 @@ impl Collection {
 
     /// The segment trees of the collection's tree column (segment 0 is the
     /// initial load; one more per insert). All segments share one symbol
-    /// assignment.
-    pub fn segments(&self) -> &[JsonTree] {
+    /// assignment. Trees are behind [`Arc`]s so snapshots can share them;
+    /// `&segments()[i]` deref-coerces to `&JsonTree` wherever a plain
+    /// tree is expected.
+    pub fn segments(&self) -> &[Arc<JsonTree>] {
         &self.segments
     }
 
@@ -1230,7 +1272,7 @@ impl Collection {
         let parts: Vec<(&JsonTree, NodeId)> = self
             .doc_refs
             .iter()
-            .map(|d| (&self.segments[d.seg as usize], d.node))
+            .map(|d| (self.segments[d.seg as usize].as_ref(), d.node))
             .collect();
         let merged = JsonTree::concat_subtrees(&parts, &mut interner);
         self.interner = interner;
@@ -1239,12 +1281,32 @@ impl Collection {
             .iter()
             .map(|&node| DocRef { seg: 0, node })
             .collect();
-        self.segments = vec![merged];
+        self.segments = vec![Arc::new(merged)];
         self.docs_cache = OnceLock::new();
         // Node ids and canonical classes all changed: indexes are rebuilt
         // from the merged segment (correctness pinned by the post-compact
         // differential sweeps).
         self.indexes.rebuild(&self.segments, &self.doc_refs);
+    }
+}
+
+/// Cloning is the snapshot primitive: segment trees and index postings
+/// are shared by [`Arc`] bump (never copied), the doc-ref vector and the
+/// symbol table are copied (both `O(collection)` but allocation-flat —
+/// the same cost every single `insert` already pays for its interner
+/// snapshot), and the lazy docs cache starts empty rather than cloning
+/// materialised documents the snapshot may never read.
+impl Clone for Collection {
+    fn clone(&self) -> Collection {
+        Collection {
+            interner: self.interner.clone(),
+            segments: self.segments.clone(),
+            doc_refs: self.doc_refs.clone(),
+            pool: self.pool,
+            docs_cache: OnceLock::new(),
+            schema: self.schema.clone(),
+            indexes: self.indexes.clone(),
+        }
     }
 }
 
